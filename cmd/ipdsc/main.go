@@ -1,0 +1,101 @@
+// Command ipdsc is the IPDS compiler driver: it compiles a MiniC
+// source file (or one of the built-in server workloads) through the
+// full pipeline and reports the analysis results — IR dump, discovered
+// branch correlations, table sizes — and can emit the binary table
+// image the runtime consumes.
+//
+// Usage:
+//
+//	ipdsc [-dump] [-corr] [-stats] [-o tables.bin] (file.mc | -workload name)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dump    = flag.Bool("dump", false, "print the lowered IR")
+		corr    = flag.Bool("corr", false, "print discovered branch correlations")
+		stats   = flag.Bool("stats", false, "print table size statistics (Figure 8 metric)")
+		out     = flag.String("o", "", "write the binary table image to this file")
+		wlName  = flag.String("workload", "", "compile a built-in server workload instead of a file")
+		promote = flag.Bool("promote", false, "enable region load promotion (ablation pipeline)")
+	)
+	flag.Parse()
+
+	src, name, err := loadSource(*wlName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsc:", err)
+		os.Exit(1)
+	}
+
+	opts := ir.DefaultOptions
+	if *promote {
+		opts.RegionPromotion = true
+	}
+	art, err := pipeline.Compile(src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d functions, %d objects, %d strings\n",
+		name, len(art.Prog.Funcs), len(art.Prog.Objects), len(art.Prog.Strings))
+
+	if *dump {
+		fmt.Print(art.Prog.Dump())
+	}
+	if *corr {
+		for _, fn := range art.Prog.Funcs {
+			ft := art.Tables.Tables[fn]
+			if len(ft.Correlations) == 0 {
+				continue
+			}
+			fmt.Printf("func %s: %d checked branches, %d BAT actions\n",
+				fn.Name, ft.NumChecked(), ft.NumActions())
+			for _, c := range ft.Correlations {
+				fmt.Printf("  %s\n", c)
+			}
+		}
+	}
+	if *stats {
+		s := art.Image.Sizes()
+		fmt.Printf("functions:        %d\n", s.Funcs)
+		fmt.Printf("avg BSV bits:     %.1f\n", s.AvgBSVBits)
+		fmt.Printf("avg BCV bits:     %.1f\n", s.AvgBCVBits)
+		fmt.Printf("avg BAT bits:     %.1f\n", s.AvgBATBits)
+		fmt.Printf("total BAT entries: %d\n", s.TotalEntries)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, art.Image.Marshal(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote table image to %s\n", *out)
+	}
+}
+
+func loadSource(wlName string, args []string) (src, name string, err error) {
+	if wlName != "" {
+		w := workload.ByName(wlName)
+		if w == nil {
+			return "", "", fmt.Errorf("unknown workload %q", wlName)
+		}
+		return w.Source, w.Name, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: ipdsc [flags] (file.mc | -workload name)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), args[0], nil
+}

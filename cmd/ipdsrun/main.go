@@ -1,0 +1,105 @@
+// Command ipdsrun executes a MiniC program (or a built-in workload)
+// under the IPDS runtime. Input lines come from stdin or from repeated
+// -in flags; any infeasible-path alarm is reported with its location.
+//
+// Usage:
+//
+//	ipdsrun [-in line]... [-trace] (file.mc | -workload name [-session])
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ipds"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+type lineFlags []string
+
+func (l *lineFlags) String() string { return fmt.Sprint(*l) }
+func (l *lineFlags) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+func main() {
+	var (
+		inputs  lineFlags
+		wlName  = flag.String("workload", "", "run a built-in server workload")
+		session = flag.Bool("session", false, "use the workload's bundled attack session as input")
+		trace   = flag.Bool("trace", false, "print per-branch events")
+	)
+	flag.Var(&inputs, "in", "input line (repeatable)")
+	flag.Parse()
+
+	var src, name string
+	var input []string
+	if *wlName != "" {
+		w := workload.ByName(*wlName)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "ipdsrun: unknown workload %q\n", *wlName)
+			os.Exit(1)
+		}
+		src, name = w.Source, w.Name
+		if *session {
+			input = w.AttackSession
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: ipdsrun [flags] (file.mc | -workload name)")
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrun:", err)
+			os.Exit(1)
+		}
+		src, name = string(data), flag.Arg(0)
+	}
+	if len(input) == 0 {
+		input = append(input, inputs...)
+	}
+	if len(input) == 0 {
+		// Read input lines from stdin when nothing else is given.
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			input = append(input, sc.Text())
+		}
+	}
+
+	art, err := pipeline.Compile(src, ir.DefaultOptions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsrun:", err)
+		os.Exit(1)
+	}
+	v := vm.New(art.Prog, vm.DefaultConfig, input)
+	m := ipds.New(art.Image, ipds.DefaultConfig)
+	ipds.Attach(v, m)
+	if *trace {
+		v.AddHooks(vm.Hooks{OnBranch: func(br *ir.Instr, taken bool) {
+			fmt.Printf("branch %#x taken=%v expected=%v\n", br.PC, taken, m.Status(br.PC))
+		}})
+	}
+	res := v.Run()
+
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	fmt.Printf("-- %s: status=%v exit=%d steps=%d branches-checked=%d\n",
+		name, res.Status, res.ExitCode, res.Steps, m.Stats().Verified)
+	if res.Fault != nil {
+		fmt.Printf("-- fault: %v\n", res.Fault)
+	}
+	for _, a := range m.Alarms() {
+		fmt.Printf("-- ALARM: %s\n", a)
+	}
+	if len(m.Alarms()) > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,66 @@
+// Command report runs the complete evaluation — every table, figure,
+// in-text measurement and ablation — and emits one consolidated plain
+// text report. EXPERIMENTS.md's numbers are produced by this tool.
+//
+// Usage:
+//
+//	report [-attacks 100] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		attacks = flag.Int("attacks", experiments.DefaultAttacks, "attacks per program")
+		seed    = flag.Int64("seed", 1, "campaign base seed")
+	)
+	flag.Parse()
+
+	cfg := cpu.DefaultConfig()
+	fmt.Printf("IPDS reproduction report (attacks=%d seed=%d)\n\n", *attacks, *seed)
+
+	fmt.Print(experiments.Table1(cfg))
+	fmt.Println()
+
+	section := func(name string, f func() (interface{ Render() string }, error)) {
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render())
+		fmt.Println()
+	}
+
+	section("figure7", func() (interface{ Render() string }, error) {
+		return experiments.Figure7(*attacks, *seed)
+	})
+	section("figure8", func() (interface{ Render() string }, error) {
+		return experiments.Figure8()
+	})
+	section("figure9", func() (interface{ Render() string }, error) {
+		return experiments.Figure9(cfg)
+	})
+	section("checking-speed", func() (interface{ Render() string }, error) {
+		return experiments.CheckingSpeed(cfg)
+	})
+	section("compile-times", func() (interface{ Render() string }, error) {
+		return experiments.CompileTimes()
+	})
+	section("ablation-components", func() (interface{ Render() string }, error) {
+		return experiments.AblationComponents(*attacks, *seed)
+	})
+	section("ablation-regpromo", func() (interface{ Render() string }, error) {
+		return experiments.AblationRegPromo(*attacks, *seed)
+	})
+	section("extension-inlining", func() (interface{ Render() string }, error) {
+		return experiments.ExtensionInlining(*attacks, *seed)
+	})
+}

@@ -1,0 +1,87 @@
+// Privesc reproduces the paper's Figure 1 scenario: a privilege flag
+// is computed from the user's identity and checked twice; in between,
+// an unbounded copy of attacker-controlled input overflows a stack
+// buffer that sits right before the flag. The overflow flips the
+// second check without injecting any code — and the IPDS catches the
+// now-infeasible path (first check said guest, second says admin).
+//
+//	go run ./examples/privesc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const src = `
+int main() {
+	char user[8];
+	char str[8];
+	int privileged;
+
+	// verify_user(user): privilege derived from identity once.
+	read_line_n(user, 8);
+	privileged = 0;
+	if (strcmp(user, "admin") == 0) {
+		privileged = 1;
+	}
+	if (privileged == 1) {
+		print_str("welcome, admin");
+	} else {
+		print_str("welcome, guest");
+	}
+
+	// The program interacts with the user again. strcpy-style bug:
+	// str[8] is adjacent to privileged in the frame, and the copy is
+	// unbounded (paper Figure 1's strcpy(str, someinput)).
+	read_line(str);
+
+	// The same decision data is consulted again. Without tampering
+	// this branch must take the same direction as the first check.
+	if (privileged == 1) {
+		print_str("superuser operation permitted");
+	} else {
+		print_str("operation denied");
+	}
+	return 0;
+}`
+
+func run(prog *repro.Program, label string, input []string) {
+	res, err := prog.Run(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", label)
+	for _, line := range res.Output {
+		fmt.Printf("  | %s\n", line)
+	}
+	if res.Detected() {
+		fmt.Printf("  IPDS ALARM: %s\n", res.Alarms[0])
+	} else {
+		fmt.Printf("  no alarm\n")
+	}
+	fmt.Println()
+}
+
+func main() {
+	prog, err := repro.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checked branches: %d\n\n", prog.CheckedBranches())
+
+	// Benign guest session: both checks agree, no alarm.
+	run(prog, "guest session", []string{"guest", "hello"})
+
+	// Benign admin session: both checks agree the other way, no alarm.
+	run(prog, "admin session", []string{"admin", "hello"})
+
+	// The attack: a guest sends an 8-byte filler plus a 0x01 byte that
+	// lands exactly on `privileged`. No code is injected; the second
+	// privilege check silently flips — an infeasible path the IPDS
+	// reports.
+	run(prog, "guest session with overflow payload",
+		[]string{"guest", "AAAAAAAA\x01"})
+}

@@ -1,0 +1,314 @@
+// Package alias implements the pointer analysis the correlation pass
+// depends on: a flow-insensitive, field-insensitive, inclusion-based
+// (Andersen-style) points-to analysis over IR objects, plus per-function
+// write summaries used to turn call sites into the paper's pseudo-store
+// instructions.
+//
+// The paper used the Wilson–Lam context-sensitive pointer analysis for
+// SUIF; for MiniC-sized programs a whole-program inclusion-based
+// analysis gives comparable precision for the queries that matter here:
+// which object does a load read, and which objects may a store or a
+// call site write.
+package alias
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// ObjSet is a set of memory objects.
+type ObjSet map[ir.ObjID]bool
+
+// Add inserts id, reporting whether the set changed.
+func (s ObjSet) Add(id ir.ObjID) bool {
+	if s[id] {
+		return false
+	}
+	s[id] = true
+	return true
+}
+
+// AddAll inserts all of o, reporting whether the set changed.
+func (s ObjSet) AddAll(o ObjSet) bool {
+	changed := false
+	for id := range o {
+		if s.Add(id) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Has reports membership.
+func (s ObjSet) Has(id ir.ObjID) bool { return s[id] }
+
+// Sorted returns the members in increasing order.
+func (s ObjSet) Sorted() []ir.ObjID {
+	ids := make([]ir.ObjID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Clone returns a copy.
+func (s ObjSet) Clone() ObjSet {
+	c := make(ObjSet, len(s))
+	for id := range s {
+		c[id] = true
+	}
+	return c
+}
+
+// Analysis holds the points-to and mod-summary results for a program.
+type Analysis struct {
+	prog *ir.Program
+
+	regPts map[*ir.Func][]ObjSet // register points-to sets per function
+	objPts []ObjSet              // pointer-valued object points-to sets
+	retPts map[*ir.Func]ObjSet   // return-value points-to sets
+
+	writes    map[*ir.Func]ObjSet // transitive write sets
+	writesAll map[*ir.Func]bool   // conservative "may write anything"
+}
+
+// Analyze runs the analysis to fixpoint.
+func Analyze(p *ir.Program) *Analysis {
+	a := &Analysis{
+		prog:      p,
+		regPts:    map[*ir.Func][]ObjSet{},
+		objPts:    make([]ObjSet, len(p.Objects)),
+		retPts:    map[*ir.Func]ObjSet{},
+		writes:    map[*ir.Func]ObjSet{},
+		writesAll: map[*ir.Func]bool{},
+	}
+	for i := range a.objPts {
+		a.objPts[i] = ObjSet{}
+	}
+	for _, f := range p.Funcs {
+		regs := make([]ObjSet, f.NumRegs)
+		for i := range regs {
+			regs[i] = ObjSet{}
+		}
+		a.regPts[f] = regs
+		a.retPts[f] = ObjSet{}
+	}
+	a.solvePointsTo()
+	a.solveWrites()
+	return a
+}
+
+func (a *Analysis) solvePointsTo() {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range a.prog.Funcs {
+			regs := a.regPts[f]
+			for _, in := range f.Instrs {
+				switch in.Op {
+				case ir.OpAddr:
+					if regs[in.Dst].Add(in.Obj) {
+						changed = true
+					}
+				case ir.OpMov:
+					if regs[in.Dst].AddAll(regs[in.A]) {
+						changed = true
+					}
+				case ir.OpAdd, ir.OpSub:
+					// Pointer arithmetic: the result may point into
+					// whatever either operand points into.
+					if regs[in.Dst].AddAll(regs[in.A]) {
+						changed = true
+					}
+					if in.B != ir.NoReg && regs[in.Dst].AddAll(regs[in.B]) {
+						changed = true
+					}
+				case ir.OpLoad:
+					if in.IsDirectAccess() {
+						if regs[in.Dst].AddAll(a.objPts[in.Obj]) {
+							changed = true
+						}
+					} else {
+						for o := range regs[in.A] {
+							if regs[in.Dst].AddAll(a.objPts[o]) {
+								changed = true
+							}
+						}
+					}
+				case ir.OpStore:
+					if in.IsDirectAccess() {
+						if a.objPts[in.Obj].AddAll(regs[in.B]) {
+							changed = true
+						}
+					} else {
+						for o := range regs[in.A] {
+							if a.objPts[o].AddAll(regs[in.B]) {
+								changed = true
+							}
+						}
+					}
+				case ir.OpCall:
+					callee := a.prog.ByName[in.Callee]
+					if callee == nil {
+						continue // builtin: no pointer flow
+					}
+					for i, arg := range in.Args {
+						if i >= len(callee.Params) {
+							break
+						}
+						if a.objPts[callee.Params[i]].AddAll(a.regPts[f][arg]) {
+							changed = true
+						}
+					}
+					if in.Dst != ir.NoReg {
+						if regs[in.Dst].AddAll(a.retPts[callee]) {
+							changed = true
+						}
+					}
+				case ir.OpRet:
+					if in.A != ir.NoReg {
+						if a.retPts[f].AddAll(regs[in.A]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// solveWrites computes, for every function, the set of memory objects
+// that executing the function (including its callees) may store to, and
+// a conservative "may write anything" escape hatch for stores through
+// pointers the analysis could not resolve.
+func (a *Analysis) solveWrites() {
+	for _, f := range a.prog.Funcs {
+		a.writes[f] = ObjSet{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range a.prog.Funcs {
+			w := a.writes[f]
+			for _, in := range f.Instrs {
+				switch in.Op {
+				case ir.OpStore:
+					if in.IsDirectAccess() {
+						if w.Add(in.Obj) {
+							changed = true
+						}
+						continue
+					}
+					pts := a.regPts[f][in.A]
+					if len(pts) == 0 {
+						if !a.writesAll[f] {
+							a.writesAll[f] = true
+							changed = true
+						}
+						continue
+					}
+					if w.AddAll(pts) {
+						changed = true
+					}
+				case ir.OpCall:
+					set, all := a.CallWrites(in)
+					if all && !a.writesAll[f] {
+						a.writesAll[f] = true
+						changed = true
+					}
+					if w.AddAll(set) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// PointsTo returns the points-to set of register r in f.
+func (a *Analysis) PointsTo(f *ir.Func, r ir.Reg) ObjSet {
+	if r == ir.NoReg {
+		return ObjSet{}
+	}
+	return a.regPts[f][r]
+}
+
+// LoadObject resolves a load to the unique scalar object it reads.
+// ok is false for multiply-aliased or unresolvable loads, which the
+// paper's algorithm removes from further analysis.
+func (a *Analysis) LoadObject(in *ir.Instr) (ir.ObjID, bool) {
+	if in.Op != ir.OpLoad {
+		return ir.ObjNone, false
+	}
+	if in.IsDirectAccess() {
+		obj := a.prog.Object(in.Obj)
+		if obj.IsScalar() {
+			return in.Obj, true
+		}
+		return ir.ObjNone, false
+	}
+	pts := a.regPts[in.Blk.Fn][in.A]
+	if len(pts) != 1 {
+		return ir.ObjNone, false
+	}
+	for id := range pts {
+		obj := a.prog.Object(id)
+		// A whole-object scalar access only: partial reads of arrays
+		// or size-mismatched reads are not unique accesses.
+		if obj.IsScalar() && obj.Size() == in.Size {
+			return id, true
+		}
+	}
+	return ir.ObjNone, false
+}
+
+// StoreTargets returns the objects a store may write. all=true means
+// the target could not be bounded (write anywhere).
+func (a *Analysis) StoreTargets(in *ir.Instr) (ObjSet, bool) {
+	if in.IsDirectAccess() {
+		return ObjSet{in.Obj: true}, false
+	}
+	pts := a.regPts[in.Blk.Fn][in.A]
+	if len(pts) == 0 {
+		return ObjSet{}, true
+	}
+	return pts, false
+}
+
+// CallWrites returns the pseudo-store set for a call site: the objects
+// the callee may store to. For builtins this is the points-to sets of
+// the written pointer arguments; for user functions it is the callee's
+// transitive write summary. all=true means unbounded.
+//
+// Unbounded ("modify any variable") is exactly the paper's conservative
+// fallback for callees it cannot reason about.
+func (a *Analysis) CallWrites(in *ir.Instr) (ObjSet, bool) {
+	f := in.Blk.Fn
+	if bi := minic.Builtins[in.Callee]; bi != nil {
+		out := ObjSet{}
+		all := false
+		for _, pi := range bi.WritesParams {
+			if pi >= len(in.Args) {
+				continue
+			}
+			pts := a.regPts[f][in.Args[pi]]
+			if len(pts) == 0 {
+				all = true
+				continue
+			}
+			out.AddAll(pts)
+		}
+		return out, all
+	}
+	callee := a.prog.ByName[in.Callee]
+	if callee == nil {
+		return ObjSet{}, true // unknown library code
+	}
+	return a.writes[callee], a.writesAll[callee]
+}
+
+// FuncWrites returns the transitive write summary of f.
+func (a *Analysis) FuncWrites(f *ir.Func) (ObjSet, bool) {
+	return a.writes[f], a.writesAll[f]
+}

@@ -1,0 +1,355 @@
+package alias
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Analysis) {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := ir.Lower(mp, ir.Options{})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p, Analyze(p)
+}
+
+func objByName(p *ir.Program, suffix string) *ir.Object {
+	for _, o := range p.Objects {
+		if o.Name == suffix || strings.HasSuffix(o.Name, "."+suffix) {
+			return o
+		}
+	}
+	return nil
+}
+
+func TestPointsToAddrOf(t *testing.T) {
+	p, a := analyze(t, `
+		void f() {
+			int x;
+			int* p;
+			p = &x;
+			*p = 3;
+		}`)
+	f := p.ByName["f"]
+	x := objByName(p, "x")
+	// Find the indirect store and check its target set is exactly {x}.
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpStore && !in.IsDirectAccess() {
+			set, all := a.StoreTargets(in)
+			if all {
+				t.Fatal("store targets should be bounded")
+			}
+			if len(set) != 1 || !set.Has(x.ID) {
+				t.Errorf("targets = %v, want {%d}", set.Sorted(), x.ID)
+			}
+			return
+		}
+	}
+	t.Fatal("indirect store not found")
+}
+
+func TestPointsToTwoTargets(t *testing.T) {
+	p, a := analyze(t, `
+		void f(int c) {
+			int x; int y;
+			int* p;
+			if (c) { p = &x; } else { p = &y; }
+			*p = 1;
+		}`)
+	f := p.ByName["f"]
+	x, y := objByName(p, "x"), objByName(p, "y")
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpStore && !in.IsDirectAccess() {
+			set, all := a.StoreTargets(in)
+			if all {
+				t.Fatal("should be bounded")
+			}
+			if !set.Has(x.ID) || !set.Has(y.ID) || len(set) != 2 {
+				t.Errorf("targets = %v, want {x,y}", set.Sorted())
+			}
+			return
+		}
+	}
+	t.Fatal("indirect store not found")
+}
+
+func TestPointsToThroughCall(t *testing.T) {
+	p, a := analyze(t, `
+		void set(int* p) { *p = 7; }
+		void f() {
+			int x;
+			set(&x);
+		}`)
+	f := p.ByName["f"]
+	x := objByName(p, "x")
+	// The call site must report a pseudo-store to x.
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpCall {
+			set, all := a.CallWrites(in)
+			if all {
+				t.Fatal("CallWrites should be bounded")
+			}
+			if !set.Has(x.ID) {
+				t.Errorf("call writes = %v, missing x", set.Sorted())
+			}
+			// It also includes set's own param slot (the prologue spill).
+			return
+		}
+	}
+	t.Fatal("call not found")
+}
+
+func TestPointsToTransitiveCalls(t *testing.T) {
+	p, a := analyze(t, `
+		int g;
+		void inner() { g = 1; }
+		void outer() { inner(); }
+		void f() { outer(); }`)
+	f := p.ByName["f"]
+	g := objByName(p, "g")
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpCall {
+			set, all := a.CallWrites(in)
+			if all {
+				t.Fatal("bounded expected")
+			}
+			if !set.Has(g.ID) {
+				t.Errorf("transitive write to g missing: %v", set.Sorted())
+			}
+		}
+	}
+}
+
+func TestBuiltinCallWrites(t *testing.T) {
+	p, a := analyze(t, `
+		void f() {
+			char buf[16];
+			char src[16];
+			strcpy(buf, src);
+			print_str(buf);
+		}`)
+	f := p.ByName["f"]
+	buf := objByName(p, "buf")
+	src := objByName(p, "src")
+	var strcpyCall, printCall *ir.Instr
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpCall {
+			switch in.Callee {
+			case "strcpy":
+				strcpyCall = in
+			case "print_str":
+				printCall = in
+			}
+		}
+	}
+	set, all := a.CallWrites(strcpyCall)
+	if all {
+		t.Fatal("strcpy writes should be bounded by points-to")
+	}
+	if !set.Has(buf.ID) {
+		t.Errorf("strcpy must write buf: %v", set.Sorted())
+	}
+	if set.Has(src.ID) {
+		t.Errorf("strcpy must not write src: %v", set.Sorted())
+	}
+	pset, all := a.CallWrites(printCall)
+	if all || len(pset) != 0 {
+		t.Errorf("print_str writes nothing, got %v all=%v", pset.Sorted(), all)
+	}
+}
+
+func TestLoadObjectDirectScalar(t *testing.T) {
+	p, a := analyze(t, `int g; int f() { return g; }`)
+	f := p.ByName["f"]
+	g := objByName(p, "g")
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpLoad {
+			id, ok := a.LoadObject(in)
+			if !ok || id != g.ID {
+				t.Errorf("LoadObject = %v,%v want %v,true", id, ok, g.ID)
+			}
+		}
+	}
+}
+
+func TestLoadObjectUniqueIndirect(t *testing.T) {
+	p, a := analyze(t, `
+		int f() {
+			int x;
+			int* p;
+			x = 4;
+			p = &x;
+			return *p;
+		}`)
+	f := p.ByName["f"]
+	x := objByName(p, "x")
+	found := false
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpLoad && !in.IsDirectAccess() {
+			id, ok := a.LoadObject(in)
+			if !ok || id != x.ID {
+				t.Errorf("unique indirect load: got %v,%v", id, ok)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no indirect load found")
+	}
+}
+
+func TestLoadObjectArrayExcluded(t *testing.T) {
+	p, a := analyze(t, `char b[8]; char f(int i) { return b[i]; }`)
+	f := p.ByName["f"]
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpLoad && !in.IsDirectAccess() {
+			if _, ok := a.LoadObject(in); ok {
+				t.Error("array element load must not be a unique scalar access")
+			}
+		}
+	}
+}
+
+func TestLoadObjectMultiAliasedExcluded(t *testing.T) {
+	p, a := analyze(t, `
+		int f(int c) {
+			int x; int y;
+			int* p;
+			if (c) { p = &x; } else { p = &y; }
+			return *p;
+		}`)
+	f := p.ByName["f"]
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpLoad && !in.IsDirectAccess() {
+			if _, ok := a.LoadObject(in); ok {
+				t.Error("multiply-aliased load must be excluded")
+			}
+		}
+	}
+}
+
+func TestReturnedPointer(t *testing.T) {
+	p, a := analyze(t, `
+		int g;
+		int* pick() { return &g; }
+		void f() {
+			int* p;
+			p = pick();
+			*p = 9;
+		}`)
+	f := p.ByName["f"]
+	g := objByName(p, "g")
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpStore && !in.IsDirectAccess() {
+			set, all := a.StoreTargets(in)
+			if all || !set.Has(g.ID) {
+				t.Errorf("store through returned pointer: %v all=%v", set.Sorted(), all)
+			}
+			return
+		}
+	}
+	t.Fatal("indirect store not found")
+}
+
+func TestFuncWritesDirectGlobal(t *testing.T) {
+	p, a := analyze(t, `
+		int g; int h;
+		void w() { g = 1; }
+		void f() { h = 2; }`)
+	g, h := objByName(p, "g"), objByName(p, "h")
+	set, all := a.FuncWrites(p.ByName["w"])
+	if all || !set.Has(g.ID) || set.Has(h.ID) {
+		t.Errorf("w writes = %v all=%v", set.Sorted(), all)
+	}
+}
+
+func TestObjSetOps(t *testing.T) {
+	s := ObjSet{}
+	if !s.Add(3) || s.Add(3) {
+		t.Error("Add change reporting wrong")
+	}
+	o := ObjSet{1: true, 2: true}
+	if !s.AddAll(o) {
+		t.Error("AddAll should report change")
+	}
+	if s.AddAll(o) {
+		t.Error("AddAll of subset should not report change")
+	}
+	want := []ir.ObjID{1, 2, 3}
+	got := s.Sorted()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Sorted = %v", got)
+	}
+	c := s.Clone()
+	c.Add(9)
+	if s.Has(9) {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestPointsToAPI(t *testing.T) {
+	p, a := analyze(t, `
+		void f() {
+			int x;
+			int* q;
+			q = &x;
+			*q = 1;
+		}`)
+	f := p.ByName["f"]
+	x := objByName(p, "x")
+	// The register assigned by &x must point to exactly {x}.
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpAddr && in.Obj == x.ID {
+			pts := a.PointsTo(f, in.Dst)
+			if len(pts) != 1 || !pts.Has(x.ID) {
+				t.Errorf("PointsTo(&x) = %v", pts.Sorted())
+			}
+		}
+	}
+	if got := a.PointsTo(f, ir.NoReg); len(got) != 0 {
+		t.Error("PointsTo(NoReg) must be empty")
+	}
+}
+
+func TestStoreTargetsDirect(t *testing.T) {
+	p, a := analyze(t, `int g; void f() { g = 1; }`)
+	f := p.ByName["f"]
+	g := objByName(p, "g")
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpStore {
+			set, all := a.StoreTargets(in)
+			if all || len(set) != 1 || !set.Has(g.ID) {
+				t.Errorf("direct store targets = %v all=%v", set.Sorted(), all)
+			}
+		}
+	}
+}
+
+func TestCallWritesUnknownCallee(t *testing.T) {
+	// A call instruction naming a function that is neither a builtin
+	// nor user-defined cannot happen via sema; simulate the conservative
+	// path through a synthetic instruction.
+	p, a := analyze(t, `void f() { print_int(1); }`)
+	f := p.ByName["f"]
+	var call *ir.Instr
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpCall {
+			call = in
+		}
+	}
+	saved := call.Callee
+	call.Callee = "mystery_library_fn"
+	set, all := a.CallWrites(call)
+	if !all || len(set) != 0 {
+		t.Errorf("unknown callee must be unbounded, got %v all=%v", set.Sorted(), all)
+	}
+	call.Callee = saved
+}

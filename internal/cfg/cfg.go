@@ -1,0 +1,273 @@
+// Package cfg provides control-flow-graph algorithms over internal/ir
+// functions: reverse postorder, dominators, the branch regions that the
+// Branch Action Table construction attaches actions to, and path
+// queries used by the correlation soundness checks.
+package cfg
+
+import "repro/internal/ir"
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// DomTree holds immediate-dominator information for a function.
+type DomTree struct {
+	fn    *ir.Func
+	idom  []*ir.Block // by block index; entry's idom is itself
+	depth []int
+}
+
+// BuildDomTree computes dominators with the classic iterative
+// Cooper–Harvey–Kennedy algorithm.
+func BuildDomTree(f *ir.Func) *DomTree {
+	rpo := ReversePostorder(f)
+	rpoNum := make([]int, len(f.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b.Index] = i
+	}
+	idom := make([]*ir.Block, len(f.Blocks))
+	idom[f.Entry.Index] = f.Entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for rpoNum[a.Index] > rpoNum[b.Index] {
+				a = idom[a.Index]
+			}
+			for rpoNum[b.Index] > rpoNum[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p.Index] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	t := &DomTree{fn: f, idom: idom, depth: make([]int, len(f.Blocks))}
+	for _, b := range rpo {
+		if b == f.Entry {
+			continue
+		}
+		t.depth[b.Index] = t.depth[idom[b.Index].Index] + 1
+	}
+	return t
+}
+
+// Idom returns the immediate dominator of b (entry for itself).
+func (t *DomTree) Idom(b *ir.Block) *ir.Block { return t.idom[b.Index] }
+
+// Dominates reports whether block a dominates block b.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	if t.idom[b.Index] == nil {
+		return false // b unreachable
+	}
+	for t.depth[b.Index] > t.depth[a.Index] {
+		b = t.idom[b.Index]
+	}
+	return a == b
+}
+
+// InstrDominates reports whether instruction a dominates instruction b
+// (a executes on every path reaching b). Within a block this is program
+// order; across blocks it is block dominance.
+func (t *DomTree) InstrDominates(a, b *ir.Instr) bool {
+	if a.Blk == b.Blk {
+		return a.ID < b.ID
+	}
+	return t.Dominates(a.Blk, b.Blk)
+}
+
+// Direction is a conditional-branch outcome.
+type Direction int
+
+// Branch directions.
+const (
+	Taken Direction = iota
+	NotTaken
+)
+
+func (d Direction) String() string {
+	if d == Taken {
+		return "T"
+	}
+	return "NT"
+}
+
+// Other returns the opposite direction.
+func (d Direction) Other() Direction { return 1 - d }
+
+// Region is the straight-line code executed after a branch commits with
+// a given direction, up to and including the next conditional branch.
+// The runtime only observes branch outcomes, so every static effect in
+// the region (stores, calls) is attributed to the region's originating
+// (branch, direction) event.
+//
+// The entry region (From == nil) covers code executed before the first
+// conditional branch of the function; it needs no kill actions because
+// every BSV entry starts out UNKNOWN.
+type Region struct {
+	From *ir.Instr // originating branch, nil for the entry region
+	Dir  Direction // meaningful when From != nil
+
+	// Blocks are the region's blocks in execution order. A block can
+	// belong to several regions (it may be reachable from several
+	// branch edges through unconditional jumps).
+	Blocks []*ir.Block
+
+	// Term is the conditional branch ending the region, nil when the
+	// region ends in a return or closes an unconditional cycle.
+	Term *ir.Instr
+}
+
+// Regions computes the entry region plus one region per (conditional
+// branch, direction) edge of f.
+func Regions(f *ir.Func) []*Region {
+	var out []*Region
+	entry := walkRegion(nil, 0, f.Entry)
+	out = append(out, entry)
+	for _, br := range f.Branches() {
+		out = append(out, walkRegion(br, Taken, br.Target))
+		out = append(out, walkRegion(br, NotTaken, br.Else))
+	}
+	return out
+}
+
+// walkRegion follows unconditional control flow from start until a
+// conditional branch, a return, or a revisited block (an unconditional
+// infinite loop).
+func walkRegion(from *ir.Instr, dir Direction, start *ir.Block) *Region {
+	r := &Region{From: from, Dir: dir}
+	seen := map[*ir.Block]bool{}
+	b := start
+	for b != nil && !seen[b] {
+		seen[b] = true
+		r.Blocks = append(r.Blocks, b)
+		t := b.Term()
+		if t == nil {
+			break
+		}
+		switch t.Op {
+		case ir.OpBr:
+			r.Term = t
+			return r
+		case ir.OpJmp:
+			b = t.Target
+		default: // OpRet
+			return r
+		}
+	}
+	return r
+}
+
+// Instrs iterates the region's instructions in execution order.
+func (r *Region) Instrs(yield func(*ir.Instr) bool) {
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			if !yield(in) {
+				return
+			}
+		}
+	}
+}
+
+// Between returns the instructions that can execute strictly between
+// stop and to on some path from stop to to that does not pass through
+// stop again. It is used to check "no definition of v between the two
+// accesses": when stop dominates to, the returned set covers every such
+// path, including wrap-arounds through loops containing to.
+//
+// Precondition: to must be its block's terminator (the analysis only
+// ever asks about branches); otherwise wrap-around paths through the
+// tail of to's block would be missed.
+func Between(stop, to *ir.Instr) []*ir.Instr {
+	var out []*ir.Instr
+	instrIdx := func(in *ir.Instr) int { return in.ID - in.Blk.Instrs[0].ID }
+
+	// Partial backward scan of to's block above to.
+	foundInFirst := false
+	for i := instrIdx(to) - 1; i >= 0; i-- {
+		in := to.Blk.Instrs[i]
+		if in == stop {
+			foundInFirst = true
+			break
+		}
+		out = append(out, in)
+	}
+	if foundInFirst {
+		return out
+	}
+
+	visited := map[*ir.Block]bool{to.Blk: true}
+	var work []*ir.Block
+	for _, p := range to.Blk.Preds {
+		if !visited[p] {
+			visited[p] = true
+			work = append(work, p)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		containsStop := false
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in == stop {
+				containsStop = true
+				break
+			}
+			out = append(out, in)
+		}
+		if containsStop {
+			continue
+		}
+		for _, p := range b.Preds {
+			if !visited[p] {
+				visited[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := ir.Lower(mp, ir.Options{})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+const diamondSrc = `
+int f(int x) {
+	int r;
+	if (x < 0) {
+		r = 1;
+	} else {
+		r = 2;
+	}
+	return r;
+}`
+
+func TestReversePostorder(t *testing.T) {
+	p := lower(t, diamondSrc)
+	f := p.ByName["f"]
+	rpo := ReversePostorder(f)
+	if len(rpo) != len(f.Blocks) {
+		t.Fatalf("rpo covers %d blocks, want %d", len(rpo), len(f.Blocks))
+	}
+	if rpo[0] != f.Entry {
+		t.Error("rpo must start at entry")
+	}
+	// Every block appears exactly once.
+	seen := map[*ir.Block]bool{}
+	for _, b := range rpo {
+		if seen[b] {
+			t.Errorf("block b%d repeated", b.Index)
+		}
+		seen[b] = true
+	}
+	// RPO property: for acyclic graphs, preds come before succs.
+	pos := map[*ir.Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			back := false
+			// skip back edges (loops) — diamond has none
+			if pos[s] <= pos[b] {
+				back = true
+			}
+			if back {
+				t.Errorf("b%d -> b%d violates RPO in acyclic CFG", b.Index, s.Index)
+			}
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := lower(t, diamondSrc)
+	f := p.ByName["f"]
+	dt := BuildDomTree(f)
+	br := f.Branches()[0]
+	condBlk := br.Blk
+	thenBlk, elseBlk := br.Target, br.Else
+	// The join block is the one with two preds.
+	var join *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 2 {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	if !dt.Dominates(condBlk, thenBlk) || !dt.Dominates(condBlk, elseBlk) || !dt.Dominates(condBlk, join) {
+		t.Error("cond block must dominate both arms and the join")
+	}
+	if dt.Dominates(thenBlk, join) || dt.Dominates(elseBlk, join) {
+		t.Error("arms must not dominate the join")
+	}
+	if dt.Idom(join) != condBlk {
+		t.Errorf("idom(join) = b%d, want b%d", dt.Idom(join).Index, condBlk.Index)
+	}
+	if !dt.Dominates(f.Entry, join) {
+		t.Error("entry dominates everything")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	p := lower(t, `
+		int f(int n) {
+			int s;
+			s = 0;
+			while (n > 0) {
+				s = s + n;
+				n = n - 1;
+			}
+			return s;
+		}`)
+	f := p.ByName["f"]
+	dt := BuildDomTree(f)
+	br := f.Branches()[0]
+	head := br.Blk
+	body := br.Target
+	exit := br.Else
+	if !dt.Dominates(head, body) || !dt.Dominates(head, exit) {
+		t.Error("loop head must dominate body and exit")
+	}
+	if dt.Dominates(body, exit) {
+		t.Error("body must not dominate exit")
+	}
+	if !dt.Dominates(head, head) {
+		t.Error("dominance is reflexive")
+	}
+}
+
+func TestInstrDominatesSameBlock(t *testing.T) {
+	p := lower(t, `int f(int x) { return x + 1; }`)
+	f := p.ByName["f"]
+	dt := BuildDomTree(f)
+	ins := f.Entry.Instrs
+	if !dt.InstrDominates(ins[0], ins[1]) {
+		t.Error("earlier instr dominates later in same block")
+	}
+	if dt.InstrDominates(ins[1], ins[0]) {
+		t.Error("later instr must not dominate earlier")
+	}
+}
+
+func TestRegionsDiamond(t *testing.T) {
+	p := lower(t, diamondSrc)
+	f := p.ByName["f"]
+	regs := Regions(f)
+	// entry + 2 per branch
+	if len(regs) != 1+2*len(f.Branches()) {
+		t.Fatalf("regions = %d, want %d", len(regs), 1+2*len(f.Branches()))
+	}
+	entry := regs[0]
+	if entry.From != nil {
+		t.Error("first region must be the entry region")
+	}
+	if entry.Term == nil || entry.Term.Op != ir.OpBr {
+		t.Error("entry region of diamond must end at the branch")
+	}
+	br := f.Branches()[0]
+	for _, r := range regs[1:] {
+		if r.From != br {
+			t.Errorf("region from %v, want branch", r.From)
+		}
+		// Both arm regions flow through the join to the return: no
+		// conditional terminator.
+		if r.Term != nil {
+			t.Errorf("arm region should end at return, got %v", r.Term)
+		}
+		if len(r.Blocks) < 2 {
+			t.Errorf("arm region should include arm and join, got %d blocks", len(r.Blocks))
+		}
+	}
+}
+
+func TestRegionsLoopTerminates(t *testing.T) {
+	// while(1) with no conditional branch inside: region walking must
+	// not loop forever.
+	p := lower(t, `void f() { int x; while (1) { x = x + 1; } }`)
+	f := p.ByName["f"]
+	regs := Regions(f)
+	if len(regs) != 1 {
+		t.Fatalf("regions = %d, want 1 (entry only)", len(regs))
+	}
+	if regs[0].Term != nil {
+		t.Error("unconditional infinite loop region has no terminator")
+	}
+}
+
+func TestRegionsChainThroughJoin(t *testing.T) {
+	p := lower(t, `
+		int g;
+		int f(int x) {
+			if (x < 0) { g = 1; } else { g = 2; }
+			g = 3;
+			if (x > 5) { return 1; }
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	brs := f.Branches()
+	if len(brs) != 2 {
+		t.Fatalf("branches = %d, want 2", len(brs))
+	}
+	regs := Regions(f)
+	// The taken region of the first branch must reach the second branch.
+	var found bool
+	for _, r := range regs {
+		if r.From == brs[0] && r.Dir == Taken {
+			found = true
+			if r.Term != brs[1] {
+				t.Errorf("region term = %v, want second branch", r.Term)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing taken region of first branch")
+	}
+}
+
+func TestRegionInstrsIteration(t *testing.T) {
+	p := lower(t, diamondSrc)
+	f := p.ByName["f"]
+	regs := Regions(f)
+	n := 0
+	regs[0].Instrs(func(in *ir.Instr) bool { n++; return true })
+	if n == 0 {
+		t.Error("entry region has no instructions?")
+	}
+	// Early stop.
+	n = 0
+	regs[0].Instrs(func(in *ir.Instr) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+}
+
+func TestBetweenStraightLine(t *testing.T) {
+	p := lower(t, `
+		int g;
+		int f(int x) {
+			g = x;
+			g = x + 1;
+			if (x < 0) { return 1; }
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	var stores []*ir.Instr
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpStore && in.IsDirectAccess() && f.Prog().Object(in.Obj).Kind == ir.ObjGlobal {
+			stores = append(stores, in)
+		}
+	}
+	if len(stores) != 2 {
+		t.Fatalf("stores = %d, want 2", len(stores))
+	}
+	br := f.Branches()[0]
+	// Between first store and branch includes the second store.
+	between := Between(stores[0], br)
+	has := func(set []*ir.Instr, in *ir.Instr) bool {
+		for _, x := range set {
+			if x == in {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(between, stores[1]) {
+		t.Error("second store must be between first store and branch")
+	}
+	// Between second store and branch excludes the first store.
+	between2 := Between(stores[1], br)
+	if has(between2, stores[0]) {
+		t.Error("first store must not be between second store and branch")
+	}
+	if has(between2, br) {
+		t.Error("Between is exclusive of the endpoints")
+	}
+}
+
+func TestBetweenLoopWrapAround(t *testing.T) {
+	// stop is the pre-loop store to g; the loop-body store lies on a
+	// wrap-around path from stop to the head branch that never
+	// re-passes stop, so it must be in the Between set.
+	p := lower(t, `
+		int g;
+		void f(int n) {
+			g = n;
+			while (n > 0) {
+				g = 5;
+				n = n - 1;
+			}
+		}`)
+	f := p.ByName["f"]
+	br := f.Branches()[0]
+	var gStores []*ir.Instr
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpStore && in.IsDirectAccess() && f.Prog().Object(in.Obj).Kind == ir.ObjGlobal {
+			gStores = append(gStores, in)
+		}
+	}
+	if len(gStores) != 2 {
+		t.Fatalf("stores to g = %d, want 2", len(gStores))
+	}
+	between := Between(gStores[0], br)
+	found := false
+	for _, in := range between {
+		if in == gStores[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop-body store missing from Between set (wrap-around path)")
+	}
+}
+
+func TestBetweenSelfLoopExcludesRepass(t *testing.T) {
+	// For a load feeding its own loop branch, every wrap path re-passes
+	// the load, so Between contains only the in-block tail: the
+	// loop-body defs are the kill mechanism's job, not Between's.
+	p := lower(t, `
+		int g;
+		void f(int n) {
+			while (n > 0) {
+				g = 5;
+				n = n - 1;
+			}
+		}`)
+	f := p.ByName["f"]
+	br := f.Branches()[0]
+	nLoad := f.DefOf(br.A)
+	if nLoad == nil || nLoad.Op != ir.OpLoad {
+		t.Fatalf("branch operand def = %v, want load", nLoad)
+	}
+	for _, in := range Between(nLoad, br) {
+		if in.Op == ir.OpStore {
+			t.Errorf("unexpected store %v between load and its branch", in)
+		}
+	}
+}
+
+func TestDirectionHelpers(t *testing.T) {
+	if Taken.Other() != NotTaken || NotTaken.Other() != Taken {
+		t.Error("Other is an involution")
+	}
+	if Taken.String() != "T" || NotTaken.String() != "NT" {
+		t.Error("direction strings")
+	}
+}

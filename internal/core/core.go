@@ -1,0 +1,503 @@
+// Package core implements the paper's primary contribution: the
+// compiler construction of branch-correlation tables (Figure 5 of the
+// paper) — the Branch Checking Vector (BCV) marking which branches the
+// runtime verifies, and the Branch Action Table (BAT) recording how
+// each committed branch outcome updates the Branch Status Vector (BSV)
+// expectations of other branches.
+//
+// # Event model
+//
+// The runtime observes only committed conditional branches, so every
+// static fact must be attached to a (branch, direction) event:
+//
+//   - Correlations attach to the source branch: when bs commits with
+//     direction d, the value it tested confines a memory variable to a
+//     range; if that range forces the direction of a checked branch bl,
+//     the action SET_T/SET_NT(bl) is executed.
+//   - Kills attach to region entries: when branch b commits with
+//     direction d, the straight-line region that will now execute (up
+//     to the next conditional branch) is known. Every definition of a
+//     variable v inside that region invalidates expectations about v,
+//     so SET_UN is applied for each checked branch over v — applied
+//     conservatively early, at region entry, which can only lose
+//     detection, never soundness.
+//
+// Kills override correlations within the same table slot: if (b,d)'s
+// own region redefines v, the value b tested is stale by the time any
+// branch over v executes again (the paper's Figure 4, where BR2's taken
+// edge enters BB3 and x is redefined, forcing BR2's status to UNKNOWN).
+//
+// # Soundness conditions (zero false positives)
+//
+// A store→load correlation st→bs→bl requires st to dominate bs with no
+// other definition of v on any st→bs path; a load→load correlation
+// lp→blp→bl requires the same between lp and blp. Multiply-aliased
+// accesses, unresolvable pointers and unknown callees all degrade to
+// kills ("set to unknown"), exactly the paper's conservative fallback.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/ranges"
+)
+
+// Action is a BAT entry action. The paper's four actions are SET_T,
+// SET_NT, SET_UN and NC; NC is represented by absence.
+type Action int
+
+// BAT actions.
+const (
+	SetTaken Action = iota
+	SetNotTaken
+	SetUnknown
+)
+
+func (a Action) String() string {
+	switch a {
+	case SetTaken:
+		return "SET_T"
+	case SetNotTaken:
+		return "SET_NT"
+	case SetUnknown:
+		return "SET_UN"
+	}
+	return "?"
+}
+
+// Update is one BAT action: when the owning (branch, direction) event
+// fires, set Target's status accordingly.
+type Update struct {
+	Target *ir.Instr
+	Act    Action
+}
+
+// Event keys a BAT row: a conditional branch committing with a
+// direction.
+type Event struct {
+	Br  *ir.Instr
+	Dir cfg.Direction
+}
+
+// CorrKind distinguishes the two correlation discovery paths of the
+// paper's algorithm.
+type CorrKind int
+
+// Correlation kinds.
+const (
+	StoreLoad CorrKind = iota // branch bs → store st → load ld → branch bl
+	LoadLoad                  // branch blp → load lp → load ld → branch bl
+)
+
+func (k CorrKind) String() string {
+	if k == StoreLoad {
+		return "store→load"
+	}
+	return "load→load"
+}
+
+// Correlation records one discovered correlation for reporting and
+// tests; the actionable form lives in FuncTables.Actions.
+type Correlation struct {
+	Kind   CorrKind
+	Source *ir.Instr     // bs or blp
+	Dir    cfg.Direction // direction of Source that fires the action
+	Via    *ir.Instr     // the store st or load lp
+	Target *ir.Instr     // bl
+	Act    Action        // SetTaken or SetNotTaken
+	Obj    ir.ObjID      // the correlated memory variable
+}
+
+func (c Correlation) String() string {
+	return fmt.Sprintf("%s: br@%#x %s -> %s br@%#x (obj%d via instr %d)",
+		c.Kind, c.Source.PC, c.Dir, c.Act, c.Target.PC, c.Obj, c.Via.ID)
+}
+
+// FuncTables is the per-function analysis result: the checked-branch
+// set (BCV) and the action table (BAT). internal/tables encodes it into
+// the bit-level layout and internal/ipds interprets it at runtime.
+type FuncTables struct {
+	Fn       *ir.Func
+	Branches []*ir.Instr // conditional branches in ID order
+
+	// Checked is the BCV: branches whose direction the runtime
+	// verifies against the BSV.
+	Checked map[*ir.Instr]bool
+
+	// Actions is the BAT: updates executed when an event fires.
+	Actions map[Event][]Update
+
+	// Correlations lists the discovered correlations (diagnostics).
+	Correlations []Correlation
+}
+
+// NumChecked returns the BCV population count.
+func (t *FuncTables) NumChecked() int { return len(t.Checked) }
+
+// NumActions returns the total number of BAT updates.
+func (t *FuncTables) NumActions() int {
+	n := 0
+	for _, ups := range t.Actions {
+		n += len(ups)
+	}
+	return n
+}
+
+// Result holds the tables for every function of a program.
+type Result struct {
+	Prog   *ir.Program
+	Alias  *alias.Analysis
+	Tables map[*ir.Func]*FuncTables
+}
+
+// Config toggles the correlation-discovery components, for the
+// component-ablation experiments. The zero value enables everything
+// (the paper's full algorithm).
+type Config struct {
+	// DisableStoreLoad drops the store→load discovery path (Figure 5
+	// lines 6–10).
+	DisableStoreLoad bool
+	// DisableLoadLoad drops the load→load discovery path (lines
+	// 11–15), including self correlations.
+	DisableLoadLoad bool
+	// SelfOnly keeps only same-branch (blp == bl) load→load
+	// correlations: a branch may only predict its own next outcome.
+	SelfOnly bool
+}
+
+// Build runs the Figure 5 construction for every function with the
+// full algorithm.
+func Build(prog *ir.Program, al *alias.Analysis) *Result {
+	return BuildWith(prog, al, Config{})
+}
+
+// BuildWith runs the construction with selected components disabled.
+func BuildWith(prog *ir.Program, al *alias.Analysis, conf Config) *Result {
+	if al == nil {
+		al = alias.Analyze(prog)
+	}
+	res := &Result{Prog: prog, Alias: al, Tables: map[*ir.Func]*FuncTables{}}
+	for _, fn := range prog.Funcs {
+		res.Tables[fn] = buildFunc(prog, al, fn, conf)
+	}
+	return res
+}
+
+// defInfo is a may-definition of memory: a store or a call pseudo-store.
+type defInfo struct {
+	in  *ir.Instr
+	set alias.ObjSet
+	all bool // may write anything
+}
+
+func (d defInfo) defines(obj ir.ObjID) bool { return d.all || d.set.Has(obj) }
+
+// target is a checked-branch candidate: a branch whose direction is a
+// function of one scalar memory variable's loaded value.
+type target struct {
+	br   *ir.Instr
+	con  ranges.Constraint
+	load *ir.Instr // the root load
+	obj  ir.ObjID  // the variable
+}
+
+func buildFunc(prog *ir.Program, al *alias.Analysis, fn *ir.Func, conf Config) *FuncTables {
+	t := &FuncTables{
+		Fn:       fn,
+		Branches: fn.Branches(),
+		Checked:  map[*ir.Instr]bool{},
+		Actions:  map[Event][]Update{},
+	}
+	if len(t.Branches) == 0 {
+		return t
+	}
+	dt := cfg.BuildDomTree(fn)
+
+	// Step 1: collect may-definitions (paper line 2: treat each store
+	// as a definition; §5.3: calls become pseudo-stores).
+	var defs []defInfo
+	defMap := map[*ir.Instr]defInfo{}
+	for _, in := range fn.Instrs {
+		switch in.Op {
+		case ir.OpStore:
+			set, all := al.StoreTargets(in)
+			d := defInfo{in: in, set: set, all: all}
+			defs = append(defs, d)
+			defMap[in] = d
+		case ir.OpCall:
+			set, all := al.CallWrites(in)
+			if all || len(set) > 0 {
+				d := defInfo{in: in, set: set, all: all}
+				defs = append(defs, d)
+				defMap[in] = d
+			}
+		}
+	}
+	defOf := func(in *ir.Instr) (defInfo, bool) {
+		d, ok := defMap[in]
+		return d, ok
+	}
+
+	// Step 2: branch constraints. Targets additionally need a unique
+	// scalar load as root (paper line 5: "branch whose outcome is
+	// inferrable from the load's range").
+	cons := map[*ir.Instr]ranges.Constraint{}
+	var targets []target
+	for _, br := range t.Branches {
+		c, ok := ranges.BranchConstraint(fn, br)
+		if !ok {
+			continue
+		}
+		cons[br] = c
+		if c.Aff.Root.Op != ir.OpLoad {
+			continue
+		}
+		obj, ok := al.LoadObject(c.Aff.Root)
+		if !ok {
+			continue // multiply-aliased load: removed from analysis
+		}
+		if !dt.InstrDominates(c.Aff.Root, br) {
+			continue
+		}
+		targets = append(targets, target{br: br, con: c, load: c.Aff.Root, obj: obj})
+	}
+
+	// noDefBetween reports that no definition of obj can execute
+	// strictly between via and src on a path that does not re-pass via.
+	noDefBetween := func(via, src *ir.Instr, obj ir.ObjID) bool {
+		for _, in := range cfg.Between(via, src) {
+			if d, ok := defOf(in); ok && d.defines(obj) {
+				return false
+			}
+		}
+		return true
+	}
+
+	addCorr := func(c Correlation) {
+		t.Correlations = append(t.Correlations, c)
+	}
+
+	// Step 3a: store→load correlations (paper lines 6–10). For each
+	// uniquely-aliased scalar store st of value rs, each branch bs
+	// whose tested value shares rs's root constrains the stored value;
+	// if that range forces a target branch over the same variable, emit
+	// the action.
+	storeLoadDefs := defs
+	if conf.DisableStoreLoad || conf.SelfOnly {
+		storeLoadDefs = nil
+	}
+	for _, d := range storeLoadDefs {
+		st := d.in
+		if st.Op != ir.OpStore || d.all || len(d.set) != 1 {
+			continue
+		}
+		var obj ir.ObjID
+		for o := range d.set {
+			obj = o
+		}
+		objInfo := prog.Object(obj)
+		if !objInfo.IsScalar() || objInfo.Size() != st.Size {
+			continue
+		}
+		affStore, ok := ranges.Decompose(fn, st.B)
+		if !ok {
+			continue
+		}
+		for _, bs := range t.Branches {
+			cbs, ok := cons[bs]
+			if !ok || !cbs.Aff.SameRoot(affStore) {
+				continue
+			}
+			if !dt.InstrDominates(st, bs) || !noDefBetween(st, bs, obj) {
+				continue
+			}
+			for _, tgt := range targets {
+				if tgt.obj != obj {
+					continue
+				}
+				for _, dir := range []cfg.Direction{cfg.Taken, cfg.NotTaken} {
+					rootRange := cbs.RootRange(dir == cfg.Taken)
+					// Stored value = affStore(root); v holds that value.
+					vRange := affStore.Apply(rootRange)
+					act, ok := forcedAction(tgt.con, vRange)
+					if !ok {
+						continue
+					}
+					addCorr(Correlation{
+						Kind: StoreLoad, Source: bs, Dir: dir, Via: st,
+						Target: tgt.br, Act: act, Obj: obj,
+					})
+				}
+			}
+		}
+	}
+
+	// Step 3b: load→load correlations (paper lines 11–15), including
+	// the self case blp == bl that makes a branch repeat its direction
+	// around a loop while its variable is untouched (Figure 4).
+	for _, src := range targets { // blp must itself test a load of v
+		if conf.DisableLoadLoad {
+			break
+		}
+		for _, tgt := range targets {
+			if tgt.obj != src.obj {
+				continue
+			}
+			if conf.SelfOnly && tgt.br != src.br {
+				continue
+			}
+			if !noDefBetween(src.load, src.br, src.obj) {
+				continue
+			}
+			for _, dir := range []cfg.Direction{cfg.Taken, cfg.NotTaken} {
+				vRange := src.con.RootRange(dir == cfg.Taken)
+				act, ok := forcedAction(tgt.con, vRange)
+				if !ok {
+					continue
+				}
+				addCorr(Correlation{
+					Kind: LoadLoad, Source: src.br, Dir: dir, Via: src.load,
+					Target: tgt.br, Act: act, Obj: src.obj,
+				})
+			}
+		}
+	}
+
+	// Step 4: materialise SET actions; resolve conflicting predictions
+	// (two sound chains disagreeing can only happen via conservative
+	// widening — degrade to SET_UN).
+	type slot struct {
+		ev  Event
+		tgt *ir.Instr
+	}
+	acts := map[slot]Action{}
+	order := []slot{}
+	for _, c := range t.Correlations {
+		s := slot{Event{c.Source, c.Dir}, c.Target}
+		if prev, ok := acts[s]; ok {
+			if prev != c.Act {
+				acts[s] = SetUnknown
+			}
+			continue
+		}
+		acts[s] = c.Act
+		order = append(order, s)
+	}
+	for _, s := range order {
+		if acts[s] == SetUnknown {
+			continue // conflicting predictions carry no information
+		}
+		t.Checked[s.tgt] = true
+		t.Actions[s.ev] = append(t.Actions[s.ev], Update{Target: s.tgt, Act: acts[s]})
+	}
+
+	// Step 5: kills (paper lines 19–21). For every region, every
+	// definition of a checked variable inside it sets the dependent
+	// branches to UNKNOWN — overriding any correlation in the same
+	// slot, since the region's definition executes after the region's
+	// originating branch committed.
+	checkedByObj := map[ir.ObjID][]*ir.Instr{}
+	for _, tgt := range targets {
+		if t.Checked[tgt.br] {
+			checkedByObj[tgt.obj] = append(checkedByObj[tgt.obj], tgt.br)
+		}
+	}
+	for _, region := range cfg.Regions(fn) {
+		if region.From == nil {
+			// Entry region: every BSV entry is UNKNOWN until the first
+			// branch commits, so definitions here cannot strand stale
+			// expectations.
+			continue
+		}
+		ev := Event{region.From, region.Dir}
+		killed := map[*ir.Instr]bool{}
+		region.Instrs(func(in *ir.Instr) bool {
+			d, ok := defOf(in)
+			if !ok {
+				return true
+			}
+			for obj, brs := range checkedByObj {
+				if !d.defines(obj) {
+					continue
+				}
+				for _, bl := range brs {
+					killed[bl] = true
+				}
+			}
+			return true
+		})
+		if len(killed) == 0 {
+			continue
+		}
+		// Override existing SETs for killed targets, then append pure
+		// kills for the rest.
+		ups := t.Actions[ev]
+		for i := range ups {
+			if killed[ups[i].Target] {
+				ups[i].Act = SetUnknown
+				delete(killed, ups[i].Target)
+			}
+		}
+		var rest []*ir.Instr
+		for bl := range killed {
+			rest = append(rest, bl)
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].ID < rest[j].ID })
+		for _, bl := range rest {
+			ups = append(ups, Update{Target: bl, Act: SetUnknown})
+		}
+		t.Actions[ev] = ups
+	}
+	return t
+}
+
+// forcedAction decides whether knowing the variable's value lies in
+// vRange forces the target branch's direction. The comparison happens
+// on the branch's value side (an exact partition), mapping vRange
+// through the branch's affine use chain.
+func forcedAction(con ranges.Constraint, vRange ranges.Range) (Action, bool) {
+	if vRange.Kind == ranges.Empty {
+		// The source event is impossible under the analysis model;
+		// predict nothing.
+		return 0, false
+	}
+	if vRange.SubsetOf(con.Taken) && disjoint(vRange, con.Not) {
+		return SetTaken, true
+	}
+	if vRange.SubsetOf(con.Not) && disjoint(vRange, con.Taken) {
+		return SetNotTaken, true
+	}
+	return 0, false
+}
+
+// disjoint is a sufficient emptiness check for the intersection of two
+// ranges, used to guard against conservative widening having made the
+// direction ranges overlap.
+func disjoint(a, b ranges.Range) bool {
+	if a.Kind == ranges.Empty || b.Kind == ranges.Empty {
+		return true
+	}
+	if a.Kind == ranges.Exclude || b.Kind == ranges.Exclude {
+		// Complement-of-point sets intersect everything except the
+		// complementary point set.
+		if a.Kind == ranges.Exclude && b.Kind == ranges.Interval {
+			return b.SubsetOf(ranges.Point(a.Ex))
+		}
+		if b.Kind == ranges.Exclude && a.Kind == ranges.Interval {
+			return a.SubsetOf(ranges.Point(b.Ex))
+		}
+		return false
+	}
+	// Interval vs interval.
+	if a.HiSet && b.LoSet && a.Hi < b.Lo {
+		return true
+	}
+	if b.HiSet && a.LoSet && b.Hi < a.Lo {
+		return true
+	}
+	return false
+}

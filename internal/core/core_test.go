@@ -1,0 +1,383 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func build(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := ir.Lower(mp, ir.DefaultOptions)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p, Build(p, nil)
+}
+
+// findUpdates returns the actions fired by (br, dir) on target.
+func findUpdates(ft *FuncTables, br *ir.Instr, dir cfg.Direction, target *ir.Instr) []Action {
+	var acts []Action
+	for _, u := range ft.Actions[Event{br, dir}] {
+		if u.Target == target {
+			acts = append(acts, u.Act)
+		}
+	}
+	return acts
+}
+
+// Figure 3.a / Figure 4 shape: a loop with a branch on y, a branch on x
+// whose taken arm redefines x, and a final branch on y (subsumed by the
+// first).
+const fig3aSrc = `
+int x; int y;
+void f(int n) {
+	while (n > 0) {
+		if (y < 5) {
+			if (x > 10) {
+				x = read_int();
+			}
+		}
+		if (y < 10) {
+			print_int(1);
+		}
+		n = n - 1;
+	}
+}`
+
+func TestSubsumptionCorrelation(t *testing.T) {
+	p, res := build(t, fig3aSrc)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	// Branch order (by PC): n>0 loop, y<5, x>10, y<10.
+	if len(brs) != 4 {
+		t.Fatalf("branches = %d, want 4", len(brs))
+	}
+	brY5, brY10 := brs[1], brs[3]
+
+	// y<5 taken must set y<10 to taken.
+	acts := findUpdates(ft, brY5, cfg.Taken, brY10)
+	if len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("y<5 taken -> y<10 actions = %v, want [SET_T]", acts)
+	}
+	// y<5 not-taken (y>=5) says nothing about y<10.
+	if acts := findUpdates(ft, brY5, cfg.NotTaken, brY10); len(acts) != 0 {
+		t.Errorf("y<5 NT should not constrain y<10, got %v", acts)
+	}
+	// Self correlation: y<5 taken sets itself taken.
+	if acts := findUpdates(ft, brY5, cfg.Taken, brY5); len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("y<5 self correlation = %v, want [SET_T]", acts)
+	}
+	// And not-taken sets itself not-taken.
+	if acts := findUpdates(ft, brY5, cfg.NotTaken, brY5); len(acts) != 1 || acts[0] != SetNotTaken {
+		t.Errorf("y<5 NT self correlation = %v, want [SET_NT]", acts)
+	}
+	// Both y-branches are checked.
+	if !ft.Checked[brY5] || !ft.Checked[brY10] {
+		t.Error("y branches should be in the BCV")
+	}
+}
+
+func TestRedefinitionKillsSelfCorrelation(t *testing.T) {
+	p, res := build(t, fig3aSrc)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brX := f.Branches()[2] // x > 10
+	// Taken arm redefines x via read_int: the taken event must set the
+	// x branch to UNKNOWN (Figure 4: BR2's status becomes UN).
+	acts := findUpdates(ft, brX, cfg.Taken, brX)
+	if len(acts) != 1 || acts[0] != SetUnknown {
+		t.Errorf("x>10 taken -> self = %v, want [SET_UN]", acts)
+	}
+	// Not-taken arm leaves x alone: self-correlation survives.
+	acts = findUpdates(ft, brX, cfg.NotTaken, brX)
+	if len(acts) != 1 || acts[0] != SetNotTaken {
+		t.Errorf("x>10 NT -> self = %v, want [SET_NT]", acts)
+	}
+}
+
+func TestStoreLoadCorrelation(t *testing.T) {
+	// Figure 3.b shape: y stored then branched on; a later branch over
+	// the reloaded y is determined.
+	p, res := build(t, `
+		int y;
+		int f() {
+			y = read_int();
+			if (y < 5) {
+				print_int(1);
+			}
+			if (y < 10) {
+				return 1;
+			}
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	brY5, brY10 := brs[0], brs[1]
+	acts := findUpdates(ft, brY5, cfg.Taken, brY10)
+	if len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("store-correlated y<5 taken -> y<10 = %v, want [SET_T]", acts)
+	}
+	hasStoreLoad := false
+	for _, c := range ft.Correlations {
+		if c.Kind == StoreLoad {
+			hasStoreLoad = true
+		}
+	}
+	if !hasStoreLoad {
+		t.Error("expected at least one store→load correlation")
+	}
+}
+
+func TestArithmeticChainCorrelation(t *testing.T) {
+	// Figure 3.c: y < 5; r1 = y - 1; r1 < 10 must be taken.
+	p, res := build(t, `
+		int y;
+		int f() {
+			int r1;
+			if (y < 5) {
+				r1 = y - 1;
+				if (r1 < 10) {
+					return 1;
+				}
+				return 2;
+			}
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	brY5, brR1 := brs[0], brs[1]
+	acts := findUpdates(ft, brY5, cfg.Taken, brR1)
+	if len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("y<5 taken -> (y-1)<10 = %v, want [SET_T]", acts)
+	}
+}
+
+func TestEqualityCorrelation(t *testing.T) {
+	p, res := build(t, `
+		int user;
+		int f() {
+			if (user == 1) {
+				print_int(1);
+			}
+			if (user == 1) {
+				return 1;
+			}
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	// Both directions of the first test determine the second.
+	if acts := findUpdates(ft, brs[0], cfg.Taken, brs[1]); len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("eq taken -> eq = %v", acts)
+	}
+	if acts := findUpdates(ft, brs[0], cfg.NotTaken, brs[1]); len(acts) != 1 || acts[0] != SetNotTaken {
+		t.Errorf("eq NT -> eq = %v", acts)
+	}
+}
+
+func TestCallKillsCorrelation(t *testing.T) {
+	// The callee writes the global, so the call must kill expectations.
+	p, res := build(t, `
+		int y;
+		void clobber() { y = read_int(); }
+		int f() {
+			if (y < 5) {
+				clobber();
+			}
+			if (y < 10) {
+				return 1;
+			}
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	brY5, brY10 := brs[0], brs[1]
+	// Taken edge leads through clobber(): action must be SET_UN, not SET_T.
+	acts := findUpdates(ft, brY5, cfg.Taken, brY10)
+	if len(acts) != 1 || acts[0] != SetUnknown {
+		t.Errorf("y<5 taken through clobber -> y<10 = %v, want [SET_UN]", acts)
+	}
+	// Not-taken edge: y>=5 gives no prediction for y<10 and no kill.
+	if acts := findUpdates(ft, brY5, cfg.NotTaken, brY10); len(acts) != 0 {
+		t.Errorf("y<5 NT -> y<10 = %v, want none", acts)
+	}
+}
+
+func TestPureCallDoesNotKill(t *testing.T) {
+	p, res := build(t, `
+		int y;
+		int f() {
+			if (y < 5) {
+				print_int(7);
+			}
+			if (y < 10) {
+				return 1;
+			}
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	acts := findUpdates(ft, brs[0], cfg.Taken, brs[1])
+	if len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("print_int must not kill: %v", acts)
+	}
+}
+
+func TestIndirectStoreKillsConservatively(t *testing.T) {
+	// p may point to y: the indirect store must kill the y expectation.
+	p, res := build(t, `
+		int y; int z;
+		int f(int c) {
+			int* p;
+			if (c) { p = &y; } else { p = &z; }
+			if (y < 5) {
+				*p = 99;
+			}
+			if (y < 10) {
+				return 1;
+			}
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	brs := f.Branches()
+	brY5, brY10 := brs[1], brs[2]
+	acts := findUpdates(ft, brY5, cfg.Taken, brY10)
+	if len(acts) != 1 || acts[0] != SetUnknown {
+		t.Errorf("taken edge with may-alias store = %v, want [SET_UN]", acts)
+	}
+}
+
+func TestMultiAliasedLoadNotChecked(t *testing.T) {
+	p, res := build(t, `
+		int y; int z;
+		int f(int c) {
+			int* p;
+			if (c) { p = &y; } else { p = &z; }
+			if (*p < 5) { return 1; }
+			if (*p < 10) { return 2; }
+			return 0;
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	// The *p branches must not be checked (multiply-aliased loads).
+	for _, c := range ft.Correlations {
+		if c.Obj != ir.ObjNone {
+			obj := p.Object(c.Obj)
+			if obj.Name == "y" || obj.Name == "z" {
+				t.Errorf("correlation through multiply-aliased pointer: %v", c)
+			}
+		}
+	}
+}
+
+func TestUncorrelatedBranchesNotChecked(t *testing.T) {
+	_, res := build(t, `
+		int f(int a, int b) {
+			if (a < b) { return 1; }
+			return 0;
+		}`)
+	for _, ft := range res.Tables {
+		if ft.NumChecked() != 0 {
+			t.Errorf("two-variable branch must not be checked (func %s)", ft.Fn.Name)
+		}
+	}
+}
+
+func TestLoopCarriedSelfCorrelation(t *testing.T) {
+	// A branch on an untouched global inside a loop must repeat its
+	// direction every iteration.
+	p, res := build(t, `
+		int mode;
+		void f(int n) {
+			while (n > 0) {
+				if (mode == 3) {
+					print_int(1);
+				}
+				n = n - 1;
+			}
+		}`)
+	f := p.ByName["f"]
+	ft := res.Tables[f]
+	var brMode *ir.Instr
+	for _, br := range f.Branches() {
+		if br.Cond == ir.CondEq {
+			brMode = br
+		}
+	}
+	if brMode == nil {
+		t.Fatal("mode branch not found")
+	}
+	if acts := findUpdates(ft, brMode, cfg.Taken, brMode); len(acts) != 1 || acts[0] != SetTaken {
+		t.Errorf("mode self taken = %v, want [SET_T]", acts)
+	}
+	if acts := findUpdates(ft, brMode, cfg.NotTaken, brMode); len(acts) != 1 || acts[0] != SetNotTaken {
+		t.Errorf("mode self NT = %v, want [SET_NT]", acts)
+	}
+	if !ft.Checked[brMode] {
+		t.Error("mode branch must be checked")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	_, res := build(t, fig3aSrc)
+	for _, ft := range res.Tables {
+		if ft.Fn.Name != "f" {
+			continue
+		}
+		if ft.NumChecked() == 0 {
+			t.Error("f should have checked branches")
+		}
+		if ft.NumActions() == 0 {
+			t.Error("f should have BAT actions")
+		}
+	}
+}
+
+func TestActionAndKindStrings(t *testing.T) {
+	if SetTaken.String() != "SET_T" || SetNotTaken.String() != "SET_NT" ||
+		SetUnknown.String() != "SET_UN" || Action(99).String() != "?" {
+		t.Error("action strings")
+	}
+	if StoreLoad.String() != "store→load" || LoadLoad.String() != "load→load" {
+		t.Error("kind strings")
+	}
+}
+
+func TestCorrelationStringSmoke(t *testing.T) {
+	_, res := build(t, fig3aSrc)
+	for _, ft := range res.Tables {
+		for _, c := range ft.Correlations {
+			if c.String() == "" {
+				t.Error("empty correlation string")
+			}
+		}
+	}
+}
+
+func TestBuildWithExplicitAlias(t *testing.T) {
+	mp, err := minic.Compile(`int g; int f() { if (g<1) { return 1; } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ir.MustLower(mp, ir.DefaultOptions)
+	res1 := Build(p, nil)
+	res2 := Build(p, res1.Alias)
+	f := p.ByName["f"]
+	if res1.Tables[f].NumActions() != res2.Tables[f].NumActions() {
+		t.Error("explicit alias analysis changes results")
+	}
+}

@@ -1,0 +1,156 @@
+package cpu
+
+// cache is a set-associative LRU cache model. Only hit/miss timing
+// matters, so lines carry tags and LRU stamps but no data.
+type cache struct {
+	sets  int
+	ways  int
+	line  uint64
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	tick  uint64
+
+	Hits, Misses uint64
+}
+
+func newCache(sets, ways, line int) *cache {
+	c := &cache{sets: sets, ways: ways, line: uint64(line)}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Access touches addr and reports whether it hit.
+func (c *cache) Access(addr uint64) bool {
+	c.tick++
+	block := addr / c.line
+	set := int(block % uint64(c.sets))
+	tag := block / uint64(c.sets)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.tick
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.tick
+	return false
+}
+
+// tlb is a fully-associative LRU TLB model.
+type tlb struct {
+	entries  int
+	pageSize uint64
+	pages    []uint64
+	valid    []bool
+	lru      []uint64
+	tick     uint64
+
+	Hits, Misses uint64
+}
+
+func newTLB(entries int, pageSize uint64) *tlb {
+	return &tlb{
+		entries:  entries,
+		pageSize: pageSize,
+		pages:    make([]uint64, entries),
+		valid:    make([]bool, entries),
+		lru:      make([]uint64, entries),
+	}
+}
+
+// Access touches the page containing addr and reports whether it hit.
+func (t *tlb) Access(addr uint64) bool {
+	t.tick++
+	page := addr / t.pageSize
+	for i := 0; i < t.entries; i++ {
+		if t.valid[i] && t.pages[i] == page {
+			t.lru[i] = t.tick
+			t.Hits++
+			return true
+		}
+	}
+	t.Misses++
+	victim := 0
+	for i := 1; i < t.entries; i++ {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.lru[victim] = t.tick
+	return false
+}
+
+// predictor is a two-level adaptive predictor (gshare): a global
+// history register XORed with the PC indexes a table of 2-bit
+// saturating counters (Table 1's "2 Level" entry).
+type predictor struct {
+	histBits  int
+	tableBits int
+	history   uint64
+	counters  []uint8
+
+	Lookups, Mispredicts uint64
+}
+
+func newPredictor(histBits, tableBits int) *predictor {
+	return &predictor{
+		histBits:  histBits,
+		tableBits: tableBits,
+		counters:  make([]uint8, 1<<tableBits),
+	}
+}
+
+// Predict consumes one branch outcome and reports whether the
+// prediction was correct.
+func (p *predictor) Predict(pc uint64, taken bool) bool {
+	p.Lookups++
+	idx := ((pc >> 2) ^ p.history) & uint64(len(p.counters)-1)
+	pred := p.counters[idx] >= 2
+	if taken {
+		if p.counters[idx] < 3 {
+			p.counters[idx]++
+		}
+	} else if p.counters[idx] > 0 {
+		p.counters[idx]--
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & ((1 << p.histBits) - 1)
+	if pred != taken {
+		p.Mispredicts++
+		return false
+	}
+	return true
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,104 @@
+// Package cpu implements the cycle-level processor timing model used
+// for the paper's performance evaluation (Table 1, Figure 9, and the
+// detection-latency measurement), standing in for SimpleScalar's
+// sim-outorder. It is trace-driven: the VM executes architecturally and
+// the model assigns fetch/dispatch/issue/complete/commit cycles to each
+// dynamic instruction under the configured resource limits, with the
+// IPDS unit modelled as a serial request queue fed at branch commit.
+package cpu
+
+// Config mirrors the paper's Table 1 ("Default Parameters of the
+// Processor Simulated") plus the latencies the model needs.
+type Config struct {
+	// Core widths and windows.
+	FetchQueue  int // entries
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+	RUUSize     int
+	LSQSize     int
+
+	// Branch prediction: 2-level (gshare-style) predictor.
+	PredictorHistBits  int
+	PredictorTableBits int
+	MispredictPenalty  uint64 // front-end refill after resolve
+
+	// Caches.
+	L1Sets, L1Ways, L1Line int
+	L1Latency              uint64
+	L2Sets, L2Ways, L2Line int
+	L2Latency              uint64
+
+	// Memory: first chunk + per-chunk latency over a BusWidth-byte bus.
+	MemFirstChunk uint64
+	MemInterChunk uint64
+	BusWidth      int
+
+	// TLB.
+	TLBEntries  int
+	PageSize    uint64
+	TLBMissCost uint64
+
+	// Functional-unit latencies.
+	LatALU, LatMul, LatDiv uint64
+
+	// IPDS unit.
+	IPDSQueue         int    // request queue entries
+	IPDSAccessCycles  uint64 // per table access
+	IPDSSpillCycles   uint64 // per 64 bits of spill/fill traffic
+	IPDSDeliverCycles uint64 // commit→IPDS delivery pipeline depth
+	// IPDSEntriesPerAccess is how many BAT list entries one table
+	// access returns: entries are 13–20 bits, so a 64-bit SRAM read
+	// covers several of them.
+	IPDSEntriesPerAccess int
+}
+
+// DefaultConfig returns Table 1: 8-wide core, 128-entry RUU, 64-entry
+// LSQ, 64K 2-way L1s (2 cycles), 512K 4-way L2 (10 cycles), 80+5-cycle
+// memory over an 8-byte bus, 30-cycle TLB misses, 2-level predictor.
+func DefaultConfig() Config {
+	return Config{
+		FetchQueue:  32,
+		DecodeWidth: 8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		RUUSize:     128,
+		LSQSize:     64,
+
+		PredictorHistBits:  12,
+		PredictorTableBits: 12,
+		MispredictPenalty:  3,
+
+		L1Sets: 64 * 1024 / (32 * 2), L1Ways: 2, L1Line: 32,
+		L1Latency: 2,
+		L2Sets:    512 * 1024 / (32 * 4), L2Ways: 4, L2Line: 32,
+		L2Latency: 10,
+
+		MemFirstChunk: 80,
+		MemInterChunk: 5,
+		BusWidth:      8,
+
+		TLBEntries:  64,
+		PageSize:    4096,
+		TLBMissCost: 30,
+
+		LatALU: 1,
+		LatMul: 3,
+		LatDiv: 20,
+
+		IPDSQueue:            16,
+		IPDSAccessCycles:     1,
+		IPDSSpillCycles:      1,
+		IPDSDeliverCycles:    9,
+		IPDSEntriesPerAccess: 4,
+	}
+}
+
+// MemLatency returns the full-line memory access latency.
+func (c Config) MemLatency(line int) uint64 {
+	chunks := uint64((line + c.BusWidth - 1) / c.BusWidth)
+	if chunks == 0 {
+		chunks = 1
+	}
+	return c.MemFirstChunk + (chunks-1)*c.MemInterChunk
+}

@@ -1,0 +1,274 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipds"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/tables"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string) (*ir.Program, *tables.Image) {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := ir.Lower(mp, ir.DefaultOptions)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	img, err := tables.Encode(core.Build(p, nil))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return p, img
+}
+
+const workSrc = `
+int mode;
+int sum(int n) {
+	int s; int i;
+	s = 0;
+	for (i = 0; i < n; i++) {
+		if (mode == 1) { s = s + i; } else { s = s + 2*i; }
+	}
+	return s;
+}
+int main() {
+	mode = 1;
+	return sum(200) % 251;
+}`
+
+// timeRun executes src under the model, optionally with IPDS.
+func timeRun(t *testing.T, src string, cfg Config, withIPDS bool) (vm.Result, Stats) {
+	t.Helper()
+	p, img := compile(t, src)
+	v := vm.New(p, vm.DefaultConfig, nil)
+	var m *ipds.Machine
+	if withIPDS {
+		m = ipds.New(img, ipds.DefaultConfig)
+	}
+	s := New(cfg, m)
+	s.Attach(v)
+	res := v.Run()
+	if res.Status != vm.Exited {
+		t.Fatalf("run failed: %v %v", res.Status, res.Fault)
+	}
+	return res, s.Stats()
+}
+
+func TestCyclesSane(t *testing.T) {
+	res, st := timeRun(t, workSrc, DefaultConfig(), false)
+	if st.Instructions != res.Steps {
+		t.Errorf("instructions = %d, steps = %d", st.Instructions, res.Steps)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("no cycles accumulated")
+	}
+	ipc := st.IPC()
+	if ipc <= 0.1 || ipc > float64(DefaultConfig().IssueWidth) {
+		t.Errorf("IPC = %.2f out of plausible range", ipc)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	_, st := timeRun(t, workSrc, DefaultConfig(), false)
+	if st.Branches == 0 {
+		t.Fatal("no branches")
+	}
+	rate := float64(st.Mispredicts) / float64(st.Branches)
+	if rate > 0.2 {
+		t.Errorf("mispredict rate %.2f too high for a regular loop", rate)
+	}
+}
+
+func TestCachesWarmUp(t *testing.T) {
+	_, st := timeRun(t, workSrc, DefaultConfig(), false)
+	if st.L1IHits == 0 || st.L1DHits == 0 {
+		t.Error("caches never hit")
+	}
+	hitRate := float64(st.L1DHits) / float64(st.L1DHits+st.L1DMisses)
+	if hitRate < 0.9 {
+		t.Errorf("L1D hit rate %.2f too low for a tiny working set", hitRate)
+	}
+}
+
+func TestIPDSOverheadSmall(t *testing.T) {
+	_, base := timeRun(t, workSrc, DefaultConfig(), false)
+	_, guarded := timeRun(t, workSrc, DefaultConfig(), true)
+	if guarded.IPDSRequests == 0 {
+		t.Fatal("IPDS never received requests")
+	}
+	overhead := float64(guarded.Cycles)/float64(base.Cycles) - 1
+	if overhead < 0 {
+		t.Errorf("guarded run faster than baseline? %.4f", overhead)
+	}
+	// The paper reports 0.79% average degradation; the model should be
+	// in the same small-percentage regime.
+	if overhead > 0.05 {
+		t.Errorf("overhead %.2f%% too large", overhead*100)
+	}
+}
+
+func TestIPDSQueueBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPDSQueue = 1
+	cfg.IPDSAccessCycles = 50 // absurdly slow checker
+	_, st := timeRun(t, workSrc, cfg, true)
+	if st.IPDSStallCycles == 0 {
+		t.Error("slow IPDS with a 1-entry queue must stall commit")
+	}
+}
+
+func TestDetectionLatencyMeasured(t *testing.T) {
+	_, st := timeRun(t, workSrc, DefaultConfig(), true)
+	if st.DetectionSamples == 0 {
+		t.Fatal("no latency samples")
+	}
+	avg := st.AvgDetectionLatency()
+	if avg < float64(DefaultConfig().IPDSDeliverCycles) {
+		t.Errorf("latency %.1f below delivery floor", avg)
+	}
+	if avg > 100 {
+		t.Errorf("latency %.1f implausibly high", avg)
+	}
+}
+
+func TestMemLatencyFormula(t *testing.T) {
+	cfg := DefaultConfig()
+	// 32-byte line over an 8-byte bus: 80 + 3*5.
+	if got := cfg.MemLatency(32); got != 95 {
+		t.Errorf("MemLatency(32) = %d, want 95", got)
+	}
+	if got := cfg.MemLatency(8); got != 80 {
+		t.Errorf("MemLatency(8) = %d, want 80", got)
+	}
+	if got := cfg.MemLatency(0); got != 80 {
+		t.Errorf("MemLatency(0) = %d, want 80", got)
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	c := newCache(2, 2, 32)
+	if c.Access(0) {
+		t.Error("cold miss expected")
+	}
+	if !c.Access(0) || !c.Access(31) {
+		t.Error("same line must hit")
+	}
+	if c.Access(64) {
+		t.Error("different line cold miss")
+	}
+	// Fill set 0 (lines 0 and 128 map to set 0 with 2 sets), then evict.
+	c.Access(128)
+	c.Access(256) // third distinct line in set 0: evicts LRU (line 0... or 128)
+	if c.Access(0) && c.Access(128) && c.Access(256) {
+		t.Error("2-way set cannot hold three lines")
+	}
+}
+
+func TestTLBModel(t *testing.T) {
+	tl := newTLB(2, 4096)
+	if tl.Access(0) {
+		t.Error("cold miss")
+	}
+	if !tl.Access(100) {
+		t.Error("same page hits")
+	}
+	tl.Access(4096)
+	tl.Access(8192) // evicts page 0 (LRU)
+	if tl.Access(0) {
+		t.Error("evicted page must miss")
+	}
+}
+
+func TestPredictorConvergesOnBias(t *testing.T) {
+	p := newPredictor(8, 10)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x4000, true) {
+			wrong++
+		}
+	}
+	// Warmup: each new history value indexes a cold counter until the
+	// register saturates at all-ones (~2 misses per history step).
+	if wrong > 20 {
+		t.Errorf("always-taken branch mispredicted %d times", wrong)
+	}
+}
+
+func TestPredictorPattern(t *testing.T) {
+	// Alternating T/NT is learnable by a 2-level predictor.
+	p := newPredictor(8, 12)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		if !p.Predict(0x4000, i%2 == 0) && i > 200 {
+			wrong++
+		}
+	}
+	if wrong > 20 {
+		t.Errorf("alternating pattern mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestSpillTrafficChargesIPDS(t *testing.T) {
+	p, img := compile(t, `
+		int g;
+		int deep(int n) {
+			if (g == 1) { print_int(n); }
+			if (n <= 0) { return 0; }
+			return deep(n-1);
+		}
+		int main() { g = 2; return deep(60); }`)
+	v := vm.New(p, vm.DefaultConfig, nil)
+	m := ipds.New(img, ipds.Config{BSVStackBits: 64, BCVStackBits: 32, BATStackBits: 256})
+	s := New(DefaultConfig(), m)
+	s.Attach(v)
+	res := v.Run()
+	if res.Status != vm.Exited {
+		t.Fatalf("run: %v", res.Fault)
+	}
+	if m.Stats().SpillEvents == 0 {
+		t.Fatal("expected spills with tiny buffers")
+	}
+	if s.Stats().IPDSBusyCycles == 0 {
+		t.Error("IPDS busy time missing")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a := timeRun(t, workSrc, DefaultConfig(), true)
+	_, b := timeRun(t, workSrc, DefaultConfig(), true)
+	if a != b {
+		t.Errorf("non-deterministic timing: %+v vs %+v", a, b)
+	}
+}
+
+func TestStatsZeroDivision(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Error("IPC of empty stats must be 0")
+	}
+	if s.AvgDetectionLatency() != 0 {
+		t.Error("latency of empty stats must be 0")
+	}
+}
+
+func TestTakenBranchBreaksFetchGroup(t *testing.T) {
+	// A tight taken-branch loop must run at well under the machine
+	// width: every taken branch ends the fetch group.
+	_, st := timeRun(t, `
+		int main() {
+			int i; int s;
+			s = 0;
+			for (i = 0; i < 500; i++) { s = s + i; }
+			return s % 7;
+		}`, DefaultConfig(), false)
+	if st.IPC() > 6 {
+		t.Errorf("IPC %.2f implausibly high for a branchy loop", st.IPC())
+	}
+}

@@ -1,0 +1,387 @@
+package cpu
+
+import (
+	"repro/internal/ipds"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Stats aggregates the timing run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Branches     uint64
+	Mispredicts  uint64
+
+	L1IHits, L1IMisses uint64
+	L1DHits, L1DMisses uint64
+	L2Hits, L2Misses   uint64
+	TLBMisses          uint64
+
+	// IPDS unit activity.
+	IPDSRequests     uint64
+	IPDSStallCycles  uint64 // commit stalls due to a full request queue
+	IPDSBusyCycles   uint64 // cycles the IPDS unit spent processing
+	DetectionSamples uint64
+	DetectionTotal   uint64 // sum of per-branch check latencies
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// AvgDetectionLatency returns the mean branch→check-complete latency in
+// cycles (the paper's 11.7-cycle measurement).
+func (s Stats) AvgDetectionLatency() float64 {
+	if s.DetectionSamples == 0 {
+		return 0
+	}
+	return float64(s.DetectionTotal) / float64(s.DetectionSamples)
+}
+
+// Sim is the trace-driven processor model. Attach it to a VM; after the
+// run, Stats() reports the cycle count.
+type Sim struct {
+	cfg Config
+
+	l1i, l1d, l2 *cache
+	dtlb         *tlb
+	pred         *predictor
+
+	// Per-register readiness, one frame per call level.
+	regReady [][]uint64
+
+	// Resource rings: the cycle at which the slot's previous holder
+	// freed it.
+	ruuRing   []uint64 // commit cycles of in-flight window
+	lsqRing   []uint64
+	fetchRing []uint64 // dispatch cycles (fetch queue backpressure)
+	fetchBW   []uint64 // fetch bandwidth window
+	decodeBW  []uint64
+	issueBW   []uint64
+	commitBW  []uint64
+	ipdsRing  []uint64 // completion cycles of queued IPDS requests
+	ruuIdx    uint64
+	lsqIdx    uint64
+	fetchIdx  uint64
+	fbwIdx    uint64
+	dbwIdx    uint64
+	ibwIdx    uint64
+	cbwIdx    uint64
+	ipdsIdx   uint64
+
+	fetchBlockedUntil uint64
+	lastCommit        uint64
+	ipdsFreeAt        uint64
+
+	machine       *ipds.Machine
+	lastIPDSStats ipds.Stats
+
+	stats Stats
+}
+
+// New creates a simulator. machine may be nil to model the baseline
+// processor without infeasible-path detection.
+func New(cfg Config, machine *ipds.Machine) *Sim {
+	s := &Sim{
+		cfg:       cfg,
+		l1i:       newCache(cfg.L1Sets, cfg.L1Ways, cfg.L1Line),
+		l1d:       newCache(cfg.L1Sets, cfg.L1Ways, cfg.L1Line),
+		l2:        newCache(cfg.L2Sets, cfg.L2Ways, cfg.L2Line),
+		dtlb:      newTLB(cfg.TLBEntries, cfg.PageSize),
+		pred:      newPredictor(cfg.PredictorHistBits, cfg.PredictorTableBits),
+		machine:   machine,
+		ruuRing:   make([]uint64, cfg.RUUSize),
+		lsqRing:   make([]uint64, cfg.LSQSize),
+		fetchRing: make([]uint64, cfg.FetchQueue),
+		fetchBW:   make([]uint64, cfg.DecodeWidth),
+		decodeBW:  make([]uint64, cfg.DecodeWidth),
+		issueBW:   make([]uint64, cfg.IssueWidth),
+		commitBW:  make([]uint64, cfg.CommitWidth),
+		ipdsRing:  make([]uint64, cfg.IPDSQueue),
+	}
+	s.regReady = append(s.regReady, nil)
+	return s
+}
+
+// Attach wires the simulator (and its IPDS machine, if any) to a VM.
+// When a machine is attached here, do not also call ipds.Attach: the
+// simulator drives the machine so it can charge cycles for each event.
+func (s *Sim) Attach(v *vm.VM) {
+	v.AddHooks(vm.Hooks{
+		OnCall: func(fn *ir.Func) {
+			s.pushFrame(fn)
+			if s.machine != nil {
+				s.machine.EnterFunc(fn.Base)
+				s.chargeSpills()
+			}
+		},
+		OnRet: func(fn *ir.Func) {
+			s.popFrame()
+			if s.machine != nil {
+				s.machine.LeaveFunc()
+				s.chargeSpills()
+			}
+		},
+		OnInstr: func(in *ir.Instr, addr uint64, size int) {
+			if in.Op == ir.OpBr {
+				return // handled by OnBranch with the outcome
+			}
+			s.retire(in, addr, false)
+		},
+		OnBranch: func(br *ir.Instr, taken bool) {
+			s.retire(br, 0, taken)
+		},
+	})
+}
+
+func (s *Sim) pushFrame(fn *ir.Func) {
+	s.regReady = append(s.regReady, make([]uint64, fn.NumRegs))
+}
+
+func (s *Sim) popFrame() {
+	if len(s.regReady) > 1 {
+		s.regReady = s.regReady[:len(s.regReady)-1]
+	}
+}
+
+// chargeSpills converts table spill/fill traffic into IPDS busy time.
+func (s *Sim) chargeSpills() {
+	st := s.machine.Stats()
+	moved := (st.SpillBits - s.lastIPDSStats.SpillBits) +
+		(st.FillBits - s.lastIPDSStats.FillBits)
+	if moved > 0 {
+		s.ipdsFreeAt += (moved / 64) * s.cfg.IPDSSpillCycles
+	}
+	s.lastIPDSStats = st
+}
+
+// bwSlot enforces a width-per-cycle bandwidth window: the returned
+// cycle is at least one past the cycle the slot's previous occupant
+// used.
+func bwSlot(ring []uint64, idx *uint64, want uint64) uint64 {
+	i := *idx % uint64(len(ring))
+	if ring[i] >= want {
+		want = ring[i] + 1
+	}
+	ring[i] = want
+	*idx++
+	return want
+}
+
+func (s *Sim) topRegs() []uint64 {
+	return s.regReady[len(s.regReady)-1]
+}
+
+func (s *Sim) regReadyAt(r ir.Reg) uint64 {
+	regs := s.topRegs()
+	if r == ir.NoReg || int(r) >= len(regs) {
+		return 0
+	}
+	return regs[r]
+}
+
+func (s *Sim) setReady(r ir.Reg, cyc uint64) {
+	regs := s.topRegs()
+	if r != ir.NoReg && int(r) < len(regs) {
+		regs[r] = cyc
+	}
+}
+
+// dAccess models a data access through L1D/L2/memory plus the D-TLB.
+func (s *Sim) dAccess(addr uint64) uint64 {
+	lat := s.cfg.L1Latency
+	if !s.dtlb.Access(addr) {
+		lat += s.cfg.TLBMissCost
+	}
+	if !s.l1d.Access(addr) {
+		lat += s.cfg.L2Latency
+		if !s.l2.Access(addr) {
+			lat += s.cfg.MemLatency(s.cfg.L1Line)
+		}
+	}
+	return lat
+}
+
+// iAccess models an instruction fetch through L1I/L2/memory.
+func (s *Sim) iAccess(pc uint64) uint64 {
+	lat := uint64(0) // L1I hit is pipelined into fetch
+	if !s.l1i.Access(pc) {
+		lat += s.cfg.L2Latency
+		if !s.l2.Access(pc) {
+			lat += s.cfg.MemLatency(s.cfg.L1Line)
+		}
+	}
+	return lat
+}
+
+// retire runs one dynamic instruction through the model in program
+// order, assigning its pipeline cycles.
+func (s *Sim) retire(in *ir.Instr, addr uint64, taken bool) {
+	s.stats.Instructions++
+
+	// Fetch: blocked by mispredict redirects, fetch-queue backpressure
+	// and fetch bandwidth; an I-cache miss delays delivery.
+	fetch := s.fetchBlockedUntil
+	fq := s.fetchRing[s.fetchIdx%uint64(len(s.fetchRing))]
+	if fq > fetch {
+		fetch = fq
+	}
+	fetch = bwSlot(s.fetchBW, &s.fbwIdx, fetch)
+	fetch += s.iAccess(in.PC)
+
+	// Decode/dispatch: decode width and RUU occupancy.
+	dispatch := fetch + 1
+	ruuFree := s.ruuRing[s.ruuIdx%uint64(len(s.ruuRing))]
+	if ruuFree > dispatch {
+		dispatch = ruuFree
+	}
+	dispatch = bwSlot(s.decodeBW, &s.dbwIdx, dispatch)
+	s.fetchRing[s.fetchIdx%uint64(len(s.fetchRing))] = dispatch
+	s.fetchIdx++
+
+	// Issue: operands ready, issue bandwidth, LSQ space for mem ops.
+	issue := dispatch + 1
+	if r := s.regReadyAt(in.A); r > issue {
+		issue = r
+	}
+	if r := s.regReadyAt(in.B); r > issue {
+		issue = r
+	}
+	for _, a := range in.Args {
+		if r := s.regReadyAt(a); r > issue {
+			issue = r
+		}
+	}
+	isMem := in.Op == ir.OpLoad || in.Op == ir.OpStore
+	if isMem {
+		lsqFree := s.lsqRing[s.lsqIdx%uint64(len(s.lsqRing))]
+		if lsqFree > issue {
+			issue = lsqFree
+		}
+	}
+	issue = bwSlot(s.issueBW, &s.ibwIdx, issue)
+
+	// Execute.
+	var lat uint64
+	switch in.Op {
+	case ir.OpMul:
+		lat = s.cfg.LatMul
+	case ir.OpDiv, ir.OpRem:
+		lat = s.cfg.LatDiv
+	case ir.OpLoad:
+		lat = s.dAccess(addr)
+	case ir.OpStore:
+		lat = s.cfg.L1Latency
+		s.dAccess(addr) // update cache/TLB state; stores retire via LSQ
+	default:
+		lat = s.cfg.LatALU
+	}
+	complete := issue + lat
+
+	// Branch resolution. Any taken control transfer ends the fetch
+	// group: the next instruction cannot fetch in the same cycle.
+	switch in.Op {
+	case ir.OpBr:
+		s.stats.Branches++
+		if !s.pred.Predict(in.PC, taken) {
+			s.stats.Mispredicts++
+			redirect := complete + s.cfg.MispredictPenalty
+			if redirect > s.fetchBlockedUntil {
+				s.fetchBlockedUntil = redirect
+			}
+		} else if taken && fetch+1 > s.fetchBlockedUntil {
+			s.fetchBlockedUntil = fetch + 1
+		}
+	case ir.OpJmp, ir.OpCall, ir.OpRet:
+		if fetch+1 > s.fetchBlockedUntil {
+			s.fetchBlockedUntil = fetch + 1
+		}
+	}
+
+	// Commit: in order, commit width.
+	commit := complete + 1
+	if commit < s.lastCommit {
+		commit = s.lastCommit
+	}
+	commit = bwSlot(s.commitBW, &s.cbwIdx, commit)
+
+	// IPDS request at branch commit.
+	if in.Op == ir.OpBr && s.machine != nil {
+		commit = s.ipdsRequest(in.PC, taken, commit)
+	}
+
+	s.lastCommit = commit
+	if commit > s.stats.Cycles {
+		s.stats.Cycles = commit
+	}
+
+	s.ruuRing[s.ruuIdx%uint64(len(s.ruuRing))] = commit
+	s.ruuIdx++
+	if isMem {
+		s.lsqRing[s.lsqIdx%uint64(len(s.lsqRing))] = commit
+		s.lsqIdx++
+	}
+	if in.Dst != ir.NoReg {
+		s.setReady(in.Dst, complete)
+	}
+}
+
+// ipdsRequest enqueues the verify+update work for a committed branch.
+// The program only stalls when the bounded request queue is full
+// (§5.4: "we can allow the program execution to continue ... but queue
+// all the requests in their original order").
+func (s *Sim) ipdsRequest(pc uint64, taken bool, commit uint64) uint64 {
+	_, cost := s.machine.OnBranch(pc, taken)
+	s.stats.IPDSRequests++
+
+	// cost is 1 (BSV/BCV probe) + walked BAT entries; one SRAM access
+	// returns IPDSEntriesPerAccess consecutive entries.
+	per := s.cfg.IPDSEntriesPerAccess
+	if per < 1 {
+		per = 1
+	}
+	walked := cost - 1
+	cost = 1 + (walked+per-1)/per
+
+	// Queue-full backpressure: the oldest of the last IPDSQueue
+	// requests must have drained before this one can enqueue.
+	oldest := s.ipdsRing[s.ipdsIdx%uint64(len(s.ipdsRing))]
+	if oldest > commit {
+		s.stats.IPDSStallCycles += oldest - commit
+		commit = oldest
+	}
+
+	start := s.ipdsFreeAt
+	if commit > start {
+		start = commit
+	}
+	busy := uint64(cost) * s.cfg.IPDSAccessCycles
+	finish := start + busy
+	s.ipdsFreeAt = finish
+	s.stats.IPDSBusyCycles += busy
+
+	s.ipdsRing[s.ipdsIdx%uint64(len(s.ipdsRing))] = finish
+	s.ipdsIdx++
+
+	// Detection latency: from the branch being sent at commit to the
+	// check completing, including the fixed delivery pipeline.
+	s.stats.DetectionSamples++
+	s.stats.DetectionTotal += (finish - commit) + s.cfg.IPDSDeliverCycles
+	return commit
+}
+
+// Stats returns the accumulated counters with cache/TLB details filled
+// in.
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	st.L1IHits, st.L1IMisses = s.l1i.Hits, s.l1i.Misses
+	st.L1DHits, st.L1DMisses = s.l1d.Hits, s.l1d.Misses
+	st.L2Hits, st.L2Misses = s.l2.Hits, s.l2.Misses
+	st.TLBMisses = s.dtlb.Misses
+	return st
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// The experiment tests assert the paper's qualitative shape, not its
+// absolute numbers (DESIGN.md §4): roughly a quarter to a half of the
+// tamperings change control flow, the majority of those are detected,
+// BSV/BCV/BAT sizes keep their relative magnitudes, and the IPDS
+// slowdown stays in the sub-percent regime on average.
+
+func TestFigure7Shape(t *testing.T) {
+	r, err := Figure7(60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(r.Rows))
+	}
+	if r.AvgCFChange < 0.15 || r.AvgCFChange > 0.7 {
+		t.Errorf("avg CF-change %.2f outside plausible band (paper 0.494)", r.AvgCFChange)
+	}
+	if r.Conditional < 0.35 {
+		t.Errorf("conditional detection %.2f too low (paper 0.593)", r.Conditional)
+	}
+	for _, row := range r.Rows {
+		if row.Detected > row.CFChange {
+			t.Errorf("%s: detected %.2f exceeds CF-change %.2f", row.Program, row.Detected, row.CFChange)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"telnetd", "portmap", "average", "59.3%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	r, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// BSV is exactly two bits per slot to BCV's one.
+	if r.AvgBSVBits != 2*r.AvgBCVBits {
+		t.Errorf("BSV %.1f != 2x BCV %.1f", r.AvgBSVBits, r.AvgBCVBits)
+	}
+	// BAT dominates by the paper's order of magnitude (393/34 ≈ 12x).
+	ratio := r.AvgBATBits / r.AvgBSVBits
+	if ratio < 3 || ratio > 40 {
+		t.Errorf("BAT/BSV ratio %.1f outside plausible band (paper ~11.6)", ratio)
+	}
+	// Average sizes in the paper's regime (tens of bits, hundreds for
+	// BAT).
+	if r.AvgBSVBits < 10 || r.AvgBSVBits > 120 {
+		t.Errorf("avg BSV %.1f bits outside band (paper 34)", r.AvgBSVBits)
+	}
+	if r.AvgBATBits < 100 || r.AvgBATBits > 2000 {
+		t.Errorf("avg BAT %.1f bits outside band (paper 393)", r.AvgBATBits)
+	}
+	if !strings.Contains(r.Render(), "paper: 34 / 17 / 393") {
+		t.Error("render missing paper reference")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	r, err := Figure9(cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Normalized < 1 {
+			t.Errorf("%s: IPDS run faster than baseline (%.4f)", row.Program, row.Normalized)
+		}
+	}
+	if r.AvgDegradation < 0 || r.AvgDegradation > 0.05 {
+		t.Errorf("avg degradation %.4f outside sub-percent regime (paper 0.0079)", r.AvgDegradation)
+	}
+	if r.AvgDetectLat < 5 || r.AvgDetectLat > 40 {
+		t.Errorf("avg detection latency %.1f outside band (paper 11.7)", r.AvgDetectLat)
+	}
+	if !strings.Contains(r.Render(), "paper: 0.79%") {
+		t.Error("render missing paper reference")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1(cpu.DefaultConfig())
+	for _, want := range []string{
+		"Fetch queue", "32 entries", "RUU size", "128", "LSQ size", "64",
+		"64K, 2 way", "512K, 4 way", "first chunk 80", "TLB miss",
+		"30 cycles", "BSV stack", "2K bits", "BAT stack", "32K bits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCompileTimes(t *testing.T) {
+	r, err := CompileTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// "Up to a few seconds" on 2006 hardware; these MiniC programs
+	// must compile in well under a second each.
+	for _, row := range r.Rows {
+		if row.Elapsed.Seconds() > 2 {
+			t.Errorf("%s took %v to compile", row.Program, row.Elapsed)
+		}
+	}
+	if !strings.Contains(r.Render(), "total") {
+		t.Error("render missing total")
+	}
+}
+
+func TestCheckingSpeed(t *testing.T) {
+	r, err := CheckingSpeed(cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The paper's claim: checking keeps up with execution on average.
+	if r.AvgUtilization >= 1 {
+		t.Errorf("average IPDS utilization %.2f >= 1", r.AvgUtilization)
+	}
+	if r.AvgUtilization <= 0 {
+		t.Error("no IPDS activity measured")
+	}
+	if !strings.Contains(r.Render(), "average utilization") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationComponents(t *testing.T) {
+	r, err := AblationComponents(30, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing all correlations blinds the detector entirely (while CF
+	// change rates stay put: the attacks are identical).
+	if r.None.AvgDetected != 0 {
+		t.Errorf("no-correlation variant detected %.3f, want 0", r.None.AvgDetected)
+	}
+	if r.None.AvgCFChange != r.Full.AvgCFChange {
+		t.Errorf("ablation changed the attacks themselves: %.3f vs %.3f",
+			r.None.AvgCFChange, r.Full.AvgCFChange)
+	}
+	// Weakened analyses cannot detect more than the full algorithm.
+	for name, v := range map[string]*Figure7Result{
+		"no store-load": r.NoStoreLoad, "self only": r.SelfOnly, "none": r.None,
+	} {
+		if v.AvgDetected > r.Full.AvgDetected+1e-9 {
+			t.Errorf("%s detected %.3f > full %.3f", name, v.AvgDetected, r.Full.AvgDetected)
+		}
+	}
+	if !strings.Contains(r.Render(), "no correlations") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationRegPromo(t *testing.T) {
+	r, err := AblationRegPromo(40, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register promotion removes loads, shrinking the window in which
+	// tampered memory is re-read: detection must not improve.
+	if r.Promoted.AvgDetected > r.Baseline.AvgDetected+0.02 {
+		t.Errorf("promotion increased detection: %.3f -> %.3f",
+			r.Baseline.AvgDetected, r.Promoted.AvgDetected)
+	}
+	if !strings.Contains(r.Render(), "region promotion") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtensionInlining(t *testing.T) {
+	r, err := ExtensionInlining(40, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inlining must strictly increase analysis reach: more checked
+	// branches and bigger tables.
+	if r.InlinedChecked <= r.BaselineChecked {
+		t.Errorf("inlining did not increase checked branches: %d -> %d",
+			r.BaselineChecked, r.InlinedChecked)
+	}
+	if r.InlinedBATBits <= r.BaselineBATBits {
+		t.Errorf("inlining did not grow the BAT: %.1f -> %.1f",
+			r.BaselineBATBits, r.InlinedBATBits)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "with inlining") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,122 @@
+package hashfn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindEmptyAndSingle(t *testing.T) {
+	p, err := Find(0x1000, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots() != 1 {
+		t.Errorf("empty function slots = %d, want 1", p.Slots())
+	}
+	p, err = Find(0x1000, []uint64{0x1010}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots() != 1 {
+		t.Errorf("single branch slots = %d, want 1", p.Slots())
+	}
+	if got := p.Slot(0x1000, 0x1010); got != 0 {
+		t.Errorf("slot = %d, want 0", got)
+	}
+}
+
+func TestFindCollisionFree(t *testing.T) {
+	base := uint64(0x2000)
+	// Branches at irregular intervals, as in real code.
+	pcs := []uint64{}
+	for _, off := range []uint64{4, 12, 16, 36, 40, 52, 80, 100, 124, 160, 161 * 4} {
+		pcs = append(pcs, base+off)
+	}
+	p, err := Find(base, pcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]uint64{}
+	for _, pc := range pcs {
+		s := p.Slot(base, pc)
+		if s < 0 || s >= p.Slots() {
+			t.Fatalf("slot %d out of range", s)
+		}
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("collision: %#x and %#x -> slot %d", prev, pc, s)
+		}
+		seen[s] = pc
+	}
+}
+
+func TestFindDeterministic(t *testing.T) {
+	base := uint64(0x3000)
+	pcs := []uint64{base + 4, base + 20, base + 24, base + 48}
+	p1, err1 := Find(base, pcs, 0)
+	p2, err2 := Find(base, pcs, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if p1 != p2 {
+		t.Errorf("Find not deterministic: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestFindMinLog2Floor(t *testing.T) {
+	base := uint64(0x1000)
+	pcs := []uint64{base + 4}
+	p, err := Find(base, pcs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots() < 16 {
+		t.Errorf("slots = %d, want >= 16", p.Slots())
+	}
+}
+
+// Property: Find always produces a collision-free assignment for
+// random sets of distinct 4-aligned PCs.
+func TestFindAlwaysCollisionFree(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 1
+		base := uint64(0x1000)
+		set := map[uint64]bool{}
+		for len(set) < n {
+			set[base+uint64(rng.Intn(4*n*8))*4] = true
+		}
+		pcs := make([]uint64, 0, n)
+		for pc := range set {
+			pcs = append(pcs, pc)
+		}
+		p, err := Find(base, pcs, 0)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, pc := range pcs {
+			s := p.Slot(base, pc)
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalSizePreferred(t *testing.T) {
+	// Two branches that fit a 2-slot table must not get a huge table.
+	base := uint64(0x1000)
+	p, err := Find(base, []uint64{base, base + 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots() != 2 {
+		t.Errorf("slots = %d, want 2", p.Slots())
+	}
+}

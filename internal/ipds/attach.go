@@ -1,0 +1,20 @@
+package ipds
+
+import (
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Attach wires a Machine to a VM execution: function entries and exits
+// push and pop table frames, and every committed conditional branch is
+// sent to the detector. This is the software model of the hardware path
+// "each committed branch is sent to the IPDS" (§5.4).
+func Attach(v *vm.VM, m *Machine) {
+	v.AddHooks(vm.Hooks{
+		OnCall: func(fn *ir.Func) { m.EnterFunc(fn.Base) },
+		OnRet:  func(fn *ir.Func) { m.LeaveFunc() },
+		OnBranch: func(br *ir.Instr, taken bool) {
+			m.OnBranch(br.PC, taken)
+		},
+	})
+}

@@ -1,0 +1,252 @@
+// Package ipds implements the runtime half of the Infeasible Path
+// Detection System (§5.4 of the paper): the hardware unit that receives
+// every committed conditional branch, verifies checked branches against
+// the Branch Status Vector, and applies Branch Action Table updates.
+//
+// BSV/BCV/BAT table sets are pushed and popped as functions are entered
+// and left, forming stacks whose tops live in bounded on-chip buffers;
+// deeper frames spill to protected memory (modelled by spill/fill
+// counters that the CPU timing model in internal/cpu charges cycles
+// for).
+//
+// The Machine is purely functional with respect to time: it answers
+// "is this path infeasible" and "how many table accesses did this event
+// cost"; cycle accounting lives in internal/cpu.
+package ipds
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tables"
+)
+
+// Config sizes the on-chip table buffers, in bits (Table 1 defaults).
+type Config struct {
+	BSVStackBits int
+	BCVStackBits int
+	BATStackBits int
+}
+
+// DefaultConfig mirrors Table 1: 2K/1K/32K bits.
+var DefaultConfig = Config{
+	BSVStackBits: 2 * 1024,
+	BCVStackBits: 1 * 1024,
+	BATStackBits: 32 * 1024,
+}
+
+// Alarm reports one detected infeasible path.
+type Alarm struct {
+	Seq      uint64 // branch event sequence number
+	PC       uint64
+	Func     string
+	Slot     int
+	Expected tables.Status
+	Taken    bool
+}
+
+func (a Alarm) String() string {
+	return fmt.Sprintf("infeasible path: branch %#x in %s expected %s, went taken=%v (event %d)",
+		a.PC, a.Func, a.Expected, a.Taken, a.Seq)
+}
+
+// Stats counts runtime activity, feeding the performance model and the
+// experiment harness.
+type Stats struct {
+	Branches    uint64 // branch events received
+	Verified    uint64 // events verified against the BSV (BCV-marked)
+	Updates     uint64 // BAT update actions applied
+	BATAccesses uint64 // BAT linked-list nodes walked
+	Pushes      uint64 // function entries
+	Pops        uint64 // function returns
+	SpillEvents uint64 // frames moved off-chip
+	FillEvents  uint64 // frames moved back on-chip
+	SpillBits   uint64 // total bits spilled
+	FillBits    uint64 // total bits filled
+	Alarms      uint64
+}
+
+type activation struct {
+	img *tables.FuncImage
+	bsv []tables.Status
+}
+
+func (a *activation) bits() (bsv, bcv, bat int) {
+	if a.img == nil {
+		return 0, 0, 0
+	}
+	return a.img.BSVBits, a.img.BCVBits, a.img.BATBits
+}
+
+// Machine is one protected process's IPDS state.
+type Machine struct {
+	img   *tables.Image
+	cfg   Config
+	stack []*activation
+
+	// resident marks the lowest stack index currently on-chip; frames
+	// below it are spilled to their home location.
+	resident int
+	bsvBits  int // on-chip bits across resident frames
+	bcvBits  int
+	batBits  int
+
+	alarms []Alarm
+	stats  Stats
+	seq    uint64
+}
+
+// New creates a machine for a program's table image.
+func New(img *tables.Image, cfg Config) *Machine {
+	return &Machine{img: img, cfg: cfg}
+}
+
+// Reset clears all state, keeping the image and configuration.
+func (m *Machine) Reset() {
+	m.stack = m.stack[:0]
+	m.resident = 0
+	m.bsvBits, m.bcvBits, m.batBits = 0, 0, 0
+	m.alarms = nil
+	m.stats = Stats{}
+	m.seq = 0
+}
+
+// EnterFunc pushes the table frame for the function whose code starts
+// at base. Unknown functions (library code without tables) push an
+// inert frame, matching the paper's unprotected-library behaviour.
+func (m *Machine) EnterFunc(base uint64) {
+	m.stats.Pushes++
+	act := &activation{img: m.img.ByBase[base]}
+	if act.img != nil {
+		act.bsv = make([]tables.Status, act.img.NumSlots)
+	}
+	m.stack = append(m.stack, act)
+	b1, b2, b3 := act.bits()
+	m.bsvBits += b1
+	m.bcvBits += b2
+	m.batBits += b3
+	m.spillToFit()
+}
+
+// LeaveFunc pops the top table frame.
+func (m *Machine) LeaveFunc() {
+	if len(m.stack) == 0 {
+		return
+	}
+	m.stats.Pops++
+	top := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	if len(m.stack) < m.resident {
+		// The popped frame was itself spilled (cannot happen with the
+		// fill-on-pop policy, but keep the invariant safe).
+		m.resident = len(m.stack)
+		return
+	}
+	b1, b2, b3 := top.bits()
+	m.bsvBits -= b1
+	m.bcvBits -= b2
+	m.batBits -= b3
+	// Fill the new top if it had been spilled.
+	if m.resident > 0 && m.resident == len(m.stack) && len(m.stack) > 0 {
+		m.fillTop()
+	}
+}
+
+func (m *Machine) spillToFit() {
+	for m.resident < len(m.stack)-1 &&
+		(m.bsvBits > m.cfg.BSVStackBits ||
+			m.bcvBits > m.cfg.BCVStackBits ||
+			m.batBits > m.cfg.BATStackBits) {
+		victim := m.stack[m.resident]
+		b1, b2, b3 := victim.bits()
+		m.bsvBits -= b1
+		m.bcvBits -= b2
+		m.batBits -= b3
+		m.resident++
+		m.stats.SpillEvents++
+		m.stats.SpillBits += uint64(b1 + b2 + b3)
+	}
+}
+
+func (m *Machine) fillTop() {
+	m.resident--
+	frame := m.stack[m.resident]
+	b1, b2, b3 := frame.bits()
+	m.bsvBits += b1
+	m.bcvBits += b2
+	m.batBits += b3
+	m.stats.FillEvents++
+	m.stats.FillBits += uint64(b1 + b2 + b3)
+	m.spillToFit()
+}
+
+// OnBranch processes one committed conditional branch. It returns the
+// alarm raised (nil if the path is consistent) and the number of table
+// accesses the event cost (BSV/BCV probe plus BAT list walk), which the
+// CPU model converts into request-queue occupancy.
+func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
+	m.seq++
+	m.stats.Branches++
+	if len(m.stack) == 0 {
+		return nil, 1
+	}
+	act := m.stack[len(m.stack)-1]
+	if act.img == nil {
+		return nil, 1
+	}
+	img := act.img
+	slot := img.Slot(pc)
+	cost := 1 // BCV + BSV probe (single wide access)
+
+	var alarm *Alarm
+	if img.Checked(slot) {
+		m.stats.Verified++
+		if st := act.bsv[slot]; !st.Matches(taken) {
+			alarm = &Alarm{
+				Seq: m.seq, PC: pc, Func: img.Name, Slot: slot,
+				Expected: st, Taken: taken,
+			}
+			m.alarms = append(m.alarms, *alarm)
+			m.stats.Alarms++
+		}
+	}
+
+	// Update phase: apply the BAT actions for this (branch, direction)
+	// event whether or not the branch is checked.
+	walked := img.Actions(slot, taken, func(e tables.BATEntry) {
+		switch e.Act {
+		case core.SetTaken:
+			act.bsv[e.Target] = tables.Taken
+		case core.SetNotTaken:
+			act.bsv[e.Target] = tables.NotTaken
+		default:
+			act.bsv[e.Target] = tables.Unknown
+		}
+		m.stats.Updates++
+	})
+	m.stats.BATAccesses += uint64(walked)
+	cost += walked
+	return alarm, cost
+}
+
+// Status returns the current expectation for a branch PC in the active
+// frame (tests/diagnostics).
+func (m *Machine) Status(pc uint64) tables.Status {
+	if len(m.stack) == 0 {
+		return tables.Unknown
+	}
+	act := m.stack[len(m.stack)-1]
+	if act.img == nil {
+		return tables.Unknown
+	}
+	return act.bsv[act.img.Slot(pc)]
+}
+
+// Depth returns the current table-stack depth.
+func (m *Machine) Depth() int { return len(m.stack) }
+
+// Alarms returns all alarms raised since the last Reset.
+func (m *Machine) Alarms() []Alarm { return m.alarms }
+
+// Stats returns the activity counters.
+func (m *Machine) Stats() Stats { return m.stats }

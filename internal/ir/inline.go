@@ -1,0 +1,213 @@
+package ir
+
+// Function inlining. The paper's correlation analysis is strictly
+// function-local ("the algorithm works on functions rather than on the
+// whole program") and treats every call conservatively; the authors
+// note they avoid "a full-fledged inter-procedural analysis". Inlining
+// small leaf callees is the classic way to recover the lost precision
+// without any inter-procedural machinery: the callee's loads, stores
+// and branches become part of the caller's CFG, so correlations flow
+// straight through former call boundaries. This pass is the repo's
+// "future work" extension; the extension experiment measures its effect
+// on the detection rate.
+
+// InlineOptions bounds the inliner.
+type InlineOptions struct {
+	// MaxInstrs is the largest callee size (in IR instructions)
+	// considered for inlining.
+	MaxInstrs int
+	// MaxGrowth caps the caller's size after inlining, as a multiple
+	// of its original instruction count.
+	MaxGrowth int
+}
+
+// DefaultInlineOptions inlines leaf functions of up to 40 instructions
+// with at most 4x caller growth.
+var DefaultInlineOptions = InlineOptions{MaxInstrs: 40, MaxGrowth: 4}
+
+// Inline expands calls to small leaf user functions (no calls to other
+// user functions) into their callers, then re-lays-out the program.
+// It returns the number of call sites expanded.
+func Inline(prog *Program, opts InlineOptions) int {
+	if opts.MaxInstrs <= 0 {
+		opts = DefaultInlineOptions
+	}
+	inlinable := map[string]*Func{}
+	for _, fn := range prog.Funcs {
+		if fn.Name == "main" {
+			continue
+		}
+		if len(fn.Instrs) > opts.MaxInstrs {
+			continue
+		}
+		leaf := true
+		for _, in := range fn.Instrs {
+			if in.Op == OpCall && prog.ByName[in.Callee] != nil {
+				leaf = false
+				break
+			}
+		}
+		if leaf {
+			inlinable[fn.Name] = fn
+		}
+	}
+	if len(inlinable) == 0 {
+		return 0
+	}
+
+	expanded := 0
+	for _, caller := range prog.Funcs {
+		if inlinable[caller.Name] != nil {
+			// Leaves keep their bodies; inlining into other leaves
+			// would invalidate size bounds mid-pass.
+			continue
+		}
+		budget := opts.MaxGrowth * len(caller.Instrs)
+		for {
+			site := findInlineSite(caller, inlinable)
+			if site == nil || len(caller.Instrs) >= budget {
+				break
+			}
+			expandCall(prog, caller, site, inlinable[site.Callee])
+			expanded++
+		}
+	}
+	if expanded > 0 {
+		AssignBases(prog)
+	}
+	return expanded
+}
+
+func findInlineSite(caller *Func, inlinable map[string]*Func) *Instr {
+	for _, in := range caller.Instrs {
+		if in.Op == OpCall && inlinable[in.Callee] != nil {
+			return in
+		}
+	}
+	return nil
+}
+
+// expandCall splices a clone of callee into caller at the call site.
+func expandCall(prog *Program, caller *Func, call *Instr, callee *Func) {
+	regOff := Reg(caller.NumRegs)
+	caller.NumRegs += callee.NumRegs
+
+	// Clone the callee's frame objects as fresh caller locals so every
+	// inlined copy has its own storage in the caller's frame.
+	objMap := map[ObjID]ObjID{}
+	cloneObj := func(id ObjID) {
+		src := prog.Object(id)
+		clone := &Object{
+			ID:        ObjID(len(prog.Objects)),
+			Name:      caller.Name + ".inl." + src.Name,
+			Kind:      ObjLocal,
+			Type:      src.Type,
+			Fn:        caller,
+			AddrTaken: src.AddrTaken,
+		}
+		prog.Objects = append(prog.Objects, clone)
+		caller.Locals = append(caller.Locals, clone.ID)
+		objMap[id] = clone.ID
+	}
+	for _, id := range callee.Params {
+		cloneObj(id)
+	}
+	for _, id := range callee.Locals {
+		cloneObj(id)
+	}
+
+	// Split the call's block: everything after the call moves to a
+	// continuation block; the call itself disappears.
+	blk := call.Blk
+	callIdx := -1
+	for i, in := range blk.Instrs {
+		if in == call {
+			callIdx = i
+			break
+		}
+	}
+	cont := &Block{Index: len(caller.Blocks), Fn: caller}
+	caller.Blocks = append(caller.Blocks, cont)
+	cont.Instrs = append(cont.Instrs, blk.Instrs[callIdx+1:]...)
+	blk.Instrs = blk.Instrs[:callIdx]
+
+	// Clone the callee's blocks.
+	blockMap := map[*Block]*Block{}
+	for _, b := range callee.Blocks {
+		nb := &Block{Index: len(caller.Blocks), Fn: caller}
+		caller.Blocks = append(caller.Blocks, nb)
+		blockMap[b] = nb
+	}
+	mapReg := func(r Reg) Reg {
+		if r == NoReg {
+			return r
+		}
+		return r + regOff
+	}
+	for _, b := range callee.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			c := *in // copy
+			c.Dst = mapReg(in.Dst)
+			c.A = mapReg(in.A)
+			c.B = mapReg(in.B)
+			if len(in.Args) > 0 {
+				c.Args = make([]Reg, len(in.Args))
+				for i, a := range in.Args {
+					c.Args[i] = mapReg(a)
+				}
+			}
+			if in.Obj != ObjNone {
+				if mapped, ok := objMap[in.Obj]; ok {
+					c.Obj = mapped
+				}
+			}
+			if in.Target != nil {
+				c.Target = blockMap[in.Target]
+			}
+			if in.Else != nil {
+				c.Else = blockMap[in.Else]
+			}
+			switch in.Op {
+			case OpParam:
+				// param #i becomes a move from the call argument.
+				c.Op = OpMov
+				c.A = call.Args[in.Imm]
+				c.Imm = 0
+			case OpRet:
+				// return becomes (optional) result move + jump to the
+				// continuation.
+				if call.Dst != NoReg && in.A != NoReg {
+					nb.Instrs = append(nb.Instrs, &Instr{
+						Op: OpMov, Dst: call.Dst, A: mapReg(in.A),
+						B: NoReg, Obj: ObjNone, Pos: in.Pos,
+					})
+				}
+				c = Instr{Op: OpJmp, Dst: NoReg, A: NoReg, B: NoReg,
+					Obj: ObjNone, Target: cont, Pos: in.Pos}
+			}
+			ci := c
+			nb.Instrs = append(nb.Instrs, &ci)
+		}
+	}
+
+	// Wire the split block into the inlined entry.
+	blk.Instrs = append(blk.Instrs, &Instr{
+		Op: OpJmp, Dst: NoReg, A: NoReg, B: NoReg, Obj: ObjNone,
+		Target: blockMap[callee.Entry], Pos: call.Pos,
+	})
+	caller.renumber()
+}
+
+// AssignBases re-lays-out code addresses for every function and
+// renumbers. Lowering calls it once; passes that change instruction
+// counts (the inliner) call it again.
+func AssignBases(prog *Program) {
+	base := uint64(0x1000)
+	for _, fn := range prog.Funcs {
+		fn.Base = base
+		fn.renumber()
+		n := uint64(4 * len(fn.Instrs))
+		base += (n + 0xFF) &^ 0xFF
+	}
+}

@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func lowerInline(t *testing.T, src string) *Program {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := Lower(mp, Options{Forwarding: true, InlineSmall: true})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+const inlineSrc = `
+int g;
+int clamp(int v) {
+	if (v > 100) { return 100; }
+	if (v < 0) { return 0; }
+	return v;
+}
+int main() {
+	g = read_int();
+	return clamp(g) + clamp(5);
+}`
+
+func TestInlineExpandsLeafCalls(t *testing.T) {
+	p := lowerInline(t, inlineSrc)
+	main := p.ByName["main"]
+	for _, in := range main.Instrs {
+		if in.Op == OpCall && in.Callee == "clamp" {
+			t.Fatal("clamp call not inlined")
+		}
+	}
+	// Two inlined copies: main gains clamp's branches twice.
+	if got := main.NumBranches(); got != 4 {
+		t.Errorf("main branches = %d, want 4 (2 per inlined copy)", got)
+	}
+}
+
+func TestInlineClonesFrameObjects(t *testing.T) {
+	p := lowerInline(t, inlineSrc)
+	main := p.ByName["main"]
+	clones := 0
+	for _, id := range main.Locals {
+		if strings.Contains(p.Object(id).Name, ".inl.") {
+			clones++
+		}
+	}
+	if clones != 2 { // one param object per inlined copy
+		t.Errorf("cloned objects = %d, want 2", clones)
+	}
+	// Each clone is owned by main.
+	for _, id := range main.Locals {
+		if p.Object(id).Fn != main {
+			t.Errorf("local %s owned by %v", p.Object(id).Name, p.Object(id).Fn)
+		}
+	}
+}
+
+func TestInlineCountAndIdempotence(t *testing.T) {
+	mp, err := minic.Compile(inlineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(mp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Inline(p, DefaultInlineOptions); n != 2 {
+		t.Errorf("first pass expanded %d, want 2", n)
+	}
+	if n := Inline(p, DefaultInlineOptions); n != 0 {
+		t.Errorf("second pass expanded %d, want 0", n)
+	}
+}
+
+func TestInlineSkipsBigAndNonLeaf(t *testing.T) {
+	mp, err := minic.Compile(`
+		int leafish(int v) { return v + 1; }
+		int caller2(int v) { return leafish(v) * 2; }
+		int main() { return caller2(3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(mp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny MaxInstrs nothing qualifies.
+	if n := Inline(p, InlineOptions{MaxInstrs: 1, MaxGrowth: 4}); n != 0 {
+		t.Errorf("expanded %d with MaxInstrs=1", n)
+	}
+	// With defaults: leafish inlines into caller2 and main's call to
+	// caller2 stays (caller2 is not a leaf at scan time).
+	n := Inline(p, DefaultInlineOptions)
+	if n == 0 {
+		t.Fatal("nothing inlined")
+	}
+	main := p.ByName["main"]
+	foundCall := false
+	for _, in := range main.Instrs {
+		if in.Op == OpCall && in.Callee == "caller2" {
+			foundCall = true
+		}
+	}
+	if !foundCall {
+		t.Error("non-leaf caller2 should not be inlined into main")
+	}
+}
+
+func TestInlineGrowthBudget(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("int leaf(int v) { if (v > 3) { return v; } return v + 1; }\n")
+	sb.WriteString("int main() {\n int s;\n s = 0;\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString(" s = s + leaf(s);\n")
+	}
+	sb.WriteString(" return s;\n}\n")
+	mp, err := minic.Compile(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(mp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(p.ByName["main"].Instrs)
+	Inline(p, InlineOptions{MaxInstrs: 40, MaxGrowth: 2})
+	after := len(p.ByName["main"].Instrs)
+	if after > 2*before+60 { // small slack for the final expansion
+		t.Errorf("growth budget exceeded: %d -> %d", before, after)
+	}
+	// Some calls must remain.
+	remaining := 0
+	for _, in := range p.ByName["main"].Instrs {
+		if in.Op == OpCall && in.Callee == "leaf" {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		t.Error("budget should have stopped inlining before all 50 sites")
+	}
+}
+
+func TestInlinePreservesPCInvariants(t *testing.T) {
+	p := lowerInline(t, inlineSrc)
+	for _, fn := range p.Funcs {
+		for i, in := range fn.Instrs {
+			if in.ID != i {
+				t.Fatalf("%s: instr %d has ID %d", fn.Name, i, in.ID)
+			}
+			if in.PC != fn.Base+uint64(4*i) {
+				t.Fatalf("%s: PC misassigned after inline", fn.Name)
+			}
+			if in.Blk == nil || in.Blk.Fn != fn {
+				t.Fatalf("%s: block backlink broken", fn.Name)
+			}
+		}
+		if p.FuncOf(fn.Base) != fn {
+			t.Fatalf("FuncOf broken for %s", fn.Name)
+		}
+	}
+}

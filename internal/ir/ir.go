@@ -1,0 +1,455 @@
+// Package ir defines the three-address intermediate representation that
+// the branch-correlation analysis operates on, together with the
+// lowering from checked MiniC ASTs.
+//
+// Design notes relevant to the analyses:
+//
+//   - Virtual registers are single-assignment by construction: lowering
+//     allocates a fresh register for every produced value. The def
+//     chain of any register is therefore unique and acyclic, which the
+//     affine-range analysis in internal/ranges relies on.
+//   - Every read of a memory-resident variable is an explicit OpLoad
+//     and every write an explicit OpStore, mirroring the unoptimized
+//     MachSUIF code the paper analyses. The optional store-to-load
+//     forwarding pass (see passes.go) reintroduces the "value still in
+//     a register" patterns that make store→load correlations visible.
+//   - Conditional branches keep their comparison structure (OpBr with a
+//     condition code and two register operands) rather than lowering to
+//     a flag register, so a branch direction maps directly to a value
+//     range.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// Reg is a virtual register. NoReg marks an absent operand.
+type Reg int
+
+// NoReg is the absent-register sentinel.
+const NoReg Reg = -1
+
+// ObjID identifies a memory object (a variable, array or string
+// constant). Object IDs are unique across the whole program.
+type ObjID int
+
+// ObjNone marks instructions with no direct memory operand.
+const ObjNone ObjID = -1
+
+// ObjKind discriminates memory object kinds.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjGlobal ObjKind = iota
+	ObjLocal
+	ObjParam
+	ObjString
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjLocal:
+		return "local"
+	case ObjParam:
+		return "param"
+	case ObjString:
+		return "string"
+	}
+	return "?"
+}
+
+// Object is a memory-resident program entity. The alias analysis and
+// the correlation analysis treat objects as the unit of aliasing.
+type Object struct {
+	ID   ObjID
+	Name string
+	Kind ObjKind
+	Type *minic.Type
+	Fn   *Func // owning function for locals/params, nil for globals/strings
+
+	// AddrTaken mirrors the frontend flag: the object's address
+	// escapes, so indirect accesses may reach it.
+	AddrTaken bool
+
+	// ParamIndex is the 0-based parameter position for ObjParam.
+	ParamIndex int
+
+	// Init is the initial scalar value for globals.
+	Init int64
+
+	// Data holds the bytes of ObjString objects (NUL-terminated).
+	Data []byte
+}
+
+// Size returns the object's size in bytes.
+func (o *Object) Size() int {
+	if o.Kind == ObjString {
+		return len(o.Data)
+	}
+	return o.Type.Size()
+}
+
+// IsScalar reports whether the object is a scalar variable (the only
+// kind the correlation analysis tracks ranges for).
+func (o *Object) IsScalar() bool {
+	return o.Kind != ObjString && o.Type.IsScalar()
+}
+
+func (o *Object) String() string { return o.Name }
+
+// Op enumerates IR operations.
+type Op int
+
+// IR operations.
+const (
+	OpConst Op = iota // Dst = Imm
+	OpMov             // Dst = A
+	OpParam           // Dst = incoming argument #Imm (entry block only)
+
+	// Binary arithmetic/bitwise: Dst = A op B.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Unary: Dst = op A.
+	OpNeg
+	OpBNot
+
+	// Comparison producing 0/1: Dst = A cond B.
+	OpSet
+
+	OpAddr  // Dst = &Obj + Imm
+	OpLoad  // Dst = mem[Obj] (direct) or mem[A] (indirect), Size bytes
+	OpStore // mem[Obj] or mem[A] = B, Size bytes
+	OpCall  // Dst = Callee(Args...); Dst may be NoReg
+	OpRet   // return A (NoReg for void)
+	OpJmp   // unconditional jump to Target
+	OpBr    // if (A cond B) goto Target else Else
+)
+
+var opNames = [...]string{
+	"const", "mov", "param", "add", "sub", "mul", "div", "rem", "and",
+	"or", "xor", "shl", "shr", "neg", "bnot", "set", "addr", "load",
+	"store", "call", "ret", "jmp", "br",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// Cond is a branch/set condition code.
+type Cond int
+
+// Condition codes.
+const (
+	CondEq Cond = iota
+	CondNe
+	CondLt
+	CondLe
+	CondGt
+	CondGe
+)
+
+func (c Cond) String() string {
+	return [...]string{"==", "!=", "<", "<=", ">", ">="}[c]
+}
+
+// Negate returns the complementary condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEq:
+		return CondNe
+	case CondNe:
+		return CondEq
+	case CondLt:
+		return CondGe
+	case CondLe:
+		return CondGt
+	case CondGt:
+		return CondLe
+	case CondGe:
+		return CondLt
+	}
+	return c
+}
+
+// Swap returns the condition with operands exchanged (a c b == b c.Swap a).
+func (c Cond) Swap() Cond {
+	switch c {
+	case CondLt:
+		return CondGt
+	case CondLe:
+		return CondGe
+	case CondGt:
+		return CondLt
+	case CondGe:
+		return CondLe
+	}
+	return c
+}
+
+// Eval applies the condition to two values.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEq:
+		return a == b
+	case CondNe:
+		return a != b
+	case CondLt:
+		return a < b
+	case CondLe:
+		return a <= b
+	case CondGt:
+		return a > b
+	case CondGe:
+		return a >= b
+	}
+	return false
+}
+
+// Instr is a single IR instruction. Which fields are meaningful depends
+// on Op; unused register fields hold NoReg and Obj holds ObjNone.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	A, B Reg
+	Imm  int64
+	Obj  ObjID // direct memory operand for OpAddr/OpLoad/OpStore
+	Size int   // access size in bytes for OpLoad/OpStore (1 or 8)
+	Cond Cond  // for OpBr and OpSet
+
+	Callee string
+	Args   []Reg
+
+	Target *Block // OpJmp target, OpBr taken target
+	Else   *Block // OpBr fall-through (not-taken) target
+
+	// Bookkeeping filled by Func.renumber.
+	ID  int    // dense function-unique id
+	PC  uint64 // simulated code address
+	Blk *Block // containing block
+
+	Pos minic.Pos
+}
+
+// IsTerm reports whether the instruction terminates a basic block.
+func (in *Instr) IsTerm() bool {
+	switch in.Op {
+	case OpJmp, OpBr, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsDirectAccess reports whether a load/store names its object directly.
+func (in *Instr) IsDirectAccess() bool { return in.Obj != ObjNone }
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+	case OpParam:
+		return fmt.Sprintf("r%d = param #%d", in.Dst, in.Imm)
+	case OpNeg, OpBNot:
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Op, in.A)
+	case OpSet:
+		return fmt.Sprintf("r%d = r%d %s r%d", in.Dst, in.A, in.Cond, in.B)
+	case OpAddr:
+		return fmt.Sprintf("r%d = addr obj%d+%d", in.Dst, in.Obj, in.Imm)
+	case OpLoad:
+		if in.IsDirectAccess() {
+			return fmt.Sprintf("r%d = load%d obj%d", in.Dst, in.Size, in.Obj)
+		}
+		return fmt.Sprintf("r%d = load%d [r%d]", in.Dst, in.Size, in.A)
+	case OpStore:
+		if in.IsDirectAccess() {
+			return fmt.Sprintf("store%d obj%d, r%d", in.Size, in.Obj, in.B)
+		}
+		return fmt.Sprintf("store%d [r%d], r%d", in.Size, in.A, in.B)
+	case OpCall:
+		s := fmt.Sprintf("call %s%v", in.Callee, in.Args)
+		if in.Dst != NoReg {
+			s = fmt.Sprintf("r%d = %s", in.Dst, s)
+		}
+		return s
+	case OpRet:
+		if in.A == NoReg {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", in.A)
+	case OpJmp:
+		return fmt.Sprintf("jmp b%d", in.Target.Index)
+	case OpBr:
+		return fmt.Sprintf("br r%d %s r%d ? b%d : b%d", in.A, in.Cond, in.B,
+			in.Target.Index, in.Else.Index)
+	}
+	return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+}
+
+// Block is a basic block: straight-line instructions ended by a single
+// terminator (the last instruction).
+type Block struct {
+	Index  int
+	Fn     *Func
+	Instrs []*Instr
+	Preds  []*Block
+	Succs  []*Block
+}
+
+// Term returns the block terminator, or nil for an unfinished block.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.IsTerm() {
+		return nil
+	}
+	return t
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d", b.Index) }
+
+// Func is a lowered function.
+type Func struct {
+	Name   string
+	Decl   *minic.FuncDecl
+	Blocks []*Block
+	Entry  *Block
+
+	Params []ObjID // parameter objects in order
+	Locals []ObjID // local objects in declaration order
+
+	NumRegs int
+	Instrs  []*Instr // all instructions indexed by Instr.ID
+	Base    uint64   // code base address
+
+	prog   *Program
+	regDef []*Instr // register -> unique defining instruction
+}
+
+// Prog returns the containing program.
+func (f *Func) Prog() *Program { return f.prog }
+
+// NumBranches counts conditional branches.
+func (f *Func) NumBranches() int {
+	n := 0
+	for _, in := range f.Instrs {
+		if in.Op == OpBr {
+			n++
+		}
+	}
+	return n
+}
+
+// Branches returns the conditional branch instructions in ID order.
+func (f *Func) Branches() []*Instr {
+	var brs []*Instr
+	for _, in := range f.Instrs {
+		if in.Op == OpBr {
+			brs = append(brs, in)
+		}
+	}
+	return brs
+}
+
+// DefOf returns the unique defining instruction of r, or nil for
+// parameterless values. Registers are single-assignment, so the def is
+// unique; the table is built by renumber.
+func (f *Func) DefOf(r Reg) *Instr {
+	if r < 0 || int(r) >= len(f.regDef) {
+		return nil
+	}
+	return f.regDef[r]
+}
+
+// renumber assigns dense instruction IDs, simulated PCs, block links and
+// rebuilds the register-def table. Must be called after any structural
+// change to the function.
+func (f *Func) renumber() {
+	f.Instrs = f.Instrs[:0]
+	id := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.ID = id
+			in.PC = f.Base + uint64(4*id)
+			in.Blk = b
+			f.Instrs = append(f.Instrs, in)
+			id++
+		}
+	}
+	f.regDef = make([]*Instr, f.NumRegs)
+	for _, in := range f.Instrs {
+		if in.Dst != NoReg {
+			f.regDef[in.Dst] = in
+		}
+	}
+	f.rebuildEdges()
+}
+
+// rebuildEdges recomputes Preds/Succs from terminators.
+func (f *Func) rebuildEdges() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case OpJmp:
+			b.Succs = append(b.Succs, t.Target)
+		case OpBr:
+			b.Succs = append(b.Succs, t.Target, t.Else)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Program is a fully lowered program.
+type Program struct {
+	Funcs   []*Func
+	ByName  map[string]*Func
+	Objects []*Object
+	Strings []ObjID // string constant objects
+	Source  *minic.Program
+}
+
+// Object returns the object with the given id.
+func (p *Program) Object(id ObjID) *Object { return p.Objects[id] }
+
+// FuncOf returns the function containing the given simulated PC, or nil.
+func (p *Program) FuncOf(pc uint64) *Func {
+	for _, f := range p.Funcs {
+		if len(f.Instrs) == 0 {
+			continue
+		}
+		if pc >= f.Base && pc < f.Base+uint64(4*len(f.Instrs)) {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,573 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func lowerSrc(t *testing.T, src string, opts Options) *Program {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := Lower(mp, opts)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func countOps(f *Func, op Op) int {
+	n := 0
+	for _, in := range f.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLowerSimpleFunction(t *testing.T) {
+	p := lowerSrc(t, `int add(int a, int b) { return a + b; }`, Options{})
+	f := p.ByName["add"]
+	if f == nil {
+		t.Fatal("add not lowered")
+	}
+	// Prologue stores both params; body loads both.
+	if got := countOps(f, OpParam); got != 2 {
+		t.Errorf("params = %d, want 2", got)
+	}
+	if got := countOps(f, OpStore); got != 2 {
+		t.Errorf("stores = %d, want 2", got)
+	}
+	if got := countOps(f, OpLoad); got != 2 {
+		t.Errorf("loads = %d, want 2", got)
+	}
+	if got := countOps(f, OpRet); got != 1 {
+		t.Errorf("rets = %d, want 1", got)
+	}
+}
+
+func TestLowerRegistersSingleAssignment(t *testing.T) {
+	p := lowerSrc(t, `
+		int f(int n) {
+			int s;
+			s = 0;
+			while (n > 0) { s = s + n; n = n - 1; }
+			return s;
+		}`, Options{})
+	f := p.ByName["f"]
+	defs := map[Reg]int{}
+	for _, in := range f.Instrs {
+		if in.Dst != NoReg {
+			defs[in.Dst]++
+		}
+	}
+	for r, n := range defs {
+		if n != 1 {
+			t.Errorf("register r%d defined %d times", r, n)
+		}
+	}
+}
+
+func TestLowerTerminatorsAndEdges(t *testing.T) {
+	p := lowerSrc(t, `
+		int f(int x) {
+			if (x < 3) { return 1; }
+			return 0;
+		}`, Options{})
+	f := p.ByName["f"]
+	for _, b := range f.Blocks {
+		if b.Term() == nil {
+			t.Errorf("block b%d lacks a terminator", b.Index)
+		}
+	}
+	br := f.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d, want 1", len(br))
+	}
+	if br[0].Cond != CondLt {
+		t.Errorf("cond = %v, want <", br[0].Cond)
+	}
+	// Edge consistency: every succ lists us as pred.
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, pb := range s.Preds {
+				if pb == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("b%d -> b%d missing pred backlink", b.Index, s.Index)
+			}
+		}
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	p := lowerSrc(t, `
+		int f(int a, int b) {
+			if (a < 1 && b < 2) { return 1; }
+			if (a > 3 || b > 4) { return 2; }
+			return 0;
+		}`, Options{})
+	f := p.ByName["f"]
+	if got := countOps(f, OpBr); got != 4 {
+		t.Errorf("branches = %d, want 4 (two per condition)", got)
+	}
+}
+
+func TestLowerWhileLoopShape(t *testing.T) {
+	p := lowerSrc(t, `void f(int n) { while (n > 0) { n = n - 1; } }`, Options{})
+	f := p.ByName["f"]
+	br := f.Branches()
+	if len(br) != 1 {
+		t.Fatalf("branches = %d, want 1", len(br))
+	}
+	// The loop head must have two predecessors: entry and back edge.
+	head := br[0].Blk
+	if len(head.Preds) != 2 {
+		t.Errorf("loop head preds = %d, want 2", len(head.Preds))
+	}
+}
+
+func TestLowerBreakContinue(t *testing.T) {
+	p := lowerSrc(t, `
+		void f(int n) {
+			while (1) {
+				n = n - 1;
+				if (n < 0) { break; }
+				if (n == 5) { continue; }
+				n = n - 2;
+			}
+		}`, Options{})
+	f := p.ByName["f"]
+	if got := countOps(f, OpBr); got != 2 {
+		t.Errorf("branches = %d, want 2 (while(1) is a jmp)", got)
+	}
+}
+
+func TestLowerDeadCodeAfterReturnPruned(t *testing.T) {
+	p := lowerSrc(t, `
+		int f() {
+			return 1;
+			return 2;
+		}`, Options{})
+	f := p.ByName["f"]
+	if got := countOps(f, OpRet); got != 1 {
+		t.Errorf("rets = %d, want 1 (dead return pruned)", got)
+	}
+}
+
+func TestLowerImplicitReturn(t *testing.T) {
+	p := lowerSrc(t, `void f() { } int g(int x) { if (x) { return 1; } }`, Options{})
+	if got := countOps(p.ByName["f"], OpRet); got != 1 {
+		t.Errorf("void f rets = %d, want 1", got)
+	}
+	if got := countOps(p.ByName["g"], OpRet); got != 2 {
+		t.Errorf("g rets = %d, want 2 (explicit + implicit)", got)
+	}
+}
+
+func TestLowerArrayIndexing(t *testing.T) {
+	p := lowerSrc(t, `
+		int a[10];
+		int f(int i) { a[i] = 7; return a[i+1]; }`, Options{})
+	f := p.ByName["f"]
+	indirectLoads, indirectStores := 0, 0
+	for _, in := range f.Instrs {
+		if in.Op == OpLoad && !in.IsDirectAccess() {
+			indirectLoads++
+		}
+		if in.Op == OpStore && !in.IsDirectAccess() {
+			indirectStores++
+		}
+	}
+	if indirectLoads != 1 || indirectStores != 1 {
+		t.Errorf("indirect loads/stores = %d/%d, want 1/1", indirectLoads, indirectStores)
+	}
+	// int elements: index must be scaled by 8.
+	if !strings.Contains(f.Dump(), "const 8") {
+		t.Error("index scaling by 8 missing")
+	}
+}
+
+func TestLowerCharArrayNoScaling(t *testing.T) {
+	p := lowerSrc(t, `char b[8]; char f(int i) { return b[i]; }`, Options{})
+	f := p.ByName["f"]
+	if countOps(f, OpMul) != 0 {
+		t.Error("char indexing should not scale")
+	}
+	for _, in := range f.Instrs {
+		if in.Op == OpLoad && !in.IsDirectAccess() && in.Size != 1 {
+			t.Errorf("char load size = %d, want 1", in.Size)
+		}
+	}
+}
+
+func TestLowerPointerArithmetic(t *testing.T) {
+	p := lowerSrc(t, `int f(int* p) { return *(p + 2); }`, Options{})
+	f := p.ByName["f"]
+	if countOps(f, OpMul) != 1 {
+		t.Error("pointer addition should scale by element size")
+	}
+}
+
+func TestLowerStringLiterals(t *testing.T) {
+	p := lowerSrc(t, `void f() { print_str("hello"); }`, Options{})
+	if len(p.Strings) != 1 {
+		t.Fatalf("strings = %d, want 1", len(p.Strings))
+	}
+	obj := p.Object(p.Strings[0])
+	if string(obj.Data) != "hello\x00" {
+		t.Errorf("string data = %q", obj.Data)
+	}
+	if obj.Size() != 6 {
+		t.Errorf("string size = %d, want 6", obj.Size())
+	}
+}
+
+func TestLowerGlobalInit(t *testing.T) {
+	p := lowerSrc(t, `int g = 40 + 2; void f() { }`, Options{})
+	var g *Object
+	for _, o := range p.Objects {
+		if o.Name == "g" {
+			g = o
+		}
+	}
+	if g == nil || g.Init != 42 {
+		t.Fatalf("global g init = %+v", g)
+	}
+}
+
+func TestLowerPCsAndFuncOf(t *testing.T) {
+	p := lowerSrc(t, `void f() { } void g() { }`, Options{})
+	f, g := p.ByName["f"], p.ByName["g"]
+	if f.Base >= g.Base {
+		t.Errorf("bases not increasing: %#x %#x", f.Base, g.Base)
+	}
+	for _, in := range f.Instrs {
+		if p.FuncOf(in.PC) != f {
+			t.Errorf("FuncOf(%#x) != f", in.PC)
+		}
+	}
+	if p.FuncOf(0) != nil {
+		t.Error("FuncOf(0) should be nil")
+	}
+	// PCs are dense and 4-aligned within a function.
+	for i, in := range g.Instrs {
+		if in.PC != g.Base+uint64(4*i) {
+			t.Errorf("instr %d PC = %#x, want %#x", i, in.PC, g.Base+uint64(4*i))
+		}
+	}
+}
+
+func TestLowerDefOf(t *testing.T) {
+	p := lowerSrc(t, `int f(int x) { return x + 1; }`, Options{})
+	f := p.ByName["f"]
+	for _, in := range f.Instrs {
+		if in.Dst == NoReg {
+			continue
+		}
+		if f.DefOf(in.Dst) != in {
+			t.Errorf("DefOf(r%d) mismatch", in.Dst)
+		}
+	}
+	if f.DefOf(NoReg) != nil {
+		t.Error("DefOf(NoReg) should be nil")
+	}
+}
+
+func TestForwardingRewritesReload(t *testing.T) {
+	src := `
+		int f() {
+			int x;
+			x = read_int();
+			if (x < 5) { return 1; }
+			return 0;
+		}`
+	noFwd := lowerSrc(t, src, Options{})
+	fwd := lowerSrc(t, src, Options{Forwarding: true})
+	lNo := countOps(noFwd.ByName["f"], OpLoad)
+	lF := countOps(fwd.ByName["f"], OpLoad)
+	if lF >= lNo {
+		t.Errorf("forwarding did not remove loads: %d -> %d", lNo, lF)
+	}
+	// The branch operand must chain back to the stored register via Mov.
+	f := fwd.ByName["f"]
+	br := f.Branches()[0]
+	def := f.DefOf(br.A)
+	if def == nil || def.Op != OpMov {
+		t.Errorf("branch operand def = %v, want mov", def)
+	}
+}
+
+func TestForwardingBlockedByCall(t *testing.T) {
+	// g may modify the global, so its value cannot be forwarded across
+	// the call.
+	src := `
+		int g;
+		void h() { g = 2; }
+		int f() {
+			int a;
+			a = g;
+			h();
+			return g;
+		}`
+	p := lowerSrc(t, src, Options{Forwarding: true})
+	f := p.ByName["f"]
+	if got := countOps(f, OpLoad); got != 2 {
+		t.Errorf("loads = %d, want 2 (reload after call)", got)
+	}
+}
+
+func TestForwardingNotBlockedByPureBuiltin(t *testing.T) {
+	src := `
+		int f(char* s) {
+			int a;
+			a = read_int();
+			print_int(strlen(s));
+			return a;
+		}`
+	p := lowerSrc(t, src, Options{Forwarding: true})
+	f := p.ByName["f"]
+	// Pure builtins (read_int, strlen, print_int) kill nothing, so both
+	// `a` and `s` forward from their defining stores (the prologue spill
+	// for s) and no load survives in this single-block function.
+	loads := countOps(f, OpLoad)
+	if loads != 0 {
+		t.Errorf("loads = %d, want 0 (all forwarded)", loads)
+	}
+}
+
+func TestRegionPromotionRemovesCrossBlockReload(t *testing.T) {
+	src := `
+		int f() {
+			int x;
+			x = read_int();
+			if (x < 5) {
+				return x;
+			}
+			return 0;
+		}`
+	base := lowerSrc(t, src, Options{Forwarding: true})
+	promo := lowerSrc(t, src, Options{Forwarding: true, RegionPromotion: true})
+	lBase := countOps(base.ByName["f"], OpLoad)
+	lPromo := countOps(promo.ByName["f"], OpLoad)
+	if lPromo >= lBase {
+		t.Errorf("promotion did not remove loads: %d -> %d", lBase, lPromo)
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p := lowerSrc(t, `int f(int x) { if (x) { return 1; } return 0; }`, Options{})
+	d := p.Dump()
+	for _, want := range []string{"func f", "br", "ret", "b0:"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestCondHelpers(t *testing.T) {
+	conds := []Cond{CondEq, CondNe, CondLt, CondLe, CondGt, CondGe}
+	for _, c := range conds {
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-2); b <= 2; b++ {
+				if c.Eval(a, b) == c.Negate().Eval(a, b) {
+					t.Errorf("%v and its negation agree on (%d,%d)", c, a, b)
+				}
+				if c.Eval(a, b) != c.Swap().Eval(b, a) {
+					t.Errorf("%v swap mismatch on (%d,%d)", c, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerValueContextLogical(t *testing.T) {
+	p := lowerSrc(t, `int f(int a, int b) { int x; x = a && b; return x; }`, Options{})
+	f := p.ByName["f"]
+	if got := countOps(f, OpBr); got != 0 {
+		t.Errorf("value-context && should not branch, got %d branches", got)
+	}
+	if got := countOps(f, OpSet); got != 2 {
+		t.Errorf("set ops = %d, want 2", got)
+	}
+}
+
+func TestLowerAddrOf(t *testing.T) {
+	p := lowerSrc(t, `void f() { int x; int* p; p = &x; *p = 3; }`, Options{})
+	f := p.ByName["f"]
+	if got := countOps(f, OpAddr); got != 1 {
+		t.Errorf("addr ops = %d, want 1", got)
+	}
+	var xObj *Object
+	for _, o := range p.Objects {
+		if strings.HasSuffix(o.Name, ".x") {
+			xObj = o
+		}
+	}
+	if xObj == nil || !xObj.AddrTaken {
+		t.Error("x should be address-taken in IR")
+	}
+}
+
+func TestLowerSwitchStructure(t *testing.T) {
+	p := lowerSrc(t, `
+		int f(int x) {
+			switch (x) {
+			case 1: return 10;
+			case 2: return 20;
+			default: return 30;
+			}
+		}`, Options{})
+	f := p.ByName["f"]
+	// One equality branch per non-default label.
+	if got := countOps(f, OpBr); got != 2 {
+		t.Errorf("branches = %d, want 2", got)
+	}
+	for _, br := range f.Branches() {
+		if br.Cond != CondEq {
+			t.Errorf("switch test cond = %v, want ==", br.Cond)
+		}
+	}
+}
+
+func TestLowerStructSplitObjects(t *testing.T) {
+	p := lowerSrc(t, `
+		struct S { int a; char buf[4]; int b; };
+		int f() {
+			struct S s;
+			s.a = 1;
+			s.b = 2;
+			s.buf[0] = 'x';
+			return s.a + s.b;
+		}`, Options{})
+	names := map[string]bool{}
+	for _, o := range p.Objects {
+		names[o.Name] = true
+	}
+	for _, want := range []string{"f.s.a", "f.s.b", "f.s.buf"} {
+		if !names[want] {
+			t.Errorf("missing split object %s", want)
+		}
+	}
+	// Scalar field accesses are direct loads/stores.
+	f := p.ByName["f"]
+	direct := 0
+	for _, in := range f.Instrs {
+		if (in.Op == OpLoad || in.Op == OpStore) && in.IsDirectAccess() {
+			if o := p.Object(in.Obj); o.Name == "f.s.a" || o.Name == "f.s.b" {
+				direct++
+			}
+		}
+	}
+	if direct < 4 { // 2 stores + 2 loads
+		t.Errorf("direct field accesses = %d, want >= 4", direct)
+	}
+}
+
+func TestLowerStructBlobWhenEscaped(t *testing.T) {
+	p := lowerSrc(t, `
+		struct S { int a; int b; };
+		void init(struct S* s) { s->a = 1; s->b = 2; }
+		int f() {
+			struct S s;
+			init(&s);
+			return s.a;
+		}`, Options{})
+	var blob *Object
+	for _, o := range p.Objects {
+		if o.Name == "f.s" {
+			blob = o
+		}
+	}
+	if blob == nil {
+		t.Fatal("escaped struct must stay a single blob object")
+	}
+	if blob.Size() != 16 {
+		t.Errorf("blob size = %d, want 16", blob.Size())
+	}
+	if !blob.AddrTaken || blob.IsScalar() {
+		t.Error("blob must be address-taken and non-scalar")
+	}
+	// Field reads of the blob are indirect.
+	f := p.ByName["f"]
+	for _, in := range f.Instrs {
+		if in.Op == OpLoad && in.IsDirectAccess() && p.Object(in.Obj).Name == "f.s" {
+			t.Error("blob field access must not be a direct whole-object load")
+		}
+	}
+}
+
+func TestLowerArrowOffsets(t *testing.T) {
+	p := lowerSrc(t, `
+		struct S { int a; int b; };
+		int get_b(struct S* s) { return s->b; }
+		int f() {
+			struct S s;
+			s.b = 5;
+			return get_b(&s);
+		}`, Options{})
+	// get_b must add field offset 8 to the pointer.
+	g := p.ByName["get_b"]
+	found := false
+	for _, in := range g.Instrs {
+		if in.Op == OpConst && in.Imm == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("arrow access missing the +8 field offset")
+	}
+}
+
+func TestObjectAndOpStrings(t *testing.T) {
+	p := lowerSrc(t, `int g; void f() { g = 1; }`, Options{})
+	for _, o := range p.Objects {
+		if o.String() == "" || o.Kind.String() == "" {
+			t.Error("empty object strings")
+		}
+	}
+	ops := []Op{OpConst, OpMov, OpParam, OpAdd, OpNeg, OpSet, OpAddr, OpLoad,
+		OpStore, OpCall, OpRet, OpJmp, OpBr}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("unknown op formatting")
+	}
+	f := p.ByName["f"]
+	for _, in := range f.Instrs {
+		if in.String() == "" {
+			t.Error("empty instruction string")
+		}
+	}
+	if f.Prog() != p {
+		t.Error("Prog backlink")
+	}
+	if f.NumBranches() != 0 {
+		t.Error("f has no branches")
+	}
+}
+
+func TestMustLowerPanicsOnBadProgram(t *testing.T) {
+	// MustLower panics only on lowering failures, which sema-checked
+	// programs do not produce; validate the happy path and the panic
+	// wrapper via a nil-safe call.
+	mp, err := minic.Compile(`int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustLower(mp, Options{})
+	if p.ByName["main"] == nil {
+		t.Fatal("MustLower lost main")
+	}
+}

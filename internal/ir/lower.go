@@ -1,0 +1,826 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// Options controls lowering and the post-lowering cleanup passes.
+type Options struct {
+	// Forwarding enables block-local store-to-load forwarding. It is
+	// the pass that makes store→load branch correlations visible (the
+	// branch then tests the still-in-register stored value, as in the
+	// paper's Figure 3.b) and is on in the default pipeline.
+	Forwarding bool
+
+	// RegionPromotion additionally forwards repeated loads of the same
+	// variable within a branch region, emulating a more aggressive
+	// register allocator. It shrinks the window in which tampering is
+	// observable — the paper's "compiler optimizations can remove some
+	// correlations" effect — and exists for the ablation experiment.
+	RegionPromotion bool
+
+	// InlineSmall expands calls to small leaf functions before the
+	// analyses run, extending the function-local correlation analysis
+	// across former call boundaries (the repository's future-work
+	// extension; see inline.go).
+	InlineSmall bool
+}
+
+// DefaultOptions is the standard pipeline used by the paper-equivalent
+// compiler: forwarding on, aggressive promotion off.
+var DefaultOptions = Options{Forwarding: true}
+
+// Lower converts a checked MiniC program into IR.
+func Lower(src *minic.Program, opts Options) (*Program, error) {
+	lw := &lowerer{
+		prog: &Program{
+			ByName: map[string]*Func{},
+			Source: src,
+		},
+		objBySym:  map[*minic.Symbol]ObjID{},
+		fieldObjs: map[*minic.Symbol]map[int]ObjID{},
+	}
+	if err := lw.run(src, opts); err != nil {
+		return nil, err
+	}
+	return lw.prog, nil
+}
+
+// MustLower is Lower for inputs known to be valid (tests, examples).
+func MustLower(src *minic.Program, opts Options) *Program {
+	p, err := Lower(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type lowerer struct {
+	prog     *Program
+	objBySym map[*minic.Symbol]ObjID
+	// fieldObjs maps split struct variables to their per-field
+	// objects, keyed by Field.Index.
+	fieldObjs map[*minic.Symbol]map[int]ObjID
+
+	fn   *Func
+	cur  *Block
+	dead bool // current position follows a terminator
+
+	breaks    []*Block
+	continues []*Block
+}
+
+func (lw *lowerer) run(src *minic.Program, opts Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(lowerError); ok {
+				err = fmt.Errorf("lower: %s", string(le))
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Globals.
+	for _, g := range src.File.Globals {
+		ids := lw.declareVar(g.Sym, g.Name, ObjGlobal, nil)
+		if g.Init != nil {
+			v, ok := minic.ConstEval(g.Init)
+			if !ok {
+				return fmt.Errorf("lower: global %s: non-constant initializer", g.Name)
+			}
+			lw.prog.Object(ids[0]).Init = v
+		}
+	}
+	// String constants.
+	for i, s := range src.Strings {
+		obj := lw.newObject(fmt.Sprintf(".str%d", i), ObjString, nil, nil)
+		obj.Data = append([]byte(s), 0)
+		lw.prog.Strings = append(lw.prog.Strings, obj.ID)
+	}
+	// Functions.
+	for _, fd := range src.Funcs {
+		fn := &Func{Name: fd.Name, Decl: fd, prog: lw.prog}
+		lw.prog.Funcs = append(lw.prog.Funcs, fn)
+		lw.prog.ByName[fd.Name] = fn
+		for i, p := range fd.Params {
+			obj := lw.newObject(fd.Name+"."+p.Name, ObjParam, p.Sym.Type, fn)
+			obj.AddrTaken = p.Sym.AddrTaken
+			obj.ParamIndex = i
+			lw.objBySym[p.Sym] = obj.ID
+			fn.Params = append(fn.Params, obj.ID)
+		}
+		for _, d := range fd.Locals {
+			ids := lw.declareVar(d.Sym, fd.Name+"."+d.Name, ObjLocal, fn)
+			fn.Locals = append(fn.Locals, ids...)
+		}
+	}
+	for _, fn := range lw.prog.Funcs {
+		lw.lowerFunc(fn)
+	}
+
+	// Assign code base addresses and renumber. Bases are spaced so no
+	// two functions share a hash-relevant address neighbourhood.
+	AssignBases(lw.prog)
+
+	if opts.InlineSmall {
+		Inline(lw.prog, DefaultInlineOptions)
+	}
+
+	for _, fn := range lw.prog.Funcs {
+		if opts.Forwarding {
+			forwardStores(fn)
+		}
+		if opts.RegionPromotion {
+			promoteRegionLoads(fn)
+		}
+	}
+	return nil
+}
+
+type lowerError string
+
+func (lw *lowerer) failf(format string, args ...any) {
+	panic(lowerError(fmt.Sprintf(format, args...)))
+}
+
+func (lw *lowerer) newObject(name string, kind ObjKind, typ *minic.Type, fn *Func) *Object {
+	obj := &Object{
+		ID:   ObjID(len(lw.prog.Objects)),
+		Name: name,
+		Kind: kind,
+		Type: typ,
+		Fn:   fn,
+	}
+	lw.prog.Objects = append(lw.prog.Objects, obj)
+	return obj
+}
+
+// declareVar creates the object(s) backing a variable. Struct
+// variables whose whole address never escapes are split into one
+// object per field (field-sensitive analysis); escaped structs become
+// a single conservative blob.
+func (lw *lowerer) declareVar(sym *minic.Symbol, name string, kind ObjKind, fn *Func) []ObjID {
+	if sym.Type.Kind == minic.TypeStruct && !sym.AddrTaken {
+		def := sym.Type.Struct
+		byIdx := map[int]ObjID{}
+		lw.fieldObjs[sym] = byIdx
+		out := make([]ObjID, 0, len(def.Fields))
+		for _, f := range def.Fields {
+			obj := lw.newObject(name+"."+f.Name, kind, f.Type, fn)
+			obj.AddrTaken = sym.FieldAddrTaken[f.Index] || f.Type.Kind == minic.TypeArray
+			byIdx[f.Index] = obj.ID
+			out = append(out, obj.ID)
+		}
+		return out
+	}
+	obj := lw.newObject(name, kind, sym.Type, fn)
+	obj.AddrTaken = sym.AddrTaken
+	lw.objBySym[sym] = obj.ID
+	return []ObjID{obj.ID}
+}
+
+func (lw *lowerer) objOf(sym *minic.Symbol) ObjID {
+	id, ok := lw.objBySym[sym]
+	if !ok {
+		lw.failf("no object for symbol %s", sym.Name)
+	}
+	return id
+}
+
+func (lw *lowerer) newReg() Reg {
+	r := Reg(lw.fn.NumRegs)
+	lw.fn.NumRegs++
+	return r
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{Index: len(lw.fn.Blocks), Fn: lw.fn}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+func (lw *lowerer) setBlock(b *Block) {
+	lw.cur = b
+	lw.dead = false
+}
+
+func (lw *lowerer) emit(in *Instr) *Instr {
+	if lw.dead {
+		// Unreachable code after a terminator: emit into a throwaway
+		// block that the reachability prune removes.
+		lw.setBlock(lw.newBlock())
+	}
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+	if in.IsTerm() {
+		lw.dead = true
+	}
+	return in
+}
+
+func (lw *lowerer) emitConst(v int64, pos minic.Pos) Reg {
+	r := lw.newReg()
+	lw.emit(&Instr{Op: OpConst, Dst: r, A: NoReg, B: NoReg, Obj: ObjNone, Imm: v, Pos: pos})
+	return r
+}
+
+func (lw *lowerer) emitBin(op Op, a, b Reg, pos minic.Pos) Reg {
+	r := lw.newReg()
+	lw.emit(&Instr{Op: op, Dst: r, A: a, B: b, Obj: ObjNone, Pos: pos})
+	return r
+}
+
+func (lw *lowerer) emitJmp(target *Block, pos minic.Pos) {
+	lw.emit(&Instr{Op: OpJmp, Dst: NoReg, A: NoReg, B: NoReg, Obj: ObjNone, Target: target, Pos: pos})
+}
+
+func (lw *lowerer) emitBr(cond Cond, a, b Reg, t, f *Block, pos minic.Pos) {
+	lw.emit(&Instr{Op: OpBr, Dst: NoReg, A: a, B: b, Obj: ObjNone, Cond: cond,
+		Target: t, Else: f, Pos: pos})
+}
+
+func (lw *lowerer) lowerFunc(fn *Func) {
+	lw.fn = fn
+	lw.cur = nil
+	lw.dead = false
+	entry := lw.newBlock()
+	fn.Entry = entry
+	lw.setBlock(entry)
+
+	// Prologue: spill incoming arguments to their parameter slots, so
+	// parameters are memory-resident like in unoptimized C code.
+	for i, objID := range fn.Params {
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpParam, Dst: r, A: NoReg, B: NoReg, Obj: ObjNone,
+			Imm: int64(i), Pos: fn.Decl.Pos})
+		obj := lw.prog.Object(objID)
+		lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: NoReg, B: r, Obj: objID,
+			Size: obj.Type.Size(), Pos: fn.Decl.Pos})
+	}
+
+	lw.lowerStmt(fn.Decl.Body)
+
+	// Implicit return for functions that fall off the end.
+	if !lw.dead {
+		if fn.Decl.Ret.Kind == minic.TypeVoid {
+			lw.emit(&Instr{Op: OpRet, Dst: NoReg, A: NoReg, B: NoReg, Obj: ObjNone})
+		} else {
+			z := lw.emitConst(0, fn.Decl.Pos)
+			lw.emit(&Instr{Op: OpRet, Dst: NoReg, A: z, B: NoReg, Obj: ObjNone})
+		}
+	}
+	lw.pruneUnreachable()
+}
+
+func (lw *lowerer) pruneUnreachable() {
+	fn := lw.fn
+	fn.rebuildEdges()
+	seen := map[*Block]bool{fn.Entry: true}
+	work := []*Block{fn.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	kept := fn.Blocks[:0]
+	for _, b := range fn.Blocks {
+		if seen[b] {
+			b.Index = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	fn.Blocks = kept
+	fn.rebuildEdges()
+}
+
+func (lw *lowerer) lowerStmt(s minic.Stmt) {
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		for _, st := range s.Stmts {
+			lw.lowerStmt(st)
+		}
+	case *minic.DeclStmt:
+		if s.Decl.Init != nil {
+			v := lw.evalExpr(s.Decl.Init)
+			obj := lw.objOf(s.Decl.Sym)
+			lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: NoReg, B: v, Obj: obj,
+				Size: s.Decl.Sym.Type.Size(), Pos: s.Decl.Pos})
+		}
+	case *minic.IfStmt:
+		then := lw.newBlock()
+		join := lw.newBlock()
+		els := join
+		if s.Else != nil {
+			els = lw.newBlock()
+		}
+		lw.lowerCond(s.Cond, then, els)
+		lw.setBlock(then)
+		lw.lowerStmt(s.Then)
+		if !lw.dead {
+			lw.emitJmp(join, s.Pos)
+		}
+		if s.Else != nil {
+			lw.setBlock(els)
+			lw.lowerStmt(s.Else)
+			if !lw.dead {
+				lw.emitJmp(join, s.Pos)
+			}
+		}
+		lw.setBlock(join)
+	case *minic.WhileStmt:
+		head := lw.newBlock()
+		body := lw.newBlock()
+		exit := lw.newBlock()
+		lw.emitJmp(head, s.Pos)
+		lw.setBlock(head)
+		lw.lowerCond(s.Cond, body, exit)
+		lw.breaks = append(lw.breaks, exit)
+		lw.continues = append(lw.continues, head)
+		lw.setBlock(body)
+		lw.lowerStmt(s.Body)
+		if !lw.dead {
+			lw.emitJmp(head, s.Pos)
+		}
+		lw.breaks = lw.breaks[:len(lw.breaks)-1]
+		lw.continues = lw.continues[:len(lw.continues)-1]
+		lw.setBlock(exit)
+	case *minic.ForStmt:
+		if s.Init != nil {
+			lw.lowerStmt(s.Init)
+		}
+		head := lw.newBlock()
+		body := lw.newBlock()
+		post := lw.newBlock()
+		exit := lw.newBlock()
+		lw.emitJmp(head, s.Pos)
+		lw.setBlock(head)
+		if s.Cond != nil {
+			lw.lowerCond(s.Cond, body, exit)
+		} else {
+			lw.emitJmp(body, s.Pos)
+		}
+		lw.breaks = append(lw.breaks, exit)
+		lw.continues = append(lw.continues, post)
+		lw.setBlock(body)
+		lw.lowerStmt(s.Body)
+		if !lw.dead {
+			lw.emitJmp(post, s.Pos)
+		}
+		lw.breaks = lw.breaks[:len(lw.breaks)-1]
+		lw.continues = lw.continues[:len(lw.continues)-1]
+		lw.setBlock(post)
+		if s.Post != nil {
+			lw.evalExpr(s.Post)
+		}
+		lw.emitJmp(head, s.Pos)
+		lw.setBlock(exit)
+	case *minic.SwitchStmt:
+		tag := lw.evalExpr(s.Tag)
+		exit := lw.newBlock()
+		bodies := make([]*Block, len(s.Entries))
+		for i := range s.Entries {
+			bodies[i] = lw.newBlock()
+		}
+		// Test chain: one equality branch per case label, in source
+		// order; the miss path falls to the default body (or the exit).
+		defaultIdx := -1
+		for i, e := range s.Entries {
+			if e.IsDefault {
+				defaultIdx = i
+				continue
+			}
+			c := lw.emitConst(e.Val, e.Pos)
+			next := lw.newBlock()
+			lw.emitBr(CondEq, tag, c, bodies[i], next, e.Pos)
+			lw.setBlock(next)
+		}
+		if defaultIdx >= 0 {
+			lw.emitJmp(bodies[defaultIdx], s.Pos)
+		} else {
+			lw.emitJmp(exit, s.Pos)
+		}
+		// Bodies with C fallthrough; break exits the switch.
+		lw.breaks = append(lw.breaks, exit)
+		for i, e := range s.Entries {
+			lw.setBlock(bodies[i])
+			for _, st := range e.Stmts {
+				lw.lowerStmt(st)
+			}
+			if !lw.dead {
+				if i+1 < len(s.Entries) {
+					lw.emitJmp(bodies[i+1], s.Pos)
+				} else {
+					lw.emitJmp(exit, s.Pos)
+				}
+			}
+		}
+		lw.breaks = lw.breaks[:len(lw.breaks)-1]
+		lw.setBlock(exit)
+	case *minic.ReturnStmt:
+		if s.Value == nil {
+			lw.emit(&Instr{Op: OpRet, Dst: NoReg, A: NoReg, B: NoReg, Obj: ObjNone, Pos: s.Pos})
+			return
+		}
+		v := lw.evalExpr(s.Value)
+		lw.emit(&Instr{Op: OpRet, Dst: NoReg, A: v, B: NoReg, Obj: ObjNone, Pos: s.Pos})
+	case *minic.BreakStmt:
+		lw.emitJmp(lw.breaks[len(lw.breaks)-1], s.Pos)
+	case *minic.ContinueStmt:
+		lw.emitJmp(lw.continues[len(lw.continues)-1], s.Pos)
+	case *minic.ExprStmt:
+		lw.evalExpr(s.X)
+	default:
+		lw.failf("unhandled statement %T", s)
+	}
+}
+
+// lowerCond lowers a boolean expression as control flow with
+// short-circuit evaluation, branching to t or f.
+func (lw *lowerer) lowerCond(e minic.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *minic.BinaryExpr:
+		switch e.Op {
+		case minic.BLogAnd:
+			mid := lw.newBlock()
+			lw.lowerCond(e.L, mid, f)
+			lw.setBlock(mid)
+			lw.lowerCond(e.R, t, f)
+			return
+		case minic.BLogOr:
+			mid := lw.newBlock()
+			lw.lowerCond(e.L, t, mid)
+			lw.setBlock(mid)
+			lw.lowerCond(e.R, t, f)
+			return
+		case minic.BLt, minic.BLe, minic.BGt, minic.BGe, minic.BEq, minic.BNe:
+			a := lw.evalExpr(e.L)
+			b := lw.evalExpr(e.R)
+			lw.emitBr(condOf(e.Op), a, b, t, f, exprPos(e))
+			return
+		}
+	case *minic.UnaryExpr:
+		if e.Op == minic.UNot {
+			lw.lowerCond(e.X, f, t)
+			return
+		}
+	case *minic.IntLit:
+		// Constant conditions (while(1)) lower to unconditional jumps.
+		if e.Value != 0 {
+			lw.emitJmp(t, exprPos(e))
+		} else {
+			lw.emitJmp(f, exprPos(e))
+		}
+		return
+	}
+	v := lw.evalExpr(e)
+	z := lw.emitConst(0, exprPos(e))
+	lw.emitBr(CondNe, v, z, t, f, exprPos(e))
+}
+
+func condOf(op minic.BinaryOp) Cond {
+	switch op {
+	case minic.BLt:
+		return CondLt
+	case minic.BLe:
+		return CondLe
+	case minic.BGt:
+		return CondGt
+	case minic.BGe:
+		return CondGe
+	case minic.BEq:
+		return CondEq
+	case minic.BNe:
+		return CondNe
+	}
+	panic("not a comparison")
+}
+
+// evalExpr lowers an expression for its value, returning the register
+// holding the result.
+func (lw *lowerer) evalExpr(e minic.Expr) Reg {
+	switch e := e.(type) {
+	case *minic.IntLit:
+		return lw.emitConst(e.Value, exprPos(e))
+	case *minic.CharLit:
+		return lw.emitConst(int64(e.Value), exprPos(e))
+	case *minic.StrLit:
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpAddr, Dst: r, A: NoReg, B: NoReg,
+			Obj: lw.prog.Strings[e.Index], Pos: exprPos(e)})
+		return r
+	case *minic.Ident:
+		sym := e.Sym
+		obj := lw.objOf(sym)
+		if sym.Type.Kind == minic.TypeArray {
+			r := lw.newReg()
+			lw.emit(&Instr{Op: OpAddr, Dst: r, A: NoReg, B: NoReg, Obj: obj, Pos: exprPos(e)})
+			return r
+		}
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpLoad, Dst: r, A: NoReg, B: NoReg, Obj: obj,
+			Size: sym.Type.Size(), Pos: exprPos(e)})
+		return r
+	case *minic.IndexExpr:
+		addr, size := lw.indexAddr(e)
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpLoad, Dst: r, A: addr, B: NoReg, Obj: ObjNone,
+			Size: size, Pos: exprPos(e)})
+		return r
+	case *minic.MemberExpr:
+		return lw.evalMember(e)
+	case *minic.UnaryExpr:
+		return lw.evalUnary(e)
+	case *minic.BinaryExpr:
+		return lw.evalBinary(e)
+	case *minic.AssignExpr:
+		return lw.lowerAssign(e)
+	case *minic.CallExpr:
+		return lw.lowerCall(e)
+	}
+	lw.failf("unhandled expression %T", e)
+	return NoReg
+}
+
+func (lw *lowerer) evalUnary(e *minic.UnaryExpr) Reg {
+	switch e.Op {
+	case minic.UNeg:
+		a := lw.evalExpr(e.X)
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpNeg, Dst: r, A: a, B: NoReg, Obj: ObjNone, Pos: exprPos(e)})
+		return r
+	case minic.UBNot:
+		a := lw.evalExpr(e.X)
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpBNot, Dst: r, A: a, B: NoReg, Obj: ObjNone, Pos: exprPos(e)})
+		return r
+	case minic.UNot:
+		a := lw.evalExpr(e.X)
+		z := lw.emitConst(0, exprPos(e))
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpSet, Dst: r, A: a, B: z, Cond: CondEq, Obj: ObjNone, Pos: exprPos(e)})
+		return r
+	case minic.UDeref:
+		p := lw.evalExpr(e.X)
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpLoad, Dst: r, A: p, B: NoReg, Obj: ObjNone,
+			Size: e.TypeOf().Size(), Pos: exprPos(e)})
+		return r
+	case minic.UAddr:
+		return lw.lvalueAddr(e.X)
+	}
+	lw.failf("unhandled unary %v", e.Op)
+	return NoReg
+}
+
+// lvalueAddr returns a register holding the address of an lvalue.
+func (lw *lowerer) lvalueAddr(e minic.Expr) Reg {
+	switch e := e.(type) {
+	case *minic.Ident:
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpAddr, Dst: r, A: NoReg, B: NoReg,
+			Obj: lw.objOf(e.Sym), Pos: exprPos(e)})
+		return r
+	case *minic.IndexExpr:
+		addr, _ := lw.indexAddr(e)
+		return addr
+	case *minic.MemberExpr:
+		if obj, ok := lw.splitFieldObj(e); ok {
+			r := lw.newReg()
+			lw.emit(&Instr{Op: OpAddr, Dst: r, A: NoReg, B: NoReg,
+				Obj: obj, Pos: exprPos(e)})
+			return r
+		}
+		return lw.memberAddr(e)
+	case *minic.UnaryExpr:
+		if e.Op == minic.UDeref {
+			return lw.evalExpr(e.X)
+		}
+	}
+	lw.failf("not an addressable lvalue: %T", e)
+	return NoReg
+}
+
+// splitFieldObj resolves s.f to its dedicated field object when the
+// struct variable is split.
+func (lw *lowerer) splitFieldObj(e *minic.MemberExpr) (ObjID, bool) {
+	if e.Arrow || e.Field == nil {
+		return ObjNone, false
+	}
+	id, ok := e.Base.(*minic.Ident)
+	if !ok {
+		return ObjNone, false
+	}
+	byIdx, ok := lw.fieldObjs[id.Sym]
+	if !ok {
+		return ObjNone, false
+	}
+	obj, ok := byIdx[e.Field.Index]
+	return obj, ok
+}
+
+// memberAddr computes the address of a blob or pointer-based member
+// access: base address plus the field's layout offset.
+func (lw *lowerer) memberAddr(e *minic.MemberExpr) Reg {
+	var base Reg
+	if e.Arrow {
+		base = lw.evalExpr(e.Base)
+	} else {
+		base = lw.lvalueAddr(e.Base)
+	}
+	if e.Field.Offset == 0 {
+		return base
+	}
+	off := lw.emitConst(int64(e.Field.Offset), exprPos(e))
+	return lw.emitBin(OpAdd, base, off, exprPos(e))
+}
+
+// evalMember loads s.f / p->f (array fields decay to their address).
+func (lw *lowerer) evalMember(e *minic.MemberExpr) Reg {
+	f := e.Field
+	if obj, ok := lw.splitFieldObj(e); ok {
+		r := lw.newReg()
+		if f.Type.Kind == minic.TypeArray {
+			lw.emit(&Instr{Op: OpAddr, Dst: r, A: NoReg, B: NoReg, Obj: obj, Pos: exprPos(e)})
+			return r
+		}
+		lw.emit(&Instr{Op: OpLoad, Dst: r, A: NoReg, B: NoReg, Obj: obj,
+			Size: f.Type.Size(), Pos: exprPos(e)})
+		return r
+	}
+	addr := lw.memberAddr(e)
+	if f.Type.Kind == minic.TypeArray {
+		return addr
+	}
+	r := lw.newReg()
+	lw.emit(&Instr{Op: OpLoad, Dst: r, A: addr, B: NoReg, Obj: ObjNone,
+		Size: f.Type.Size(), Pos: exprPos(e)})
+	return r
+}
+
+// indexAddr computes the address of base[idx] and the element size.
+func (lw *lowerer) indexAddr(e *minic.IndexExpr) (Reg, int) {
+	base := lw.evalExpr(e.Base) // array decays to base address
+	idx := lw.evalExpr(e.Index)
+	elem := e.TypeOf()
+	size := elem.Size()
+	scaled := idx
+	if size != 1 {
+		s := lw.emitConst(int64(size), exprPos(e))
+		scaled = lw.emitBin(OpMul, idx, s, exprPos(e))
+	}
+	return lw.emitBin(OpAdd, base, scaled, exprPos(e)), size
+}
+
+func (lw *lowerer) evalBinary(e *minic.BinaryExpr) Reg {
+	lt := decayType(e.L.TypeOf())
+	rt := decayType(e.R.TypeOf())
+	switch e.Op {
+	case minic.BLogAnd, minic.BLogOr:
+		// Value-context logical ops evaluate both operands (no short
+		// circuit); condition context goes through lowerCond instead.
+		a := lw.evalExpr(e.L)
+		b := lw.evalExpr(e.R)
+		z := lw.emitConst(0, exprPos(e))
+		an := lw.newReg()
+		lw.emit(&Instr{Op: OpSet, Dst: an, A: a, B: z, Cond: CondNe, Obj: ObjNone, Pos: exprPos(e)})
+		bn := lw.newReg()
+		lw.emit(&Instr{Op: OpSet, Dst: bn, A: b, B: z, Cond: CondNe, Obj: ObjNone, Pos: exprPos(e)})
+		op := OpAnd
+		if e.Op == minic.BLogOr {
+			op = OpOr
+		}
+		return lw.emitBin(op, an, bn, exprPos(e))
+	case minic.BLt, minic.BLe, minic.BGt, minic.BGe, minic.BEq, minic.BNe:
+		a := lw.evalExpr(e.L)
+		b := lw.evalExpr(e.R)
+		r := lw.newReg()
+		lw.emit(&Instr{Op: OpSet, Dst: r, A: a, B: b, Cond: condOf(e.Op), Obj: ObjNone, Pos: exprPos(e)})
+		return r
+	case minic.BAdd:
+		a := lw.evalExpr(e.L)
+		b := lw.evalExpr(e.R)
+		switch {
+		case lt.Kind == minic.TypePointer && rt.IsArith():
+			return lw.emitBin(OpAdd, a, lw.scale(b, lt.Elem.Size(), exprPos(e)), exprPos(e))
+		case lt.IsArith() && rt.Kind == minic.TypePointer:
+			return lw.emitBin(OpAdd, lw.scale(a, rt.Elem.Size(), exprPos(e)), b, exprPos(e))
+		default:
+			return lw.emitBin(OpAdd, a, b, exprPos(e))
+		}
+	case minic.BSub:
+		a := lw.evalExpr(e.L)
+		b := lw.evalExpr(e.R)
+		switch {
+		case lt.Kind == minic.TypePointer && rt.Kind == minic.TypePointer:
+			diff := lw.emitBin(OpSub, a, b, exprPos(e))
+			if s := lt.Elem.Size(); s != 1 {
+				sz := lw.emitConst(int64(s), exprPos(e))
+				return lw.emitBin(OpDiv, diff, sz, exprPos(e))
+			}
+			return diff
+		case lt.Kind == minic.TypePointer && rt.IsArith():
+			return lw.emitBin(OpSub, a, lw.scale(b, lt.Elem.Size(), exprPos(e)), exprPos(e))
+		default:
+			return lw.emitBin(OpSub, a, b, exprPos(e))
+		}
+	}
+	a := lw.evalExpr(e.L)
+	b := lw.evalExpr(e.R)
+	var op Op
+	switch e.Op {
+	case minic.BMul:
+		op = OpMul
+	case minic.BDiv:
+		op = OpDiv
+	case minic.BRem:
+		op = OpRem
+	case minic.BAnd:
+		op = OpAnd
+	case minic.BOr:
+		op = OpOr
+	case minic.BXor:
+		op = OpXor
+	case minic.BShl:
+		op = OpShl
+	case minic.BShr:
+		op = OpShr
+	default:
+		lw.failf("unhandled binary %v", e.Op)
+	}
+	return lw.emitBin(op, a, b, exprPos(e))
+}
+
+func (lw *lowerer) scale(r Reg, size int, pos minic.Pos) Reg {
+	if size == 1 {
+		return r
+	}
+	s := lw.emitConst(int64(size), pos)
+	return lw.emitBin(OpMul, r, s, pos)
+}
+
+func (lw *lowerer) lowerAssign(e *minic.AssignExpr) Reg {
+	switch lhs := e.LHS.(type) {
+	case *minic.Ident:
+		v := lw.evalExpr(e.RHS)
+		obj := lw.objOf(lhs.Sym)
+		lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: NoReg, B: v, Obj: obj,
+			Size: lhs.Sym.Type.Size(), Pos: exprPos(e)})
+		return v
+	case *minic.IndexExpr:
+		addr, size := lw.indexAddr(lhs)
+		v := lw.evalExpr(e.RHS)
+		lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: addr, B: v, Obj: ObjNone,
+			Size: size, Pos: exprPos(e)})
+		return v
+	case *minic.MemberExpr:
+		if obj, ok := lw.splitFieldObj(lhs); ok {
+			v := lw.evalExpr(e.RHS)
+			lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: NoReg, B: v, Obj: obj,
+				Size: lhs.Field.Type.Size(), Pos: exprPos(e)})
+			return v
+		}
+		addr := lw.memberAddr(lhs)
+		v := lw.evalExpr(e.RHS)
+		lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: addr, B: v, Obj: ObjNone,
+			Size: lhs.Field.Type.Size(), Pos: exprPos(e)})
+		return v
+	case *minic.UnaryExpr: // *p = v
+		addr := lw.evalExpr(lhs.X)
+		v := lw.evalExpr(e.RHS)
+		lw.emit(&Instr{Op: OpStore, Dst: NoReg, A: addr, B: v, Obj: ObjNone,
+			Size: lhs.TypeOf().Size(), Pos: exprPos(e)})
+		return v
+	}
+	lw.failf("unhandled assignment target %T", e.LHS)
+	return NoReg
+}
+
+func (lw *lowerer) lowerCall(e *minic.CallExpr) Reg {
+	args := make([]Reg, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = lw.evalExpr(a)
+	}
+	dst := NoReg
+	if e.TypeOf().Kind != minic.TypeVoid {
+		dst = lw.newReg()
+	}
+	lw.emit(&Instr{Op: OpCall, Dst: dst, A: NoReg, B: NoReg, Obj: ObjNone,
+		Callee: e.Name, Args: args, Pos: exprPos(e)})
+	return dst
+}
+
+func decayType(t *minic.Type) *minic.Type {
+	if t.Kind == minic.TypeArray {
+		return minic.PointerTo(t.Elem)
+	}
+	return t
+}
+
+func exprPos(e minic.Expr) minic.Pos { return minic.ExprPos(e) }

@@ -1,0 +1,113 @@
+package ir
+
+import "repro/internal/minic"
+
+// killsForCall returns a conservative predicate deciding whether a call
+// to callee invalidates a forwarded value of obj. Builtins kill exactly
+// the objects reachable through their written pointer parameters
+// (approximated as all address-taken objects); unknown callees
+// additionally kill every global.
+func killsForCall(prog *Program, callee string) func(*Object) bool {
+	if bi := minic.Builtins[callee]; bi != nil {
+		if len(bi.WritesParams) == 0 {
+			return func(*Object) bool { return false }
+		}
+		return func(o *Object) bool { return o.AddrTaken }
+	}
+	// User function: may write globals directly and caller memory
+	// through escaped pointers.
+	return func(o *Object) bool { return o.Kind == ObjGlobal || o.AddrTaken }
+}
+
+// forwardStores performs forwarding of memory values to later reads
+// within each basic block: a direct load of a scalar object whose value
+// is already in a register (from an earlier store or load in the same
+// block, with no intervening kill) becomes a register move.
+//
+// This is the pass that surfaces the paper's store→load correlations:
+// after `user = verify()` the branch `if (user == 1)` tests the stored
+// register directly, so a branch direction constrains the stored value.
+func forwardStores(fn *Func) {
+	for _, b := range fn.Blocks {
+		forwardInBlock(fn, b, map[ObjID]Reg{})
+	}
+	fn.renumber()
+}
+
+// promoteRegionLoads extends forwarding across extended basic blocks:
+// blocks with a unique predecessor inherit the predecessor's forwarded
+// values. It emulates a register allocator keeping variables in
+// registers across branches, which removes reloads and with them some
+// of the correlations the detector relies on (the paper's observation
+// that compiler optimization lowers the detection rate). Used by the
+// ablation experiment.
+func promoteRegionLoads(fn *Func) {
+	availOut := make(map[*Block]map[ObjID]Reg, len(fn.Blocks))
+	for _, b := range fn.Blocks { // blocks are in lowering order: preds usually first
+		avail := map[ObjID]Reg{}
+		if len(b.Preds) == 1 {
+			if out := availOut[b.Preds[0]]; out != nil {
+				for k, v := range out {
+					avail[k] = v
+				}
+			}
+		}
+		availOut[b] = forwardInBlock(fn, b, avail)
+	}
+	fn.renumber()
+}
+
+// forwardInBlock rewrites eligible loads in b given values already
+// available at entry, returning the values available at exit.
+func forwardInBlock(fn *Func, b *Block, avail map[ObjID]Reg) map[ObjID]Reg {
+	prog := fn.prog
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case OpLoad:
+			if !in.IsDirectAccess() {
+				// Indirect load: no forwarding (unknown object), and no
+				// kill (loads do not modify memory).
+				continue
+			}
+			obj := prog.Object(in.Obj)
+			// Only full-width scalars forward: a char store truncates
+			// to one byte in memory, which the stored register does not
+			// reflect.
+			if !obj.IsScalar() || in.Size != 8 {
+				continue
+			}
+			if r, ok := avail[in.Obj]; ok {
+				in.Op = OpMov
+				in.A = r
+				in.Obj = ObjNone
+				in.Size = 0
+			} else {
+				avail[in.Obj] = in.Dst
+			}
+		case OpStore:
+			if in.IsDirectAccess() {
+				obj := prog.Object(in.Obj)
+				if obj.IsScalar() && in.Size == 8 {
+					avail[in.Obj] = in.B
+					continue
+				}
+				delete(avail, in.Obj)
+				continue
+			}
+			// Indirect store: kills every address-taken object.
+			for id := range avail {
+				if prog.Object(id).AddrTaken {
+					delete(avail, id)
+				}
+			}
+		case OpCall:
+			kills := killsForCall(prog, in.Callee)
+			for id := range avail {
+				if kills(prog.Object(id)) {
+					delete(avail, id)
+				}
+			}
+		}
+	}
+	return avail
+}

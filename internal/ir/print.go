@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the function as readable text, one block per paragraph.
+// Intended for tests and the ipdsc -dump flag.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (base %#x, %d regs)\n", f.Name, f.Base, f.NumRegs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.Index)
+		if len(blk.Preds) > 0 {
+			fmt.Fprintf(&b, " ; preds:")
+			for _, p := range blk.Preds {
+				fmt.Fprintf(&b, " b%d", p.Index)
+			}
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %4d  %s\n", in.ID, in.String())
+		}
+	}
+	return b.String()
+}
+
+// Dump renders the whole program.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, o := range p.Objects {
+		fmt.Fprintf(&b, "obj%-3d %-8s %-20s", o.ID, o.Kind, o.Name)
+		if o.Kind == ObjString {
+			fmt.Fprintf(&b, " %q", string(o.Data))
+		} else {
+			fmt.Fprintf(&b, " %s", o.Type)
+			if o.AddrTaken {
+				b.WriteString(" (addr-taken)")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Funcs {
+		b.WriteByte('\n')
+		b.WriteString(f.Dump())
+	}
+	return b.String()
+}

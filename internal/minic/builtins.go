@@ -1,0 +1,95 @@
+package minic
+
+// Builtin describes one of the modelled libc-style runtime functions.
+// The paper handles standard C library calls specially "since we know
+// the exact semantics of those functions"; Builtin carries exactly the
+// semantics the analysis needs: which pointer parameters' pointees the
+// function may write. Execution semantics live in internal/vm.
+type Builtin struct {
+	Name string
+	Ret  *Type
+	// Params lists parameter types; a nil entry accepts any pointer.
+	Params []*Type
+	// WritesParams lists the indices of pointer parameters whose
+	// pointees the builtin may store to. All other memory is read-only
+	// for the callee (module-local output streams aside).
+	WritesParams []int
+	// Unbounded marks writers that do not bound the write by a length
+	// parameter (strcpy, read_line): the classic overflow vectors.
+	Unbounded bool
+}
+
+var anyPtr *Type // nil sentinel: any pointer type
+
+// Builtins is the table of modelled library functions, keyed by name.
+var Builtins = map[string]*Builtin{
+	"strcmp": {
+		Name: "strcmp", Ret: IntType,
+		Params: []*Type{PointerTo(CharType), PointerTo(CharType)},
+	},
+	"strncmp": {
+		Name: "strncmp", Ret: IntType,
+		Params: []*Type{PointerTo(CharType), PointerTo(CharType), IntType},
+	},
+	"strcpy": {
+		Name: "strcpy", Ret: VoidType,
+		Params:       []*Type{PointerTo(CharType), PointerTo(CharType)},
+		WritesParams: []int{0},
+		Unbounded:    true,
+	},
+	"strncpy": {
+		Name: "strncpy", Ret: VoidType,
+		Params:       []*Type{PointerTo(CharType), PointerTo(CharType), IntType},
+		WritesParams: []int{0},
+	},
+	"strcat": {
+		Name: "strcat", Ret: VoidType,
+		Params:       []*Type{PointerTo(CharType), PointerTo(CharType)},
+		WritesParams: []int{0},
+		Unbounded:    true,
+	},
+	"strlen": {
+		Name: "strlen", Ret: IntType,
+		Params: []*Type{PointerTo(CharType)},
+	},
+	"atoi": {
+		Name: "atoi", Ret: IntType,
+		Params: []*Type{PointerTo(CharType)},
+	},
+	"memset": {
+		Name: "memset", Ret: VoidType,
+		Params:       []*Type{anyPtr, IntType, IntType},
+		WritesParams: []int{0},
+	},
+	"print_str": {
+		Name: "print_str", Ret: VoidType,
+		Params: []*Type{PointerTo(CharType)},
+	},
+	"print_int": {
+		Name: "print_int", Ret: VoidType,
+		Params: []*Type{IntType},
+	},
+	// read_line copies the next session input line into buf with no
+	// bounds check: the modelled buffer-overflow vector (gets(3)).
+	"read_line": {
+		Name: "read_line", Ret: IntType,
+		Params:       []*Type{PointerTo(CharType)},
+		WritesParams: []int{0},
+		Unbounded:    true,
+	},
+	"read_line_n": {
+		Name: "read_line_n", Ret: IntType,
+		Params:       []*Type{PointerTo(CharType), IntType},
+		WritesParams: []int{0},
+	},
+	"read_int": {
+		Name: "read_int", Ret: IntType,
+	},
+	"input_avail": {
+		Name: "input_avail", Ret: IntType,
+	},
+	"exit_prog": {
+		Name: "exit_prog", Ret: VoidType,
+		Params: []*Type{IntType},
+	},
+}

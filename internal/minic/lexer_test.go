@@ -1,0 +1,131 @@
+package minic
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	ks := make([]TokKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, errs := Lex("int x = 42;")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []TokKind{KwInt, IDENT, Assign, INT, Semi, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]TokKind{
+		"==": EqEq, "!=": NotEq, "<=": Le, ">=": Ge, "&&": AndAnd,
+		"||": OrOr, "<<": Shl, ">>": Shr, "++": PlusPlus, "--": MinusMinus,
+		"+=": PlusEq, "-=": MinusEq, "=": Assign, "!": Bang, "<": Lt,
+		">": Gt, "&": Amp, "|": Pipe, "+": Plus, "-": Minus, "~": Tilde,
+		"^": Caret, "*": Star, "/": Slash, "%": Percent,
+	}
+	for src, want := range cases {
+		toks, errs := Lex(src)
+		if errs.Err() != nil {
+			t.Fatalf("%q: unexpected errors: %v", src, errs)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %v, want %v", src, toks[0].Kind, want)
+		}
+		if toks[1].Kind != EOF {
+			t.Errorf("%q: expected single token", src)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, _ := Lex("if ifx while whilst return returns")
+	want := []TokKind{KwIf, IDENT, KwWhile, IDENT, KwReturn, IDENT, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, errs := Lex("a // line comment\nb /* block\ncomment */ c")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var ids []string
+	for _, tok := range toks {
+		if tok.Kind == IDENT {
+			ids = append(ids, tok.Lit)
+		}
+	}
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Errorf("got idents %v, want [a b c]", ids)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, errs := Lex(`"ab\n\t\"\\\0"`)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Kind != STRING {
+		t.Fatalf("expected string, got %v", toks[0].Kind)
+	}
+	want := "ab\n\t\"\\\x00"
+	if toks[0].Lit != want {
+		t.Errorf("got %q, want %q", toks[0].Lit, want)
+	}
+}
+
+func TestLexCharLiteral(t *testing.T) {
+	for src, want := range map[string]byte{"'a'": 'a', "'\\n'": '\n', "'\\0'": 0} {
+		toks, errs := Lex(src)
+		if errs.Err() != nil {
+			t.Fatalf("%q: unexpected errors: %v", src, errs)
+		}
+		if toks[0].Kind != CHARLIT || toks[0].Lit[0] != want {
+			t.Errorf("%q: got %v %q", src, toks[0].Kind, toks[0].Lit)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Lex("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", `"unterminated`, "'x", "/* open"} {
+		_, errs := Lex(src)
+		if errs.Err() == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexUnterminatedStringAtEOF(t *testing.T) {
+	toks, errs := Lex(`"abc`)
+	if errs.Err() == nil {
+		t.Fatal("expected error")
+	}
+	if toks[len(toks)-1].Kind != EOF {
+		t.Fatal("stream must end with EOF")
+	}
+}

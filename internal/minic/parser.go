@@ -1,0 +1,527 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds an AST from a token stream using recursive descent with
+// standard C operator precedence.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs ErrorList
+}
+
+// Parse lexes and parses src, returning the (unchecked) AST. Call Check
+// afterwards to resolve names and types.
+func Parse(src string) (*File, error) {
+	toks, lerrs := Lex(src)
+	p := &Parser{toks: toks, errs: lerrs}
+	f := p.parseFile()
+	return f, p.errs.Err()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *Parser) advance() {
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+}
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sync skips tokens until a likely statement/declaration boundary to
+// limit error cascades.
+func (p *Parser) sync() {
+	for !p.at(EOF) && !p.at(Semi) && !p.at(RBrace) {
+		p.advance()
+	}
+	p.accept(Semi)
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{}
+	for !p.at(EOF) {
+		start := p.pos
+		if !p.atType() {
+			p.errorf("expected declaration, found %s", p.cur())
+			p.sync()
+			continue
+		}
+		// `struct Name {` introduces a definition; `struct Name x` a use.
+		if p.at(KwStruct) && p.pos+2 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == IDENT && p.toks[p.pos+2].Kind == LBrace {
+			f.Structs = append(f.Structs, p.parseStructDecl())
+			continue
+		}
+		typ := p.parseType()
+		name := p.expect(IDENT)
+		if p.at(LParen) {
+			f.Funcs = append(f.Funcs, p.parseFuncRest(typ, name))
+		} else {
+			f.Globals = append(f.Globals, p.parseVarRest(typ, name))
+		}
+		if p.pos == start { // no progress; avoid livelock on bad input
+			p.advance()
+		}
+	}
+	return f
+}
+
+func (p *Parser) atType() bool {
+	switch p.cur().Kind {
+	case KwInt, KwChar, KwVoid, KwStruct:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseType() *Type {
+	var t *Type
+	switch p.next().Kind {
+	case KwInt:
+		t = IntType
+	case KwChar:
+		t = CharType
+	case KwVoid:
+		t = VoidType
+	case KwStruct:
+		name := p.expect(IDENT)
+		// Unresolved reference; sema interns by name.
+		t = StructType(&StructDef{Name: name.Lit})
+	default:
+		p.errorf("expected type")
+		t = IntType
+	}
+	for p.accept(Star) {
+		t = PointerTo(t)
+	}
+	return t
+}
+
+func (p *Parser) parseStructDecl() *StructDecl {
+	pos := p.next().Pos // consume 'struct'
+	name := p.expect(IDENT)
+	d := &StructDecl{Name: name.Lit, Pos: pos}
+	p.expect(LBrace)
+	for !p.at(RBrace) && !p.at(EOF) {
+		start := p.pos
+		ft := p.parseType()
+		fn := p.expect(IDENT)
+		if p.accept(LBracket) {
+			lenTok := p.expect(INT)
+			n, err := strconv.Atoi(lenTok.Lit)
+			if err != nil || n <= 0 {
+				p.errorf("bad array length %q", lenTok.Lit)
+				n = 1
+			}
+			p.expect(RBracket)
+			ft = ArrayOf(ft, n)
+		}
+		p.expect(Semi)
+		d.Fields = append(d.Fields, &Param{Name: fn.Lit, Type: ft, Pos: fn.Pos})
+		if p.pos == start {
+			p.advance()
+		}
+	}
+	p.expect(RBrace)
+	p.expect(Semi)
+	return d
+}
+
+// parseVarRest parses the remainder of a variable declaration after the
+// base type and name: optional array suffix, optional initializer, semi.
+func (p *Parser) parseVarRest(typ *Type, name Token) *VarDecl {
+	d := &VarDecl{Name: name.Lit, Type: typ, Pos: name.Pos}
+	if p.accept(LBracket) {
+		lenTok := p.expect(INT)
+		n, err := strconv.Atoi(lenTok.Lit)
+		if err != nil || n <= 0 {
+			p.errorf("bad array length %q", lenTok.Lit)
+			n = 1
+		}
+		p.expect(RBracket)
+		d.Type = ArrayOf(typ, n)
+	}
+	if p.accept(Assign) {
+		d.Init = p.parseExpr()
+	}
+	p.expect(Semi)
+	return d
+}
+
+func (p *Parser) parseFuncRest(ret *Type, name Token) *FuncDecl {
+	fn := &FuncDecl{Name: name.Lit, Ret: ret, Pos: name.Pos}
+	p.expect(LParen)
+	if !p.at(RParen) {
+		for {
+			if p.accept(KwVoid) && p.at(RParen) { // f(void)
+				break
+			}
+			pt := p.parseType()
+			pn := p.expect(IDENT)
+			fn.Params = append(fn.Params, &Param{Name: pn.Lit, Type: pt, Pos: pn.Pos})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	p.expect(RParen)
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *Parser) parseBlock() *BlockStmt {
+	b := &BlockStmt{Pos: p.cur().Pos}
+	p.expect(LBrace)
+	for !p.at(RBrace) && !p.at(EOF) {
+		start := p.pos
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.pos == start {
+			p.advance()
+		}
+	}
+	p.expect(RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwInt, KwChar, KwStruct:
+		typ := p.parseType()
+		name := p.expect(IDENT)
+		return &DeclStmt{Decl: p.parseVarRest(typ, name)}
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		pos := p.next().Pos
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		body := p.parseStmt()
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}
+	case KwFor:
+		return p.parseFor()
+	case KwSwitch:
+		return p.parseSwitch()
+	case KwReturn:
+		pos := p.next().Pos
+		s := &ReturnStmt{Pos: pos}
+		if !p.at(Semi) {
+			s.Value = p.parseExpr()
+		}
+		p.expect(Semi)
+		return s
+	case KwBreak:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return &BreakStmt{Pos: pos}
+	case KwContinue:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return &ContinueStmt{Pos: pos}
+	case Semi:
+		pos := p.next().Pos
+		return &ExprStmt{X: &IntLit{exprBase: exprBase{P: pos}, Value: 0}, Pos: pos}
+	default:
+		pos := p.cur().Pos
+		x := p.parseExpr()
+		p.expect(Semi)
+		return &ExprStmt{X: x, Pos: pos}
+	}
+}
+
+func (p *Parser) parseIf() Stmt {
+	pos := p.next().Pos // consume 'if'
+	p.expect(LParen)
+	cond := p.parseExpr()
+	p.expect(RParen)
+	then := p.parseStmt()
+	var els Stmt
+	if p.accept(KwElse) {
+		els = p.parseStmt()
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+}
+
+func (p *Parser) parseFor() Stmt {
+	pos := p.next().Pos // consume 'for'
+	p.expect(LParen)
+	s := &ForStmt{Pos: pos}
+	if !p.at(Semi) {
+		if p.atType() && !p.at(KwVoid) {
+			typ := p.parseType()
+			name := p.expect(IDENT)
+			s.Init = &DeclStmt{Decl: p.parseVarRest(typ, name)}
+		} else {
+			x := p.parseExpr()
+			p.expect(Semi)
+			s.Init = &ExprStmt{X: x, Pos: pos}
+		}
+	} else {
+		p.expect(Semi)
+	}
+	if !p.at(Semi) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(Semi)
+	if !p.at(RParen) {
+		s.Post = p.parseExpr()
+	}
+	p.expect(RParen)
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *Parser) parseSwitch() Stmt {
+	pos := p.next().Pos // consume 'switch'
+	p.expect(LParen)
+	s := &SwitchStmt{Tag: p.parseExpr(), Pos: pos}
+	p.expect(RParen)
+	p.expect(LBrace)
+	var cur *SwitchEntry
+	for !p.at(RBrace) && !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwCase:
+			lpos := p.next().Pos
+			e := &SwitchEntry{Expr: p.parseExpr(), Pos: lpos}
+			p.expect(Colon)
+			s.Entries = append(s.Entries, e)
+			cur = e
+		case KwDefault:
+			lpos := p.next().Pos
+			p.expect(Colon)
+			e := &SwitchEntry{IsDefault: true, Pos: lpos}
+			s.Entries = append(s.Entries, e)
+			cur = e
+		default:
+			if cur == nil {
+				p.errorf("statement before first case label")
+				p.sync()
+				continue
+			}
+			start := p.pos
+			cur.Stmts = append(cur.Stmts, p.parseStmt())
+			if p.pos == start {
+				p.advance()
+			}
+		}
+	}
+	p.expect(RBrace)
+	return s
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *Parser) parseExpr() Expr { return p.parseAssign() }
+
+func (p *Parser) parseAssign() Expr {
+	lhs := p.parseLogOr()
+	switch p.cur().Kind {
+	case Assign:
+		pos := p.next().Pos
+		rhs := p.parseAssign()
+		return &AssignExpr{exprBase: exprBase{P: pos}, LHS: lhs, RHS: rhs}
+	case PlusEq, MinusEq:
+		op := BAdd
+		if p.cur().Kind == MinusEq {
+			op = BSub
+		}
+		pos := p.next().Pos
+		rhs := p.parseAssign()
+		// Desugar a += b into a = a + b. The duplicated LHS is re-lowered
+		// independently; MiniC LHS forms are side-effect free.
+		sum := &BinaryExpr{exprBase: exprBase{P: pos}, Op: op, L: lhs, R: rhs}
+		return &AssignExpr{exprBase: exprBase{P: pos}, LHS: lhs, RHS: sum}
+	}
+	return lhs
+}
+
+type binLevel struct {
+	toks map[TokKind]BinaryOp
+	next func(*Parser) Expr
+}
+
+func (p *Parser) parseBinLevel(lv binLevel) Expr {
+	x := lv.next(p)
+	for {
+		op, ok := lv.toks[p.cur().Kind]
+		if !ok {
+			return x
+		}
+		pos := p.next().Pos
+		y := lv.next(p)
+		x = &BinaryExpr{exprBase: exprBase{P: pos}, Op: op, L: x, R: y}
+	}
+}
+
+func (p *Parser) parseLogOr() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{OrOr: BLogOr}, (*Parser).parseLogAnd})
+}
+func (p *Parser) parseLogAnd() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{AndAnd: BLogAnd}, (*Parser).parseBitOr})
+}
+func (p *Parser) parseBitOr() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Pipe: BOr}, (*Parser).parseBitXor})
+}
+func (p *Parser) parseBitXor() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Caret: BXor}, (*Parser).parseBitAnd})
+}
+func (p *Parser) parseBitAnd() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Amp: BAnd}, (*Parser).parseEquality})
+}
+func (p *Parser) parseEquality() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{EqEq: BEq, NotEq: BNe}, (*Parser).parseRelational})
+}
+func (p *Parser) parseRelational() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Lt: BLt, Le: BLe, Gt: BGt, Ge: BGe}, (*Parser).parseShift})
+}
+func (p *Parser) parseShift() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Shl: BShl, Shr: BShr}, (*Parser).parseAdditive})
+}
+func (p *Parser) parseAdditive() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Plus: BAdd, Minus: BSub}, (*Parser).parseMultiplicative})
+}
+func (p *Parser) parseMultiplicative() Expr {
+	return p.parseBinLevel(binLevel{map[TokKind]BinaryOp{Star: BMul, Slash: BDiv, Percent: BRem}, (*Parser).parseUnary})
+}
+
+func (p *Parser) parseUnary() Expr {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case Minus:
+		p.advance()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: UNeg, X: p.parseUnary()}
+	case Bang:
+		p.advance()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: UNot, X: p.parseUnary()}
+	case Tilde:
+		p.advance()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: UBNot, X: p.parseUnary()}
+	case Star:
+		p.advance()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: UDeref, X: p.parseUnary()}
+	case Amp:
+		p.advance()
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: UAddr, X: p.parseUnary()}
+	case PlusPlus, MinusMinus:
+		// Desugar ++x into x = x + 1 (value semantics unused in MiniC).
+		op := BAdd
+		if p.cur().Kind == MinusMinus {
+			op = BSub
+		}
+		p.advance()
+		x := p.parseUnary()
+		one := &IntLit{exprBase: exprBase{P: pos}, Value: 1}
+		sum := &BinaryExpr{exprBase: exprBase{P: pos}, Op: op, L: x, R: one}
+		return &AssignExpr{exprBase: exprBase{P: pos}, LHS: x, RHS: sum}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case LBracket:
+			pos := p.next().Pos
+			idx := p.parseExpr()
+			p.expect(RBracket)
+			x = &IndexExpr{exprBase: exprBase{P: pos}, Base: x, Index: idx}
+		case Dot:
+			pos := p.next().Pos
+			name := p.expect(IDENT)
+			x = &MemberExpr{exprBase: exprBase{P: pos}, Base: x, Name: name.Lit}
+		case Arrow:
+			pos := p.next().Pos
+			name := p.expect(IDENT)
+			x = &MemberExpr{exprBase: exprBase{P: pos}, Base: x, Name: name.Lit, Arrow: true}
+		case PlusPlus, MinusMinus:
+			// Desugar x++ into x = x + 1; postfix value is unused in
+			// MiniC statement position (sema rejects value uses).
+			op := BAdd
+			if p.cur().Kind == MinusMinus {
+				op = BSub
+			}
+			pos := p.next().Pos
+			one := &IntLit{exprBase: exprBase{P: pos}, Value: 1}
+			sum := &BinaryExpr{exprBase: exprBase{P: pos}, Op: op, L: x, R: one}
+			x = &AssignExpr{exprBase: exprBase{P: pos}, LHS: x, RHS: sum}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf("bad integer literal %q", t.Lit)
+		}
+		return &IntLit{exprBase: exprBase{P: t.Pos}, Value: v}
+	case CHARLIT:
+		p.advance()
+		return &CharLit{exprBase: exprBase{P: t.Pos}, Value: t.Lit[0]}
+	case STRING:
+		p.advance()
+		return &StrLit{exprBase: exprBase{P: t.Pos}, Value: t.Lit, Index: -1}
+	case IDENT:
+		p.advance()
+		if p.at(LParen) {
+			return p.parseCall(t)
+		}
+		return &Ident{exprBase: exprBase{P: t.Pos}, Name: t.Lit}
+	case LParen:
+		p.advance()
+		x := p.parseExpr()
+		p.expect(RParen)
+		return x
+	}
+	p.errorf("expected expression, found %s", t)
+	p.advance()
+	return &IntLit{exprBase: exprBase{P: t.Pos}, Value: 0}
+}
+
+func (p *Parser) parseCall(name Token) Expr {
+	c := &CallExpr{exprBase: exprBase{P: name.Pos}, Name: name.Lit}
+	p.expect(LParen)
+	if !p.at(RParen) {
+		for {
+			c.Args = append(c.Args, p.parseExpr())
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	p.expect(RParen)
+	return c
+}

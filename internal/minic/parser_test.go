@@ -1,0 +1,190 @@
+package minic
+
+import "testing"
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestParseGlobalsAndFuncs(t *testing.T) {
+	f := mustParse(t, `
+		int g = 3;
+		char buf[16];
+		int add(int a, int b) { return a + b; }
+		void main() { }
+	`)
+	if len(f.Globals) != 2 {
+		t.Fatalf("got %d globals, want 2", len(f.Globals))
+	}
+	if f.Globals[1].Type.Kind != TypeArray || f.Globals[1].Type.ArrayLen != 16 {
+		t.Errorf("buf type = %v, want char[16]", f.Globals[1].Type)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(f.Funcs))
+	}
+	if got := f.FuncByName("add"); got == nil || len(got.Params) != 2 {
+		t.Errorf("add not parsed correctly: %+v", got)
+	}
+	if f.FuncByName("nope") != nil {
+		t.Error("FuncByName should return nil for missing name")
+	}
+}
+
+func TestParsePointerTypes(t *testing.T) {
+	f := mustParse(t, `int** pp; void f(char* s, int* p) { }`)
+	if f.Globals[0].Type.String() != "int**" {
+		t.Errorf("pp type = %v", f.Globals[0].Type)
+	}
+	fn := f.FuncByName("f")
+	if fn.Params[0].Type.String() != "char*" || fn.Params[1].Type.String() != "int*" {
+		t.Errorf("param types: %v %v", fn.Params[0].Type, fn.Params[1].Type)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `void f() { int x; x = 1 + 2 * 3; }`)
+	body := f.Funcs[0].Body.Stmts
+	asg := body[1].(*ExprStmt).X.(*AssignExpr)
+	add := asg.RHS.(*BinaryExpr)
+	if add.Op != BAdd {
+		t.Fatalf("root op = %v, want +", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != BMul {
+		t.Fatalf("right op = %v, want *", mul.Op)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	f := mustParse(t, `void f(int a, int b, int c) { if (a < 1 && b > 2 || c == 3) { } }`)
+	ifs := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	or := ifs.Cond.(*BinaryExpr)
+	if or.Op != BLogOr {
+		t.Fatalf("root = %v, want ||", or.Op)
+	}
+	and := or.L.(*BinaryExpr)
+	if and.Op != BLogAnd {
+		t.Fatalf("left = %v, want &&", and.Op)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	f := mustParse(t, `void f(int x) {
+		if (x == 1) { } else if (x == 2) { } else { }
+	}`)
+	ifs := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	inner, ok := ifs.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else-if not chained: %T", ifs.Else)
+	}
+	if inner.Else == nil {
+		t.Error("final else missing")
+	}
+}
+
+func TestParseLoops(t *testing.T) {
+	f := mustParse(t, `void f() {
+		int i;
+		while (i < 10) { i = i + 1; }
+		for (i = 0; i < 5; i = i + 1) { break; }
+		for (int j = 0; j < 5; j++) { continue; }
+		for (;;) { break; }
+	}`)
+	stmts := f.Funcs[0].Body.Stmts
+	if _, ok := stmts[1].(*WhileStmt); !ok {
+		t.Errorf("stmt1 = %T, want while", stmts[1])
+	}
+	fs := stmts[3].(*ForStmt)
+	if _, ok := fs.Init.(*DeclStmt); !ok {
+		t.Errorf("for init = %T, want decl", fs.Init)
+	}
+	empty := stmts[4].(*ForStmt)
+	if empty.Init != nil || empty.Cond != nil || empty.Post != nil {
+		t.Error("for(;;) should have nil clauses")
+	}
+}
+
+func TestParseDesugarCompound(t *testing.T) {
+	f := mustParse(t, `void f() { int x; x += 2; x++; ++x; x--; }`)
+	for i, s := range f.Funcs[0].Body.Stmts[1:] {
+		es := s.(*ExprStmt)
+		asg, ok := es.X.(*AssignExpr)
+		if !ok {
+			t.Fatalf("stmt %d: %T, want assignment", i, es.X)
+		}
+		if _, ok := asg.RHS.(*BinaryExpr); !ok {
+			t.Fatalf("stmt %d rhs: %T, want binary", i, asg.RHS)
+		}
+	}
+}
+
+func TestParseUnaryAndIndex(t *testing.T) {
+	f := mustParse(t, `void f(int* p, int a) { int x; x = -a + *p; x = p[2]; p[x] = 1; }`)
+	stmts := f.Funcs[0].Body.Stmts
+	asg := stmts[1].(*ExprStmt).X.(*AssignExpr)
+	add := asg.RHS.(*BinaryExpr)
+	if u := add.L.(*UnaryExpr); u.Op != UNeg {
+		t.Errorf("left unary = %v", u.Op)
+	}
+	if u := add.R.(*UnaryExpr); u.Op != UDeref {
+		t.Errorf("right unary = %v", u.Op)
+	}
+	if _, ok := stmts[2].(*ExprStmt).X.(*AssignExpr).RHS.(*IndexExpr); !ok {
+		t.Error("p[2] not parsed as index")
+	}
+	if _, ok := stmts[3].(*ExprStmt).X.(*AssignExpr).LHS.(*IndexExpr); !ok {
+		t.Error("p[x] lhs not parsed as index")
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	f := mustParse(t, `int g(int a) { return a; } void f() { g(1); g(g(2)); print_str("hi"); }`)
+	stmts := f.Funcs[1].Body.Stmts
+	c := stmts[0].(*ExprStmt).X.(*CallExpr)
+	if c.Name != "g" || len(c.Args) != 1 {
+		t.Errorf("call = %+v", c)
+	}
+	nested := stmts[1].(*ExprStmt).X.(*CallExpr)
+	if _, ok := nested.Args[0].(*CallExpr); !ok {
+		t.Error("nested call not parsed")
+	}
+}
+
+func TestParseStringAndCharLiterals(t *testing.T) {
+	f := mustParse(t, `void f(char* s) { f("abc"); char c; c = 'x'; }`)
+	call := f.Funcs[0].Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if s, ok := call.Args[0].(*StrLit); !ok || s.Value != "abc" {
+		t.Errorf("string arg = %+v", call.Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int;",
+		"void f( { }",
+		"void f() { if x) {} }",
+		"void f() { int 3; }",
+		"void f() { x = ; }",
+		"int a[0];",
+		"void f() { return 1 }",
+		"$$$",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseAssocRightAssign(t *testing.T) {
+	f := mustParse(t, `void f() { int a; int b; a = b = 3; }`)
+	asg := f.Funcs[0].Body.Stmts[2].(*ExprStmt).X.(*AssignExpr)
+	if _, ok := asg.RHS.(*AssignExpr); !ok {
+		t.Error("assignment should be right-associative")
+	}
+}

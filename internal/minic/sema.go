@@ -1,0 +1,740 @@
+package minic
+
+import "fmt"
+
+// Program is a fully checked MiniC translation unit: the AST with all
+// identifiers resolved to symbols, all expressions typed, and the string
+// literal table assembled. It is the input to the IR lowering.
+type Program struct {
+	File    *File
+	Globals []*Symbol // in declaration order
+	Funcs   []*FuncDecl
+	Strings []string // string literal pool, indexed by StrLit.Index
+}
+
+// checker carries semantic-analysis state.
+type checker struct {
+	prog      *Program
+	structs   map[string]*StructDef
+	funcs     map[string]*Symbol
+	globals   map[string]*Symbol
+	scopes    []map[string]*Symbol
+	curFn     *FuncDecl
+	loop      int // nesting depth of loops (for continue)
+	breakable int // nesting depth of loops+switches (for break)
+	errs      ErrorList
+	strIdx    map[string]int
+}
+
+// Check resolves and type-checks a parsed file, producing a Program.
+func Check(f *File) (*Program, error) {
+	c := &checker{
+		prog:    &Program{File: f, Funcs: f.Funcs},
+		structs: map[string]*StructDef{},
+		funcs:   map[string]*Symbol{},
+		globals: map[string]*Symbol{},
+		strIdx:  map[string]int{},
+	}
+
+	// Pass 0: intern struct definitions and lay out their fields.
+	for _, sd := range f.Structs {
+		if c.structs[sd.Name] != nil {
+			c.errorf(sd.Pos, "struct %q redeclared", sd.Name)
+			continue
+		}
+		def := &StructDef{Name: sd.Name}
+		seen := map[string]bool{}
+		for i, fl := range sd.Fields {
+			ft := c.resolveType(fl.Type, fl.Pos)
+			switch {
+			case ft.Kind == TypeVoid:
+				c.errorf(fl.Pos, "field %q has void type", fl.Name)
+				continue
+			case ft.Kind == TypeStruct:
+				c.errorf(fl.Pos, "nested struct field %q not supported", fl.Name)
+				continue
+			case ft.Kind == TypeArray && !ft.Elem.IsScalar():
+				c.errorf(fl.Pos, "field %q: array of non-scalar", fl.Name)
+				continue
+			}
+			if seen[fl.Name] {
+				c.errorf(fl.Pos, "field %q redeclared", fl.Name)
+				continue
+			}
+			seen[fl.Name] = true
+			def.Fields = append(def.Fields, &Field{Name: fl.Name, Type: ft, Index: i})
+		}
+		def.layout()
+		sd.Def = def
+		c.structs[sd.Name] = def
+	}
+
+	// Pass 1: declare all globals and functions so uses may precede
+	// definitions (MiniC has no forward declarations).
+	for _, g := range f.Globals {
+		g.Type = c.resolveType(g.Type, g.Pos)
+		if c.globals[g.Name] != nil {
+			c.errorf(g.Pos, "global %q redeclared", g.Name)
+			continue
+		}
+		if g.Type.Kind == TypeVoid {
+			c.errorf(g.Pos, "global %q has void type", g.Name)
+		}
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Type, Pos: g.Pos}
+		g.Sym = sym
+		c.globals[g.Name] = sym
+		c.prog.Globals = append(c.prog.Globals, sym)
+	}
+	for _, fn := range f.Funcs {
+		if c.funcs[fn.Name] != nil {
+			c.errorf(fn.Pos, "function %q redeclared", fn.Name)
+			continue
+		}
+		if Builtins[fn.Name] != nil {
+			c.errorf(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		fn.Ret = c.resolveType(fn.Ret, fn.Pos)
+		if fn.Ret.Kind == TypeStruct {
+			c.errorf(fn.Pos, "function %q returns a struct (unsupported)", fn.Name)
+		}
+		for _, p := range fn.Params {
+			p.Type = c.resolveType(p.Type, p.Pos)
+		}
+		sym := &Symbol{Name: fn.Name, Kind: SymFunc, Type: fn.Ret, Pos: fn.Pos, Func: fn}
+		fn.Sym = sym
+		c.funcs[fn.Name] = sym
+	}
+
+	// Pass 2: check global initializers (constants only) and bodies.
+	for _, g := range f.Globals {
+		if g.Init != nil {
+			if g.Type.Kind == TypeStruct || g.Type.Kind == TypeArray {
+				c.errorf(g.Pos, "global %q: %s cannot have an initializer", g.Name, g.Type)
+				continue
+			}
+			t := c.checkExpr(g.Init)
+			if t != nil && !assignable(g.Type, t, g.Init) {
+				c.errorf(g.Pos, "cannot initialize %s with %s", g.Type, t)
+			}
+			if _, ok := constEval(g.Init); !ok {
+				c.errorf(g.Pos, "global initializer for %q is not a constant expression", g.Name)
+			}
+		}
+	}
+	for _, fn := range f.Funcs {
+		c.checkFunc(fn)
+	}
+	c.prog.Strings = make([]string, len(c.strIdx))
+	for s, i := range c.strIdx {
+		c.prog.Strings[i] = s
+	}
+	return c.prog, c.errs.Err()
+}
+
+// Compile parses and checks src in one step.
+func Compile(src string) (*Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(f)
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// resolveType replaces unresolved struct references (parser
+// placeholders holding only a name) with the interned definitions.
+func (c *checker) resolveType(t *Type, pos Pos) *Type {
+	if t == nil {
+		return t
+	}
+	switch t.Kind {
+	case TypeStruct:
+		if t.Struct != nil && t.Struct.Fields == nil {
+			def := c.structs[t.Struct.Name]
+			if def == nil {
+				c.errorf(pos, "undefined struct %q", t.Struct.Name)
+				return IntType
+			}
+			return StructType(def)
+		}
+		return t
+	case TypePointer:
+		return PointerTo(c.resolveType(t.Elem, pos))
+	case TypeArray:
+		elem := c.resolveType(t.Elem, pos)
+		if elem.Kind == TypeStruct {
+			c.errorf(pos, "array of struct not supported")
+			elem = IntType
+		}
+		return ArrayOf(elem, t.ArrayLen)
+	}
+	return t
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if top[sym.Name] != nil {
+		c.errorf(sym.Pos, "%q redeclared in this scope", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s := c.scopes[i][name]; s != nil {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	c.curFn = fn
+	c.pushScope()
+	for i, p := range fn.Params {
+		if !p.Type.IsScalar() {
+			c.errorf(p.Pos, "parameter %q must have scalar type, have %s", p.Name, p.Type)
+		}
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: p.Type, Pos: p.Pos,
+			Owner: fn, ParamIndex: i}
+		p.Sym = sym
+		c.declare(sym)
+	}
+	c.checkBlock(fn.Body)
+	c.popScope()
+	c.curFn = nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		c.checkBlock(s)
+	case *DeclStmt:
+		c.checkLocalDecl(s.Decl)
+	case *IfStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *WhileStmt:
+		c.checkCond(s.Cond)
+		c.loop++
+		c.breakable++
+		c.checkStmt(s.Body)
+		c.loop--
+		c.breakable--
+	case *ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.loop++
+		c.breakable++
+		c.checkStmt(s.Body)
+		c.loop--
+		c.breakable--
+		c.popScope()
+	case *SwitchStmt:
+		c.checkSwitch(s)
+	case *ReturnStmt:
+		ret := c.curFn.Ret
+		if s.Value == nil {
+			if ret.Kind != TypeVoid {
+				c.errorf(s.Pos, "missing return value in %q", c.curFn.Name)
+			}
+			return
+		}
+		if ret.Kind == TypeVoid {
+			c.errorf(s.Pos, "void function %q returns a value", c.curFn.Name)
+		}
+		t := c.checkExpr(s.Value)
+		if t != nil && !assignable(ret, t, s.Value) {
+			c.errorf(s.Pos, "cannot return %s from function returning %s", t, ret)
+		}
+	case *BreakStmt:
+		if c.breakable == 0 {
+			c.errorf(s.Pos, "break outside loop or switch")
+		}
+	case *ContinueStmt:
+		if c.loop == 0 {
+			c.errorf(s.Pos, "continue outside loop")
+		}
+	case *ExprStmt:
+		c.checkExpr(s.X)
+	}
+}
+
+func (c *checker) checkLocalDecl(d *VarDecl) {
+	d.Type = c.resolveType(d.Type, d.Pos)
+	if d.Type.Kind == TypeVoid {
+		c.errorf(d.Pos, "local %q has void type", d.Name)
+	}
+	if d.Type.Kind == TypeStruct && d.Init != nil {
+		c.errorf(d.Pos, "struct %q cannot have an initializer", d.Name)
+	}
+	sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: d.Type, Pos: d.Pos, Owner: c.curFn}
+	d.Sym = sym
+	c.declare(sym)
+	c.curFn.Locals = append(c.curFn.Locals, d)
+	if d.Init != nil {
+		t := c.checkExpr(d.Init)
+		if t != nil && !assignable(d.Type, t, d.Init) {
+			c.errorf(d.Pos, "cannot initialize %s with %s", d.Type, t)
+		}
+	}
+}
+
+func (c *checker) checkSwitch(s *SwitchStmt) {
+	t := c.checkExpr(s.Tag)
+	if t != nil && !t.IsArith() {
+		c.errorf(s.Pos, "switch tag must be arithmetic, have %s", t)
+	}
+	seen := map[int64]bool{}
+	haveDefault := false
+	c.breakable++
+	c.pushScope()
+	for _, e := range s.Entries {
+		if e.IsDefault {
+			if haveDefault {
+				c.errorf(e.Pos, "multiple default labels")
+			}
+			haveDefault = true
+		} else {
+			c.checkExpr(e.Expr)
+			v, ok := constEval(e.Expr)
+			if !ok {
+				c.errorf(e.Pos, "case label is not a constant expression")
+			} else {
+				if seen[v] {
+					c.errorf(e.Pos, "duplicate case value %d", v)
+				}
+				seen[v] = true
+				e.Val = v
+			}
+		}
+		for _, st := range e.Stmts {
+			c.checkStmt(st)
+		}
+	}
+	c.popScope()
+	c.breakable--
+}
+
+func (c *checker) checkCond(e Expr) {
+	t := c.checkExpr(e)
+	if t != nil && !t.IsScalar() {
+		c.errorf(e.pos(), "condition must be scalar, have %s", t)
+	}
+}
+
+// decay converts array types to pointers for value contexts.
+func decay(t *Type) *Type {
+	if t != nil && t.Kind == TypeArray {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// assignable reports whether a value of type src (with source expression
+// srcExpr, used to allow the `ptr = 0` null idiom) can be assigned to dst.
+func assignable(dst, src *Type, srcExpr Expr) bool {
+	src = decay(src)
+	if dst.IsArith() && src.IsArith() {
+		return true
+	}
+	if dst.Kind == TypePointer && src.Kind == TypePointer {
+		return dst.Elem.Equal(src.Elem)
+	}
+	if dst.Kind == TypePointer && src.IsArith() {
+		if lit, ok := srcExpr.(*IntLit); ok && lit.Value == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e Expr) *Type {
+	switch e := e.(type) {
+	case *IntLit:
+		e.T = IntType
+	case *CharLit:
+		e.T = CharType
+	case *StrLit:
+		idx, ok := c.strIdx[e.Value]
+		if !ok {
+			idx = len(c.strIdx)
+			c.strIdx[e.Value] = idx
+		}
+		e.Index = idx
+		e.T = PointerTo(CharType)
+	case *Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.P, "undefined: %q", e.Name)
+			e.T = IntType
+			return e.T
+		}
+		if sym.Kind == SymFunc {
+			c.errorf(e.P, "function %q used as value", e.Name)
+		}
+		e.Sym = sym
+		e.T = sym.Type
+	case *IndexExpr:
+		bt := c.checkExpr(e.Base)
+		it := c.checkExpr(e.Index)
+		if it != nil && !it.IsArith() {
+			c.errorf(e.P, "array index must be arithmetic, have %s", it)
+		}
+		switch {
+		case bt == nil:
+			e.T = IntType
+		case bt.Kind == TypeArray:
+			e.T = bt.Elem
+			c.markAddrTaken(e.Base)
+		case bt.Kind == TypePointer:
+			e.T = bt.Elem
+		default:
+			c.errorf(e.P, "cannot index %s", bt)
+			e.T = IntType
+		}
+	case *MemberExpr:
+		c.checkMember(e)
+	case *CallExpr:
+		c.checkCall(e)
+	case *UnaryExpr:
+		c.checkUnary(e)
+	case *BinaryExpr:
+		c.checkBinary(e)
+	case *AssignExpr:
+		lt := c.checkExpr(e.LHS)
+		rt := c.checkExpr(e.RHS)
+		if !isLValue(e.LHS) {
+			c.errorf(e.P, "assignment target is not an lvalue")
+		} else if lt != nil && lt.Kind == TypeArray {
+			c.errorf(e.P, "cannot assign to array")
+		} else if lt != nil && lt.Kind == TypeStruct {
+			c.errorf(e.P, "cannot assign whole struct")
+		}
+		if lt != nil && rt != nil && lt.Kind != TypeArray && lt.Kind != TypeStruct &&
+			!assignable(lt, rt, e.RHS) {
+			c.errorf(e.P, "cannot assign %s to %s", rt, lt)
+		}
+		e.T = lt
+	}
+	return e.TypeOf()
+}
+
+func isLValue(e Expr) bool {
+	switch e := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr:
+		return true
+	case *MemberExpr:
+		return true
+	case *UnaryExpr:
+		return e.Op == UDeref
+	}
+	return false
+}
+
+func (c *checker) markAddrTaken(e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		if e.Sym != nil {
+			e.Sym.AddrTaken = true
+		}
+	case *MemberExpr:
+		if e.Arrow || e.Field == nil {
+			return // pointee storage already escaped when & was taken
+		}
+		if id, ok := e.Base.(*Ident); ok && id.Sym != nil {
+			// Field-granular escape: the struct stays split; only this
+			// field's object becomes aliasable.
+			if id.Sym.FieldAddrTaken == nil {
+				id.Sym.FieldAddrTaken = map[int]bool{}
+			}
+			id.Sym.FieldAddrTaken[e.Field.Index] = true
+			return
+		}
+		c.markAddrTaken(e.Base)
+	}
+}
+
+func (c *checker) checkMember(e *MemberExpr) {
+	bt := c.checkExpr(e.Base)
+	e.T = IntType
+	if bt == nil {
+		return
+	}
+	var def *StructDef
+	if e.Arrow {
+		if bt.Kind != TypePointer || bt.Elem.Kind != TypeStruct {
+			c.errorf(e.P, "-> requires a struct pointer, have %s", bt)
+			return
+		}
+		def = bt.Elem.Struct
+	} else {
+		if bt.Kind != TypeStruct {
+			c.errorf(e.P, ". requires a struct, have %s", bt)
+			return
+		}
+		def = bt.Struct
+	}
+	f := def.FieldByName(e.Name)
+	if f == nil {
+		c.errorf(e.P, "struct %s has no field %q", def.Name, e.Name)
+		return
+	}
+	e.Field = f
+	e.T = f.Type
+	// Array fields decay through pointers; accessing one through a
+	// split struct works like accessing a named array, which needs the
+	// variable's address. Mark accordingly for the blob fallback.
+	if f.Type.Kind == TypeArray {
+		c.markAddrTaken(e)
+	}
+}
+
+func (c *checker) checkCall(e *CallExpr) {
+	if bi := Builtins[e.Name]; bi != nil {
+		e.Bi = bi
+		e.T = bi.Ret
+		if len(e.Args) != len(bi.Params) {
+			c.errorf(e.P, "%s expects %d args, got %d", e.Name, len(bi.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at := decay(c.checkExpr(a))
+			if i >= len(bi.Params) || at == nil {
+				continue
+			}
+			want := bi.Params[i]
+			if want == nil { // any pointer
+				if at.Kind != TypePointer {
+					c.errorf(a.pos(), "%s arg %d must be a pointer, have %s", e.Name, i+1, at)
+				}
+				continue
+			}
+			if !assignable(want, at, a) {
+				c.errorf(a.pos(), "%s arg %d: cannot use %s as %s", e.Name, i+1, at, want)
+			}
+		}
+		return
+	}
+	sym := c.funcs[e.Name]
+	if sym == nil {
+		c.errorf(e.P, "call to undefined function %q", e.Name)
+		e.T = IntType
+		return
+	}
+	e.Sym = sym
+	e.T = sym.Func.Ret
+	if len(e.Args) != len(sym.Func.Params) {
+		c.errorf(e.P, "%s expects %d args, got %d", e.Name, len(sym.Func.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := decay(c.checkExpr(a))
+		if i >= len(sym.Func.Params) || at == nil {
+			continue
+		}
+		want := sym.Func.Params[i].Type
+		if !assignable(want, at, a) {
+			c.errorf(a.pos(), "%s arg %d: cannot use %s as %s", e.Name, i+1, at, want)
+		}
+	}
+}
+
+func (c *checker) checkUnary(e *UnaryExpr) {
+	xt := c.checkExpr(e.X)
+	switch e.Op {
+	case UNeg, UBNot:
+		if xt != nil && !xt.IsArith() {
+			c.errorf(e.P, "operator %s requires arithmetic operand, have %s", e.Op, xt)
+		}
+		e.T = IntType
+	case UNot:
+		if xt != nil && !decay(xt).IsScalar() {
+			c.errorf(e.P, "operator ! requires scalar operand, have %s", xt)
+		}
+		e.T = IntType
+	case UDeref:
+		dt := decay(xt)
+		if dt == nil || dt.Kind != TypePointer {
+			c.errorf(e.P, "cannot dereference %s", xt)
+			e.T = IntType
+			return
+		}
+		e.T = dt.Elem
+	case UAddr:
+		if !isLValue(e.X) {
+			c.errorf(e.P, "cannot take address of non-lvalue")
+			e.T = PointerTo(IntType)
+			return
+		}
+		c.markAddrTaken(e.X)
+		if ix, ok := e.X.(*IndexExpr); ok {
+			c.markAddrTaken(ix.Base)
+		}
+		if xt == nil {
+			e.T = PointerTo(IntType)
+			return
+		}
+		e.T = PointerTo(xt)
+	}
+}
+
+func (c *checker) checkBinary(e *BinaryExpr) {
+	lt := decay(c.checkExpr(e.L))
+	rt := decay(c.checkExpr(e.R))
+	if lt == nil || rt == nil {
+		e.T = IntType
+		return
+	}
+	switch e.Op {
+	case BAdd:
+		switch {
+		case lt.Kind == TypePointer && rt.IsArith():
+			e.T = lt
+		case lt.IsArith() && rt.Kind == TypePointer:
+			e.T = rt
+		case lt.IsArith() && rt.IsArith():
+			e.T = IntType
+		default:
+			c.errorf(e.P, "invalid operands to +: %s and %s", lt, rt)
+			e.T = IntType
+		}
+	case BSub:
+		switch {
+		case lt.Kind == TypePointer && rt.IsArith():
+			e.T = lt
+		case lt.Kind == TypePointer && rt.Kind == TypePointer:
+			e.T = IntType
+		case lt.IsArith() && rt.IsArith():
+			e.T = IntType
+		default:
+			c.errorf(e.P, "invalid operands to -: %s and %s", lt, rt)
+			e.T = IntType
+		}
+	case BEq, BNe, BLt, BLe, BGt, BGe:
+		ok := (lt.IsArith() && rt.IsArith()) ||
+			(lt.Kind == TypePointer && rt.Kind == TypePointer) ||
+			(lt.Kind == TypePointer && isZeroLit(e.R)) ||
+			(rt.Kind == TypePointer && isZeroLit(e.L))
+		if !ok {
+			c.errorf(e.P, "invalid comparison: %s %s %s", lt, e.Op, rt)
+		}
+		e.T = IntType
+	case BLogAnd, BLogOr:
+		if !lt.IsScalar() || !rt.IsScalar() {
+			c.errorf(e.P, "invalid operands to %s: %s and %s", e.Op, lt, rt)
+		}
+		e.T = IntType
+	default: // arithmetic/bitwise
+		if !lt.IsArith() || !rt.IsArith() {
+			c.errorf(e.P, "invalid operands to %s: %s and %s", e.Op, lt, rt)
+		}
+		e.T = IntType
+	}
+}
+
+func isZeroLit(e Expr) bool {
+	lit, ok := e.(*IntLit)
+	return ok && lit.Value == 0
+}
+
+// ConstEval evaluates a constant expression (int/char literals combined
+// with unary and binary arithmetic). It is used for global initializers
+// both here and by the IR lowering.
+func ConstEval(e Expr) (int64, bool) { return constEval(e) }
+
+// ExprPos returns the source position of an expression.
+func ExprPos(e Expr) Pos { return e.pos() }
+
+func constEval(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Value, true
+	case *CharLit:
+		return int64(e.Value), true
+	case *UnaryExpr:
+		v, ok := constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case UNeg:
+			return -v, true
+		case UBNot:
+			return ^v, true
+		case UNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		l, ok1 := constEval(e.L)
+		r, ok2 := constEval(e.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case BAdd:
+			return l + r, true
+		case BSub:
+			return l - r, true
+		case BMul:
+			return l * r, true
+		case BDiv:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case BRem:
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case BAnd:
+			return l & r, true
+		case BOr:
+			return l | r, true
+		case BXor:
+			return l ^ r, true
+		case BShl:
+			if r < 0 || r > 63 {
+				return 0, false
+			}
+			return l << uint(r), true
+		case BShr:
+			if r < 0 || r > 63 {
+				return 0, false
+			}
+			return l >> uint(r), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,381 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile error: %v", err)
+	}
+	return p
+}
+
+func compileErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestSemaResolvesSymbols(t *testing.T) {
+	p := mustCompile(t, `
+		int g;
+		int f(int a) { int x; x = a + g; return x; }
+	`)
+	fn := p.File.FuncByName("f")
+	asg := fn.Body.Stmts[1].(*ExprStmt).X.(*AssignExpr)
+	lhs := asg.LHS.(*Ident)
+	if lhs.Sym == nil || lhs.Sym.Kind != SymLocal {
+		t.Errorf("x resolved to %+v", lhs.Sym)
+	}
+	add := asg.RHS.(*BinaryExpr)
+	if a := add.L.(*Ident); a.Sym.Kind != SymParam || a.Sym.ParamIndex != 0 {
+		t.Errorf("a resolved to %+v", a.Sym)
+	}
+	if g := add.R.(*Ident); g.Sym.Kind != SymGlobal {
+		t.Errorf("g resolved to %+v", g.Sym)
+	}
+}
+
+func TestSemaShadowing(t *testing.T) {
+	p := mustCompile(t, `
+		int x;
+		void f() { int x; x = 1; { int x; x = 2; } x = 3; }
+	`)
+	fn := p.File.FuncByName("f")
+	outer := fn.Body.Stmts[1].(*ExprStmt).X.(*AssignExpr).LHS.(*Ident).Sym
+	inner := fn.Body.Stmts[2].(*BlockStmt).Stmts[1].(*ExprStmt).X.(*AssignExpr).LHS.(*Ident).Sym
+	if outer == inner {
+		t.Error("inner x should shadow outer x")
+	}
+	last := fn.Body.Stmts[3].(*ExprStmt).X.(*AssignExpr).LHS.(*Ident).Sym
+	if last != outer {
+		t.Error("after block, x should resolve to outer local")
+	}
+}
+
+func TestSemaStringTable(t *testing.T) {
+	p := mustCompile(t, `void f() { print_str("a"); print_str("b"); print_str("a"); }`)
+	if len(p.Strings) != 2 {
+		t.Fatalf("string table = %v, want 2 entries", p.Strings)
+	}
+	calls := p.File.FuncByName("f").Body.Stmts
+	s1 := calls[0].(*ExprStmt).X.(*CallExpr).Args[0].(*StrLit)
+	s3 := calls[2].(*ExprStmt).X.(*CallExpr).Args[0].(*StrLit)
+	if s1.Index != s3.Index {
+		t.Error("identical literals should share a table index")
+	}
+}
+
+func TestSemaAddrTaken(t *testing.T) {
+	p := mustCompile(t, `
+		void f() {
+			int x; int y; char buf[8]; int* p;
+			p = &x;
+			buf[0] = 'a';
+			y = x;
+		}
+	`)
+	fn := p.File.FuncByName("f")
+	bySym := map[string]*Symbol{}
+	for _, d := range fn.Locals {
+		bySym[d.Name] = d.Sym
+	}
+	if !bySym["x"].AddrTaken {
+		t.Error("x should be address-taken (&x)")
+	}
+	if !bySym["buf"].AddrTaken {
+		t.Error("buf should be address-taken (array use)")
+	}
+	if bySym["y"].AddrTaken {
+		t.Error("y must not be address-taken")
+	}
+}
+
+func TestSemaBuiltinResolution(t *testing.T) {
+	p := mustCompile(t, `void f(char* s) { int n; n = strlen(s); }`)
+	call := p.File.FuncByName("f").Body.Stmts[1].(*ExprStmt).X.(*AssignExpr).RHS.(*CallExpr)
+	if call.Bi == nil || call.Bi.Name != "strlen" {
+		t.Errorf("builtin not resolved: %+v", call)
+	}
+	if call.TypeOf() != IntType {
+		t.Errorf("strlen type = %v", call.TypeOf())
+	}
+}
+
+func TestSemaTypeRules(t *testing.T) {
+	good := []string{
+		`void f() { int x; char c; x = c; c = x; }`,
+		`void f(int* p) { if (p == 0) { } }`,
+		`void f(char* s) { char c; c = s[0]; s[1] = c; }`,
+		`int f() { char buf[4]; return strlen(buf); }`, // array decay
+		`void f(int* p) { int x; x = *p; *p = x; }`,
+		`void f() { int a[3]; int* p; p = &a[1]; }`,
+		`int f(int n) { if (n) { return 1; } return 0; }`,
+	}
+	for _, src := range good {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("%q: unexpected error %v", src, err)
+		}
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`void f() { x = 1; }`, "undefined"},
+		{`void f() { y(); }`, "undefined function"},
+		{`void f() { int x; int x; }`, "redeclared"},
+		{`int g; int g;`, "redeclared"},
+		{`void f() { } void f() { }`, "redeclared"},
+		{`void strlen() { }`, "shadows a builtin"},
+		{`void f() { break; }`, "break outside loop"},
+		{`void f() { continue; }`, "continue outside loop"},
+		{`int f() { return; }`, "missing return value"},
+		{`void f() { return 3; }`, "void function"},
+		{`void f(int x) { 3 = x; }`, "not an lvalue"},
+		{`void f(int* p, char* q) { p = q; }`, "cannot assign"},
+		{`void f(int* p) { p = 5; }`, "cannot assign"},
+		{`void f(int x) { x = *x; }`, "cannot dereference"},
+		{`void f() { int a[2]; int b[2]; a = b; }`, "cannot assign to array"},
+		{`void f(int* p) { int x; x = p % 3; }`, "invalid operands"},
+		{`void f(char* s) { strlen(s, s); }`, "expects 1 args"},
+		{`void f(int x) { strlen(x); }`, "cannot use"},
+		{`void f() { memset(3, 0, 4); }`, "must be a pointer"},
+		{`int g = strlen("x");`, "not a constant"},
+		{`void v; `, "void type"},
+		{`void f() { void q; }`, "expected expression"}, // parse-time: void not a local decl type
+		{`void f() { int* p; p = &3; }`, "address of non-lvalue"},
+		{`void f(int a, int b) { int x; x = a < b < 3; }`, ""},
+	}
+	for _, c := range cases {
+		if c.want == "" {
+			continue
+		}
+		compileErr(t, c.src, c.want)
+	}
+}
+
+func TestSemaGlobalConstInit(t *testing.T) {
+	p := mustCompile(t, `int a = 2 + 3 * 4; int b = -7; int c = 'A'; int d = 1 << 8;`)
+	vals := map[string]int64{"a": 14, "b": -7, "c": 65, "d": 256}
+	for _, g := range p.File.Globals {
+		v, ok := constEval(g.Init)
+		if !ok {
+			t.Errorf("%s: not constant", g.Name)
+			continue
+		}
+		if v != vals[g.Name] {
+			t.Errorf("%s = %d, want %d", g.Name, v, vals[g.Name])
+		}
+	}
+}
+
+func TestSemaLocalsCollected(t *testing.T) {
+	p := mustCompile(t, `void f() { int a; { int b; } for (int i = 0; i < 2; i++) { int c; } }`)
+	fn := p.File.FuncByName("f")
+	if len(fn.Locals) != 4 {
+		t.Errorf("got %d locals, want 4 (a,b,i,c)", len(fn.Locals))
+	}
+}
+
+func TestConstEvalEdgeCases(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+		ok   bool
+	}{
+		{"1/0", 0, false},
+		{"7%0", 0, false},
+		{"6/2", 3, true},
+		{"7%4", 3, true},
+		{"~0", -1, true},
+		{"!5", 0, true},
+		{"!0", 1, true},
+		{"1<<64", 0, false},
+		{"5&3", 1, true},
+		{"5|3", 7, true},
+		{"5^3", 6, true},
+		{"16>>2", 4, true},
+	}
+	for _, c := range cases {
+		f, err := Parse("int g = " + c.src + ";")
+		if err != nil {
+			t.Fatalf("%q: parse: %v", c.src, err)
+		}
+		v, ok := constEval(f.Globals[0].Init)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("constEval(%q) = %d,%v want %d,%v", c.src, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTypeSizeAndString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int
+		str  string
+	}{
+		{IntType, 8, "int"},
+		{CharType, 1, "char"},
+		{PointerTo(CharType), 8, "char*"},
+		{ArrayOf(CharType, 10), 10, "char[10]"},
+		{ArrayOf(IntType, 4), 32, "int[4]"},
+		{PointerTo(PointerTo(IntType)), 8, "int**"},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.t, c.t.Size(), c.size)
+		}
+		if c.t.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.t.String(), c.str)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PointerTo(IntType).Equal(PointerTo(IntType)) {
+		t.Error("int* should equal int*")
+	}
+	if PointerTo(IntType).Equal(PointerTo(CharType)) {
+		t.Error("int* should not equal char*")
+	}
+	if ArrayOf(IntType, 3).Equal(ArrayOf(IntType, 4)) {
+		t.Error("int[3] should not equal int[4]")
+	}
+	var nilT *Type
+	if nilT.Equal(IntType) || IntType.Equal(nilT) {
+		t.Error("nil type equals nothing")
+	}
+}
+
+func TestSemaSwitch(t *testing.T) {
+	mustCompile(t, `
+		int f(int x) {
+			switch (x + 1) {
+			case 1: return 1;
+			case 'a': return 2;
+			case -2: break;
+			default: return 3;
+			}
+			return 0;
+		}`)
+	compileErr(t, `void f(int x) { switch (x) { case x: break; } }`, "not a constant")
+	compileErr(t, `void f(int x) { switch (x) { case 1: break; case 1: break; } }`, "duplicate case")
+	compileErr(t, `void f(int x) { switch (x) { default: break; default: break; } }`, "multiple default")
+	compileErr(t, `void f(int* p) { switch (p) { case 1: break; } }`, "must be arithmetic")
+	compileErr(t, `void f(int x) { switch (x) { x = 1; case 1: break; } }`, "before first case")
+	compileErr(t, `void f() { break; }`, "break outside")
+}
+
+func TestSemaSwitchScopes(t *testing.T) {
+	// Declarations inside a switch share one scope across entries.
+	mustCompile(t, `
+		int f(int x) {
+			switch (x) {
+			case 1:
+				int y;
+				y = 1;
+				return y;
+			case 2:
+				y = 2;
+				return y;
+			}
+			return 0;
+		}`)
+}
+
+func TestSemaStructs(t *testing.T) {
+	p := mustCompile(t, `
+		struct Conn { int fd; int authed; char buf[16]; int* next; };
+		struct Conn g;
+		int use(struct Conn* c) { return c->fd + c->authed; }
+		int main() {
+			struct Conn local;
+			local.fd = 3;
+			local.authed = 1;
+			strcpy(local.buf, "x");
+			return use(&local) + g.fd;
+		}`)
+	sd := p.File.Structs[0]
+	if sd.Def == nil || len(sd.Def.Fields) != 4 {
+		t.Fatalf("struct def = %+v", sd.Def)
+	}
+	// Layout: fd@0, authed@8, buf@16, next@32 (buf is 16 bytes, next
+	// aligns to 8).
+	offs := []int{0, 8, 16, 32}
+	for i, f := range sd.Def.Fields {
+		if f.Offset != offs[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, offs[i])
+		}
+	}
+	if got := StructType(sd.Def).Size(); got != 40 {
+		t.Errorf("struct size = %d, want 40", got)
+	}
+	// &local passed to use(): whole-struct escape.
+	var localSym *Symbol
+	for _, d := range p.File.FuncByName("main").Locals {
+		if d.Name == "local" {
+			localSym = d.Sym
+		}
+	}
+	if localSym == nil || !localSym.AddrTaken {
+		t.Error("&local must mark the struct address-taken")
+	}
+}
+
+func TestSemaStructFieldEscape(t *testing.T) {
+	p := mustCompile(t, `
+		struct S { int a; int b; };
+		int main() {
+			struct S s;
+			int* p;
+			s.a = 1;
+			p = &s.b;
+			return s.a + *p;
+		}`)
+	var sym *Symbol
+	for _, d := range p.File.FuncByName("main").Locals {
+		if d.Name == "s" {
+			sym = d.Sym
+		}
+	}
+	if sym.AddrTaken {
+		t.Error("&s.b must not escape the whole struct")
+	}
+	if !sym.FieldAddrTaken[1] {
+		t.Error("field b must be marked address-taken")
+	}
+	if sym.FieldAddrTaken[0] {
+		t.Error("field a must not be marked")
+	}
+}
+
+func TestSemaStructErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`struct S { int a; }; struct S { int b; };`, "redeclared"},
+		{`struct S { void v; };`, "void type"},
+		{`struct A { int x; }; struct B { struct A inner; };`, "nested struct"},
+		{`struct S { int a; int a; };`, `field "a" redeclared`},
+		{`int main() { struct Nope n; return 0; }`, "undefined struct"},
+		{`struct S { int a; }; int main() { struct S s; return s.b; }`, "no field"},
+		{`struct S { int a; }; int main() { int x; return x.a; }`, "requires a struct"},
+		{`struct S { int a; }; int main() { struct S s; return s->a; }`, "requires a struct pointer"},
+		{`struct S { int a; }; struct S f() { }`, "returns a struct"},
+		{`struct S { int a; }; void f(struct S s) { }`, "scalar type"},
+		{`struct S { int a; }; struct S arr[3];`, "array of struct"},
+		{`struct S { int a; }; int main() { struct S a; struct S b; a = b; return 0; }`, "cannot assign whole struct"},
+		{`struct S { int a; }; int main() { struct S s; if (s) { } return 0; }`, "must be scalar"},
+		{`struct S { int a; }; struct S g = 3;`, "cannot"},
+	}
+	for _, c := range cases {
+		compileErr(t, c.src, c.want)
+	}
+}

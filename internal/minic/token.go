@@ -1,0 +1,137 @@
+// Package minic implements the frontend for MiniC, the C-subset source
+// language used throughout this repository as the compiler substrate.
+//
+// The paper's compiler work was done in SUIF/MachSUIF over C server
+// programs. MiniC replaces that stack: it is a small, strict subset of C
+// (int/char scalars, pointers, fixed-size arrays, functions, the usual
+// statements and operators, and a modelled slice of libc) that lowers to
+// the three-address IR in internal/ir on which the branch-correlation
+// analysis operates.
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds. Keyword and punctuation tokens carry no payload; IDENT,
+// INT, CHARLIT and STRING carry their literal text in Token.Lit.
+const (
+	EOF TokKind = iota
+	IDENT
+	INT // integer literal
+	CHARLIT
+	STRING
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSwitch
+	KwCase
+	KwDefault
+	KwStruct
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Dot      // .
+	Arrow    // ->
+
+	Assign     // =
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Pipe       // |
+	Caret      // ^
+	Tilde      // ~
+	Bang       // !
+	Lt         // <
+	Gt         // >
+	Le         // <=
+	Ge         // >=
+	EqEq       // ==
+	NotEq      // !=
+	AndAnd     // &&
+	OrOr       // ||
+	Shl        // <<
+	Shr        // >>
+	PlusPlus   // ++
+	MinusMinus // --
+	PlusEq     // +=
+	MinusEq    // -=
+)
+
+var tokNames = map[TokKind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "int literal", CHARLIT: "char literal",
+	STRING: "string literal",
+	KwInt:  "int", KwChar: "char", KwVoid: "void", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwStruct: "struct",
+	LParen:   "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[",
+	RBracket: "]", Comma: ",", Semi: ";", Colon: ":", Dot: ".", Arrow: "->",
+	Assign: "=", Plus: "+", Minus: "-",
+	Star: "*", Slash: "/", Percent: "%", Amp: "&", Pipe: "|", Caret: "^",
+	Tilde: "~", Bang: "!", Lt: "<", Gt: ">", Le: "<=", Ge: ">=", EqEq: "==",
+	NotEq: "!=", AndAnd: "&&", OrOr: "||", Shl: "<<", Shr: ">>",
+	PlusPlus: "++", MinusMinus: "--", PlusEq: "+=", MinusEq: "-=",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": KwInt, "char": KwChar, "void": KwVoid, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "struct": KwStruct,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokKind
+	Lit  string // literal text for IDENT/INT/CHARLIT/STRING
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return t.Lit
+	case STRING:
+		return fmt.Sprintf("%q", t.Lit)
+	case CHARLIT:
+		return fmt.Sprintf("'%s'", t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,209 @@
+package minic
+
+import "fmt"
+
+// TypeKind discriminates MiniC types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota
+	TypeChar
+	TypeVoid
+	TypePointer
+	TypeArray
+	TypeStruct
+)
+
+// Field is one member of a struct definition. Field types are scalars
+// or arrays of scalars (no nested structs in MiniC).
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int // byte offset within the struct, set by the checker
+	Index  int // declaration position
+}
+
+// StructDef is a named struct definition.
+type StructDef struct {
+	Name   string
+	Fields []*Field
+	size   int
+}
+
+// FieldByName returns the named field, or nil.
+func (d *StructDef) FieldByName(name string) *Field {
+	for _, f := range d.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// layout assigns field offsets (size-aligned) and the total size.
+func (d *StructDef) layout() {
+	off := 0
+	for _, f := range d.Fields {
+		a := 8
+		if f.Type.Size() == 1 || (f.Type.Kind == TypeArray && f.Type.Elem.Size() == 1) {
+			a = 1
+		}
+		off = (off + a - 1) &^ (a - 1)
+		f.Offset = off
+		off += f.Type.Size()
+	}
+	d.size = (off + 7) &^ 7
+}
+
+// Type is a MiniC type. Types are compared structurally via Equal; the
+// frontend interns nothing, so pointer identity is meaningless.
+type Type struct {
+	Kind     TypeKind
+	Elem     *Type      // pointee for TypePointer, element for TypeArray
+	ArrayLen int        // number of elements for TypeArray
+	Struct   *StructDef // definition for TypeStruct
+}
+
+// StructType returns the type of a struct definition.
+func StructType(d *StructDef) *Type { return &Type{Kind: TypeStruct, Struct: d} }
+
+// Prebuilt scalar types.
+var (
+	IntType  = &Type{Kind: TypeInt}
+	CharType = &Type{Kind: TypeChar}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: TypePointer, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: TypeArray, Elem: elem, ArrayLen: n}
+}
+
+// Size returns the size in bytes of a value of this type in the VM's
+// memory model: char is 1 byte, int and pointers are 8 bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeInt, TypePointer:
+		return 8
+	case TypeArray:
+		return t.ArrayLen * t.Elem.Size()
+	case TypeStruct:
+		return t.Struct.size
+	}
+	return 0
+}
+
+// IsScalar reports whether the type is a scalar (int, char or pointer)
+// that fits in a register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TypeInt, TypeChar, TypePointer:
+		return true
+	}
+	return false
+}
+
+// IsArith reports whether the type participates in arithmetic (int/char).
+func (t *Type) IsArith() bool { return t.Kind == TypeInt || t.Kind == TypeChar }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePointer:
+		return t.Elem.Equal(o.Elem)
+	case TypeArray:
+		return t.ArrayLen == o.ArrayLen && t.Elem.Equal(o.Elem)
+	case TypeStruct:
+		return t.Struct == o.Struct // definitions are interned by name
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePointer:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case TypeStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// SymKind discriminates what a symbol names.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymGlobal:
+		return "global"
+	case SymLocal:
+		return "local"
+	case SymParam:
+		return "param"
+	case SymFunc:
+		return "func"
+	}
+	return "?"
+}
+
+// Symbol is a resolved program entity. The semantic pass allocates one
+// Symbol per declaration and links every Ident to it.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type *Type
+	Pos  Pos
+
+	// AddrTaken records whether the symbol's address escapes (&x, or
+	// the symbol is an array, whose uses decay to its address). The
+	// alias analysis treats address-taken symbols as potential targets
+	// of indirect stores/loads. For a struct variable it means the
+	// WHOLE struct's address escaped (&s), which forces the lowering's
+	// conservative blob representation.
+	AddrTaken bool
+
+	// FieldAddrTaken records, for struct variables whose whole address
+	// never escapes, which individual fields had their addresses taken
+	// (&s.f, or array fields, whose uses decay). Lowering keeps such a
+	// struct split into per-field objects and flags only these fields.
+	FieldAddrTaken map[int]bool
+
+	// Func is the declaration for SymFunc symbols.
+	Func *FuncDecl
+
+	// Owner is the enclosing function for locals and params.
+	Owner *FuncDecl
+
+	// ParamIndex is the 0-based parameter position for SymParam.
+	ParamIndex int
+}
+
+func (s *Symbol) String() string { return s.Name }

@@ -1,0 +1,69 @@
+// Package pipeline bundles the full IPDS compiler pipeline — frontend,
+// lowering, pointer analysis, correlation analysis, table encoding —
+// into one call used by the tools, experiments and the public facade.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/tables"
+)
+
+// Artifacts is everything the compiler produces for a program.
+type Artifacts struct {
+	Source *minic.Program
+	Prog   *ir.Program
+	Alias  *alias.Analysis
+	Tables *core.Result
+	Image  *tables.Image
+}
+
+// Compile runs the whole pipeline on MiniC source.
+func Compile(src string, opts ir.Options) (*Artifacts, error) {
+	mp, err := minic.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	prog, err := ir.Lower(mp, opts)
+	if err != nil {
+		return nil, err
+	}
+	al := alias.Analyze(prog)
+	res := core.Build(prog, al)
+	img, err := tables.Encode(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifacts{Source: mp, Prog: prog, Alias: al, Tables: res, Image: img}, nil
+}
+
+// MustCompile is Compile for known-good sources (workloads, examples).
+func MustCompile(src string, opts ir.Options) *Artifacts {
+	a, err := Compile(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Rebuild re-runs the correlation analysis and table encoding with a
+// different core configuration, reusing the lowered program and the
+// pointer analysis. Used by the component-ablation experiments.
+func (a *Artifacts) Rebuild(cfg core.Config) (*Artifacts, error) {
+	res := core.BuildWith(a.Prog, a.Alias, cfg)
+	img, err := tables.Encode(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifacts{
+		Source: a.Source,
+		Prog:   a.Prog,
+		Alias:  a.Alias,
+		Tables: res,
+		Image:  img,
+	}, nil
+}

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestCompileProducesAllArtifacts(t *testing.T) {
+	art, err := Compile(`
+		int g;
+		int main() {
+			g = read_int();
+			if (g < 5) { print_int(1); }
+			if (g < 9) { return 1; }
+			return 0;
+		}`, ir.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Source == nil || art.Prog == nil || art.Alias == nil ||
+		art.Tables == nil || art.Image == nil {
+		t.Fatal("missing artifacts")
+	}
+	if art.Prog.ByName["main"] == nil {
+		t.Error("main not lowered")
+	}
+	if art.Image.FuncByName("main") == nil {
+		t.Error("main has no table image")
+	}
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	cases := []string{
+		`int main() { undefined_fn(); }`,
+		`int main() { return x; }`,
+		`@@@`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, ir.DefaultOptions); err == nil {
+			t.Errorf("%q: expected error", src)
+		} else if !strings.Contains(err.Error(), "frontend") {
+			t.Errorf("%q: error %v not attributed to frontend", src, err)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile must panic on bad source")
+		}
+	}()
+	MustCompile(`nonsense`, ir.DefaultOptions)
+}

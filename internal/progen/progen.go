@@ -1,0 +1,421 @@
+// Package progen generates random, valid, terminating MiniC programs
+// together with input sessions. It exists to property-test the whole
+// pipeline: for any generated program and any input, a clean run under
+// the IPDS runtime must never raise an alarm (the paper's zero
+// false-positive guarantee), the compiler must never reject or panic,
+// and execution must be deterministic.
+//
+// Generated programs deliberately concentrate on the constructs the
+// correlation analysis reasons about: scalar globals and locals tested
+// against constants at multiple sites, redefinitions on some paths,
+// helper calls that may or may not write the tested state, pointer
+// writes through &x, and bounded loops.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Config bounds the generator.
+type Config struct {
+	MaxHelpers   int // helper functions in addition to main
+	MaxGlobals   int
+	MaxLocals    int
+	MaxStmts     int // statements per block
+	MaxDepth     int // statement nesting
+	MaxExprDepth int
+	InputLines   int
+}
+
+// DefaultConfig generates mid-sized programs (a few dozen branches).
+var DefaultConfig = Config{
+	MaxHelpers:   4,
+	MaxGlobals:   5,
+	MaxLocals:    5,
+	MaxStmts:     6,
+	MaxDepth:     3,
+	MaxExprDepth: 3,
+	InputLines:   64,
+}
+
+// Program is one generated test case.
+type Program struct {
+	Seed   int64
+	Source string
+	Input  []string
+}
+
+// Generate builds a program from a seed with the default bounds.
+func Generate(seed int64) Program { return GenerateWith(seed, DefaultConfig) }
+
+// GenerateWith builds a program from a seed and explicit bounds.
+func GenerateWith(seed int64, cfg Config) Program {
+	g := &gen{
+		rng: rand.New(rand.NewSource(seed)),
+		cfg: cfg,
+	}
+	src := g.program()
+	input := make([]string, cfg.InputLines)
+	for i := range input {
+		input[i] = strconv.Itoa(g.rng.Intn(21) - 10)
+	}
+	return Program{Seed: seed, Source: src, Input: input}
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	b   strings.Builder
+
+	globals      []string
+	helpers      []helper
+	structFields int
+
+	// current function state
+	locals       []string
+	frozen       map[string]bool // loop counters: never reassigned
+	indent       int
+	callableFrom int // helpers with index >= this may be called (no recursion)
+}
+
+type helper struct {
+	name    string
+	params  int
+	returns bool
+	// writesGlobals records whether the body may store to globals,
+	// making calls to it correlation kills.
+	writesGlobals bool
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	// A session-style struct: its fields behave exactly like scalars
+	// under the field-splitting lowering, so the generator uses them
+	// as ordinary variables in main.
+	g.structFields = 2 + g.rng.Intn(3)
+	var fields []string
+	for i := 0; i < g.structFields; i++ {
+		fields = append(fields, fmt.Sprintf("int f%d;", i))
+	}
+	g.w("struct St { %s };", strings.Join(fields, " "))
+
+	nGlobals := 2 + g.rng.Intn(g.cfg.MaxGlobals)
+	for i := 0; i < nGlobals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		if g.rng.Intn(2) == 0 {
+			g.w("int %s = %d;", name, g.rng.Intn(19)-9)
+		} else {
+			g.w("int %s;", name)
+		}
+	}
+	// A fixed pointer-writing helper exercises the alias analysis.
+	g.w("void poke(int* p, int v) { *p = v; }")
+
+	nHelpers := 1 + g.rng.Intn(g.cfg.MaxHelpers)
+	for i := 0; i < nHelpers; i++ {
+		g.helper(i, nHelpers)
+	}
+	g.mainFunc()
+	return g.b.String()
+}
+
+func (g *gen) helper(idx, total int) {
+	h := helper{
+		name:    fmt.Sprintf("h%d", idx),
+		params:  g.rng.Intn(3),
+		returns: g.rng.Intn(3) > 0,
+	}
+	// Helpers may only call later helpers: the call graph is a DAG.
+	g.callableFrom = idx + 1
+
+	ret := "void"
+	if h.returns {
+		ret = "int"
+	}
+	var params []string
+	g.locals = nil
+	g.frozen = map[string]bool{}
+	for p := 0; p < h.params; p++ {
+		name := fmt.Sprintf("p%d", p)
+		params = append(params, "int "+name)
+		g.locals = append(g.locals, name)
+	}
+	g.helpers = append(g.helpers, h)
+
+	g.w("%s %s(%s) {", ret, h.name, strings.Join(params, ", "))
+	g.indent++
+	wrote := g.block(g.cfg.MaxDepth)
+	g.helpers[idx].writesGlobals = wrote
+	if h.returns {
+		g.w("return %s;", g.expr(1))
+	}
+	g.indent--
+	g.w("}")
+}
+
+func (g *gen) mainFunc() {
+	g.callableFrom = 0
+	g.locals = nil
+	g.frozen = map[string]bool{}
+	g.w("int main() {")
+	g.indent++
+	nLocals := 2 + g.rng.Intn(g.cfg.MaxLocals)
+	for i := 0; i < nLocals; i++ {
+		name := fmt.Sprintf("v%d", i)
+		g.w("int %s;", name)
+		g.locals = append(g.locals, name)
+	}
+	// Struct fields join the variable pool like ordinary scalars.
+	g.w("struct St st;")
+	for i := 0; i < g.structFields; i++ {
+		f := fmt.Sprintf("st.f%d", i)
+		g.w("%s = %d;", f, g.rng.Intn(9)-4)
+		g.locals = append(g.locals, f)
+	}
+	// Seed locals with input so campaigns vary per run.
+	for _, l := range g.locals[:min(2, len(g.locals))] {
+		g.w("%s = read_int();", l)
+	}
+	g.block(g.cfg.MaxDepth)
+	g.w("return %s;", g.expr(1))
+	g.indent--
+	g.w("}")
+}
+
+// block emits 1..MaxStmts statements; reports whether any may write a
+// global (directly or through a callee).
+func (g *gen) block(depth int) bool {
+	wrote := false
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		if g.stmt(depth) {
+			wrote = true
+		}
+	}
+	return wrote
+}
+
+func (g *gen) stmt(depth int) bool {
+	choice := g.rng.Intn(10)
+	if depth <= 0 && choice >= 4 && choice <= 6 {
+		choice = 0 // no further nesting
+	}
+	switch choice {
+	case 0, 1, 2: // assignment, range-bounded so arithmetic never
+		// overflows (signed overflow is UB in MiniC as in C, and would
+		// void the affine analysis' no-wrap assumption)
+		v := g.lvalue()
+		if v == "" {
+			return false
+		}
+		g.w("%s = (%s) %% %d;", v, g.expr(g.cfg.MaxExprDepth), 41+g.rng.Intn(52))
+		return strings.HasPrefix(v, "g")
+	case 3: // read fresh input
+		v := g.lvalue()
+		if v == "" {
+			return false
+		}
+		g.w("%s = read_int();", v)
+		return strings.HasPrefix(v, "g")
+	case 4: // if / if-else
+		g.w("if (%s) {", g.cond())
+		g.indent++
+		wrote := g.block(depth - 1)
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			if g.block(depth - 1) {
+				wrote = true
+			}
+			g.indent--
+		}
+		g.w("}")
+		return wrote
+	case 5: // bounded counting loop with a frozen counter
+		cnt := fmt.Sprintf("i%d", len(g.locals))
+		bound := 1 + g.rng.Intn(5)
+		g.w("for (int %s = 0; %s < %d; %s++) {", cnt, cnt, bound, cnt)
+		g.locals = append(g.locals, cnt)
+		g.frozen[cnt] = true
+		g.indent++
+		wrote := g.block(depth - 1)
+		g.indent--
+		g.w("}")
+		// The counter's scope ends with the loop.
+		g.locals = g.locals[:len(g.locals)-1]
+		delete(g.frozen, cnt)
+		return wrote
+	case 6: // pointer write through the fixed helper
+		v := g.addressable()
+		if v == "" {
+			return false
+		}
+		g.w("poke(&%s, %s);", v, g.expr(1))
+		return strings.HasPrefix(v, "g")
+	case 7: // call a helper (respecting the DAG)
+		h := g.pickHelper()
+		if h == nil {
+			return false
+		}
+		args := make([]string, h.params)
+		for i := range args {
+			args[i] = g.expr(1)
+		}
+		call := fmt.Sprintf("%s(%s)", h.name, strings.Join(args, ", "))
+		if h.returns && g.rng.Intn(2) == 0 {
+			if v := g.lvalue(); v != "" {
+				g.w("%s = %s;", v, call)
+				return strings.HasPrefix(v, "g") || h.writesGlobals
+			}
+		}
+		g.w("%s;", call)
+		return h.writesGlobals
+	case 8: // output, or occasionally a switch dispatch
+		if depth > 0 && g.rng.Intn(3) == 0 {
+			return g.switchStmt(depth)
+		}
+		g.w("print_int(%s);", g.expr(1))
+		return false
+	default: // correlated double-check pattern (the paper's bread and butter)
+		v := g.anyVar()
+		if v == "" {
+			return false
+		}
+		k := g.rng.Intn(15) - 7
+		op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+		g.w("if (%s %s %d) {", v, op, k)
+		g.indent++
+		g.w("print_int(%d);", g.rng.Intn(100))
+		g.indent--
+		g.w("}")
+		g.w("if (%s %s %d) {", v, op, k+g.rng.Intn(5))
+		g.indent++
+		g.w("print_int(%d);", g.rng.Intn(100))
+		g.indent--
+		g.w("}")
+		return false
+	}
+}
+
+// switchStmt emits a switch over a variable with distinct constant
+// labels, random break/fallthrough, and an optional default.
+func (g *gen) switchStmt(depth int) bool {
+	v := g.anyVar()
+	if v == "" {
+		return false
+	}
+	wrote := false
+	g.w("switch (%s) {", v)
+	n := 2 + g.rng.Intn(3)
+	used := map[int]bool{}
+	for i := 0; i < n; i++ {
+		label := g.rng.Intn(21) - 10
+		for used[label] {
+			label++
+		}
+		used[label] = true
+		g.w("case %d:", label)
+		g.indent++
+		if g.block(depth - 1) {
+			wrote = true
+		}
+		if g.rng.Intn(3) > 0 { // mostly break, sometimes fall through
+			g.w("break;")
+		}
+		g.indent--
+	}
+	if g.rng.Intn(2) == 0 {
+		g.w("default:")
+		g.indent++
+		g.w("print_int(%d);", g.rng.Intn(50))
+		g.indent--
+	}
+	g.w("}")
+	return wrote
+}
+
+// lvalue picks an assignable variable (never a frozen loop counter).
+func (g *gen) lvalue() string {
+	candidates := g.mutableVars()
+	if len(candidates) == 0 {
+		return ""
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}
+
+// addressable picks a variable whose address may be taken.
+func (g *gen) addressable() string { return g.lvalue() }
+
+func (g *gen) mutableVars() []string {
+	var out []string
+	for _, v := range g.locals {
+		if !g.frozen[v] {
+			out = append(out, v)
+		}
+	}
+	out = append(out, g.globals...)
+	return out
+}
+
+func (g *gen) anyVar() string {
+	all := append(append([]string{}, g.locals...), g.globals...)
+	if len(all) == 0 {
+		return ""
+	}
+	return all[g.rng.Intn(len(all))]
+}
+
+func (g *gen) pickHelper() *helper {
+	if g.callableFrom >= len(g.helpers) {
+		return nil
+	}
+	idx := g.callableFrom + g.rng.Intn(len(g.helpers)-g.callableFrom)
+	return &g.helpers[idx]
+}
+
+func (g *gen) cond() string {
+	v := g.anyVar()
+	if v == "" {
+		return "1"
+	}
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+	if g.rng.Intn(4) == 0 {
+		w := g.anyVar()
+		conj := []string{"&&", "||"}[g.rng.Intn(2)]
+		return fmt.Sprintf("%s %s %d %s %s != %d",
+			v, op, g.rng.Intn(15)-7, conj, w, g.rng.Intn(15)-7)
+	}
+	return fmt.Sprintf("%s %s %d", v, op, g.rng.Intn(15)-7)
+}
+
+// expr emits a side-effect-free integer expression (no division: the
+// generator guarantees fault-free arithmetic).
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			if v := g.anyVar(); v != "" {
+				return v
+			}
+		}
+		return strconv.Itoa(g.rng.Intn(21) - 10)
+	}
+	op := []string{"+", "-", "*"}[g.rng.Intn(3)]
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

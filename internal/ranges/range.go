@@ -1,0 +1,229 @@
+// Package ranges implements the value-range reasoning behind branch
+// correlations: an interval algebra over int64 with open bounds, the
+// affine decomposition of register def chains (value = ±root + offset),
+// and the mapping from branch directions to ranges of the underlying
+// loaded or stored value.
+//
+// The paper's subsumption relation — "if a variable is in one range,
+// then it must be in the other range, e.g. range [0,5] subsumes range
+// [0,10]" — is Range.SubsetOf here.
+package ranges
+
+import "math"
+
+// Kind discriminates range shapes.
+type Kind int
+
+// Range kinds. An Interval with neither bound set is the full range.
+const (
+	Empty Kind = iota
+	Interval
+	Exclude // all values except a single point
+)
+
+// Range is a set of int64 values in one of three shapes: empty, a
+// (possibly half-open) interval, or the complement of a point.
+type Range struct {
+	Kind   Kind
+	Lo, Hi int64 // interval bounds, inclusive, valid when the Set flag holds
+	LoSet  bool
+	HiSet  bool
+	Ex     int64 // excluded point for Exclude
+}
+
+// Full is the unconstrained range.
+func Full() Range { return Range{Kind: Interval} }
+
+// EmptyRange is the empty set.
+func EmptyRange() Range { return Range{Kind: Empty} }
+
+// Point is the single-value range [v,v].
+func Point(v int64) Range {
+	return Range{Kind: Interval, Lo: v, Hi: v, LoSet: true, HiSet: true}
+}
+
+// AtMost is (-inf, v].
+func AtMost(v int64) Range { return Range{Kind: Interval, Hi: v, HiSet: true} }
+
+// AtLeast is [v, +inf).
+func AtLeast(v int64) Range { return Range{Kind: Interval, Lo: v, LoSet: true} }
+
+// Between is [lo, hi]; an inverted pair yields the empty range.
+func Between(lo, hi int64) Range {
+	if lo > hi {
+		return EmptyRange()
+	}
+	return Range{Kind: Interval, Lo: lo, Hi: hi, LoSet: true, HiSet: true}
+}
+
+// NotEqual is the complement of a point.
+func NotEqual(v int64) Range { return Range{Kind: Exclude, Ex: v} }
+
+// IsFull reports whether the range is unconstrained.
+func (r Range) IsFull() bool {
+	return r.Kind == Interval && !r.LoSet && !r.HiSet
+}
+
+// Contains reports membership of v.
+func (r Range) Contains(v int64) bool {
+	switch r.Kind {
+	case Empty:
+		return false
+	case Interval:
+		if r.LoSet && v < r.Lo {
+			return false
+		}
+		if r.HiSet && v > r.Hi {
+			return false
+		}
+		return true
+	case Exclude:
+		return v != r.Ex
+	}
+	return false
+}
+
+// SubsetOf reports whether every value in r is also in o — the paper's
+// "r subsumes o" relation (being in r implies being in o).
+func (r Range) SubsetOf(o Range) bool {
+	if r.Kind == Empty {
+		return true
+	}
+	if o.IsFull() {
+		return true
+	}
+	switch r.Kind {
+	case Interval:
+		switch o.Kind {
+		case Empty:
+			return false
+		case Interval:
+			if o.LoSet && (!r.LoSet || r.Lo < o.Lo) {
+				return false
+			}
+			if o.HiSet && (!r.HiSet || r.Hi > o.Hi) {
+				return false
+			}
+			return true
+		case Exclude:
+			return !r.Contains(o.Ex)
+		}
+	case Exclude:
+		switch o.Kind {
+		case Empty:
+			return false
+		case Interval:
+			return o.IsFull() // the complement of a point fits only in full
+		case Exclude:
+			return r.Ex == o.Ex
+		}
+	}
+	return false
+}
+
+// addSat is saturating addition used for bound arithmetic; on overflow
+// the caller widens to unbounded, keeping transforms conservative.
+func addSat(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// Shift returns the range of x+delta for x in r. Bound overflow widens
+// the affected side to unbounded (a conservative over-approximation).
+func (r Range) Shift(delta int64) Range {
+	switch r.Kind {
+	case Empty:
+		return r
+	case Exclude:
+		ex, ok := addSat(r.Ex, delta)
+		if !ok {
+			return Full()
+		}
+		return NotEqual(ex)
+	}
+	out := Range{Kind: Interval}
+	if r.LoSet {
+		if lo, ok := addSat(r.Lo, delta); ok {
+			out.Lo, out.LoSet = lo, true
+		}
+	}
+	if r.HiSet {
+		if hi, ok := addSat(r.Hi, delta); ok {
+			out.Hi, out.HiSet = hi, true
+		}
+	}
+	return out
+}
+
+// Neg returns the range of -x for x in r.
+func (r Range) Neg() Range {
+	switch r.Kind {
+	case Empty:
+		return r
+	case Exclude:
+		if r.Ex == math.MinInt64 {
+			return Full()
+		}
+		return NotEqual(-r.Ex)
+	}
+	out := Range{Kind: Interval}
+	if r.HiSet && r.Hi != math.MinInt64 {
+		out.Lo, out.LoSet = -r.Hi, true
+	}
+	if r.LoSet && r.Lo != math.MinInt64 {
+		out.Hi, out.HiSet = -r.Lo, true
+	}
+	// If any negation would overflow (only -MinInt64), that side is
+	// simply left unbounded.
+	return out
+}
+
+func (r Range) String() string {
+	switch r.Kind {
+	case Empty:
+		return "∅"
+	case Exclude:
+		return "≠" + itoa(r.Ex)
+	}
+	s := "("
+	if r.LoSet {
+		s = "[" + itoa(r.Lo)
+	} else {
+		s += "-inf"
+	}
+	s += ", "
+	if r.HiSet {
+		s += itoa(r.Hi) + "]"
+	} else {
+		s += "+inf)"
+	}
+	return s
+}
+
+func itoa(v int64) string {
+	// strconv-free tiny formatter to keep the hot path allocation-light
+	// is unnecessary here; use the stdlib via fmt-free conversion.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [21]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

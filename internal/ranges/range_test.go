@@ -1,0 +1,215 @@
+package ranges
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		r    Range
+		in   []int64
+		out  []int64
+		name string
+	}{
+		{AtMost(4), []int64{4, 0, -100, math.MinInt64}, []int64{5, 100}, "(-inf,4]"},
+		{AtLeast(4), []int64{4, 5, math.MaxInt64}, []int64{3, -1}, "[4,inf)"},
+		{Between(2, 5), []int64{2, 3, 5}, []int64{1, 6}, "[2,5]"},
+		{Point(7), []int64{7}, []int64{6, 8}, "[7,7]"},
+		{NotEqual(3), []int64{2, 4, math.MinInt64}, []int64{3}, "!=3"},
+		{Full(), []int64{0, math.MinInt64, math.MaxInt64}, nil, "full"},
+		{EmptyRange(), nil, []int64{0, 1}, "empty"},
+	}
+	for _, c := range cases {
+		for _, v := range c.in {
+			if !c.r.Contains(v) {
+				t.Errorf("%s should contain %d", c.name, v)
+			}
+		}
+		for _, v := range c.out {
+			if c.r.Contains(v) {
+				t.Errorf("%s should not contain %d", c.name, v)
+			}
+		}
+	}
+}
+
+func TestBetweenInverted(t *testing.T) {
+	if Between(5, 2).Kind != Empty {
+		t.Error("inverted interval must be empty")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	yes := [][2]Range{
+		{AtMost(4), AtMost(9)},          // y<5 subsumes y<10 (paper example)
+		{Between(0, 5), Between(0, 10)}, // [0,5] subsumes [0,10]
+		{Point(3), Between(0, 10)},
+		{Point(3), NotEqual(4)},
+		{Between(1, 2), NotEqual(0)},
+		{EmptyRange(), Point(9)},
+		{NotEqual(3), NotEqual(3)},
+		{NotEqual(3), Full()},
+		{AtLeast(5), AtLeast(5)},
+		{Full(), Full()},
+		{AtMost(3), Full()},
+	}
+	no := [][2]Range{
+		{AtMost(10), AtMost(4)},
+		{Between(0, 10), Between(0, 5)},
+		{NotEqual(3), NotEqual(4)},
+		{NotEqual(3), AtMost(100)},
+		{Full(), AtMost(3)},
+		{Point(4), NotEqual(4)},
+		{AtMost(4), AtLeast(0)},
+		{Point(1), EmptyRange()},
+		{AtLeast(0), Between(0, 10)},
+	}
+	for _, c := range yes {
+		if !c[0].SubsetOf(c[1]) {
+			t.Errorf("%v should be subset of %v", c[0], c[1])
+		}
+	}
+	for _, c := range no {
+		if c[0].SubsetOf(c[1]) {
+			t.Errorf("%v should not be subset of %v", c[0], c[1])
+		}
+	}
+}
+
+// Property: if a ⊆ b then every sampled member of a is in b.
+func TestSubsetConsistentWithMembership(t *testing.T) {
+	mk := func(kind uint8, a, b int64) Range {
+		switch kind % 6 {
+		case 0:
+			return AtMost(a % 100)
+		case 1:
+			return AtLeast(a % 100)
+		case 2:
+			lo, hi := a%100, b%100
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return Between(lo, hi)
+		case 3:
+			return NotEqual(a % 100)
+		case 4:
+			return Full()
+		default:
+			return Point(a % 100)
+		}
+	}
+	prop := func(k1, k2 uint8, a1, b1, a2, b2, probe int64) bool {
+		r1, r2 := mk(k1, a1, b1), mk(k2, a2, b2)
+		v := probe % 150
+		if r1.SubsetOf(r2) && r1.Contains(v) && !r2.Contains(v) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Shift preserves membership: v in r iff v+d in r.Shift(d)
+// (modulo conservative widening, which only adds members).
+func TestShiftMembership(t *testing.T) {
+	prop := func(lo, hi, v, d int64) bool {
+		lo, hi, v, d = lo%1000, hi%1000, v%2000, d%1000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := Between(lo, hi)
+		if r.Contains(v) && !r.Shift(d).Contains(v+d) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftForms(t *testing.T) {
+	r := Between(2, 5).Shift(3)
+	if !r.Contains(5) || !r.Contains(8) || r.Contains(4) || r.Contains(9) {
+		t.Errorf("[2,5]+3 = %v", r)
+	}
+	if got := NotEqual(4).Shift(-4); !got.Contains(1) || got.Contains(0) {
+		t.Errorf("(!=4)-4 = %v", got)
+	}
+	if got := EmptyRange().Shift(10); got.Kind != Empty {
+		t.Error("empty shifts to empty")
+	}
+	if got := AtMost(3).Shift(2); !got.Contains(5) || got.Contains(6) {
+		t.Errorf("(-inf,3]+2 = %v", got)
+	}
+}
+
+func TestShiftOverflowWidens(t *testing.T) {
+	r := AtMost(math.MaxInt64 - 1).Shift(10)
+	if r.HiSet {
+		t.Errorf("overflowing shift must widen, got %v", r)
+	}
+	// Widening is conservative: the range still contains everything the
+	// true result would.
+	if !r.Contains(math.MaxInt64) {
+		t.Error("widened range lost members")
+	}
+	ex := NotEqual(math.MaxInt64).Shift(5)
+	if !ex.IsFull() {
+		t.Errorf("overflowing exclude must widen to full, got %v", ex)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	r := Between(2, 5).Neg()
+	if !r.Contains(-2) || !r.Contains(-5) || r.Contains(-1) || r.Contains(-6) {
+		t.Errorf("-[2,5] = %v", r)
+	}
+	am := AtMost(3).Neg() // -x for x<=3 is x>=-3
+	if !am.Contains(-3) || !am.Contains(100) || am.Contains(-4) {
+		t.Errorf("-(-inf,3] = %v", am)
+	}
+	if got := NotEqual(7).Neg(); !got.Contains(7) || got.Contains(-7) {
+		t.Errorf("-(!=7) = %v", got)
+	}
+	if got := NotEqual(math.MinInt64).Neg(); !got.IsFull() {
+		t.Errorf("negating exclude(min) must widen, got %v", got)
+	}
+	if got := EmptyRange().Neg(); got.Kind != Empty {
+		t.Error("empty negates to empty")
+	}
+}
+
+func TestNegMembershipProperty(t *testing.T) {
+	prop := func(lo, hi, v int64) bool {
+		lo, hi, v = lo%1000, hi%1000, v%2000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := Between(lo, hi)
+		return r.Contains(v) == r.Neg().Contains(-v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	cases := map[string]Range{
+		"∅":            EmptyRange(),
+		"≠3":           NotEqual(3),
+		"[2, 5]":       Between(2, 5),
+		"(-inf, 4]":    AtMost(4),
+		"[-7, +inf)":   AtLeast(-7),
+		"(-inf, +inf)": Full(),
+	}
+	for want, r := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", r, got, want)
+		}
+	}
+}

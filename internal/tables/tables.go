@@ -1,0 +1,382 @@
+// Package tables encodes the per-function analysis results of
+// internal/core into the runtime's bit-level table images: the Branch
+// Status Vector (BSV, 2 bits per slot, maintained at runtime), the
+// Branch Checking Vector (BCV, 1 bit per slot) and the Branch Action
+// Table (BAT, a per-slot, per-direction linked list of actions), all
+// indexed by the collision-free hash of internal/hashfn.
+//
+// The bit sizes reported here regenerate the paper's Figure 8; the
+// binary Marshal/Unmarshal round trip models attaching the tables to
+// the program binary for the loader to map into reserved memory.
+package tables
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/hashfn"
+)
+
+// Status is a BSV entry: the expected direction of a branch.
+type Status uint8
+
+// Branch statuses. Unknown matches any direction.
+const (
+	Unknown Status = iota
+	Taken
+	NotTaken
+)
+
+func (s Status) String() string {
+	switch s {
+	case Unknown:
+		return "UN"
+	case Taken:
+		return "T"
+	case NotTaken:
+		return "NT"
+	}
+	return "?"
+}
+
+// Matches reports whether an observed direction is compatible with the
+// expected status.
+func (s Status) Matches(taken bool) bool {
+	switch s {
+	case Taken:
+		return taken
+	case NotTaken:
+		return !taken
+	}
+	return true
+}
+
+// StatusFor converts a direction to the corresponding status.
+func StatusFor(taken bool) Status {
+	if taken {
+		return Taken
+	}
+	return NotTaken
+}
+
+// BATEntry is one node of a BAT action list.
+type BATEntry struct {
+	Target int         // slot index of the branch to update
+	Act    core.Action // SET_T / SET_NT / SET_UN
+	Next   int32       // next entry index, -1 terminates
+}
+
+// FuncImage is the encoded table set of one function.
+type FuncImage struct {
+	Name     string
+	Base     uint64 // function code base address
+	Hash     hashfn.Params
+	NumSlots int
+
+	// BCV is the checking vector, one bit per slot.
+	BCV []uint64
+
+	// BATHeads holds, per slot and direction (0 taken, 1 not-taken),
+	// the index of the first BAT entry, or -1.
+	BATHeads [][2]int32
+	Entries  []BATEntry
+
+	// Sizes in bits of the three tables (Figure 8).
+	BSVBits int
+	BCVBits int
+	BATBits int
+}
+
+// Checked reports whether the slot is marked in the BCV.
+func (fi *FuncImage) Checked(slot int) bool {
+	return fi.BCV[slot/64]&(1<<(slot%64)) != 0
+}
+
+// Slot maps a branch PC to its table slot.
+func (fi *FuncImage) Slot(pc uint64) int { return fi.Hash.Slot(fi.Base, pc) }
+
+// Actions iterates the BAT list for (slot, taken), reporting the number
+// of entries walked (the runtime's per-update table accesses).
+func (fi *FuncImage) Actions(slot int, taken bool, yield func(BATEntry)) int {
+	dir := 0
+	if !taken {
+		dir = 1
+	}
+	n := 0
+	for idx := fi.BATHeads[slot][dir]; idx >= 0; {
+		e := fi.Entries[idx]
+		yield(e)
+		idx = e.Next
+		n++
+	}
+	return n
+}
+
+// Image is the whole-program table set plus the function information
+// table the compiler hands to the runtime (§5.4).
+type Image struct {
+	Funcs []*FuncImage
+	// ByBase locates a function image from its entry address.
+	ByBase map[uint64]*FuncImage
+}
+
+// FuncByName returns the image for the named function, or nil.
+func (im *Image) FuncByName(name string) *FuncImage {
+	for _, fi := range im.Funcs {
+		if fi.Name == name {
+			return fi
+		}
+	}
+	return nil
+}
+
+// Encode builds table images for every function in the analysis result.
+func Encode(res *core.Result) (*Image, error) {
+	im := &Image{ByBase: map[uint64]*FuncImage{}}
+	for _, fn := range res.Prog.Funcs {
+		fi, err := encodeFunc(res.Tables[fn])
+		if err != nil {
+			return nil, fmt.Errorf("tables: %s: %w", fn.Name, err)
+		}
+		im.Funcs = append(im.Funcs, fi)
+		im.ByBase[fi.Base] = fi
+	}
+	return im, nil
+}
+
+func encodeFunc(ft *core.FuncTables) (*FuncImage, error) {
+	fn := ft.Fn
+	pcs := make([]uint64, 0, len(ft.Branches))
+	for _, br := range ft.Branches {
+		pcs = append(pcs, br.PC)
+	}
+	params, err := hashfn.Find(fn.Base, pcs, 0)
+	if err != nil {
+		return nil, err
+	}
+	n := params.Slots()
+	fi := &FuncImage{
+		Name:     fn.Name,
+		Base:     fn.Base,
+		Hash:     params,
+		NumSlots: n,
+		BCV:      make([]uint64, (n+63)/64),
+		BATHeads: make([][2]int32, n),
+	}
+	for i := range fi.BATHeads {
+		fi.BATHeads[i] = [2]int32{-1, -1}
+	}
+	for br := range ft.Checked {
+		s := fi.Slot(br.PC)
+		fi.BCV[s/64] |= 1 << (s % 64)
+	}
+
+	// Deterministic event order: by branch PC, taken before not-taken.
+	evs := make([]core.Event, 0, len(ft.Actions))
+	for ev := range ft.Actions {
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Br.PC != evs[j].Br.PC {
+			return evs[i].Br.PC < evs[j].Br.PC
+		}
+		return evs[i].Dir < evs[j].Dir
+	})
+	for _, ev := range evs {
+		slot := fi.Slot(ev.Br.PC)
+		dir := 0
+		if ev.Dir == cfg.NotTaken {
+			dir = 1
+		}
+		// Build the chain in update order.
+		prev := int32(-1)
+		for i := len(ft.Actions[ev]) - 1; i >= 0; i-- {
+			u := ft.Actions[ev][i]
+			fi.Entries = append(fi.Entries, BATEntry{
+				Target: fi.Slot(u.Target.PC),
+				Act:    u.Act,
+				Next:   prev,
+			})
+			prev = int32(len(fi.Entries) - 1)
+		}
+		fi.BATHeads[slot][dir] = prev
+	}
+
+	fi.BSVBits = 2 * n
+	fi.BCVBits = n
+	ptrBits := log2ceil(len(fi.Entries) + 1)
+	slotBits := log2ceil(n)
+	fi.BATBits = 2*n*ptrBits + len(fi.Entries)*(slotBits+2+ptrBits)
+	return fi, nil
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+// Stats aggregates table sizes across an image (Figure 8 inputs).
+type Stats struct {
+	Funcs        int
+	AvgBSVBits   float64
+	AvgBCVBits   float64
+	AvgBATBits   float64
+	TotalEntries int
+}
+
+// Sizes computes average per-function table sizes.
+func (im *Image) Sizes() Stats {
+	var s Stats
+	if len(im.Funcs) == 0 {
+		return s
+	}
+	for _, fi := range im.Funcs {
+		s.AvgBSVBits += float64(fi.BSVBits)
+		s.AvgBCVBits += float64(fi.BCVBits)
+		s.AvgBATBits += float64(fi.BATBits)
+		s.TotalEntries += len(fi.Entries)
+	}
+	n := float64(len(im.Funcs))
+	s.Funcs = len(im.Funcs)
+	s.AvgBSVBits /= n
+	s.AvgBCVBits /= n
+	s.AvgBATBits /= n
+	return s
+}
+
+const magic = uint32(0x49504453) // "IPDS"
+
+// Marshal serialises the image to the binary form attached to program
+// binaries.
+func (im *Image) Marshal() []byte {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+
+	u32(magic)
+	u32(uint32(len(im.Funcs)))
+	for _, fi := range im.Funcs {
+		u32(uint32(len(fi.Name)))
+		buf = append(buf, fi.Name...)
+		u64(fi.Base)
+		buf = append(buf, fi.Hash.S1, fi.Hash.S2, fi.Hash.SizeLog2, 0)
+		u32(uint32(len(fi.BCV)))
+		for _, w := range fi.BCV {
+			u64(w)
+		}
+		u32(uint32(len(fi.Entries)))
+		for _, e := range fi.Entries {
+			u32(uint32(e.Target))
+			u32(uint32(e.Act))
+			u32(uint32(e.Next))
+		}
+		for _, h := range fi.BATHeads {
+			u32(uint32(h[0]))
+			u32(uint32(h[1]))
+		}
+	}
+	return buf
+}
+
+// Unmarshal reads a serialised image.
+func Unmarshal(data []byte) (*Image, error) {
+	off := 0
+	fail := func(what string) error { return fmt.Errorf("tables: truncated image at %s", what) }
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, true
+	}
+
+	m, ok := u32()
+	if !ok || m != magic {
+		return nil, fmt.Errorf("tables: bad magic")
+	}
+	nf, ok := u32()
+	if !ok {
+		return nil, fail("func count")
+	}
+	im := &Image{ByBase: map[uint64]*FuncImage{}}
+	for i := uint32(0); i < nf; i++ {
+		nameLen, ok := u32()
+		if !ok || off+int(nameLen) > len(data) {
+			return nil, fail("name")
+		}
+		name := string(data[off : off+int(nameLen)])
+		off += int(nameLen)
+		base, ok := u64()
+		if !ok {
+			return nil, fail("base")
+		}
+		if off+4 > len(data) {
+			return nil, fail("hash params")
+		}
+		params := hashfn.Params{S1: data[off], S2: data[off+1], SizeLog2: data[off+2]}
+		off += 4
+		nBCV, ok := u32()
+		if !ok {
+			return nil, fail("bcv len")
+		}
+		fi := &FuncImage{Name: name, Base: base, Hash: params, NumSlots: params.Slots()}
+		for j := uint32(0); j < nBCV; j++ {
+			w, ok := u64()
+			if !ok {
+				return nil, fail("bcv")
+			}
+			fi.BCV = append(fi.BCV, w)
+		}
+		nEnt, ok := u32()
+		if !ok {
+			return nil, fail("entry count")
+		}
+		for j := uint32(0); j < nEnt; j++ {
+			tgt, ok1 := u32()
+			act, ok2 := u32()
+			next, ok3 := u32()
+			if !ok1 || !ok2 || !ok3 {
+				return nil, fail("entry")
+			}
+			fi.Entries = append(fi.Entries, BATEntry{
+				Target: int(tgt), Act: core.Action(act), Next: int32(next),
+			})
+		}
+		fi.BATHeads = make([][2]int32, fi.NumSlots)
+		for j := 0; j < fi.NumSlots; j++ {
+			h0, ok1 := u32()
+			h1, ok2 := u32()
+			if !ok1 || !ok2 {
+				return nil, fail("heads")
+			}
+			fi.BATHeads[j] = [2]int32{int32(h0), int32(h1)}
+		}
+		n := fi.NumSlots
+		fi.BSVBits = 2 * n
+		fi.BCVBits = n
+		ptrBits := log2ceil(len(fi.Entries) + 1)
+		slotBits := log2ceil(n)
+		fi.BATBits = 2*n*ptrBits + len(fi.Entries)*(slotBits+2+ptrBits)
+		im.Funcs = append(im.Funcs, fi)
+		im.ByBase[fi.Base] = fi
+	}
+	return im, nil
+}

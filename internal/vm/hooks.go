@@ -1,0 +1,57 @@
+package vm
+
+import "repro/internal/ir"
+
+// AddHooks composes h with any hooks already installed, so several
+// observers (IPDS runtime, attack injector, CPU timing model) can watch
+// one execution. Existing hooks run first.
+func (v *VM) AddHooks(h Hooks) {
+	old := v.Hooks
+	v.Hooks = Hooks{
+		OnBranch: chain2(old.OnBranch, h.OnBranch),
+		OnCall:   chain1(old.OnCall, h.OnCall),
+		OnRet:    chain1(old.OnRet, h.OnRet),
+		OnInstr:  chain3(old.OnInstr, h.OnInstr),
+		OnStep:   chainStep(old.OnStep, h.OnStep),
+	}
+}
+
+func chain1(a, b func(*ir.Func)) func(*ir.Func) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(f *ir.Func) { a(f); b(f) }
+}
+
+func chain2(a, b func(*ir.Instr, bool)) func(*ir.Instr, bool) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(in *ir.Instr, taken bool) { a(in, taken); b(in, taken) }
+}
+
+func chain3(a, b func(*ir.Instr, uint64, int)) func(*ir.Instr, uint64, int) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(in *ir.Instr, addr uint64, size int) { a(in, addr, size); b(in, addr, size) }
+}
+
+func chainStep(a, b func(uint64)) func(uint64) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(s uint64) { a(s); b(s) }
+}

@@ -1,0 +1,524 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExpressionSemantics table-drives one expression per case through
+// the full pipeline (parse, lower, forward, execute) and compares
+// against the expected C-semantics value.
+func TestExpressionSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		// Arithmetic and precedence.
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"17 / 5", 3},
+		{"-17 / 5", -3},
+		{"17 % 5", 2},
+		{"-17 % 5", -2},
+		{"2 * -3", -6},
+		// Unary.
+		{"-(-5)", 5},
+		{"~0", -1},
+		{"~5 + 6", 0},
+		{"!0", 1},
+		{"!7", 0},
+		{"!!9", 1},
+		// Bitwise.
+		{"12 & 10", 8},
+		{"12 | 10", 14},
+		{"12 ^ 10", 6},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"5 & 3 | 4", 5},
+		{"5 ^ 3 & 1", 4},
+		// Comparisons produce 0/1.
+		{"3 < 4", 1},
+		{"4 < 3", 0},
+		{"3 <= 3", 1},
+		{"3 > 3", 0},
+		{"3 >= 3", 1},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"(1 < 2) + (2 < 1)", 1},
+		// Logical value context (both sides evaluated).
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 0", 0},
+		{"0 || 5", 1},
+		{"(3 < 4) && (4 < 5)", 1},
+		// Shifts with larger counts mask like hardware.
+		{"1 << 3 << 2", 32},
+		// Char literals are small ints.
+		{"'A'", 65},
+		{"'a' - 'A'", 32},
+		{"'0' + 9 - '9'", 0},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf("int main() { return %s; }", c.expr)
+		res := run(t, src)
+		if res.Status != Exited {
+			t.Errorf("%s: %v (%v)", c.expr, res.Status, res.Fault)
+			continue
+		}
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, res.ExitCode, c.want)
+		}
+	}
+}
+
+// TestStatementSemantics covers control-flow lowering corners.
+func TestStatementSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want int64
+	}{
+		{"nested-if", `
+			int x; x = 5;
+			if (x > 0) { if (x > 3) { return 1; } return 2; }
+			return 3;`, 1},
+		{"else-chain", `
+			int x; x = 2;
+			if (x == 1) { return 10; }
+			else if (x == 2) { return 20; }
+			else { return 30; }`, 20},
+		{"while-sum", `
+			int n; int s; n = 5; s = 0;
+			while (n > 0) { s = s + n; n = n - 1; }
+			return s;`, 15},
+		{"for-decl-scope", `
+			int s; s = 0;
+			for (int i = 0; i < 3; i++) { s = s + i; }
+			for (int i = 0; i < 3; i++) { s = s + i; }
+			return s;`, 6},
+		{"nested-loops", `
+			int s; s = 0;
+			for (int i = 0; i < 3; i++) {
+				for (int j = 0; j < 3; j++) {
+					if (j > i) { continue; }
+					s = s + 1;
+				}
+			}
+			return s;`, 6},
+		{"break-inner-only", `
+			int s; s = 0;
+			for (int i = 0; i < 3; i++) {
+				for (int j = 0; j < 10; j++) {
+					if (j == 2) { break; }
+					s = s + 1;
+				}
+			}
+			return s;`, 6},
+		{"chained-assign", `
+			int a; int b; int c;
+			a = b = c = 4;
+			return a + b + c;`, 12},
+		{"compound-assign", `
+			int x; x = 10;
+			x += 5; x -= 3; x++; ++x; x--;
+			return x;`, 13},
+		{"empty-stmt", `
+			;
+			return 9;`, 9},
+		{"short-circuit-and", `
+			int x; x = 0;
+			if (x != 0 && 10 / x > 1) { return 1; }
+			return 2;`, 2}, // division guarded by short circuit
+		{"short-circuit-or", `
+			int x; x = 0;
+			if (x == 0 || 10 / x > 1) { return 1; }
+			return 2;`, 1},
+		{"not-in-cond", `
+			int x; x = 0;
+			if (!x) { return 5; }
+			return 6;`, 5},
+		{"cmp-chain-mixed", `
+			int a; a = 7;
+			if (a >= 5 && a <= 9 && a != 8) { return 1; }
+			return 0;`, 1},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf("int main() { %s }", c.body)
+		res := run(t, src)
+		if res.Status != Exited {
+			t.Errorf("%s: %v (%v)", c.name, res.Status, res.Fault)
+			continue
+		}
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.name, res.ExitCode, c.want)
+		}
+	}
+}
+
+// TestPointerSemantics covers address/indirection lowering corners.
+func TestPointerSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"double-pointer", `
+			int main() {
+				int x; int* p; int** pp;
+				x = 3; p = &x; pp = &p;
+				**pp = 8;
+				return x;
+			}`, 8},
+		{"pointer-walk", `
+			int main() {
+				int a[4];
+				int* p;
+				a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+				p = a;
+				p = p + 2;
+				return *p + *(p + 1);
+			}`, 7},
+		{"pointer-difference", `
+			int main() {
+				int a[8];
+				int* p; int* q;
+				p = &a[1]; q = &a[6];
+				return q - p;
+			}`, 5},
+		{"addr-of-element", `
+			int main() {
+				int a[3];
+				a[1] = 9;
+				return *(&a[1]);
+			}`, 9},
+		{"char-pointer-string", `
+			int main() {
+				char* s;
+				s = "hi";
+				return s[0] + s[1];
+			}`, int64('h' + 'i')},
+		{"pointer-through-call", `
+			void twice(int* p) { *p = *p * 2; }
+			int main() {
+				int v; v = 21;
+				twice(&v);
+				return v;
+			}`, 42},
+		{"array-as-param", `
+			int sum3(int* a) { return a[0] + a[1] + a[2]; }
+			int main() {
+				int xs[3];
+				xs[0] = 1; xs[1] = 2; xs[2] = 3;
+				return sum3(xs);
+			}`, 6},
+		{"negated-variable", `
+			int main() {
+				int x; x = 7;
+				return -x + 10;
+			}`, 3},
+		{"bnot-variable", `
+			int main() {
+				int x; x = 0;
+				return ~x;
+			}`, -1},
+		{"not-variable", `
+			int main() {
+				int x; x = 3;
+				return !x;
+			}`, 0},
+	}
+	for _, c := range cases {
+		res := run(t, c.src)
+		if res.Status != Exited {
+			t.Errorf("%s: %v (%v)", c.name, res.Status, res.Fault)
+			continue
+		}
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.name, res.ExitCode, c.want)
+		}
+	}
+}
+
+// TestCharSemantics: chars are unsigned bytes in memory.
+func TestCharSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"truncate-store", `
+			int main() { char c; c = 256 + 7; return c; }`, 7},
+		{"zero-extend-load", `
+			int main() { char c; c = 200; return c; }`, 200},
+		{"char-in-arith", `
+			int main() { char c; c = 'z'; return c * 2; }`, 244},
+		{"char-array-bytes", `
+			int main() {
+				char b[4];
+				b[0] = 255; b[1] = 1;
+				return b[0] + b[1];
+			}`, 256},
+	}
+	for _, c := range cases {
+		res := run(t, c.src)
+		if res.Status != Exited {
+			t.Errorf("%s: %v (%v)", c.name, res.Status, res.Fault)
+			continue
+		}
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.name, res.ExitCode, c.want)
+		}
+	}
+}
+
+// TestCallSemantics: evaluation order, recursion, void calls.
+func TestCallSemantics(t *testing.T) {
+	res := run(t, `
+		int order;
+		int mark(int v) { order = order * 10 + v; return v; }
+		int sub(int a, int b) { return a - b; }
+		int main() {
+			int r;
+			order = 0;
+			r = sub(mark(1), mark(2));
+			if (order != 12) { return 100; }
+			return r + 10;
+		}`)
+	wantExit(t, res, 9) // args left-to-right, 1-2 = -1
+}
+
+func TestMutualHelperChain(t *testing.T) {
+	res := run(t, `
+		int c(int x) { return x + 1; }
+		int b(int x) { return c(x) * 2; }
+		int a(int x) { return b(x) + c(x); }
+		int main() { return a(3); }`)
+	wantExit(t, res, 12) // b(3)=8, c(3)=4
+}
+
+// TestGlobalsAcrossCalls: callees observe and mutate globals.
+func TestGlobalsAcrossCalls(t *testing.T) {
+	res := run(t, `
+		int g = 5;
+		void bump() { g = g + 1; }
+		int get() { return g; }
+		int main() {
+			bump(); bump();
+			return get();
+		}`)
+	wantExit(t, res, 7)
+}
+
+// TestSwitchSemantics: C switch with fallthrough, break and default.
+func TestSwitchSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"plain-dispatch", `
+			int main() {
+				int x; int r;
+				x = 2; r = 0;
+				switch (x) {
+				case 1: r = 10; break;
+				case 2: r = 20; break;
+				case 3: r = 30; break;
+				}
+				return r;
+			}`, 20},
+		{"fallthrough", `
+			int main() {
+				int r; r = 0;
+				switch (2) {
+				case 1: r = r + 1;
+				case 2: r = r + 2;
+				case 3: r = r + 4;
+				}
+				return r;
+			}`, 6}, // enters at 2, falls into 3
+		{"default-taken", `
+			int main() {
+				switch (99) {
+				case 1: return 1;
+				default: return 42;
+				case 2: return 2;
+				}
+				return 0;
+			}`, 42},
+		{"no-default-miss", `
+			int main() {
+				int r; r = 7;
+				switch (99) {
+				case 1: r = 1; break;
+				}
+				return r;
+			}`, 7},
+		{"shared-labels", `
+			int main() {
+				switch (5) {
+				case 4:
+				case 5:
+				case 6: return 1;
+				}
+				return 0;
+			}`, 1},
+		{"negative-and-char-labels", `
+			int main() {
+				int x; x = -3;
+				switch (x) {
+				case -3: return 'A';
+				case 'B': return 2;
+				}
+				return 0;
+			}`, 65},
+		{"switch-in-loop-break", `
+			int main() {
+				int i; int s; s = 0;
+				for (i = 0; i < 5; i++) {
+					switch (i % 2) {
+					case 0: s = s + 10; break;
+					case 1: s = s + 1; break;
+					}
+				}
+				return s;
+			}`, 32},
+		{"continue-through-switch", `
+			int main() {
+				int i; int s; s = 0;
+				for (i = 0; i < 6; i++) {
+					switch (i) {
+					case 2: continue;
+					case 4: continue;
+					}
+					s = s + i;
+				}
+				return s;
+			}`, 0 + 1 + 3 + 5},
+		{"tag-evaluated-once", `
+			int calls;
+			int tag() { calls = calls + 1; return 2; }
+			int main() {
+				switch (tag()) {
+				case 1: return 100;
+				case 2: return calls;
+				}
+				return 0;
+			}`, 1},
+		{"return-inside-case", `
+			int main() {
+				switch (1) {
+				case 1: return 11;
+				case 2: return 22;
+				}
+				return 0;
+			}`, 11},
+	}
+	for _, c := range cases {
+		res := run(t, c.src)
+		if res.Status != Exited {
+			t.Errorf("%s: %v (%v)", c.name, res.Status, res.Fault)
+			continue
+		}
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.name, res.ExitCode, c.want)
+		}
+	}
+}
+
+// TestStructSemantics: struct fields, pointers to structs, split and
+// blob representations.
+func TestStructSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"split-fields", `
+			struct Session { int authed; int level; };
+			int main() {
+				struct Session s;
+				s.authed = 1;
+				s.level = 41;
+				return s.authed + s.level;
+			}`, 42},
+		{"global-struct", `
+			struct Counter { int hits; int misses; };
+			struct Counter c;
+			int main() {
+				c.hits = 3;
+				c.misses = 4;
+				return c.hits * 10 + c.misses;
+			}`, 34},
+		{"struct-pointer-arrow", `
+			struct Box { int v; int w; };
+			void fill(struct Box* b) {
+				b->v = 7;
+				b->w = 8;
+			}
+			int main() {
+				struct Box b;
+				fill(&b);
+				return b.v * 10 + b.w;
+			}`, 78},
+		{"char-array-field", `
+			struct User { int uid; char name[8]; };
+			int main() {
+				struct User u;
+				u.uid = 5;
+				strcpy(u.name, "bob");
+				if (strcmp(u.name, "bob") == 0) { return u.uid; }
+				return 0;
+			}`, 5},
+		{"field-addr", `
+			struct P { int x; int y; };
+			int main() {
+				struct P p;
+				int* q;
+				p.x = 1;
+				q = &p.y;
+				*q = 9;
+				return p.x + p.y;
+			}`, 10},
+		{"mixed-field-offsets", `
+			struct M { char tag; int big; char c2; int big2; };
+			int main() {
+				struct M m;
+				m.tag = 7;
+				m.big = 1000;
+				m.c2 = 3;
+				m.big2 = 2000;
+				return m.tag + m.big + m.c2 + m.big2;
+			}`, 3010},
+		{"deref-member", `
+			struct B { int v; int u; };
+			int main() {
+				struct B b;
+				struct B* p;
+				b.u = 31;
+				p = &b;
+				return (*p).u + p->u;
+			}`, 62},
+		{"struct-in-branches", `
+			struct S { int flag; int n; };
+			int main() {
+				struct S s;
+				s.flag = 1;
+				s.n = 0;
+				if (s.flag == 1) { s.n = s.n + 5; }
+				if (s.flag == 1) { s.n = s.n + 6; }
+				return s.n;
+			}`, 11},
+	}
+	for _, c := range cases {
+		res := run(t, c.src)
+		if res.Status != Exited {
+			t.Errorf("%s: %v (%v)", c.name, res.Status, res.Fault)
+			continue
+		}
+		if res.ExitCode != c.want {
+			t.Errorf("%s = %d, want %d", c.name, res.ExitCode, c.want)
+		}
+	}
+}

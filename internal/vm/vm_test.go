@@ -1,0 +1,539 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	mp, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := ir.Lower(mp, ir.DefaultOptions)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, input ...string) Result {
+	t.Helper()
+	p := compile(t, src)
+	return New(p, DefaultConfig, input).Run()
+}
+
+func wantExit(t *testing.T, res Result, code int64) {
+	t.Helper()
+	if res.Status != Exited {
+		t.Fatalf("status = %v (fault %v), want exit", res.Status, res.Fault)
+	}
+	if res.ExitCode != code {
+		t.Fatalf("exit = %d, want %d", res.ExitCode, code)
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int a; int b;
+			a = 7; b = 3;
+			return a*b + a/b - a%b + (a<<1) + (b>>1) + (a&b) + (a|b) + (a^b) + -b + ~0;
+		}`)
+	// 21 + 2 - 1 + 14 + 1 + 3 + 7 + 4 - 3 - 1 = 47
+	wantExit(t, res, 47)
+}
+
+func TestRunControlFlow(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int s; int i;
+			s = 0;
+			for (i = 1; i <= 10; i++) {
+				if (i % 2 == 0) { continue; }
+				if (i > 7) { break; }
+				s = s + i;
+			}
+			return s;
+		}`)
+	wantExit(t, res, 1+3+5+7)
+}
+
+func TestRunWhileAndFunctions(t *testing.T) {
+	res := run(t, `
+		int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n-1) + fib(n-2);
+		}
+		int main() { return fib(10); }`)
+	wantExit(t, res, 55)
+}
+
+func TestRunPointers(t *testing.T) {
+	res := run(t, `
+		void bump(int* p, int by) { *p = *p + by; }
+		int main() {
+			int x;
+			x = 40;
+			bump(&x, 2);
+			return x;
+		}`)
+	wantExit(t, res, 42)
+}
+
+func TestRunArrays(t *testing.T) {
+	res := run(t, `
+		int a[5];
+		int main() {
+			int i;
+			for (i = 0; i < 5; i++) { a[i] = i * i; }
+			return a[0] + a[1] + a[2] + a[3] + a[4];
+		}`)
+	wantExit(t, res, 0+1+4+9+16)
+}
+
+func TestRunCharsAndStrings(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char buf[8];
+			buf[0] = 'h'; buf[1] = 'i'; buf[2] = 0;
+			print_str(buf);
+			return strlen(buf);
+		}`)
+	wantExit(t, res, 2)
+	if len(res.Output) != 1 || res.Output[0] != "hi" {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestRunGlobalInitAndShadow(t *testing.T) {
+	res := run(t, `
+		int g = 11;
+		int main() {
+			int g2;
+			g2 = g + 1;
+			return g2;
+		}`)
+	wantExit(t, res, 12)
+}
+
+func TestRunStrcmpFamily(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char a[8];
+			strcpy(a, "abc");
+			if (strcmp(a, "abc") != 0) { return 1; }
+			if (strcmp(a, "abd") >= 0) { return 2; }
+			if (strncmp(a, "abX", 2) != 0) { return 3; }
+			if (strlen(a) != 3) { return 4; }
+			return 0;
+		}`)
+	wantExit(t, res, 0)
+}
+
+func TestRunStrcatAndStrncpy(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char a[16];
+			strcpy(a, "ab");
+			strcat(a, "cd");
+			if (strcmp(a, "abcd") != 0) { return 1; }
+			strncpy(a, "wxyz", 3);
+			if (strcmp(a, "wx") != 0) { return 2; }
+			return 0;
+		}`)
+	wantExit(t, res, 0)
+}
+
+func TestRunInputBuiltins(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char buf[32];
+			int n; int x;
+			n = read_line(buf);
+			x = read_int();
+			if (input_avail()) { return 100; }
+			print_str(buf);
+			print_int(x + n);
+			return atoi(buf);
+		}`, "123abc", "7")
+	wantExit(t, res, 123)
+	if len(res.Output) != 2 || res.Output[0] != "123abc" || res.Output[1] != "13" {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestRunReadLineEOF(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char buf[8];
+			if (read_line(buf) < 0) { return 5; }
+			return 0;
+		}`)
+	wantExit(t, res, 5)
+}
+
+func TestRunReadLineN(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char buf[4];
+			read_line_n(buf, 4);
+			return strlen(buf);
+		}`, "abcdefgh")
+	wantExit(t, res, 3) // truncated to 3 chars + NUL
+}
+
+func TestRunMemset(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char b[8];
+			memset(b, 'x', 7);
+			b[7] = 0;
+			return strlen(b);
+		}`)
+	wantExit(t, res, 7)
+}
+
+func TestRunExitProg(t *testing.T) {
+	res := run(t, `
+		int main() {
+			exit_prog(9);
+			return 1;
+		}`)
+	wantExit(t, res, 9)
+}
+
+func TestBufferOverflowClobbersAdjacentLocal(t *testing.T) {
+	// The overflow vector: str and user are adjacent in the frame;
+	// copying a long input into str rewrites user (paper Figure 1).
+	res := run(t, `
+		int main() {
+			char str[8];
+			char user[8];
+			strcpy(user, "guest");
+			read_line(str);
+			if (strcmp(user, "admin") == 0) { return 77; }
+			return 1;
+		}`, "AAAAAAAAadmin")
+	wantExit(t, res, 77)
+}
+
+func TestDivByZeroFaults(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int z;
+			z = 0;
+			return 5 / z;
+		}`)
+	if res.Status != Faulted || !errors.Is(res.Fault, ErrDivZero) {
+		t.Fatalf("status = %v fault = %v", res.Status, res.Fault)
+	}
+}
+
+func TestNullDerefFaults(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int* p;
+			p = 0;
+			return *p;
+		}`)
+	if res.Status != Faulted || !errors.Is(res.Fault, ErrNull) {
+		t.Fatalf("fault = %v", res.Fault)
+	}
+}
+
+func TestWildPointerFaults(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int* p;
+			p = 0;
+			p = p + 999999999;
+			return *p;
+		}`)
+	if res.Status != Faulted {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := compile(t, `int main() { while (1) { } return 0; }`)
+	cfg := DefaultConfig
+	cfg.MaxSteps = 1000
+	res := New(p, cfg, nil).Run()
+	if res.Status != StepLimit {
+		t.Fatalf("status = %v, want step-limit", res.Status)
+	}
+	if res.Steps != 1000 {
+		t.Errorf("steps = %d", res.Steps)
+	}
+}
+
+func TestRecursionDepthFaults(t *testing.T) {
+	res := run(t, `
+		int down(int n) { return down(n+1); }
+		int main() { return down(0); }`)
+	if res.Status != Faulted {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !errors.Is(res.Fault, ErrCallDepth) && !errors.Is(res.Fault, ErrStack) {
+		t.Fatalf("fault = %v", res.Fault)
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	p := compile(t, `void f() { }`)
+	res := New(p, DefaultConfig, nil).Run()
+	if !errors.Is(res.Fault, ErrNoMain) {
+		t.Fatalf("fault = %v", res.Fault)
+	}
+}
+
+func TestBranchTraceRecorded(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int i;
+			for (i = 0; i < 3; i++) { }
+			return 0;
+		}`)
+	// Loop condition: 3 taken + 1 not-taken.
+	if len(res.Branches) != 4 {
+		t.Fatalf("branch events = %d, want 4", len(res.Branches))
+	}
+	takens := 0
+	for _, b := range res.Branches {
+		if b.Taken {
+			takens++
+		}
+	}
+	if takens != 3 {
+		t.Errorf("taken = %d, want 3", takens)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	p := compile(t, `
+		int helper(int a) { if (a > 0) { return a; } return -a; }
+		int main() { return helper(-5); }`)
+	v := New(p, DefaultConfig, nil)
+	var calls, rets, branches, instrs, steps int
+	v.Hooks = Hooks{
+		OnBranch: func(br *ir.Instr, taken bool) { branches++ },
+		OnCall:   func(fn *ir.Func) { calls++ },
+		OnRet:    func(fn *ir.Func) { rets++ },
+		OnInstr:  func(in *ir.Instr, addr uint64, size int) { instrs++ },
+		OnStep:   func(step uint64) { steps++ },
+	}
+	res := v.Run()
+	wantExit(t, res, 5)
+	if calls != 2 { // main + helper
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	if rets != 2 {
+		t.Errorf("rets = %d, want 2", rets)
+	}
+	if branches != 1 {
+		t.Errorf("branches = %d, want 1", branches)
+	}
+	if uint64(instrs) != res.Steps {
+		t.Errorf("OnInstr fired %d times for %d steps", instrs, res.Steps)
+	}
+	if steps == 0 {
+		t.Error("OnStep never fired")
+	}
+}
+
+func TestPokeTampersVariable(t *testing.T) {
+	// Corrupt `secret` mid-run via the OnStep hook and observe the
+	// control-flow change.
+	// The noop user call forces a reload of the global (user calls may
+	// write globals), so the tampered memory value reaches the branch.
+	p := compile(t, `
+		int secret;
+		void barrier() { }
+		int main() {
+			secret = 1;
+			barrier();
+			if (secret == 1) { return 10; }
+			return 20;
+		}`)
+	var secretObj *ir.Object
+	for _, o := range p.Objects {
+		if o.Name == "secret" {
+			secretObj = o
+		}
+	}
+	v := New(p, DefaultConfig, nil)
+	addr, ok := v.AddrOfObj(secretObj.ID)
+	if !ok {
+		t.Fatal("secret address unresolved")
+	}
+	// Poke right after the store to secret (const + store = 2 steps),
+	// before the post-call reload.
+	poked := false
+	v.Hooks.OnStep = func(step uint64) {
+		if !poked && step >= 2 {
+			if err := v.Poke(addr, 999, 8); err != nil {
+				t.Fatal(err)
+			}
+			poked = true
+		}
+	}
+	res := v.Run()
+	wantExit(t, res, 20)
+}
+
+func TestPeekPokeBounds(t *testing.T) {
+	p := compile(t, `int main() { return 0; }`)
+	v := New(p, DefaultConfig, nil)
+	if err := v.Poke(uint64(len(v.mem)), 1, 8); err == nil {
+		t.Error("poke past end must fail")
+	}
+	if _, err := v.Peek(uint64(len(v.mem))-4, 8); err == nil {
+		t.Error("peek past end must fail")
+	}
+	if err := v.Poke(0x2000, 42, 8); err != nil {
+		t.Error(err)
+	}
+	if got, _ := v.Peek(0x2000, 8); got != 42 {
+		t.Errorf("peek = %d", got)
+	}
+}
+
+func TestAddrOfObjFrameResolution(t *testing.T) {
+	p := compile(t, `
+		int helper() {
+			int local;
+			local = 3;
+			return local;
+		}
+		int main() { return helper(); }`)
+	var localObj *ir.Object
+	for _, o := range p.Objects {
+		if strings.HasSuffix(o.Name, ".local") {
+			localObj = o
+		}
+	}
+	v := New(p, DefaultConfig, nil)
+	if _, ok := v.AddrOfObj(localObj.ID); ok {
+		t.Error("local of inactive function must not resolve")
+	}
+	resolved := false
+	v.Hooks.OnCall = func(fn *ir.Func) {
+		if fn.Name == "helper" {
+			if _, ok := v.AddrOfObj(localObj.ID); !ok {
+				t.Error("local of active function must resolve")
+			}
+			resolved = true
+		}
+	}
+	v.Run()
+	if !resolved {
+		t.Error("helper never entered")
+	}
+}
+
+func TestValueContextLogicalBothSides(t *testing.T) {
+	res := run(t, `
+		int main() {
+			int a; int b; int c;
+			a = 3; b = 0;
+			c = (a && b) + (a || b) * 10;
+			return c;
+		}`)
+	wantExit(t, res, 10)
+}
+
+func TestShortCircuitConditionSemantics(t *testing.T) {
+	res := run(t, `
+		int calls;
+		int bump() { calls = calls + 1; return 1; }
+		int main() {
+			if (0 && bump()) { }
+			if (1 || bump()) { }
+			return calls;
+		}`)
+	wantExit(t, res, 0)
+}
+
+func TestCharTruncationAndZeroExtension(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char c;
+			c = 300; // truncates to 44
+			return c;
+		}`)
+	wantExit(t, res, 44)
+}
+
+func TestOutputHelper(t *testing.T) {
+	p := compile(t, `int main() { print_int(1); print_int(2); return 0; }`)
+	v := New(p, DefaultConfig, nil)
+	v.Run()
+	out := v.Output()
+	if len(out) != 2 || out[0] != "1" || out[1] != "2" {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestGlobalStringDataPlacement(t *testing.T) {
+	p := compile(t, `int main() { return strlen("hello"); }`)
+	v := New(p, DefaultConfig, nil)
+	res := v.Run()
+	wantExit(t, res, 5)
+}
+
+func TestReadOnlyStringSegment(t *testing.T) {
+	// Writing through a pointer into a string literal faults: the
+	// paper's machine model maps static constants read-only.
+	res := run(t, `
+		int main() {
+			char* p;
+			p = "const";
+			p[0] = 'X';
+			return 0;
+		}`)
+	if res.Status != Faulted || !errors.Is(res.Fault, ErrReadOnly) {
+		t.Fatalf("status=%v fault=%v, want read-only fault", res.Status, res.Fault)
+	}
+}
+
+func TestReadOnlyViaStrcpy(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char* p;
+			p = "target";
+			strcpy(p, "boom");
+			return 0;
+		}`)
+	if res.Status != Faulted || !errors.Is(res.Fault, ErrReadOnly) {
+		t.Fatalf("status=%v fault=%v", res.Status, res.Fault)
+	}
+}
+
+func TestReadOnlyViaMemset(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char* p;
+			p = "zzz";
+			memset(p, 0, 2);
+			return 0;
+		}`)
+	if res.Status != Faulted || !errors.Is(res.Fault, ErrReadOnly) {
+		t.Fatalf("status=%v fault=%v", res.Status, res.Fault)
+	}
+}
+
+func TestStringReadsStillWork(t *testing.T) {
+	res := run(t, `
+		int main() {
+			char buf[16];
+			strcpy(buf, "hello");
+			return strcmp(buf, "hello");
+		}`)
+	wantExit(t, res, 0)
+}

@@ -1,0 +1,179 @@
+package workload
+
+// ATFTPD models the atftpd TFTP daemon (original CVE class: buffer
+// overflow in filename handling). The transfer state machine —
+// read-only policy, active flag, block counter, retry budget — lives in
+// main's frame.
+func ATFTPD() *Workload {
+	return &Workload{
+		Name: "atftpd",
+		Vuln: "buffer overflow",
+		Source: `
+// atftpd: TFTP daemon (MiniC re-creation).
+int served;
+
+// Vulnerable: the requested filename is copied into a fixed stack
+// buffer with no length check (the atftpd CVE shape). Returns 1 when
+// the file is in the public tree.
+int read_filename_public() {
+	char fname[8];
+	char name[24];
+	read_line_n(name, 24);
+	strcpy(fname, name); // unbounded filename copy
+	if (strncmp(fname, "pub", 3) == 0) {
+		return 1;
+	}
+	return 0;
+}
+
+int main() {
+	char cmd[8];
+	int readonly;
+	int active;
+	int blocks;
+	int retries;
+	int uploads;
+	int aborted;
+	readonly = 1;
+	active = 0;
+	blocks = 0;
+	retries = 0;
+	uploads = 0;
+	aborted = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "rrq") == 0) {
+			int public;
+			public = read_filename_public();
+			if (active == 1) {
+				print_str("error: busy");
+			} else if (public != 1 && readonly == 1) {
+				print_str("error: access denied");
+			} else {
+				active = 1;
+				blocks = 0;
+				retries = 3;
+				print_str("transfer start");
+			}
+		} else if (strcmp(cmd, "wrq") == 0) {
+			read_filename_public();
+			if (readonly == 1) {
+				print_str("error: read-only server");
+			} else if (active == 1) {
+				print_str("error: busy");
+			} else {
+				active = 1;
+				blocks = 0;
+				retries = 3;
+				uploads = uploads + 1;
+				print_str("upload start");
+			}
+		} else if (strcmp(cmd, "data") == 0) {
+			if (active != 1) {
+				print_str("error: no transfer");
+			} else {
+				blocks = blocks + 1;
+				if (blocks >= 4) {
+					active = 0;
+					served = served + 1;
+					print_str("transfer done");
+				} else {
+					print_str("ack");
+				}
+			}
+		} else if (strcmp(cmd, "tmo") == 0) {
+			if (active == 1) {
+				retries = retries - 1;
+				if (retries <= 0) {
+					active = 0;
+					print_str("transfer aborted");
+				} else {
+					print_str("retransmit");
+				}
+			}
+		} else if (strcmp(cmd, "rw") == 0) {
+			readonly = 0;
+			print_str("read-write mode");
+		} else if (strcmp(cmd, "ro") == 0) {
+			readonly = 1;
+			print_str("read-only mode");
+		} else if (strcmp(cmd, "abort") == 0) {
+			if (active == 1) {
+				active = 0;
+				aborted = aborted + 1;
+				print_str("aborted by client");
+			} else {
+				print_str("no transfer");
+			}
+		} else if (strcmp(cmd, "stat") == 0) {
+			print_int(served);
+			print_int(aborted);
+			if (active == 1) {
+				print_int(blocks);
+			}
+		} else if (strcmp(cmd, "quit") == 0) {
+			print_int(served);
+			exit_prog(0);
+		} else {
+			print_str("bad command");
+		}
+		if (active == 1) {
+			if (blocks > 100) {
+				print_str("error: runaway transfer");
+				active = 0;
+			}
+			if (retries > 3) {
+				print_str("impossible: retry budget grew");
+			}
+		}
+		if (readonly == 1) {
+			if (uploads > 0) {
+				print_str("note: uploads before lockdown");
+			}
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"rrq", "pub/readme",
+			"data", "data", "data", "data",
+			"rrq", "secret/key",
+			"rw",
+			"wrq", "upload.bin",
+			"data", "tmo", "data", "data", "data",
+			"rrq", "pub/other",
+			"tmo", "tmo", "tmo",
+			"rrq", "pub/file2",
+			"data", "data", "data", "data",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"rrq", "pub/a",
+				"data", "abort",
+				"stat",
+				"rrq", "pub/b",
+				"data", "data", "data", "data",
+				"stat",
+				"abort",
+				"quit",
+			},
+			{
+				"rw",
+				"wrq", "up1",
+				"data", "data", "data", "data",
+				"ro",
+				"wrq", "up2",
+				"rrq", "private/file",
+				"stat",
+				"quit",
+			},
+		},
+		PerfSession: repeat(200,
+			"rrq", "pub/data-%d",
+			"data", "data", "data", "data",
+			"tmo",
+		),
+	}
+}

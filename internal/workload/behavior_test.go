@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/vm"
+)
+
+// runSession executes one workload session and returns the output.
+func runSession(t *testing.T, w *Workload, session []string) []string {
+	t.Helper()
+	art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	res := vm.New(art.Prog, vm.DefaultConfig, session).Run()
+	if res.Status != vm.Exited {
+		t.Fatalf("%s: %v (%v)", w.Name, res.Status, res.Fault)
+	}
+	return res.Output
+}
+
+func wantLines(t *testing.T, w *Workload, out []string, wants ...string) {
+	t.Helper()
+	joined := strings.Join(out, "\n")
+	for _, want := range wants {
+		if !strings.Contains(joined, want) {
+			t.Errorf("%s: output missing %q\n---\n%s", w.Name, want, joined)
+		}
+	}
+}
+
+// TestProtocolBehaviors locks in each server's observable protocol
+// logic: authentication gates, privilege checks, limits. These are the
+// behaviors the correlation analysis guards, so regressions here would
+// silently change the experiments.
+func TestProtocolBehaviors(t *testing.T) {
+	t.Run("telnetd-privilege-gate", func(t *testing.T) {
+		w := Telnetd()
+		out := runSession(t, w, []string{
+			"whoami",
+			"exec", "reboot",
+			"login", "guest", "guest",
+			"exec", "reboot",
+			"login", "root", "toor",
+			"exec", "reboot",
+			"quit",
+		})
+		wantLines(t, w, out, "nobody", "not logged in", "permission denied", "rebooting", "bye")
+	})
+
+	t.Run("telnetd-lockout", func(t *testing.T) {
+		w := Telnetd()
+		out := runSession(t, w, []string{
+			"login", "x", "y",
+			"login", "x", "y",
+			"login", "x", "y",
+			"login", "x", "y",
+		})
+		wantLines(t, w, out, "too many failures")
+	})
+
+	t.Run("ftpd-anonymous-restrictions", func(t *testing.T) {
+		w := WuFTPD()
+		out := runSession(t, w, []string{
+			"USER", "anonymous",
+			"PASS", "x",
+			"RETR", "/etc/passwd",
+			"STOR", "/pub/up",
+			"RETR", "/pub/ok",
+			"QUIT",
+		})
+		wantLines(t, w, out, "guest login ok", "550 permission denied",
+			"550 read-only access", "226 transfer complete", "221 goodbye")
+	})
+
+	t.Run("xinetd-limits-and-lockdown", func(t *testing.T) {
+		w := Xinetd()
+		out := runSession(t, w, []string{
+			"conn", "telnet", "a", // disabled by default
+			"admin", "lockdown", "-",
+			"conn", "echo", "b",
+			"admin", "open", "-",
+			"conn", "echo", "c",
+			"quit",
+		})
+		wantLines(t, w, out, "refused: disabled", "refused: deny-all", "accepted")
+	})
+
+	t.Run("crond-root-policy", func(t *testing.T) {
+		w := Crond()
+		out := runSession(t, w, []string{
+			"add", "1", "root",
+			"noroot",
+			"add", "2", "root",
+			"tick",
+			"quit",
+		})
+		wantLines(t, w, out, "job added", "root jobs disabled", "skip root job")
+	})
+
+	t.Run("sysklogd-threshold", func(t *testing.T) {
+		w := Sysklogd()
+		out := runSession(t, w, []string{
+			"log", "<3>kept",
+			"log", "<7>dropped",
+			"stat",
+			"quit",
+		})
+		wantLines(t, w, out, "kept", "1")
+		for _, line := range out {
+			if strings.Contains(line, "dropped-payload") {
+				t.Error("high-priority record leaked past threshold")
+			}
+		}
+	})
+
+	t.Run("atftpd-state-machine", func(t *testing.T) {
+		w := ATFTPD()
+		out := runSession(t, w, []string{
+			"data",
+			"rrq", "secret/x",
+			"rrq", "pub/ok",
+			"rrq", "pub/again",
+			"data", "data", "data", "data",
+			"quit",
+		})
+		wantLines(t, w, out, "error: no transfer", "error: access denied",
+			"transfer start", "error: busy", "transfer done")
+	})
+
+	t.Run("httpd-auth-gate", func(t *testing.T) {
+		w := HTTPD()
+		out := runSession(t, w, []string{
+			"GET", "/admin",
+			"AUTH", "letmein",
+			"GET", "/admin",
+			"GET", "/../secret",
+			"QUIT",
+		})
+		wantLines(t, w, out, "401 unauthorized", "auth ok", "200 admin page", "403 forbidden")
+	})
+
+	t.Run("sendmail-relay-policy", func(t *testing.T) {
+		w := Sendmail()
+		out := runSession(t, w, []string{
+			"MAIL", "a@local",
+			"RCPT", "b@remote",
+			"RELAY",
+			"RCPT", "b@remote",
+			"DATA",
+			"QUIT",
+		})
+		wantLines(t, w, out, "550 relaying denied", "250 relay enabled",
+			"250 recipient ok", "250 message queued")
+	})
+
+	t.Run("sshd-root-gate", func(t *testing.T) {
+		w := SSHD()
+		out := runSession(t, w, []string{
+			"ver", "2",
+			"auth", "alice", "userkey",
+			"open",
+			"exec", "shutdown",
+			"quit",
+		})
+		wantLines(t, w, out, "auth success", "channel open", "permission denied")
+	})
+
+	t.Run("portmap-privileged-ports", func(t *testing.T) {
+		w := Portmap()
+		out := runSession(t, w, []string{
+			"set", "9", "111",
+			"open",
+			"set", "9", "111",
+			"get", "9",
+			"quit",
+		})
+		wantLines(t, w, out, "denied: privileged port", "insecure mode", "registered", "111")
+	})
+}

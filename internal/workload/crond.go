@@ -1,0 +1,226 @@
+package workload
+
+// Crond models the cron daemon (original CVE class: buffer overflow in
+// crontab parsing). The clock, the root-jobs policy and the dispatch
+// counters live in main's frame; the job table lives in globals.
+func Crond() *Workload {
+	return &Workload{
+		Name: "crond",
+		Vuln: "buffer overflow",
+		Source: `
+// crond: cron daemon (MiniC re-creation).
+int jobmin[8];
+int jobroot[8];
+int jobon[8];
+int njobs;
+
+// Reads a job spec; returns the requested minute, and flags root
+// ownership through the wantroot out-parameter encoding: minute is
+// returned, ownership via return of add_job.
+int read_spec() {
+	char spec[8];
+	read_line_n(spec, 8);
+	return atoi(spec) % 60;
+}
+
+int read_owner_is_root() {
+	char owner[12];
+	read_line_n(owner, 12);
+	if (strcmp(owner, "root") == 0) {
+		return 1;
+	}
+	return 0;
+}
+
+int add_job(int m, int wantroot) {
+	if (njobs >= 8) {
+		return 0;
+	}
+	jobmin[njobs] = m;
+	jobroot[njobs] = wantroot;
+	jobon[njobs] = 1;
+	njobs = njobs + 1;
+	return 1;
+}
+
+// Vulnerable: the command text of a job is copied into a small parse
+// buffer with no length check.
+void parse_line(int strict) {
+	char buf[8];
+	int checked;
+	checked = 0;
+	if (strict == 1) {
+		checked = 1;
+	}
+	read_line(buf); // unbounded crontab line
+	if (checked == 1) {
+		print_str("parsed (strict)");
+	} else {
+		print_str("parsed");
+	}
+}
+
+int run_jobs(int clockmin, int allowroot) {
+	int i;
+	int launched;
+	i = 0;
+	launched = 0;
+	while (i < njobs) {
+		if (jobon[i] == 1) {
+			if (jobmin[i] == clockmin) {
+				if (jobroot[i] == 1) {
+					if (allowroot == 1) {
+						print_str("run as root");
+						launched = launched + 1;
+					} else {
+						print_str("skip root job");
+					}
+				} else {
+					print_str("run as user");
+					launched = launched + 1;
+				}
+			}
+		}
+		i = i + 1;
+	}
+	return launched;
+}
+
+int main() {
+	char cmd[8];
+	int clockmin;
+	int allowroot;
+	int ran;
+	int strictparse;
+	int disabled;
+	clockmin = 0;
+	allowroot = 1;
+	ran = 0;
+	strictparse = 0;
+	disabled = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "add") == 0) {
+			int m;
+			int wantroot;
+			m = read_spec();
+			wantroot = read_owner_is_root();
+			if (wantroot == 1 && allowroot != 1) {
+				print_str("root jobs disabled");
+			} else if (add_job(m, wantroot) == 1) {
+				print_str("job added");
+			} else {
+				print_str("job table full");
+			}
+		} else if (strcmp(cmd, "tick") == 0) {
+			clockmin = clockmin + 1;
+			if (clockmin >= 60) {
+				clockmin = 0;
+			}
+			ran = ran + run_jobs(clockmin, allowroot);
+		} else if (strcmp(cmd, "parse") == 0) {
+			if (allowroot == 1) {
+				strictparse = 0;
+			} else {
+				strictparse = 1;
+			}
+			parse_line(strictparse);
+		} else if (strcmp(cmd, "noroot") == 0) {
+			allowroot = 0;
+			print_str("root jobs off");
+		} else if (strcmp(cmd, "disable") == 0) {
+			int which;
+			which = read_spec();
+			if (which < njobs) {
+				if (jobon[which] == 1) {
+					jobon[which] = 0;
+					disabled = disabled + 1;
+					print_str("job disabled");
+				} else {
+					print_str("already disabled");
+				}
+			} else {
+				print_str("no such job");
+			}
+		} else if (strcmp(cmd, "list") == 0) {
+			int j;
+			j = 0;
+			while (j < njobs) {
+				if (jobon[j] == 1) {
+					print_int(jobmin[j]);
+				}
+				j = j + 1;
+			}
+			if (disabled > 0) {
+				print_int(disabled);
+			}
+		} else if (strcmp(cmd, "quit") == 0) {
+			print_int(ran);
+			exit_prog(0);
+		} else {
+			print_str("bad command");
+		}
+		if (allowroot == 1) {
+			if (njobs > 6) {
+				print_str("warning: many privileged-capable jobs");
+			}
+		} else {
+			if (strictparse != 1) {
+				if (ran > 0) {
+					print_str("relaxed parse with root off");
+				}
+			}
+		}
+		if (clockmin < 0) {
+			print_str("impossible: negative clock");
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"add", "1", "root",
+			"add", "2", "alice",
+			"add", "1", "bob",
+			"parse", "0 * * * * /bin/true",
+			"tick", "tick", "tick",
+			"noroot",
+			"add", "3", "root",
+			"tick",
+			"parse", "@reboot /bin/sh",
+			"tick",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"add", "1", "root",
+				"add", "2", "alice",
+				"list",
+				"disable", "0",
+				"tick",
+				"list",
+				"disable", "0",
+				"disable", "7",
+				"quit",
+			},
+			{
+				"noroot",
+				"add", "1", "root",
+				"add", "1", "bob",
+				"tick",
+				"list",
+				"parse", "* * * * * /bin/long-command-line-overflowing",
+				"quit",
+			},
+		},
+		PerfSession: append([]string{
+			"add", "1", "root",
+			"add", "2", "alice",
+			"add", "3", "bob",
+			"add", "4", "carol",
+		}, repeat(400,
+			"tick",
+			"parse", "%d * * * * job",
+		)...),
+	}
+}

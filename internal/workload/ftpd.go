@@ -1,0 +1,255 @@
+package workload
+
+// WuFTPD models wu-ftpd (original CVE class: format string in SITE
+// EXEC). Protocol state — login, anonymity, write permission, transfer
+// mode, quota — lives in main's frame and is checked at several sites
+// per command; handlers parse arguments and carry the vulnerable
+// unbounded copy.
+func WuFTPD() *Workload {
+	return &Workload{
+		Name: "wu-ftpd",
+		Vuln: "format string",
+		Source: `
+// wu-ftpd: FTP daemon (MiniC re-creation).
+int xfers;
+char account[16];
+
+void reply(char* msg) {
+	print_str(msg);
+}
+
+// Reads the username; returns 1 for anonymous accounts.
+int user_io() {
+	char name[16];
+	read_line_n(name, 16);
+	strncpy(account, name, 16);
+	if (strcmp(name, "anonymous") == 0) {
+		return 1;
+	}
+	return 0;
+}
+
+// Reads the password; returns the granted level given the anonymity
+// flag: 0 denied, 1 guest, 2 admin.
+int pass_io(int anon) {
+	char pw[16];
+	read_line_n(pw, 16);
+	if (anon == 1) {
+		return 1;
+	}
+	if (strcmp(account, "ftpadmin") == 0) {
+		if (strcmp(pw, "secret") == 0) {
+			return 2;
+		}
+	}
+	return 0;
+}
+
+// Reads a path; returns 1 when it points into the restricted tree.
+int path_io() {
+	char path[24];
+	read_line_n(path, 24);
+	if (strncmp(path, "/etc", 4) == 0) {
+		return 1;
+	}
+	return 0;
+}
+
+// SITE: the format-string-style vulnerability — the argument is copied
+// into a log record with no validation.
+void site_io(int permit) {
+	char arg[12];
+	int audited;
+	audited = 0;
+	if (permit != 1) {
+		audited = 1;
+	}
+	read_line(arg); // unbounded: models %n-style corruption reach
+	if (audited == 1) {
+		print_str("site audited");
+	}
+}
+
+int main() {
+	char cmd[12];
+	char t[8];
+	int loggedin;
+	int anonymous;
+	int canwrite;
+	int binmode;
+	int quota;
+	int deletes;
+	deletes = 0;
+	loggedin = 0;
+	anonymous = 0;
+	canwrite = 0;
+	binmode = 0;
+	quota = 5;
+	reply("220 ftp ready");
+	while (input_avail()) {
+		read_line_n(cmd, 12);
+		if (strcmp(cmd, "USER") == 0) {
+			anonymous = user_io();
+			loggedin = 0;
+			reply("331 password required");
+		} else if (strcmp(cmd, "PASS") == 0) {
+			int lvl;
+			lvl = pass_io(anonymous);
+			if (lvl > 0) {
+				loggedin = 1;
+				if (lvl > 1) {
+					canwrite = 1;
+					reply("230 admin login ok");
+				} else {
+					canwrite = 0;
+					reply("230 guest login ok");
+				}
+			} else {
+				reply("530 login incorrect");
+			}
+		} else if (strcmp(cmd, "RETR") == 0) {
+			int restricted;
+			restricted = path_io();
+			if (loggedin != 1) {
+				reply("530 not logged in");
+			} else if (restricted == 1 && anonymous == 1) {
+				reply("550 permission denied");
+			} else {
+				if (binmode == 1) {
+					reply("150 binary transfer");
+				} else {
+					reply("150 ascii transfer");
+				}
+				xfers = xfers + 1;
+				reply("226 transfer complete");
+			}
+		} else if (strcmp(cmd, "STOR") == 0) {
+			path_io();
+			if (loggedin != 1) {
+				reply("530 not logged in");
+			} else if (canwrite != 1) {
+				reply("550 read-only access");
+			} else if (quota <= 0) {
+				reply("552 quota exceeded");
+			} else {
+				quota = quota - 1;
+				xfers = xfers + 1;
+				reply("226 stored");
+			}
+		} else if (strcmp(cmd, "SITE") == 0) {
+			int permit;
+			permit = 0;
+			if (loggedin == 1) {
+				if (canwrite == 1) {
+					permit = 1;
+				}
+			}
+			site_io(permit);
+			if (permit == 1) {
+				reply("200 site command ok");
+			} else {
+				reply("550 site denied");
+			}
+		} else if (strcmp(cmd, "TYPE") == 0) {
+			read_line_n(t, 8);
+			if (strcmp(t, "I") == 0) {
+				binmode = 1;
+				reply("200 type set to I");
+			} else {
+				binmode = 0;
+				reply("200 type set to A");
+			}
+		} else if (strcmp(cmd, "DELE") == 0) {
+			int restricted;
+			restricted = path_io();
+			if (loggedin != 1) {
+				reply("530 not logged in");
+			} else if (canwrite != 1) {
+				reply("550 permission denied");
+			} else if (restricted == 1) {
+				reply("550 refusing to delete system file");
+			} else {
+				deletes = deletes + 1;
+				reply("250 deleted");
+			}
+		} else if (strcmp(cmd, "STAT") == 0) {
+			print_int(xfers);
+			if (loggedin == 1) {
+				print_int(quota);
+				if (anonymous == 1) {
+					reply("211 anonymous session");
+				}
+			}
+			print_int(deletes);
+		} else if (strcmp(cmd, "QUIT") == 0) {
+			reply("221 goodbye");
+			exit_prog(0);
+		} else {
+			reply("500 unknown command");
+		}
+		if (loggedin == 1) {
+			if (xfers > 100) {
+				reply("421 transfer limit");
+				exit_prog(2);
+			}
+		}
+		if (canwrite == 1) {
+			if (loggedin != 1) {
+				reply("impossible: write without login");
+			}
+			if (quota < 0) {
+				reply("impossible: negative quota");
+			}
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"USER", "anonymous",
+			"PASS", "whatever",
+			"TYPE", "I",
+			"RETR", "/pub/file",
+			"RETR", "/etc/passwd",
+			"STOR", "/pub/up",
+			"SITE", "chmod 777",
+			"USER", "ftpadmin",
+			"PASS", "secret",
+			"STOR", "/pub/up2",
+			"SITE", "exec",
+			"RETR", "/etc/motd",
+			"QUIT",
+		},
+		ExtraSessions: [][]string{
+			{
+				"USER", "ftpadmin",
+				"PASS", "secret",
+				"DELE", "/pub/old",
+				"DELE", "/etc/passwd",
+				"STAT",
+				"STOR", "/pub/new",
+				"STAT",
+				"QUIT",
+			},
+			{
+				"DELE", "/pub/x",
+				"STAT",
+				"USER", "anonymous",
+				"PASS", "guest",
+				"DELE", "/pub/y",
+				"RETR", "/pub/z",
+				"STAT",
+				"QUIT",
+			},
+		},
+		PerfSession: append([]string{
+			"USER", "ftpadmin",
+			"PASS", "secret",
+		}, repeat(250,
+			"TYPE", "I",
+			"RETR", "/pub/data-%d",
+			"SITE", "idle",
+			"TYPE", "A",
+		)...),
+	}
+}

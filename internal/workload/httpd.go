@@ -1,0 +1,199 @@
+package workload
+
+// HTTPD models a small HTTP daemon (original CVE class: buffer overflow
+// in request parsing). Authentication, keep-alive and the error budget
+// live in main's frame; the router carries the vulnerable URL copy.
+func HTTPD() *Workload {
+	return &Workload{
+		Name: "httpd",
+		Vuln: "buffer overflow",
+		Source: `
+// httpd: HTTP daemon (MiniC re-creation). Session state lives in a
+// struct in main's frame; the analysis splits it into per-field
+// objects, so the fields correlate like scalars.
+struct Session { int authed; int keepalive; int requests; int errors; int posts; };
+int served;
+
+int safe_path(char* p) {
+	int i;
+	int n;
+	n = strlen(p);
+	i = 0;
+	while (i + 1 < n) {
+		if (p[i] == '.') {
+			if (p[i+1] == '.') {
+				return 0;
+			}
+		}
+		i = i + 1;
+	}
+	return 1;
+}
+
+// Vulnerable: the URL is copied into a fixed stack buffer before
+// routing (the classic long-URL overflow). Returns 1 for the private
+// admin tree.
+int route_is_private(char* url) {
+	char buf[8];
+	strcpy(buf, url); // unbounded URL copy
+	if (strncmp(buf, "/admin", 6) == 0) {
+		return 1;
+	}
+	return 0;
+}
+
+int main() {
+	char cmd[8];
+	char url[32];
+	char token[16];
+	char kv[8];
+	struct Session ses;
+	ses.authed = 0;
+	ses.keepalive = 0;
+	ses.requests = 0;
+	ses.errors = 0;
+	ses.posts = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "GET") == 0) {
+			read_line(url); // request line, attacker length-controlled
+			ses.requests = ses.requests + 1;
+			if (safe_path(url) != 1) {
+				print_str("403 forbidden");
+				ses.errors = ses.errors + 1;
+			} else if (route_is_private(url) == 1) {
+				if (ses.authed == 1) {
+					print_str("200 admin page");
+				} else {
+					print_str("401 unauthorized");
+					ses.errors = ses.errors + 1;
+				}
+			} else {
+				print_str("200 ok");
+				served = served + 1;
+			}
+			if (ses.keepalive != 1) {
+				print_str("connection: close");
+			}
+		} else if (strcmp(cmd, "AUTH") == 0) {
+			read_line_n(token, 16);
+			if (strcmp(token, "letmein") == 0) {
+				ses.authed = 1;
+				print_str("auth ok");
+			} else {
+				ses.authed = 0;
+				print_str("auth failed");
+				ses.errors = ses.errors + 1;
+			}
+		} else if (strcmp(cmd, "KEEP") == 0) {
+			read_line_n(kv, 8);
+			if (strcmp(kv, "on") == 0) {
+				ses.keepalive = 1;
+			} else {
+				ses.keepalive = 0;
+			}
+			print_str("keepalive set");
+		} else if (strcmp(cmd, "STAT") == 0) {
+			print_int(ses.requests);
+			print_int(served);
+			if (ses.authed == 1) {
+				print_int(ses.errors);
+			}
+		} else if (strcmp(cmd, "POST") == 0) {
+			char body[24];
+			read_line(url);
+			read_line_n(body, 24);
+			ses.requests = ses.requests + 1;
+			if (safe_path(url) != 1) {
+				print_str("403 forbidden");
+				ses.errors = ses.errors + 1;
+			} else if (ses.authed != 1) {
+				print_str("401 unauthorized");
+				ses.errors = ses.errors + 1;
+			} else if (strlen(body) == 0) {
+				print_str("400 empty body");
+				ses.errors = ses.errors + 1;
+			} else {
+				ses.posts = ses.posts + 1;
+				print_str("201 created");
+			}
+		} else if (strcmp(cmd, "LOGOUT") == 0) {
+			if (ses.authed == 1) {
+				ses.authed = 0;
+				print_str("logged out");
+			} else {
+				print_str("no session");
+			}
+		} else if (strcmp(cmd, "QUIT") == 0) {
+			exit_prog(0);
+		} else {
+			print_str("400 bad request");
+			ses.errors = ses.errors + 1;
+		}
+		if (ses.errors > 10) {
+			print_str("too many errors, closing");
+			exit_prog(1);
+		}
+		if (ses.keepalive == 1) {
+			if (ses.requests > 900) {
+				ses.keepalive = 0;
+				print_str("keepalive budget spent");
+			}
+		}
+		if (ses.authed == 1) {
+			if (ses.errors > 8) {
+				print_str("authenticated client misbehaving");
+			}
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"GET", "/index.html",
+			"GET", "/admin",
+			"AUTH", "letmein",
+			"GET", "/admin",
+			"KEEP", "on",
+			"GET", "/styles.css",
+			"GET", "/../etc/passwd",
+			"GET", "/img/logo",
+			"AUTH", "wrong",
+			"GET", "/admin",
+			"STAT",
+			"QUIT",
+		},
+		ExtraSessions: [][]string{
+			{
+				"POST", "/api/items", "payload",
+				"AUTH", "letmein",
+				"POST", "/api/items", "payload",
+				"POST", "/api/items", "",
+				"LOGOUT",
+				"POST", "/api/items", "again",
+				"STAT",
+				"QUIT",
+			},
+			{
+				"AUTH", "letmein",
+				"GET", "/admin",
+				"LOGOUT",
+				"GET", "/admin",
+				"LOGOUT",
+				"KEEP", "on",
+				"GET", "/p1",
+				"KEEP", "off",
+				"GET", "/p2",
+				"QUIT",
+			},
+		},
+		PerfSession: append([]string{
+			"AUTH", "letmein",
+			"KEEP", "on",
+		}, repeat(250,
+			"GET", "/page-%d",
+			"GET", "/admin",
+			"STAT",
+		)...),
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+// Portmap models the RPC portmapper (original CVE class: buffer
+// overflow via callit). The privileged-port policy and the counters
+// live in main's frame; the registration table lives in globals.
+func Portmap() *Workload {
+	return &Workload{
+		Name: "portmap",
+		Vuln: "buffer overflow",
+		Source: `
+// portmap: RPC portmapper (MiniC re-creation).
+int mapprog[8];
+int mapport[8];
+int mapon[8];
+int nmaps;
+
+int find_prog(int prog) {
+	int i;
+	i = 0;
+	while (i < nmaps) {
+		if (mapon[i] == 1) {
+			if (mapprog[i] == prog) {
+				return i;
+			}
+		}
+		i = i + 1;
+	}
+	return -1;
+}
+
+int read_num() {
+	char buf[8];
+	read_line_n(buf, 8);
+	return atoi(buf);
+}
+
+int register_map(int prog, int port) {
+	if (find_prog(prog) >= 0) {
+		return 0;
+	}
+	if (nmaps >= 8) {
+		return 0;
+	}
+	mapprog[nmaps] = prog;
+	mapport[nmaps] = port;
+	mapon[nmaps] = 1;
+	nmaps = nmaps + 1;
+	return 1;
+}
+
+// Vulnerable: the callit argument blob is copied into a fixed stack
+// buffer (the portmap callit overflow).
+void callit_io(int forward) {
+	char blob[8];
+	char line[24];
+	int fwd;
+	fwd = 0;
+	if (forward == 1) {
+		fwd = 1;
+	}
+	read_line(line);
+	strcpy(blob, line); // unbounded RPC argument blob
+	if (fwd == 1) {
+		print_str("callit forwarded");
+	} else {
+		print_str("callit rejected");
+	}
+}
+
+int main() {
+	char cmd[8];
+	int secure;
+	int lookups;
+	int regs;
+	int pings;
+	secure = 1;
+	lookups = 0;
+	regs = 0;
+	pings = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "set") == 0) {
+			int prog;
+			int port;
+			prog = read_num();
+			port = read_num();
+			if (port < 1024 && secure == 1) {
+				print_str("denied: privileged port");
+			} else if (register_map(prog, port) == 1) {
+				regs = regs + 1;
+				print_str("registered");
+			} else {
+				print_str("rejected");
+			}
+		} else if (strcmp(cmd, "unset") == 0) {
+			int idx;
+			idx = find_prog(read_num());
+			if (idx < 0) {
+				print_str("not registered");
+			} else if (secure == 1 && mapport[idx] < 1024) {
+				print_str("denied: privileged mapping");
+			} else {
+				mapon[idx] = 0;
+				print_str("unregistered");
+			}
+		} else if (strcmp(cmd, "get") == 0) {
+			int idx;
+			idx = find_prog(read_num());
+			lookups = lookups + 1;
+			if (idx < 0) {
+				print_int(0);
+			} else {
+				print_int(mapport[idx]);
+			}
+		} else if (strcmp(cmd, "call") == 0) {
+			int forward;
+			forward = 0;
+			if (secure != 1) {
+				forward = 1;
+			}
+			callit_io(forward);
+		} else if (strcmp(cmd, "open") == 0) {
+			secure = 0;
+			print_str("insecure mode");
+		} else if (strcmp(cmd, "dump") == 0) {
+			print_int(nmaps);
+			print_int(lookups);
+			if (secure == 1) {
+				print_str("secure");
+			}
+		} else if (strcmp(cmd, "ping") == 0) {
+			int idx;
+			idx = find_prog(read_num());
+			pings = pings + 1;
+			if (idx < 0) {
+				print_str("program unavailable");
+			} else if (mapport[idx] < 1024 && secure == 1) {
+				print_str("alive (privileged)");
+			} else {
+				print_str("alive");
+			}
+		} else if (strcmp(cmd, "gc") == 0) {
+			int j;
+			int live;
+			j = 0;
+			live = 0;
+			while (j < nmaps) {
+				if (mapon[j] == 1) {
+					live = live + 1;
+				}
+				j = j + 1;
+			}
+			if (live < nmaps) {
+				print_str("compacted");
+			} else {
+				print_str("nothing to collect");
+			}
+			print_int(live);
+		} else if (strcmp(cmd, "quit") == 0) {
+			exit_prog(0);
+		} else {
+			print_str("bad rpc");
+		}
+		if (secure == 1) {
+			if (regs > 6) {
+				print_str("registration pressure");
+			}
+		} else {
+			if (lookups > 900) {
+				secure = 1;
+				print_str("auto re-securing");
+			}
+		}
+		if (regs < 0) {
+			print_str("impossible: negative registrations");
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"set", "100003", "2049",
+			"set", "100000", "111",
+			"get", "100003",
+			"call", "blob1",
+			"open",
+			"set", "100005", "635",
+			"unset", "100003",
+			"get", "100005",
+			"call", "blob2",
+			"dump",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"set", "7", "2049",
+				"set", "8", "111",
+				"ping", "7",
+				"ping", "9",
+				"unset", "7",
+				"gc",
+				"ping", "7",
+				"dump",
+				"quit",
+			},
+			{
+				"open",
+				"set", "5", "512",
+				"ping", "5",
+				"gc",
+				"set", "6", "2048",
+				"unset", "5",
+				"gc",
+				"call", "probe",
+				"quit",
+			},
+		},
+		PerfSession: repeat(250,
+			"set", "%d", "2049",
+			"get", "%d",
+			"call", "ping",
+			"unset", "%d",
+			"dump",
+		),
+	}
+}

@@ -1,0 +1,208 @@
+package workload
+
+// Sendmail models the sendmail MTA (original CVE class: buffer overflow
+// in header parsing). The SMTP dialogue state — sender present,
+// recipient count, relay policy, error budget — lives in main's frame.
+func Sendmail() *Workload {
+	return &Workload{
+		Name: "sendmail",
+		Vuln: "buffer overflow",
+		Source: `
+// sendmail: mail transfer agent (MiniC re-creation).
+int msgs;
+
+// Reads an address; returns 1 for local delivery.
+int read_addr_local() {
+	char a[20];
+	int n;
+	int i;
+	read_line_n(a, 20);
+	n = strlen(a);
+	i = 0;
+	while (i < n) {
+		if (a[i] == '@') {
+			if (strcmp(a + i + 1, "local") == 0) {
+				return 1;
+			}
+			return 0;
+		}
+		i = i + 1;
+	}
+	return 1;
+}
+
+// Vulnerable: header line copied unbounded into the parse buffer (the
+// crackaddr-style overflow).
+void header_io(int trusted) {
+	char hbuf[8];
+	int audit;
+	audit = 1;
+	if (trusted == 1) {
+		audit = 0;
+	}
+	read_line(hbuf); // unbounded header
+	if (audit == 1) {
+		print_str("header audited");
+	} else {
+		print_str("header accepted (trusted)");
+	}
+}
+
+int main() {
+	char cmd[8];
+	int havefrom;
+	int rcpts;
+	int relayok;
+	int rejected;
+	int maxrcpt;
+	int vrfys;
+	vrfys = 0;
+	havefrom = 0;
+	rcpts = 0;
+	relayok = 0;
+	rejected = 0;
+	maxrcpt = 3;
+	print_str("220 smtp ready");
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "MAIL") == 0) {
+			read_addr_local();
+			if (havefrom == 1) {
+				print_str("503 nested MAIL");
+				rejected = rejected + 1;
+			} else {
+				havefrom = 1;
+				rcpts = 0;
+				print_str("250 sender ok");
+			}
+		} else if (strcmp(cmd, "RCPT") == 0) {
+			int local;
+			local = read_addr_local();
+			if (havefrom != 1) {
+				print_str("503 need MAIL first");
+				rejected = rejected + 1;
+			} else if (local != 1 && relayok != 1) {
+				print_str("550 relaying denied");
+				rejected = rejected + 1;
+			} else if (rcpts >= maxrcpt) {
+				print_str("452 too many recipients");
+			} else {
+				rcpts = rcpts + 1;
+				print_str("250 recipient ok");
+			}
+		} else if (strcmp(cmd, "HDR") == 0) {
+			header_io(relayok);
+		} else if (strcmp(cmd, "DATA") == 0) {
+			if (havefrom != 1) {
+				print_str("503 need MAIL");
+				rejected = rejected + 1;
+			} else if (rcpts < 1) {
+				print_str("503 need RCPT");
+				rejected = rejected + 1;
+			} else {
+				msgs = msgs + 1;
+				havefrom = 0;
+				print_str("250 message queued");
+			}
+		} else if (strcmp(cmd, "RELAY") == 0) {
+			relayok = 1;
+			print_str("250 relay enabled");
+		} else if (strcmp(cmd, "RSET") == 0) {
+			havefrom = 0;
+			rcpts = 0;
+			print_str("250 reset");
+		} else if (strcmp(cmd, "VRFY") == 0) {
+			int local;
+			local = read_addr_local();
+			vrfys = vrfys + 1;
+			if (vrfys > 5) {
+				print_str("252 verification throttled");
+			} else if (local == 1) {
+				print_str("250 local user");
+			} else {
+				print_str("551 not local");
+			}
+		} else if (strcmp(cmd, "EXPN") == 0) {
+			read_addr_local();
+			if (relayok == 1) {
+				print_str("250 list expanded");
+			} else {
+				print_str("502 expn disabled");
+				rejected = rejected + 1;
+			}
+		} else if (strcmp(cmd, "QUIT") == 0) {
+			print_int(msgs);
+			exit_prog(0);
+		} else {
+			print_str("500 unknown");
+			rejected = rejected + 1;
+		}
+		if (rejected > 8) {
+			print_str("421 too many errors");
+			exit_prog(1);
+		}
+		if (havefrom == 1) {
+			if (rcpts >= maxrcpt) {
+				print_str("hint: DATA now");
+			}
+		} else {
+			if (rcpts > 0) {
+				if (relayok != 1) {
+					print_str("note: dangling recipients");
+				}
+			}
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"MAIL", "alice@local",
+			"RCPT", "bob@local",
+			"RCPT", "eve@remote",
+			"HDR", "Subject: hi",
+			"DATA",
+			"RELAY",
+			"MAIL", "carol@local",
+			"RCPT", "dan@remote",
+			"RCPT", "erin@local",
+			"RCPT", "frank@local",
+			"RCPT", "grace@local",
+			"HDR", "X-Loop: no",
+			"DATA",
+			"RSET",
+			"QUIT",
+		},
+		ExtraSessions: [][]string{
+			{
+				"VRFY", "alice@local",
+				"VRFY", "bob@remote",
+				"EXPN", "staff@local",
+				"RELAY",
+				"EXPN", "staff@local",
+				"MAIL", "a@local",
+				"RCPT", "b@local",
+				"DATA",
+				"QUIT",
+			},
+			{
+				"VRFY", "u1@local",
+				"VRFY", "u2@local",
+				"VRFY", "u3@local",
+				"VRFY", "u4@local",
+				"VRFY", "u5@local",
+				"VRFY", "u6@local",
+				"VRFY", "u7@local",
+				"HDR", "X-Probe: 1",
+				"QUIT",
+			},
+		},
+		PerfSession: append([]string{"RELAY"}, repeat(200,
+			"MAIL", "user%d@local",
+			"RCPT", "peer%d@remote",
+			"RCPT", "other%d@local",
+			"HDR", "Seq: %d",
+			"DATA",
+		)...),
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+// SSHD models the ssh daemon (original CVE class: buffer overflow in
+// challenge-response). Protocol version, auth budget, the
+// authenticated/privileged flags and the channel count live in main's
+// frame; the response check carries the vulnerable copy.
+func SSHD() *Workload {
+	return &Workload{
+		Name: "sshd",
+		Vuln: "buffer overflow",
+		Source: `
+// sshd: secure shell daemon (MiniC re-creation).
+int audits;
+
+// Reads the protocol version line; returns 2 or 1.
+int version_io() {
+	char v[8];
+	read_line_n(v, 8);
+	if (strcmp(v, "2") == 0) {
+		return 2;
+	}
+	return 1;
+}
+
+// Vulnerable: the challenge response is copied into a fixed buffer
+// (the CRC32/challenge-response overflow class). Returns 0 denied,
+// 1 user, 2 root.
+int check_response() {
+	char user[12];
+	char resp[8];
+	char line[24];
+	read_line_n(user, 12);
+	read_line(line);
+	strcpy(resp, line); // unbounded response copy
+	if (strcmp(user, "root") == 0) {
+		if (strcmp(resp, "rootkey") == 0) {
+			return 2;
+		}
+		return 0;
+	}
+	if (strcmp(resp, "userkey") == 0) {
+		return 1;
+	}
+	return 0;
+}
+
+int main() {
+	char cmd[8];
+	char ecmd[16];
+	int protover;
+	int attempts;
+	int maxtries;
+	int authok;
+	int isroot;
+	int channels;
+	int copies;
+	int envs;
+	copies = 0;
+	envs = 0;
+	protover = 0;
+	attempts = 0;
+	maxtries = 3;
+	authok = 0;
+	isroot = 0;
+	channels = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "ver") == 0) {
+			protover = version_io();
+			if (protover == 2) {
+				print_str("protocol 2");
+			} else {
+				print_str("protocol 1 (legacy)");
+			}
+		} else if (strcmp(cmd, "auth") == 0) {
+			if (authok == 1) {
+				read_line_n(ecmd, 16); // discard user
+				read_line_n(ecmd, 16); // discard response
+				print_str("already authenticated");
+			} else if (attempts >= maxtries) {
+				print_str("too many auth failures");
+				exit_prog(1);
+			} else {
+				attempts = attempts + 1;
+				if (protover != 2) {
+					read_line_n(ecmd, 16);
+					read_line_n(ecmd, 16);
+					print_str("auth requires protocol 2");
+				} else {
+					int r;
+					r = check_response();
+					if (r > 0) {
+						authok = 1;
+						if (r > 1) {
+							isroot = 1;
+						}
+						print_str("auth success");
+					} else {
+						print_str("auth failed");
+					}
+				}
+			}
+		} else if (strcmp(cmd, "open") == 0) {
+			if (authok != 1) {
+				print_str("no session");
+			} else if (channels >= 4) {
+				print_str("channel limit");
+			} else {
+				channels = channels + 1;
+				print_str("channel open");
+			}
+		} else if (strcmp(cmd, "exec") == 0) {
+			read_line_n(ecmd, 16);
+			if (authok != 1) {
+				print_str("not authenticated");
+			} else if (channels < 1) {
+				print_str("no channel");
+			} else if (strcmp(ecmd, "shutdown") == 0) {
+				if (isroot == 1) {
+					print_str("system going down");
+				} else {
+					print_str("permission denied");
+					audits = audits + 1;
+				}
+			} else {
+				print_str("exec ok");
+			}
+		} else if (strcmp(cmd, "close") == 0) {
+			if (channels > 0) {
+				channels = channels - 1;
+			}
+			print_str("channel closed");
+		} else if (strcmp(cmd, "scp") == 0) {
+			read_line_n(ecmd, 16);
+			if (authok != 1) {
+				print_str("not authenticated");
+			} else if (channels < 1) {
+				print_str("no channel");
+			} else if (strncmp(ecmd, "/etc", 4) == 0 && isroot != 1) {
+				print_str("scp: permission denied");
+			} else {
+				copies = copies + 1;
+				print_str("scp ok");
+			}
+		} else if (strcmp(cmd, "env") == 0) {
+			read_line_n(ecmd, 16);
+			if (authok == 1) {
+				envs = envs + 1;
+				print_str("env set");
+			} else {
+				print_str("env refused");
+			}
+		} else if (strcmp(cmd, "quit") == 0) {
+			exit_prog(0);
+		} else {
+			print_str("bad packet");
+		}
+		if (authok == 1) {
+			if (attempts > 0) {
+				attempts = 0;
+			}
+			if (protover != 2) {
+				print_str("impossible: session on legacy protocol");
+			}
+		}
+		if (isroot == 1) {
+			if (authok != 1) {
+				print_str("impossible: root without auth");
+			}
+		}
+		if (channels > 4) {
+			print_str("impossible: channel overflow");
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"ver", "2",
+			"auth", "alice", "wrongkey",
+			"auth", "alice", "userkey",
+			"open",
+			"exec", "ls",
+			"exec", "shutdown",
+			"auth", "root", "rootkey",
+			"open",
+			"exec", "shutdown",
+			"close",
+			"exec", "uptime",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"ver", "2",
+				"auth", "alice", "userkey",
+				"open",
+				"scp", "/home/a",
+				"scp", "/etc/shadow",
+				"env", "TERM=x",
+				"close",
+				"scp", "/home/b",
+				"quit",
+			},
+			{
+				"env", "LANG=C",
+				"ver", "1",
+				"auth", "alice", "userkey",
+				"ver", "2",
+				"auth", "root", "rootkey",
+				"open",
+				"scp", "/etc/shadow",
+				"env", "PATH=/bin",
+				"quit",
+			},
+		},
+		PerfSession: append([]string{
+			"ver", "2",
+			"auth", "root", "rootkey",
+			"open",
+		}, repeat(300,
+			"exec", "cmd-%d",
+			"open",
+			"close",
+		)...),
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+// Sysklogd models the syslog daemon (original CVE class: format
+// string). The priority threshold, forwarding flag and buffer
+// accounting live in main's frame and gate every record.
+func Sysklogd() *Workload {
+	return &Workload{
+		Name: "sysklogd",
+		Vuln: "format string",
+		Source: `
+// sysklogd: system log daemon (MiniC re-creation).
+int wrapped;
+
+// Reads a record and returns its priority ("<n>message", default 6).
+int read_record(char* line) {
+	read_line(line); // raw client record
+	if (line[0] != '<') { return 6; }
+	if (line[1] >= '0') {
+		if (line[1] <= '9') {
+			return line[1] - '0';
+		}
+	}
+	return 6;
+}
+
+// Vulnerable: the record is expanded into a fixed buffer with no
+// bounds check (the format-string write primitive).
+void format_rec(char* line, int marked) {
+	char buf[8];
+	int mark;
+	mark = 0;
+	if (marked == 1) {
+		mark = 1;
+	}
+	strcpy(buf, line); // unbounded
+	if (mark == 1) {
+		print_str("fwd:");
+	}
+	print_str(buf);
+}
+
+int main() {
+	char cmd[8];
+	char line[32];
+	char key[12];
+	char val[8];
+	int threshold;
+	int forwarding;
+	int dropped;
+	int stored;
+	threshold = 6;
+	forwarding = 0;
+	dropped = 0;
+	stored = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "log") == 0) {
+			int pri;
+			pri = read_record(line);
+			if (pri > threshold) {
+				dropped = dropped + 1;
+			} else {
+				stored = stored + 1;
+				format_rec(line, forwarding);
+				if (forwarding == 1) {
+					print_str("relayed");
+				}
+				if (stored > 20) {
+					wrapped = wrapped + 1;
+					stored = 0;
+				}
+			}
+		} else if (strcmp(cmd, "conf") == 0) {
+			read_line_n(key, 12);
+			read_line_n(val, 8);
+			if (strcmp(key, "threshold") == 0) {
+				threshold = atoi(val);
+				print_str("threshold set");
+			} else if (strcmp(key, "forward") == 0) {
+				if (strcmp(val, "on") == 0) {
+					forwarding = 1;
+				} else {
+					forwarding = 0;
+				}
+				print_str("forwarding set");
+			} else {
+				print_str("bad key");
+			}
+		} else if (strcmp(cmd, "stat") == 0) {
+			print_int(stored);
+			print_int(dropped);
+			if (forwarding == 1) {
+				print_str("forwarding");
+			}
+		} else if (strcmp(cmd, "rotate") == 0) {
+			if (stored > 0) {
+				wrapped = wrapped + 1;
+				stored = 0;
+				print_str("rotated");
+			} else {
+				print_str("nothing to rotate");
+			}
+		} else if (strcmp(cmd, "panic") == 0) {
+			// kernel emergency: bypass the threshold once
+			char line2[32];
+			int save;
+			save = threshold;
+			threshold = 9;
+			read_record(line2);
+			stored = stored + 1;
+			format_rec(line2, forwarding);
+			threshold = save;
+			print_str("emergency logged");
+		} else if (strcmp(cmd, "quit") == 0) {
+			exit_prog(0);
+		} else {
+			print_str("bad command");
+		}
+		if (threshold < 0) {
+			threshold = 0;
+		}
+		if (forwarding == 1) {
+			if (threshold > 9) {
+				print_str("warning: forwarding everything");
+			}
+		}
+		if (stored < 0) {
+			print_str("impossible: negative store count");
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"log", "<3>disk failing",
+			"log", "<7>debug noise",
+			"conf", "threshold", "7",
+			"log", "<7>debug kept",
+			"conf", "forward", "on",
+			"log", "<1>kernel panic",
+			"stat",
+			"log", "<5>auth ok",
+			"conf", "forward", "off",
+			"log", "<2>raid degraded",
+			"stat",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"log", "<5>boot",
+				"rotate",
+				"rotate",
+				"panic", "<0>oom",
+				"stat",
+				"conf", "threshold", "2",
+				"log", "<5>filtered",
+				"stat",
+				"quit",
+			},
+			{
+				"conf", "forward", "on",
+				"panic", "<1>fire",
+				"log", "<1>smoke",
+				"conf", "bogus", "x",
+				"rotate",
+				"stat",
+				"quit",
+			},
+		},
+		PerfSession: append([]string{
+			"conf", "threshold", "7",
+			"conf", "forward", "on",
+		}, repeat(300,
+			"log", "<3>event %d",
+			"log", "<6>info %d",
+			"stat",
+		)...),
+	}
+}

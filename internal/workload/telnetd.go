@@ -1,0 +1,220 @@
+package workload
+
+// Telnetd models a telnet login daemon (original CVE class: buffer
+// overflow in option negotiation). Following the paper's Figure 1
+// pattern, the session's decision state — authentication, privilege,
+// failure budget — lives in main's stack frame and is only written by
+// main itself, so it is both reachable by stack tampering and richly
+// branch-correlated across the command loop. Handlers do the I/O and
+// carry the vulnerable unbounded copies.
+func Telnetd() *Workload {
+	return &Workload{
+		Name: "telnetd",
+		Vuln: "buffer overflow",
+		Source: `
+// telnetd: login shell daemon (MiniC re-creation).
+int sessions;
+char curuser[16];
+
+void banner() {
+	print_str("telnetd ready");
+}
+
+int check_login(char* user, char* pass) {
+	if (strcmp(user, "root") == 0) {
+		if (strcmp(pass, "toor") == 0) { return 2; }
+		return 0;
+	}
+	if (strcmp(user, "guest") == 0) {
+		if (strcmp(pass, "guest") == 0) { return 1; }
+		return 0;
+	}
+	return 0;
+}
+
+// Reads credentials and returns the granted level (0 none, 1 user,
+// 2 admin).
+int login_io() {
+	char user[16];
+	char pass[16];
+	int level;
+	read_line_n(user, 16);
+	read_line_n(pass, 16);
+	level = check_login(user, pass);
+	if (level > 0) {
+		strncpy(curuser, user, 16);
+	}
+	return level;
+}
+
+// Vulnerable: terminal type is copied unbounded into a stack buffer
+// that sits right before the handler's privilege snapshot.
+void negotiate_term(int admin) {
+	char termtype[8];
+	int privileged;
+	privileged = 0;
+	if (admin == 1) {
+		privileged = 1;
+	}
+	read_line(termtype); // no bounds check: can overrun into privileged
+	if (privileged == 1) {
+		print_str("term set (admin)");
+	} else {
+		print_str("term set");
+	}
+}
+
+int main() {
+	char cmd[16];
+	char ecmd[24];
+	int authed;
+	int isadmin;
+	int failures;
+	int echo_on;
+	int pwchanged;
+	authed = 0;
+	isadmin = 0;
+	failures = 0;
+	echo_on = 0;
+	pwchanged = 0;
+	banner();
+	while (input_avail()) {
+		read_line_n(cmd, 16);
+		if (strcmp(cmd, "login") == 0) {
+			int lvl;
+			lvl = login_io();
+			if (lvl > 0) {
+				authed = 1;
+				if (lvl > 1) {
+					isadmin = 1;
+				}
+				print_str("login ok");
+			} else {
+				failures = failures + 1;
+				if (failures > 3) {
+					print_str("too many failures");
+					exit_prog(1);
+				}
+				print_str("login failed");
+			}
+		} else if (strcmp(cmd, "term") == 0) {
+			negotiate_term(isadmin);
+			if (isadmin == 1) {
+				echo_on = 1;
+			}
+		} else if (strcmp(cmd, "whoami") == 0) {
+			if (authed == 1) {
+				if (isadmin == 1) {
+					print_str("root");
+				} else {
+					print_str(curuser);
+				}
+			} else {
+				print_str("nobody");
+			}
+		} else if (strcmp(cmd, "exec") == 0) {
+			read_line_n(ecmd, 24);
+			if (authed != 1) {
+				print_str("not logged in");
+			} else if (strcmp(ecmd, "reboot") == 0) {
+				if (isadmin == 1) {
+					print_str("rebooting");
+				} else {
+					print_str("permission denied");
+				}
+			} else if (strcmp(ecmd, "ls") == 0) {
+				print_str("file1 file2");
+			} else {
+				print_str("exec");
+				print_str(ecmd);
+			}
+		} else if (strcmp(cmd, "passwd") == 0) {
+			char np[16];
+			read_line_n(np, 16);
+			if (authed != 1) {
+				print_str("login first");
+			} else if (strlen(np) < 4) {
+				print_str("password too short");
+			} else {
+				pwchanged = pwchanged + 1;
+				print_str("password changed");
+			}
+		} else if (strcmp(cmd, "stats") == 0) {
+			if (isadmin == 1) {
+				print_int(sessions);
+				print_int(pwchanged);
+			} else {
+				print_str("permission denied");
+			}
+		} else if (strcmp(cmd, "quit") == 0) {
+			print_str("bye");
+			exit_prog(0);
+		} else {
+			print_str("bad command");
+		}
+		// Per-iteration accounting re-checks the same session state.
+		if (authed == 1) {
+			sessions = sessions + 1;
+			if (failures > 0) {
+				failures = failures - 1;
+			}
+		}
+		if (echo_on == 1) {
+			print_str("[echo]");
+		}
+		if (isadmin == 1) {
+			if (authed != 1) {
+				print_str("impossible: admin without auth");
+			}
+		}
+	}
+	if (failures > 0) {
+		return 1;
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"whoami",
+			"login", "guest", "guest",
+			"whoami",
+			"term", "vt100",
+			"exec", "ls",
+			"exec", "reboot",
+			"login", "root", "toor",
+			"whoami",
+			"term", "xterm",
+			"exec", "reboot",
+			"whoami",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"login", "root", "bad",
+				"login", "root", "toor",
+				"passwd", "hunter22",
+				"stats",
+				"exec", "ls",
+				"quit",
+			},
+			{
+				"passwd", "x",
+				"stats",
+				"login", "guest", "guest",
+				"passwd", "abc", // too short
+				"passwd", "abcdef",
+				"stats",
+				"whoami",
+				"quit",
+			},
+		},
+		PerfSession: append([]string{
+			"login", "root", "toor",
+		}, repeat(300,
+			"whoami",
+			"exec", "ls",
+			"term", "vt100",
+			"exec", "job-%d",
+		)...),
+	}
+}

@@ -1,0 +1,81 @@
+// Package workload provides the ten vulnerable server programs used in
+// the paper's evaluation (telnetd, wu-ftpd, xinetd, crond, sysklogd,
+// atftpd, httpd, sendmail, sshd, portmap), re-created in MiniC.
+//
+// The originals are tens of thousands of lines of C; what the
+// experiments actually exercise is their *shape*: a command loop over
+// attacker-influenced input, memory-resident authentication/privilege/
+// mode state consulted at multiple program points, and unbounded copies
+// into fixed stack buffers (the vulnerability classes of the paper:
+// buffer overflow and format string). Each re-creation preserves that
+// shape — the same protocol state machines, privilege checks and
+// vulnerable copies — at a few hundred lines each, which is what the
+// branch-correlation analysis and the tampering campaigns need.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Workload is one server program plus the sessions that drive it.
+type Workload struct {
+	Name string
+	Vuln string // the original program's headline vulnerability class
+
+	// Source is the MiniC program text.
+	Source string
+
+	// AttackSession is the input used for the detection campaigns: a
+	// benign session long enough to open many tamper windows.
+	AttackSession []string
+
+	// ExtraSessions are additional benign sessions exercising other
+	// protocol paths; campaigns and the false-positive suite run over
+	// all of them.
+	ExtraSessions [][]string
+
+	// PerfSession drives the performance runs (Figure 9); built by
+	// repeating the server's command mix.
+	PerfSession []string
+}
+
+// Sessions returns every benign session: the attack session first,
+// then the extras.
+func (w *Workload) Sessions() [][]string {
+	out := [][]string{w.AttackSession}
+	return append(out, w.ExtraSessions...)
+}
+
+// All returns the ten servers in the paper's order.
+func All() []*Workload {
+	return []*Workload{
+		Telnetd(), WuFTPD(), Xinetd(), Crond(), Sysklogd(),
+		ATFTPD(), HTTPD(), Sendmail(), SSHD(), Portmap(),
+	}
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// repeat builds a perf session by cycling the given command block n
+// times, substituting %d with the iteration number where present.
+func repeat(n int, block ...string) []string {
+	out := make([]string, 0, n*len(block))
+	for i := 0; i < n; i++ {
+		for _, s := range block {
+			if strings.Contains(s, "%d") {
+				s = fmt.Sprintf(s, i)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package workload
+
+// Xinetd models the xinetd super-server (original CVE class: buffer
+// overflow in logging). The accept/deny policy, connection limit and
+// rotation counter live in main's frame; the per-service table lives in
+// globals mutated through helpers.
+func Xinetd() *Workload {
+	return &Workload{
+		Name: "xinetd",
+		Vuln: "buffer overflow",
+		Source: `
+// xinetd: internet super-server (MiniC re-creation).
+int enabled0 = 1; int enabled1 = 1; int enabled2 = 0;
+int conns0; int conns1; int conns2;
+
+int svc_index(char* name) {
+	if (strcmp(name, "echo") == 0) { return 0; }
+	if (strcmp(name, "ftp") == 0) { return 1; }
+	if (strcmp(name, "telnet") == 0) { return 2; }
+	return -1;
+}
+
+int svc_enabled(int idx) {
+	if (idx == 0) { return enabled0; }
+	if (idx == 1) { return enabled1; }
+	if (idx == 2) { return enabled2; }
+	return 0;
+}
+
+void svc_enable(int idx, int on) {
+	if (idx == 0) { enabled0 = on; }
+	if (idx == 1) { enabled1 = on; }
+	if (idx == 2) { enabled2 = on; }
+}
+
+int svc_conns(int idx) {
+	if (idx == 0) { return conns0; }
+	if (idx == 1) { return conns1; }
+	return conns2;
+}
+
+void svc_bump(int idx) {
+	if (idx == 0) { conns0 = conns0 + 1; }
+	if (idx == 1) { conns1 = conns1 + 1; }
+	if (idx == 2) { conns2 = conns2 + 1; }
+}
+
+void svc_drain(int idx) {
+	if (idx == 0) { conns0 = 0; }
+	if (idx == 1) { conns1 = 0; }
+	if (idx == 2) { conns2 = 0; }
+}
+
+// Vulnerable: the client identifier is logged through an unbounded
+// copy into a small stack buffer.
+void log_conn(int alert) {
+	char rec[8];
+	char who[16];
+	int sev;
+	sev = 1;
+	if (alert == 1) {
+		sev = 2;
+	}
+	read_line(who);   // client-controlled identity
+	strcpy(rec, who); // overflow reaches sev and beyond
+	if (sev == 2) {
+		print_str("ALERT conn");
+	} else {
+		print_str("conn");
+	}
+	print_str(rec);
+}
+
+int read_service() {
+	char svc[12];
+	read_line_n(svc, 12);
+	return svc_index(svc);
+}
+
+int main() {
+	char cmd[8];
+	char op[12];
+	char svc2[12];
+	int denyall;
+	int maxconns;
+	int total;
+	int alerts;
+	int drains;
+	denyall = 0;
+	maxconns = 4;
+	total = 0;
+	alerts = 0;
+	drains = 0;
+	while (input_avail()) {
+		read_line_n(cmd, 8);
+		if (strcmp(cmd, "conn") == 0) {
+			int idx;
+			idx = read_service();
+			if (idx < 0) {
+				read_line_n(svc2, 12); // consume identity line
+				print_str("no such service");
+			} else if (denyall == 1) {
+				read_line_n(svc2, 12);
+				alerts = alerts + 1;
+				print_str("refused: deny-all");
+			} else if (svc_enabled(idx) != 1) {
+				read_line_n(svc2, 12);
+				print_str("refused: disabled");
+			} else if (svc_conns(idx) >= maxconns) {
+				read_line_n(svc2, 12);
+				print_str("refused: limit");
+			} else {
+				svc_bump(idx);
+				total = total + 1;
+				log_conn(denyall);
+				print_str("accepted");
+			}
+		} else if (strcmp(cmd, "admin") == 0) {
+			read_line_n(op, 12);
+			read_line_n(svc2, 12);
+			if (strcmp(op, "enable") == 0) {
+				int idx;
+				idx = svc_index(svc2);
+				if (idx >= 0) {
+					svc_enable(idx, 1);
+					print_str("enabled");
+				}
+			} else if (strcmp(op, "disable") == 0) {
+				int idx;
+				idx = svc_index(svc2);
+				if (idx >= 0) {
+					svc_enable(idx, 0);
+					print_str("disabled");
+				}
+			} else if (strcmp(op, "lockdown") == 0) {
+				denyall = 1;
+				print_str("deny-all on");
+			} else if (strcmp(op, "open") == 0) {
+				denyall = 0;
+				print_str("deny-all off");
+			} else if (strcmp(op, "limit") == 0) {
+				maxconns = maxconns + 2;
+				print_str("limit raised");
+			} else {
+				print_str("bad admin op");
+			}
+		} else if (strcmp(cmd, "stat") == 0) {
+			print_int(total);
+			if (denyall == 1) {
+				print_str("locked");
+			}
+			if (alerts > 0) {
+				print_int(alerts);
+			}
+		} else if (strcmp(cmd, "drain") == 0) {
+			int idx;
+			idx = read_service();
+			if (idx < 0) {
+				print_str("no such service");
+			} else if (svc_conns(idx) < 1) {
+				print_str("nothing to drain");
+			} else {
+				svc_drain(idx);
+				drains = drains + 1;
+				print_str("drained");
+			}
+		} else if (strcmp(cmd, "health") == 0) {
+			if (denyall == 1) {
+				print_str("degraded: lockdown");
+			} else if (drains > 3) {
+				print_str("degraded: churn");
+			} else {
+				print_str("healthy");
+			}
+		} else if (strcmp(cmd, "quit") == 0) {
+			exit_prog(0);
+		} else {
+			print_str("bad command");
+		}
+		if (total > 50) {
+			print_str("rotating logs");
+			total = 0;
+		}
+		if (denyall == 1) {
+			if (maxconns > 2) {
+				maxconns = 2;
+			}
+		}
+		if (maxconns < 2) {
+			print_str("impossible: limit floor");
+		}
+	}
+	return 0;
+}
+`,
+		AttackSession: []string{
+			"conn", "echo", "alice",
+			"conn", "ftp", "bob",
+			"conn", "telnet", "eve",
+			"admin", "enable", "telnet",
+			"conn", "telnet", "eve",
+			"stat",
+			"admin", "lockdown", "-",
+			"conn", "echo", "mallory",
+			"admin", "open", "-",
+			"conn", "echo", "carol",
+			"conn", "echo", "dan",
+			"admin", "limit", "-",
+			"conn", "echo", "erin",
+			"conn", "echo", "zeke",
+			"stat",
+			"quit",
+		},
+		ExtraSessions: [][]string{
+			{
+				"conn", "echo", "a",
+				"conn", "echo", "b",
+				"conn", "echo", "c",
+				"conn", "echo", "d",
+				"conn", "echo", "e", // limit reached
+				"drain", "echo",
+				"conn", "echo", "f",
+				"health",
+				"quit",
+			},
+			{
+				"drain", "nosuch",
+				"drain", "ftp",
+				"admin", "lockdown", "-",
+				"health",
+				"admin", "open", "-",
+				"health",
+				"conn", "ftp", "z",
+				"quit",
+			},
+		},
+		PerfSession: repeat(220,
+			"conn", "echo", "user%d",
+			"conn", "ftp", "peer%d",
+			"stat",
+			"admin", "enable", "telnet",
+			"conn", "telnet", "adm%d",
+			"admin", "disable", "telnet",
+		),
+	}
+}

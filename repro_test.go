@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSrc = `
+int secret;
+void barrier() { }
+int main() {
+	secret = read_int();
+	if (secret == 7) {
+		print_str("privileged");
+	}
+	barrier();
+	if (secret == 7) {
+		return 1;
+	}
+	return 0;
+}`
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run([]string{"7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+	if res.Detected() {
+		t.Errorf("false positive: %v", res.Alarms)
+	}
+	if len(res.Output) != 1 || res.Output[0] != "privileged" {
+		t.Errorf("output = %v", res.Output)
+	}
+	if res.Steps == 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile(`int main() { return undefined; }`); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	p, err := Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CheckedBranches() == 0 {
+		t.Error("no checked branches")
+	}
+	if len(p.Correlations()) == 0 {
+		t.Error("no correlations found")
+	}
+	d := p.DumpIR()
+	if !strings.Contains(d, "func main") {
+		t.Error("dump missing main")
+	}
+	s := p.TableSizes()
+	if s.AvgBSVBits <= 0 {
+		t.Error("table sizes empty")
+	}
+	if len(p.TableImage()) == 0 {
+		t.Error("marshalled image empty")
+	}
+}
+
+func TestAttackFacade(t *testing.T) {
+	// A command loop with several input events and live decision state
+	// between them, so input-timed tampering has real windows.
+	p, err := Compile(`
+		int mode;
+		int main() {
+			int i;
+			mode = read_int();
+			for (i = 0; i < 4; i++) {
+				int cmdv;
+				cmdv = read_int();
+				if (mode == 1) { print_int(cmdv); }
+				if (mode == 1) { print_int(i); }
+			}
+			return 0;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Attack(40, 99, ArbitraryWrite, []string{"1", "5", "6", "7", "8"})
+	if len(res.Trials) != 40 {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	if res.CFChanged == 0 {
+		t.Error("no control-flow changes across 40 tamperings")
+	}
+	if res.Detected == 0 {
+		t.Error("nothing detected")
+	}
+}
+
+func TestTimeFacade(t *testing.T) {
+	p, err := Compile(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Time([]string{"7"}, MachineConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := p.Time([]string{"7"}, MachineConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles == 0 || guarded.Cycles < base.Cycles {
+		t.Errorf("cycles: base %d guarded %d", base.Cycles, guarded.Cycles)
+	}
+}
+
+func TestRunStepLimitSurfaces(t *testing.T) {
+	p, err := Compile(`int main() { while (1) { } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); err == nil {
+		t.Error("expected step-budget error")
+	}
+}
+
+func TestOptionsAblation(t *testing.T) {
+	base, err := CompileWithOptions(demoSrc, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promo, err := CompileWithOptions(demoSrc, Options{Forwarding: true, RegionPromotion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promo.CheckedBranches() > base.CheckedBranches() {
+		t.Error("promotion should not add checked branches")
+	}
+}
