@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench ci report
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration benchmark pass: a smoke check that every benchmark still
+# compiles and runs, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full gate: what a PR must pass.
+ci: vet build race bench
+
+# Observability-driven per-workload table + JSON baseline.
+report:
+	$(GO) run ./cmd/report -obs -baseline BENCH_pr1.json

@@ -15,15 +15,30 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		attacks  = flag.Int("attacks", experiments.DefaultAttacks, "attacks per program")
-		seed     = flag.Int64("seed", 1, "campaign base seed")
-		ablation = flag.Bool("ablation", false, "also run the register-promotion ablation")
+		attacks   = flag.Int("attacks", experiments.DefaultAttacks, "attacks per program")
+		seed      = flag.Int64("seed", 1, "campaign base seed")
+		ablation  = flag.Bool("ablation", false, "also run the register-promotion ablation")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *telemetry != "" {
+		reg := obs.NewRegistry()
+		experiments.SetTelemetry(reg, obs.NewTracer(reg))
+		reg.PublishExpvar("ipds")
+		srv, addr, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attacksim: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "attacksim: telemetry on http://%s/metrics\n", addr)
+	}
 
 	r, err := experiments.Figure7(*attacks, *seed)
 	if err != nil {

@@ -2,9 +2,16 @@
 // under the IPDS runtime. Input lines come from stdin or from repeated
 // -in flags; any infeasible-path alarm is reported with its location.
 //
+// With -telemetry the process serves live observability endpoints
+// (/metrics in Prometheus text, /debug/vars, /debug/pprof/) while the
+// program runs; -repeat keeps the workload running long enough to
+// scrape, and -tracefile dumps compile/run phase spans as a Chrome
+// trace-event JSON file.
+//
 // Usage:
 //
-//	ipdsrun [-in line]... [-trace] (file.mc | -workload name [-session])
+//	ipdsrun [-in line]... [-trace] [-telemetry :6060] [-repeat n]
+//	        [-tracefile out.json] (file.mc | -workload name [-session])
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"repro/internal/ipds"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -30,10 +38,13 @@ func (l *lineFlags) Set(s string) error {
 
 func main() {
 	var (
-		inputs  lineFlags
-		wlName  = flag.String("workload", "", "run a built-in server workload")
-		session = flag.Bool("session", false, "use the workload's bundled attack session as input")
-		trace   = flag.Bool("trace", false, "print per-branch events")
+		inputs    lineFlags
+		wlName    = flag.String("workload", "", "run a built-in server workload")
+		session   = flag.Bool("session", false, "use the workload's bundled attack session as input")
+		trace     = flag.Bool("trace", false, "print per-branch events")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		repeat    = flag.Int("repeat", 1, "run the program this many times (keeps telemetry endpoints warm)")
+		traceFile = flag.String("tracefile", "", "write compile/run phase spans as Chrome trace-event JSON")
 	)
 	flag.Var(&inputs, "in", "input line (repeatable)")
 	flag.Parse()
@@ -73,20 +84,68 @@ func main() {
 		}
 	}
 
-	art, err := pipeline.Compile(src, ir.DefaultOptions)
+	// Observability wiring: a registry for machine metrics and a tracer
+	// for compile/run phases. Both stay nil (free no-ops) unless asked
+	// for.
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if *telemetry != "" || *traceFile != "" {
+		reg = obs.NewRegistry()
+		tr = obs.NewTracer(reg)
+	}
+	if *telemetry != "" {
+		reg.PublishExpvar("ipds")
+		srv, addr, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrun: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ipdsrun: telemetry on http://%s/metrics\n", addr)
+	}
+
+	art, err := pipeline.CompileTraced(src, ir.DefaultOptions, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipdsrun:", err)
 		os.Exit(1)
 	}
-	v := vm.New(art.Prog, vm.DefaultConfig, input)
-	m := ipds.New(art.Image, ipds.DefaultConfig)
-	ipds.Attach(v, m)
-	if *trace {
-		v.AddHooks(vm.Hooks{OnBranch: func(br *ir.Instr, taken bool) {
-			fmt.Printf("branch %#x taken=%v expected=%v\n", br.PC, taken, m.Status(br.PC))
-		}})
+
+	if *repeat < 1 {
+		*repeat = 1
 	}
-	res := v.Run()
+	var res vm.Result
+	var m *ipds.Machine
+	for i := 0; i < *repeat; i++ {
+		stop := tr.Span("run")
+		v := vm.New(art.Prog, vm.DefaultConfig, input)
+		m = ipds.New(art.Image, ipds.DefaultConfig)
+		m.Instrument(reg, "workload", name)
+		ipds.Attach(v, m)
+		if *trace {
+			v.AddHooks(vm.Hooks{OnBranch: func(br *ir.Instr, taken bool) {
+				fmt.Printf("branch %#x taken=%v expected=%v\n", br.PC, taken, m.Status(br.PC))
+			}})
+		}
+		res = v.Run()
+		stop()
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrun:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrun:", err)
+			os.Exit(1)
+		}
+	}
 
 	for _, line := range res.Output {
 		fmt.Println(line)

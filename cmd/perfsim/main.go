@@ -15,15 +15,30 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		table1   = flag.Bool("table1", false, "print the simulated machine configuration")
-		checking = flag.Bool("checking", false, "also measure IPDS checking speed")
-		compile  = flag.Bool("compile", false, "also measure compilation times")
+		table1    = flag.Bool("table1", false, "print the simulated machine configuration")
+		checking  = flag.Bool("checking", false, "also measure IPDS checking speed")
+		compile   = flag.Bool("compile", false, "also measure compilation times")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *telemetry != "" {
+		reg := obs.NewRegistry()
+		experiments.SetTelemetry(reg, obs.NewTracer(reg))
+		reg.PublishExpvar("ipds")
+		srv, addr, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfsim: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "perfsim: telemetry on http://%s/metrics\n", addr)
+	}
 
 	cfg := cpu.DefaultConfig()
 	if *table1 {

@@ -2,26 +2,89 @@
 // in-text measurement and ablation — and emits one consolidated plain
 // text report. EXPERIMENTS.md's numbers are produced by this tool.
 //
+// The -obs mode instead runs every workload on a metrics-instrumented
+// machine and renders the registry snapshot as the per-workload
+// observability table (checked %, avg BAT accesses/branch, spill
+// rate); -baseline additionally writes the rows as JSON so later perf
+// PRs have numbers to beat.
+//
 // Usage:
 //
 //	report [-attacks 100] [-seed 1]
+//	report -obs [-baseline BENCH.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// obsReport runs the observability-driven per-workload report and
+// optionally persists the rows as a JSON baseline file.
+func obsReport(baseline string) {
+	// TelemetryReport reuses the registry installed by -telemetry (so a
+	// live scrape sees the same numbers) or creates its own.
+	r, err := experiments.TelemetryReport()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report: telemetry:", err)
+		os.Exit(1)
+	}
+	fmt.Print(r.Render())
+	if baseline == "" {
+		return
+	}
+	f, err := os.Create(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Rows); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "report: wrote %s\n", baseline)
+}
 
 func main() {
 	var (
-		attacks = flag.Int("attacks", experiments.DefaultAttacks, "attacks per program")
-		seed    = flag.Int64("seed", 1, "campaign base seed")
+		attacks   = flag.Int("attacks", experiments.DefaultAttacks, "attacks per program")
+		seed      = flag.Int64("seed", 1, "campaign base seed")
+		obsMode   = flag.Bool("obs", false, "render the observability-derived per-workload table instead of the full report")
+		baseline  = flag.String("baseline", "", "with -obs, also write the telemetry rows as JSON to this file")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *telemetry != "" {
+		reg := obs.NewRegistry()
+		experiments.SetTelemetry(reg, obs.NewTracer(reg))
+		reg.PublishExpvar("ipds")
+		srv, addr, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "report: telemetry on http://%s/metrics\n", addr)
+	}
+
+	if *obsMode || *baseline != "" {
+		obsReport(*baseline)
+		return
+	}
 
 	cfg := cpu.DefaultConfig()
 	fmt.Printf("IPDS reproduction report (attacks=%d seed=%d)\n\n", *attacks, *seed)

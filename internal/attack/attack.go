@@ -180,9 +180,17 @@ func (c *Campaign) Run() *Result {
 		ic = ipds.DefaultConfig
 	}
 
-	// Golden run (also sanity-checks zero false positives).
+	// Golden run (also sanity-checks zero false positives). Subscribe to
+	// the machine's event stream rather than polling the alarm ring: any
+	// alarm on an untampered run violates the scheme's core guarantee,
+	// so make it loud the instant it fires.
 	gv := vm.New(c.Artifacts.Prog, cfg, c.Input)
 	gm := ipds.New(c.Artifacts.Image, ic)
+	gm.SetEventSink(ipds.FuncSink(func(e ipds.Event) {
+		if e.Kind == ipds.EvAlarm {
+			panic("attack: false positive on untampered golden run: " + e.Alarm.String())
+		}
+	}))
 	ipds.Attach(gv, gm)
 	var g golden
 	gv.AddHooks(vm.Hooks{OnInstr: func(in *ir.Instr, addr uint64, size int) {
@@ -191,11 +199,6 @@ func (c *Campaign) Run() *Result {
 		}
 	}})
 	g.res = gv.Run()
-	if len(gm.Alarms()) > 0 {
-		// A false positive violates the scheme's core guarantee; make
-		// it loud rather than silently folding it into the statistics.
-		panic("attack: false positive on untampered golden run: " + gm.Alarms()[0].String())
-	}
 
 	out := &Result{Program: c.Name, Model: c.Model}
 	rng := rand.New(rand.NewSource(c.Seed))
@@ -221,6 +224,14 @@ func (c *Campaign) runOne(seed int64, cfg vm.Config, ic ipds.Config, g *golden) 
 
 	v := vm.New(c.Artifacts.Prog, cfg, c.Input)
 	m := ipds.New(c.Artifacts.Image, ic)
+	// Subscribe to the alarm event stream; the first alarm decides the
+	// trial, independent of how many later alarms the bounded ring keeps.
+	var firstAlarm *ipds.Alarm
+	m.SetEventSink(ipds.FuncSink(func(e ipds.Event) {
+		if e.Kind == ipds.EvAlarm && firstAlarm == nil {
+			firstAlarm = e.Alarm
+		}
+	}))
 	ipds.Attach(v, m)
 
 	prog := c.Artifacts.Prog
@@ -322,9 +333,9 @@ func (c *Campaign) runOne(seed int64, cfg vm.Config, ic ipds.Config, g *golden) 
 	switch {
 	case !changed:
 		trial.Outcome = NoEffect
-	case len(m.Alarms()) > 0:
+	case firstAlarm != nil:
 		trial.Outcome = Detected
-		trial.AlarmSeq = m.Alarms()[0].Seq
+		trial.AlarmSeq = firstAlarm.Seq
 	default:
 		trial.Outcome = Missed
 	}

@@ -3,6 +3,7 @@ package cpu
 import (
 	"repro/internal/ipds"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -81,7 +82,48 @@ type Sim struct {
 	machine       *ipds.Machine
 	lastIPDSStats ipds.Stats
 
+	met   *simMetrics
 	stats Stats
+}
+
+// simMetrics mirrors the headline timing counters into a metrics
+// registry so a live /metrics scrape can watch a simulation progress.
+// Gauges are refreshed at branch commit (the cadence the IPDS unit
+// already works at), not per retired instruction.
+type simMetrics struct {
+	cycles       *obs.Gauge
+	instructions *obs.Gauge
+	ipdsStalls   *obs.Gauge
+	ipdsBusy     *obs.Gauge
+	requests     *obs.Counter
+}
+
+// Instrument attaches the simulator to a metrics registry (nil
+// detaches). labels are name/value pairs appended to every metric name.
+func (s *Sim) Instrument(r *obs.Registry, labels ...string) {
+	if r == nil {
+		s.met = nil
+		return
+	}
+	n := func(base string) string { return obs.Name(base, labels...) }
+	s.met = &simMetrics{
+		cycles:       r.Gauge(n("cpu_cycles")),
+		instructions: r.Gauge(n("cpu_instructions")),
+		ipdsStalls:   r.Gauge(n("cpu_ipds_stall_cycles")),
+		ipdsBusy:     r.Gauge(n("cpu_ipds_busy_cycles")),
+		requests:     r.Counter(n("cpu_ipds_requests_total")),
+	}
+}
+
+func (s *Sim) syncMetrics() {
+	mm := s.met
+	if mm == nil {
+		return
+	}
+	mm.cycles.Set(int64(s.stats.Cycles))
+	mm.instructions.Set(int64(s.stats.Instructions))
+	mm.ipdsStalls.Set(int64(s.stats.IPDSStallCycles))
+	mm.ipdsBusy.Set(int64(s.stats.IPDSBusyCycles))
 }
 
 // New creates a simulator. machine may be nil to model the baseline
@@ -311,8 +353,16 @@ func (s *Sim) retire(in *ir.Instr, addr uint64, taken bool) {
 	commit = bwSlot(s.commitBW, &s.cbwIdx, commit)
 
 	// IPDS request at branch commit.
-	if in.Op == ir.OpBr && s.machine != nil {
-		commit = s.ipdsRequest(in.PC, taken, commit)
+	if in.Op == ir.OpBr {
+		if s.machine != nil {
+			commit = s.ipdsRequest(in.PC, taken, commit)
+		}
+		if s.met != nil {
+			if commit > s.stats.Cycles {
+				s.stats.Cycles = commit
+			}
+			s.syncMetrics()
+		}
 	}
 
 	s.lastCommit = commit
@@ -338,6 +388,9 @@ func (s *Sim) retire(in *ir.Instr, addr uint64, taken bool) {
 func (s *Sim) ipdsRequest(pc uint64, taken bool, commit uint64) uint64 {
 	_, cost := s.machine.OnBranch(pc, taken)
 	s.stats.IPDSRequests++
+	if s.met != nil {
+		s.met.requests.Inc()
+	}
 
 	// cost is 1 (BSV/BCV probe) + walked BAT entries; one SRAM access
 	// returns IPDSEntriesPerAccess consecutive entries.

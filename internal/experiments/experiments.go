@@ -63,13 +63,16 @@ func figure7Transformed(attacks int, seed int64, opts ir.Options,
 	out := &Figure7Result{}
 	var sumCF, sumDet float64
 	for i, w := range workload.All() {
-		art, err := pipeline.Compile(w.Source, opts)
+		stop := harnessTracer().Span("figure7/" + w.Name)
+		art, err := compile(w.Source, opts)
 		if err != nil {
+			stop()
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		if transform != nil {
 			art, err = transform(art)
 			if err != nil {
+				stop()
 				return nil, fmt.Errorf("%s: %w", w.Name, err)
 			}
 		}
@@ -104,6 +107,7 @@ func figure7Transformed(attacks int, seed int64, opts ir.Options,
 			cfChanged += res.CFChanged
 			detected += res.Detected
 		}
+		stop()
 		row := Figure7Row{
 			Program:  w.Name,
 			Vuln:     w.Vuln,
@@ -162,7 +166,7 @@ func Figure8() (*Figure8Result, error) {
 	totalFns := 0
 	var sumBSV, sumBCV, sumBAT float64
 	for _, w := range workload.All() {
-		art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+		art, err := compile(w.Source, ir.DefaultOptions)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -225,15 +229,19 @@ func Figure9(cfg cpu.Config) (*Figure9Result, error) {
 	out := &Figure9Result{}
 	var sumNorm, sumLat float64
 	for _, w := range workload.All() {
-		art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+		stop := harnessTracer().Span("figure9/" + w.Name)
+		art, err := compile(w.Source, ir.DefaultOptions)
 		if err != nil {
+			stop()
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		base, err := timeOne(art, w.PerfSession, cfg, false)
+		base, err := timeOne(art, w.Name, w.PerfSession, cfg, false)
 		if err != nil {
+			stop()
 			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
 		}
-		guarded, err := timeOne(art, w.PerfSession, cfg, true)
+		guarded, err := timeOne(art, w.Name, w.PerfSession, cfg, true)
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("%s guarded: %w", w.Name, err)
 		}
@@ -258,15 +266,19 @@ func Figure9(cfg cpu.Config) (*Figure9Result, error) {
 	return out, nil
 }
 
-func timeOne(art *pipeline.Artifacts, session []string, cfg cpu.Config, withIPDS bool) (cpu.Stats, error) {
+func timeOne(art *pipeline.Artifacts, name string, session []string, cfg cpu.Config, withIPDS bool) (cpu.Stats, error) {
 	vcfg := vm.DefaultConfig
 	vcfg.RecordBranches = false
 	v := vm.New(art.Prog, vcfg, session)
 	var m *ipds.Machine
+	guard := "off"
 	if withIPDS {
 		m = ipds.New(art.Image, ipds.DefaultConfig)
+		m.Instrument(telemetry.reg, "workload", name)
+		guard = "on"
 	}
 	s := cpu.New(cfg, m)
+	s.Instrument(telemetry.reg, "workload", name, "ipds", guard)
 	s.Attach(v)
 	res := v.Run()
 	if res.Status != vm.Exited {
@@ -337,7 +349,7 @@ func CompileTimes() (*CompileTimesResult, error) {
 	out := &CompileTimesResult{}
 	for _, w := range workload.All() {
 		start := time.Now()
-		if _, err := pipeline.Compile(w.Source, ir.DefaultOptions); err != nil {
+		if _, err := compile(w.Source, ir.DefaultOptions); err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		d := time.Since(start)
@@ -383,11 +395,11 @@ func CheckingSpeed(cfg cpu.Config) (*CheckingSpeedResult, error) {
 	out := &CheckingSpeedResult{}
 	var sum float64
 	for _, w := range workload.All() {
-		art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+		art, err := compile(w.Source, ir.DefaultOptions)
 		if err != nil {
 			return nil, err
 		}
-		st, err := timeOne(art, w.PerfSession, cfg, true)
+		st, err := timeOne(art, w.Name, w.PerfSession, cfg, true)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -503,11 +515,11 @@ func ExtensionInlining(attacks int, seed int64) (*InliningExtensionResult, error
 	}
 	baseFns, inlFns := 0, 0
 	for _, w := range workload.All() {
-		base, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+		base, err := compile(w.Source, ir.DefaultOptions)
 		if err != nil {
 			return nil, err
 		}
-		inl, err := pipeline.Compile(w.Source, ir.Options{Forwarding: true, InlineSmall: true})
+		inl, err := compile(w.Source, ir.Options{Forwarding: true, InlineSmall: true})
 		if err != nil {
 			return nil, err
 		}

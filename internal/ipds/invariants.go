@@ -1,0 +1,50 @@
+package ipds
+
+import "fmt"
+
+// CheckInvariants verifies the table-stack bookkeeping the spill/fill
+// machinery must preserve:
+//
+//  1. 0 <= resident <= stack depth (the resident floor never points
+//     below the stack bottom or above its top);
+//  2. bsvBits/bcvBits/batBits equal the bit sums over the resident
+//     frames [resident, depth);
+//  3. an over-budget buffer is only permitted when nothing more can
+//     spill — the single top frame alone exceeds the buffer (spillToFit
+//     never evicts the top frame).
+//
+// It is assertable from tests after every machine operation and cheap
+// enough to run inside property loops. The same quantities are exported
+// as gauges by Instrument (ipds_stack_depth, ipds_resident_floor,
+// ipds_onchip_*_bits), so a production scrape can watch the invariant
+// inputs live.
+func (m *Machine) CheckInvariants() error {
+	depth := len(m.stack)
+	if m.resident < 0 || m.resident > depth {
+		return fmt.Errorf("ipds: resident %d out of range [0,%d]", m.resident, depth)
+	}
+	var b1, b2, b3 int
+	for _, act := range m.stack[m.resident:] {
+		x1, x2, x3 := act.bits()
+		b1 += x1
+		b2 += x2
+		b3 += x3
+	}
+	if b1 != m.bsvBits || b2 != m.bcvBits || b3 != m.batBits {
+		return fmt.Errorf("ipds: on-chip bits (%d,%d,%d) != resident frame sums (%d,%d,%d)",
+			m.bsvBits, m.bcvBits, m.batBits, b1, b2, b3)
+	}
+	over := m.bsvBits > m.cfg.BSVStackBits ||
+		m.bcvBits > m.cfg.BCVStackBits ||
+		m.batBits > m.cfg.BATStackBits
+	if over && m.resident < depth-1 {
+		return fmt.Errorf("ipds: buffers over budget (%d/%d, %d/%d, %d/%d bits) with %d spillable frames",
+			m.bsvBits, m.cfg.BSVStackBits, m.bcvBits, m.cfg.BCVStackBits,
+			m.batBits, m.cfg.BATStackBits, depth-1-m.resident)
+	}
+	return nil
+}
+
+// Resident returns the lowest on-chip frame index (diagnostics; frames
+// below it are spilled to their home locations).
+func (m *Machine) Resident() int { return m.resident }

@@ -26,6 +26,15 @@ type Config struct {
 	BSVStackBits int
 	BCVStackBits int
 	BATStackBits int
+
+	// AlarmBuffer bounds the alarm ring (0 = DefaultAlarmBuffer). When
+	// full, the oldest alarm is overwritten and the drop is counted.
+	AlarmBuffer int
+
+	// Strict rejects branch PCs that are not known branches of the
+	// active function instead of letting the masked hash alias them
+	// onto another branch's slot. Rejects are counted, never alarmed.
+	Strict bool
 }
 
 // DefaultConfig mirrors Table 1: 2K/1K/32K bits.
@@ -64,6 +73,11 @@ type Stats struct {
 	SpillBits   uint64 // total bits spilled
 	FillBits    uint64 // total bits filled
 	Alarms      uint64
+
+	// AlarmsDropped counts alarms evicted from the full ring buffer.
+	AlarmsDropped uint64
+	// StrictRejects counts branch PCs refused by strict slot checking.
+	StrictRejects uint64
 }
 
 type activation struct {
@@ -91,24 +105,33 @@ type Machine struct {
 	bcvBits  int
 	batBits  int
 
-	alarms []Alarm
+	alarms *alarmRing
+	sink   EventSink
+	met    *machineMetrics
 	stats  Stats
 	seq    uint64
 }
 
 // New creates a machine for a program's table image.
 func New(img *tables.Image, cfg Config) *Machine {
-	return &Machine{img: img, cfg: cfg}
+	return &Machine{
+		img:    img,
+		cfg:    cfg,
+		alarms: newAlarmRing(cfg.AlarmBuffer),
+		met:    &machineMetrics{}, // disabled until Instrument
+	}
 }
 
-// Reset clears all state, keeping the image and configuration.
+// Reset clears all state, keeping the image, configuration and any
+// attached sink or registry instrumentation.
 func (m *Machine) Reset() {
 	m.stack = m.stack[:0]
 	m.resident = 0
 	m.bsvBits, m.bcvBits, m.batBits = 0, 0, 0
-	m.alarms = nil
+	m.alarms.reset()
 	m.stats = Stats{}
 	m.seq = 0
+	m.syncGauges()
 }
 
 // EnterFunc pushes the table frame for the function whose code starts
@@ -116,6 +139,7 @@ func (m *Machine) Reset() {
 // inert frame, matching the paper's unprotected-library behaviour.
 func (m *Machine) EnterFunc(base uint64) {
 	m.stats.Pushes++
+	m.met.pushes.Inc()
 	act := &activation{img: m.img.ByBase[base]}
 	if act.img != nil {
 		act.bsv = make([]tables.Status, act.img.NumSlots)
@@ -126,6 +150,8 @@ func (m *Machine) EnterFunc(base uint64) {
 	m.bcvBits += b2
 	m.batBits += b3
 	m.spillToFit()
+	m.emit(Event{Kind: EvEnter, Seq: m.seq, Depth: len(m.stack), Base: base})
+	m.syncGauges()
 }
 
 // LeaveFunc pops the top table frame.
@@ -134,12 +160,15 @@ func (m *Machine) LeaveFunc() {
 		return
 	}
 	m.stats.Pops++
+	m.met.pops.Inc()
 	top := m.stack[len(m.stack)-1]
 	m.stack = m.stack[:len(m.stack)-1]
 	if len(m.stack) < m.resident {
 		// The popped frame was itself spilled (cannot happen with the
 		// fill-on-pop policy, but keep the invariant safe).
 		m.resident = len(m.stack)
+		m.emit(Event{Kind: EvLeave, Seq: m.seq, Depth: len(m.stack)})
+		m.syncGauges()
 		return
 	}
 	b1, b2, b3 := top.bits()
@@ -150,6 +179,8 @@ func (m *Machine) LeaveFunc() {
 	if m.resident > 0 && m.resident == len(m.stack) && len(m.stack) > 0 {
 		m.fillTop()
 	}
+	m.emit(Event{Kind: EvLeave, Seq: m.seq, Depth: len(m.stack)})
+	m.syncGauges()
 }
 
 func (m *Machine) spillToFit() {
@@ -165,6 +196,11 @@ func (m *Machine) spillToFit() {
 		m.resident++
 		m.stats.SpillEvents++
 		m.stats.SpillBits += uint64(b1 + b2 + b3)
+		if mm := m.met; mm != nil {
+			mm.spillEvents.Inc()
+			mm.spillBits.Add(uint64(b1 + b2 + b3))
+		}
+		m.emit(Event{Kind: EvSpill, Seq: m.seq, Depth: len(m.stack), Bits: b1 + b2 + b3})
 	}
 }
 
@@ -177,6 +213,11 @@ func (m *Machine) fillTop() {
 	m.batBits += b3
 	m.stats.FillEvents++
 	m.stats.FillBits += uint64(b1 + b2 + b3)
+	if mm := m.met; mm != nil {
+		mm.fillEvents.Inc()
+		mm.fillBits.Add(uint64(b1 + b2 + b3))
+	}
+	m.emit(Event{Kind: EvFill, Seq: m.seq, Depth: len(m.stack), Bits: b1 + b2 + b3})
 	m.spillToFit()
 }
 
@@ -187,6 +228,7 @@ func (m *Machine) fillTop() {
 func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
 	m.seq++
 	m.stats.Branches++
+	m.met.branches.Inc()
 	if len(m.stack) == 0 {
 		return nil, 1
 	}
@@ -195,19 +237,26 @@ func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
 		return nil, 1
 	}
 	img := act.img
+	if m.cfg.Strict && !img.ValidPC(pc) {
+		// The masked hash would alias this PC onto another branch's
+		// slot; refuse it instead of risking a bogus verify or update.
+		m.stats.StrictRejects++
+		m.met.strictRejects.Inc()
+		return nil, 1
+	}
 	slot := img.Slot(pc)
 	cost := 1 // BCV + BSV probe (single wide access)
 
 	var alarm *Alarm
 	if img.Checked(slot) {
 		m.stats.Verified++
+		m.met.verified.Inc()
 		if st := act.bsv[slot]; !st.Matches(taken) {
 			alarm = &Alarm{
 				Seq: m.seq, PC: pc, Func: img.Name, Slot: slot,
 				Expected: st, Taken: taken,
 			}
-			m.alarms = append(m.alarms, *alarm)
-			m.stats.Alarms++
+			m.pushAlarm(*alarm)
 		}
 	}
 
@@ -225,8 +274,27 @@ func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
 		m.stats.Updates++
 	})
 	m.stats.BATAccesses += uint64(walked)
+	if mm := m.met; mm != nil {
+		mm.updates.Add(m.stats.Updates - mm.lastUpdates)
+		mm.lastUpdates = m.stats.Updates
+		mm.batAccesses.Add(uint64(walked))
+		mm.batWalk.Observe(uint64(walked))
+	}
 	cost += walked
 	return alarm, cost
+}
+
+// pushAlarm records an alarm in the bounded ring and publishes it.
+func (m *Machine) pushAlarm(a Alarm) {
+	before := m.alarms.dropped
+	m.alarms.push(a)
+	m.stats.Alarms++
+	m.met.alarms.Inc()
+	if m.alarms.dropped != before {
+		m.stats.AlarmsDropped++
+		m.met.alarmsDropped.Inc()
+	}
+	m.emit(Event{Kind: EvAlarm, Seq: a.Seq, Depth: len(m.stack), Alarm: &a})
 }
 
 // Status returns the current expectation for a branch PC in the active
@@ -245,8 +313,11 @@ func (m *Machine) Status(pc uint64) tables.Status {
 // Depth returns the current table-stack depth.
 func (m *Machine) Depth() int { return len(m.stack) }
 
-// Alarms returns all alarms raised since the last Reset.
-func (m *Machine) Alarms() []Alarm { return m.alarms }
+// Alarms returns the retained alarms (oldest first) since the last
+// Reset. Storage is a bounded ring: once more than the configured
+// AlarmBuffer alarms have fired, the oldest are gone and
+// Stats().AlarmsDropped says how many.
+func (m *Machine) Alarms() []Alarm { return m.alarms.all() }
 
 // Stats returns the activity counters.
 func (m *Machine) Stats() Stats { return m.stats }

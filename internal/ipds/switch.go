@@ -20,7 +20,7 @@ type ProcessState struct {
 	bsvBits  int
 	bcvBits  int
 	batBits  int
-	alarms   []Alarm
+	alarms   *alarmRing
 	stats    Stats
 	seq      uint64
 }
@@ -54,7 +54,7 @@ func (ps *ProcessState) Depth() int { return len(ps.stack) }
 func (ps *ProcessState) Stats() Stats { return ps.stats }
 
 // Alarms returns the alarms the suspended process accumulated.
-func (ps *ProcessState) Alarms() []Alarm { return ps.alarms }
+func (ps *ProcessState) Alarms() []Alarm { return ps.alarms.all() }
 
 // Suspend captures the machine's per-process state and resets the
 // machine for the next process. The returned state resumes exactly
@@ -74,9 +74,10 @@ func (m *Machine) Suspend() *ProcessState {
 	m.stack = nil
 	m.resident = 0
 	m.bsvBits, m.bcvBits, m.batBits = 0, 0, 0
-	m.alarms = nil
+	m.alarms = newAlarmRing(m.cfg.AlarmBuffer)
 	m.stats = Stats{}
 	m.seq = 0
+	m.syncGauges()
 	return ps
 }
 
@@ -91,4 +92,5 @@ func (m *Machine) Resume(ps *ProcessState) {
 	m.alarms = ps.alarms
 	m.stats = ps.stats
 	m.seq = ps.seq
+	m.syncGauges()
 }

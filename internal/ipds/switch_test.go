@@ -106,9 +106,9 @@ func TestContextSwitchTwoProcesses(t *testing.T) {
 	}
 	// Zero false positives across interleaving, and per-process stats
 	// stayed separated.
-	if len(procs[0].ps.alarms) != 0 || len(procs[1].ps.alarms) != 0 {
+	if len(procs[0].ps.Alarms()) != 0 || len(procs[1].ps.Alarms()) != 0 {
 		t.Fatalf("false positives across context switches: %v %v",
-			procs[0].ps.alarms, procs[1].ps.alarms)
+			procs[0].ps.Alarms(), procs[1].ps.Alarms())
 	}
 	if procs[0].ps.stats.Branches == 0 || procs[1].ps.stats.Branches == 0 {
 		t.Error("per-process branch counts lost across switches")

@@ -17,6 +17,13 @@ type Parser struct {
 // afterwards to resolve names and types.
 func Parse(src string) (*File, error) {
 	toks, lerrs := Lex(src)
+	return ParseTokens(toks, lerrs)
+}
+
+// ParseTokens parses an already-lexed token stream (with the lexer's
+// error list, folded into the parse result). It exists so callers that
+// time compiler phases can separate lexing from parsing.
+func ParseTokens(toks []Token, lerrs ErrorList) (*File, error) {
 	p := &Parser{toks: toks, errs: lerrs}
 	f := p.parseFile()
 	return f, p.errs.Err()

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// MetricsHandler serves the registry in Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+}
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry's snapshot as a named expvar (under
+// /debug/vars). Repeated publishes of the same name are ignored —
+// expvar itself panics on duplicates, and tests create many registries.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	reg := r
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}
+
+// NewMux builds the telemetry mux: /metrics (Prometheus text),
+// /debug/vars (expvar) and /debug/pprof/* (net/http/pprof), without
+// touching http.DefaultServeMux.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry endpoint on addr (":6060", "127.0.0.1:0")
+// in a background goroutine. It returns the server (Close it to stop)
+// and the bound address, useful when addr requested port 0.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

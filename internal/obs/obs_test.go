@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("z")
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	var tr *Tracer
+	stop := tr.Span("phase")
+	stop() // must not panic
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer recorded spans")
+	}
+	r.WritePrometheus(io.Discard)
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("branches_total")
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	c.Add(5)
+	if got := r.Counter("branches_total").Value(); got != 15 {
+		t.Fatalf("counter = %d, want 15", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+
+	h := r.Histogram("walk")
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1025 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := h.Snapshot()
+	// 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4,7 -> bucket 3;
+	// 8 -> bucket 4; 1000 -> bucket 10.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestNameAndPrometheusText(t *testing.T) {
+	if got := Name("x_total"); got != "x_total" {
+		t.Fatal(got)
+	}
+	if got := Name("x_total", "workload", "httpd"); got != `x_total{workload="httpd"}` {
+		t.Fatal(got)
+	}
+
+	r := NewRegistry()
+	r.Counter(Name("branches_total", "workload", "httpd")).Add(42)
+	r.Gauge("depth").Set(3)
+	h := r.Histogram(Name("walk", "workload", "httpd"))
+	h.Observe(0)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`branches_total{workload="httpd"} 42`,
+		`depth 3`,
+		`walk_bucket{workload="httpd",le="0"} 1`,
+		`walk_bucket{workload="httpd",le="7"} 2`,
+		`walk_bucket{workload="httpd",le="+Inf"} 2`,
+		`walk_sum{workload="httpd"} 5`,
+		`walk_count{workload="httpd"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(uint64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	// Concurrent scrapes while writers run.
+	for i := 0; i < 10; i++ {
+		r.WritePrometheus(io.Discard)
+		r.Snapshot()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 {
+		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+	if r.Histogram("h").Count() != 8000 {
+		t.Fatalf("histogram count = %d", r.Histogram("h").Count())
+	}
+}
+
+func TestTracerSpansAndChromeTrace(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	stop := tr.Span("parse")
+	time.Sleep(time.Millisecond)
+	stop()
+	tr.Span("sema")()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Name != "parse" || spans[0].Dur <= 0 {
+		t.Fatalf("bad span %+v", spans[0])
+	}
+	if h := r.Histogram(Name("span_ns", "span", "parse")); h.Count() != 1 {
+		t.Fatalf("span histogram not fed: %d", h.Count())
+	}
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &evs); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(evs) != 2 || evs[0]["name"] != "parse" || evs[0]["ph"] != "X" {
+		t.Fatalf("bad chrome trace: %v", evs)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up").Inc()
+	r.PublishExpvar("test_registry")
+	r.PublishExpvar("test_registry") // duplicate must not panic
+
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "up 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "test_registry") {
+		t.Fatalf("/debug/vars missing published registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ not serving an index:\n%s", body)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one recorded phase: a named interval relative to the tracer's
+// start time.
+type Span struct {
+	Name  string
+	Start time.Duration // offset from the tracer's first span
+	Dur   time.Duration
+}
+
+// Tracer records named phase spans (compiler phases, per-workload
+// experiment runs). Every finished span feeds a `span_ns{span="name"}`
+// histogram in the attached registry, and the full span list can be
+// dumped as a Chrome trace-event JSON file (chrome://tracing,
+// Perfetto).
+//
+// A nil *Tracer is valid and free: Span returns a no-op stop function.
+type Tracer struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewTracer creates a tracer feeding reg (which may be nil: spans are
+// then only kept for the trace file).
+func NewTracer(reg *Registry) *Tracer {
+	return &Tracer{reg: reg}
+}
+
+var nopStop = func() {}
+
+// Span starts a named span and returns its stop function. Safe for
+// concurrent use; nested spans are fine (they simply overlap in the
+// trace).
+func (t *Tracer) Span(name string) func() {
+	if t == nil {
+		return nopStop
+	}
+	start := time.Now()
+	t.mu.Lock()
+	if t.t0.IsZero() {
+		t.t0 = start
+	}
+	t0 := t.t0
+	t.mu.Unlock()
+	return func() {
+		d := time.Since(start)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t0), Dur: d})
+		t.mu.Unlock()
+		t.reg.Histogram(Name("span_ns", "span", name)).Observe(uint64(d.Nanoseconds()))
+	}
+}
+
+// Spans returns a copy of all finished spans in completion order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event; ts/dur in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace dumps all finished spans as a Chrome trace-event
+// JSON array, loadable in chrome://tracing or Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := []chromeEvent{}
+	for _, s := range t.Spans() {
+		evs = append(evs, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}

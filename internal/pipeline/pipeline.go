@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/tables"
 )
 
@@ -24,17 +25,55 @@ type Artifacts struct {
 
 // Compile runs the whole pipeline on MiniC source.
 func Compile(src string, opts ir.Options) (*Artifacts, error) {
-	mp, err := minic.Compile(src)
+	return CompileTraced(src, opts, nil)
+}
+
+// CompileTraced runs the pipeline with per-phase spans recorded on tr
+// (nil for no tracing): lex, parse, sema, ir (lowering, CFG
+// construction), alias, core (region/range analysis and Figure 5
+// correlation discovery) and tables (hash search + bit-level encoding).
+// Each span feeds a `span_ns{span="compile/<phase>"}` histogram in the
+// tracer's registry.
+func CompileTraced(src string, opts ir.Options, tr *obs.Tracer) (*Artifacts, error) {
+	stopAll := tr.Span("compile")
+	defer stopAll()
+
+	stop := tr.Span("compile/lex")
+	toks, lerrs := minic.Lex(src)
+	stop()
+
+	stop = tr.Span("compile/parse")
+	file, err := minic.ParseTokens(toks, lerrs)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("frontend: %w", err)
 	}
+
+	stop = tr.Span("compile/sema")
+	mp, err := minic.Check(file)
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+
+	stop = tr.Span("compile/ir")
 	prog, err := ir.Lower(mp, opts)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+
+	stop = tr.Span("compile/alias")
 	al := alias.Analyze(prog)
+	stop()
+
+	stop = tr.Span("compile/core")
 	res := core.Build(prog, al)
+	stop()
+
+	stop = tr.Span("compile/tables")
 	img, err := tables.Encode(res)
+	stop()
 	if err != nil {
 		return nil, err
 	}

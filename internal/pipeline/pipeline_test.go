@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 func TestCompileProducesAllArtifacts(t *testing.T) {
@@ -53,4 +54,43 @@ func TestMustCompilePanics(t *testing.T) {
 		}
 	}()
 	MustCompile(`nonsense`, ir.DefaultOptions)
+}
+
+func TestCompileTracedRecordsPhases(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg)
+	_, err := CompileTraced(`
+		int main() {
+			int x;
+			x = read_int();
+			if (x < 5) { print_int(1); }
+			return 0;
+		}`, ir.DefaultOptions, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range tr.Spans() {
+		seen[s.Name] = true
+	}
+	for _, phase := range []string{
+		"compile", "compile/lex", "compile/parse", "compile/sema",
+		"compile/ir", "compile/alias", "compile/core", "compile/tables",
+	} {
+		if !seen[phase] {
+			t.Errorf("phase %q not traced (got %v)", phase, tr.Spans())
+		}
+		if h := reg.Histogram(obs.Name("span_ns", "span", phase)); h.Count() != 1 {
+			t.Errorf("phase %q histogram count = %d, want 1", phase, h.Count())
+		}
+	}
+
+	// Tracing must not change compile error behaviour.
+	if _, err := CompileTraced("int main( {", ir.DefaultOptions, tr); err == nil {
+		t.Fatal("syntax error not reported")
+	}
+	// And a nil tracer must be accepted.
+	if _, err := CompileTraced("int main() { return 0; }", ir.DefaultOptions, nil); err != nil {
+		t.Fatal(err)
+	}
 }

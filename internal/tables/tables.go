@@ -76,6 +76,14 @@ type FuncImage struct {
 	Hash     hashfn.Params
 	NumSlots int
 
+	// BranchPCs lists the function's conditional-branch PCs (sorted).
+	// The slot hash is masked, so any PC maps onto *some* slot; this
+	// list lets a strict runtime reject PCs that are not actually
+	// branches of the function instead of silently aliasing them onto
+	// another branch's slot.
+	BranchPCs []uint64
+	pcSet     map[uint64]struct{}
+
 	// BCV is the checking vector, one bit per slot.
 	BCV []uint64
 
@@ -97,6 +105,27 @@ func (fi *FuncImage) Checked(slot int) bool {
 
 // Slot maps a branch PC to its table slot.
 func (fi *FuncImage) Slot(pc uint64) int { return fi.Hash.Slot(fi.Base, pc) }
+
+// ValidPC reports whether pc is one of the function's known branch PCs.
+// Images without branch-PC metadata (hand-built test fixtures) accept
+// every PC, preserving the paper's tagless-table behaviour.
+func (fi *FuncImage) ValidPC(pc uint64) bool {
+	if fi.pcSet == nil {
+		return true
+	}
+	_, ok := fi.pcSet[pc]
+	return ok
+}
+
+// setBranchPCs installs the branch-PC list and its lookup set.
+func (fi *FuncImage) setBranchPCs(pcs []uint64) {
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	fi.BranchPCs = pcs
+	fi.pcSet = make(map[uint64]struct{}, len(pcs))
+	for _, pc := range pcs {
+		fi.pcSet[pc] = struct{}{}
+	}
+}
 
 // Actions iterates the BAT list for (slot, taken), reporting the number
 // of entries walked (the runtime's per-update table accesses).
@@ -169,6 +198,7 @@ func encodeFunc(ft *core.FuncTables) (*FuncImage, error) {
 	for i := range fi.BATHeads {
 		fi.BATHeads[i] = [2]int32{-1, -1}
 	}
+	fi.setBranchPCs(pcs)
 	for br := range ft.Checked {
 		s := fi.Slot(br.PC)
 		fi.BCV[s/64] |= 1 << (s % 64)
@@ -269,6 +299,10 @@ func (im *Image) Marshal() []byte {
 		buf = append(buf, fi.Name...)
 		u64(fi.Base)
 		buf = append(buf, fi.Hash.S1, fi.Hash.S2, fi.Hash.SizeLog2, 0)
+		u32(uint32(len(fi.BranchPCs)))
+		for _, pc := range fi.BranchPCs {
+			u64(pc)
+		}
 		u32(uint32(len(fi.BCV)))
 		for _, w := range fi.BCV {
 			u64(w)
@@ -333,11 +367,24 @@ func Unmarshal(data []byte) (*Image, error) {
 		}
 		params := hashfn.Params{S1: data[off], S2: data[off+1], SizeLog2: data[off+2]}
 		off += 4
+		nPCs, ok := u32()
+		if !ok {
+			return nil, fail("branch pc count")
+		}
+		pcs := make([]uint64, 0, nPCs)
+		for j := uint32(0); j < nPCs; j++ {
+			pc, ok := u64()
+			if !ok {
+				return nil, fail("branch pc")
+			}
+			pcs = append(pcs, pc)
+		}
 		nBCV, ok := u32()
 		if !ok {
 			return nil, fail("bcv len")
 		}
 		fi := &FuncImage{Name: name, Base: base, Hash: params, NumSlots: params.Slots()}
+		fi.setBranchPCs(pcs)
 		for j := uint32(0); j < nBCV; j++ {
 			w, ok := u64()
 			if !ok {
