@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci report
+.PHONY: build test vet race bench ci report docscheck race-parallel compile-baseline
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,31 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The parallel compile path under the race detector, by name: the
+# deterministic fan-out and cache tests must stay race-clean.
+race-parallel:
+	$(GO) test -race ./internal/pipeline -run Parallel
+	$(GO) test -race ./internal/tcache
+
+# Docs gates: godoc coverage of the exported API plus the architecture
+# walkthrough staying linked from the README.
+docscheck:
+	./scripts/checkdocs.sh
+	@grep -q 'docs/ARCHITECTURE.md' README.md || \
+		{ echo "docscheck: README.md does not link docs/ARCHITECTURE.md" >&2; exit 1; }
+
 # One-iteration benchmark pass: a smoke check that every benchmark still
 # compiles and runs, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full gate: what a PR must pass.
-ci: vet build race bench
+ci: vet build docscheck race race-parallel bench
 
 # Observability-driven per-workload table + JSON baseline.
 report:
 	$(GO) run ./cmd/report -obs -baseline BENCH_pr1.json
+
+# Compile-time baseline across sequential/parallel/warm-cache modes.
+compile-baseline:
+	$(GO) run ./cmd/perfsim -compile -baseline BENCH_pr2.json

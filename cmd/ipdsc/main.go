@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	ipdsc [-dump] [-corr] [-stats] [-o tables.bin] (file.mc | -workload name)
+//	ipdsc [-dump] [-corr] [-stats] [-j N] [-cache-dir dir] [-o tables.bin] (file.mc | -workload name)
+//
+// -j selects the per-function compile parallelism (0 = all cores, 1 =
+// sequential); -cache-dir points at a persistent content-addressed
+// table cache, so recompiles only re-analyse functions whose IR or
+// alias facts changed.
 package main
 
 import (
@@ -16,17 +21,20 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/tcache"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		dump    = flag.Bool("dump", false, "print the lowered IR")
-		corr    = flag.Bool("corr", false, "print discovered branch correlations")
-		stats   = flag.Bool("stats", false, "print table size statistics (Figure 8 metric)")
-		out     = flag.String("o", "", "write the binary table image to this file")
-		wlName  = flag.String("workload", "", "compile a built-in server workload instead of a file")
-		promote = flag.Bool("promote", false, "enable region load promotion (ablation pipeline)")
+		dump     = flag.Bool("dump", false, "print the lowered IR")
+		corr     = flag.Bool("corr", false, "print discovered branch correlations")
+		stats    = flag.Bool("stats", false, "print table size statistics (Figure 8 metric)")
+		out      = flag.String("o", "", "write the binary table image to this file")
+		wlName   = flag.String("workload", "", "compile a built-in server workload instead of a file")
+		promote  = flag.Bool("promote", false, "enable region load promotion (ablation pipeline)")
+		workers  = flag.Int("j", 0, "per-function compile workers (0 = GOMAXPROCS, 1 = sequential)")
+		cacheDir = flag.String("cache-dir", "", "persistent per-function table cache directory")
 	)
 	flag.Parse()
 
@@ -40,10 +48,24 @@ func main() {
 	if *promote {
 		opts.RegionPromotion = true
 	}
-	art, err := pipeline.Compile(src, opts)
+	cfg := pipeline.Config{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := tcache.New(0, *cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsc: cache:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cache
+	}
+	art, err := pipeline.CompileWith(src, opts, cfg, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipdsc:", err)
 		os.Exit(1)
+	}
+	if cfg.Cache != nil {
+		s := cfg.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "ipdsc: tcache: %d hits (%d from disk), %d misses\n",
+			s.Hits, s.DiskHits, s.Misses)
 	}
 
 	fmt.Printf("%s: %d functions, %d objects, %d strings\n",

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	perfsim [-table1] [-checking] [-compile]
+//	perfsim [-table1] [-checking] [-compile] [-baseline FILE]
+//
+// -compile measures all three pipeline modes (sequential, parallel,
+// warm-cache); -baseline additionally writes that measurement as JSON
+// (the committed BENCH_pr2.json compile-time baseline).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ func main() {
 		table1    = flag.Bool("table1", false, "print the simulated machine configuration")
 		checking  = flag.Bool("checking", false, "also measure IPDS checking speed")
 		compile   = flag.Bool("compile", false, "also measure compilation times")
+		baseline  = flag.String("baseline", "", "write the -compile measurement as JSON to this file")
 		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
@@ -62,7 +68,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(c.Render())
 	}
-	if *compile {
+	if *compile || *baseline != "" {
 		ct, err := experiments.CompileTimes()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfsim:", err)
@@ -70,5 +76,17 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(ct.Render())
+		if *baseline != "" {
+			data, err := json.MarshalIndent(ct, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perfsim:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*baseline, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "perfsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "perfsim: wrote compile-time baseline to %s\n", *baseline)
+		}
 	}
 }

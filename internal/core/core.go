@@ -57,6 +57,8 @@ const (
 	SetUnknown
 )
 
+// String renders the action in the paper's SET_T/SET_NT/SET_UN
+// notation.
 func (a Action) String() string {
 	switch a {
 	case SetTaken:
@@ -93,6 +95,7 @@ const (
 	LoadLoad                  // branch blp → load lp → load ld → branch bl
 )
 
+// String names the discovery path ("store→load" or "load→load").
 func (k CorrKind) String() string {
 	if k == StoreLoad {
 		return "store→load"
@@ -112,6 +115,7 @@ type Correlation struct {
 	Obj    ir.ObjID      // the correlated memory variable
 }
 
+// String renders the correlation for diagnostics (ipdsc -corr).
 func (c Correlation) String() string {
 	return fmt.Sprintf("%s: br@%#x %s -> %s br@%#x (obj%d via instr %d)",
 		c.Kind, c.Source.PC, c.Dir, c.Act, c.Target.PC, c.Obj, c.Via.ID)
@@ -120,6 +124,10 @@ func (c Correlation) String() string {
 // FuncTables is the per-function analysis result: the checked-branch
 // set (BCV) and the action table (BAT). internal/tables encodes it into
 // the bit-level layout and internal/ipds interprets it at runtime.
+//
+// A FuncTables is owned by whoever built it (BuildFunc) and is not
+// internally synchronised: it is written during construction only and
+// safe for any number of concurrent readers afterwards.
 type FuncTables struct {
 	Fn       *ir.Func
 	Branches []*ir.Instr // conditional branches in ID order
@@ -147,7 +155,9 @@ func (t *FuncTables) NumActions() int {
 	return n
 }
 
-// Result holds the tables for every function of a program.
+// Result holds the tables for every function of a program. Like
+// FuncTables it is write-once: built sequentially (Build/BuildWith) or
+// assembled from per-function BuildFunc results, then read-only.
 type Result struct {
 	Prog   *ir.Program
 	Alias  *alias.Analysis
@@ -182,9 +192,18 @@ func BuildWith(prog *ir.Program, al *alias.Analysis, conf Config) *Result {
 	}
 	res := &Result{Prog: prog, Alias: al, Tables: map[*ir.Func]*FuncTables{}}
 	for _, fn := range prog.Funcs {
-		res.Tables[fn] = buildFunc(prog, al, fn, conf)
+		res.Tables[fn] = BuildFunc(prog, al, fn, conf)
 	}
 	return res
+}
+
+// BuildFunc runs the Figure 5 construction for a single function. It
+// only reads prog, al and fn (dominator trees and regions are built
+// locally), so concurrent calls on distinct functions of the same
+// program are safe — this is the unit of work the parallel pipeline
+// fans out per function. The caller owns the returned FuncTables.
+func BuildFunc(prog *ir.Program, al *alias.Analysis, fn *ir.Func, conf Config) *FuncTables {
+	return buildFunc(prog, al, fn, conf)
 }
 
 // defInfo is a may-definition of memory: a store or a call pseudo-store.

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -17,6 +18,8 @@ import (
 	"repro/internal/ipds"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/progen"
+	"repro/internal/tcache"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -334,30 +337,128 @@ func Table1(cfg cpu.Config) string {
 	return b.String()
 }
 
-// CompileTimesResult records per-program compilation time (§6:
-// "the compilation time for all benchmarks is up to a few seconds").
-type CompileTimesResult struct {
-	Rows []struct {
-		Program string
-		Elapsed time.Duration
-	}
-	Total time.Duration
+// CompileTimeRow is one workload's compile-time measurements across
+// the three pipeline modes.
+type CompileTimeRow struct {
+	Program string `json:"program"`
+	// Elapsed is the historical sequential, uncached compile.
+	Elapsed time.Duration `json:"sequential_ns"`
+	// Parallel is the same compile with the per-function worker pool
+	// at GOMAXPROCS.
+	Parallel time.Duration `json:"parallel_ns"`
+	// Cached is a parallel recompile against a warm content-addressed
+	// table cache (every function hits).
+	Cached time.Duration `json:"cached_ns"`
 }
 
-// CompileTimes measures the full pipeline per workload.
-func CompileTimes() (*CompileTimesResult, error) {
-	out := &CompileTimesResult{}
-	for _, w := range workload.All() {
+// CompileTimesResult records per-program compilation time (§6: "the
+// compilation time for all benchmarks is up to a few seconds"), plus
+// the speedups of the parallel and cached pipeline modes over the
+// sequential baseline. Serialised as JSON it is the BENCH_pr2.json
+// compile-time baseline (perfsim -compile -baseline).
+type CompileTimesResult struct {
+	Rows          []CompileTimeRow `json:"rows"`
+	Workers       int              `json:"workers"`
+	Total         time.Duration    `json:"total_ns"`
+	TotalParallel time.Duration    `json:"total_parallel_ns"`
+	TotalCached   time.Duration    `json:"total_cached_ns"`
+}
+
+// ParallelSpeedup is the sequential/parallel wall-clock ratio.
+func (r *CompileTimesResult) ParallelSpeedup() float64 {
+	if r.TotalParallel == 0 {
+		return 0
+	}
+	return float64(r.Total) / float64(r.TotalParallel)
+}
+
+// CachedSpeedup is the sequential/warm-cache wall-clock ratio.
+func (r *CompileTimesResult) CachedSpeedup() float64 {
+	if r.TotalCached == 0 {
+		return 0
+	}
+	return float64(r.Total) / float64(r.TotalCached)
+}
+
+// compileReps is the best-of-N repetition count for each compile-time
+// measurement: the workloads compile in well under a millisecond, so a
+// single sample is mostly scheduler noise.
+const compileReps = 3
+
+// bestOf times f compileReps times and keeps the fastest run.
+func bestOf(f func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < compileReps; i++ {
 		start := time.Now()
-		if _, err := compile(w.Source, ir.DefaultOptions); err != nil {
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// compileTimeSources returns the measured programs: the paper's ten
+// servers plus one wide synthetic program (the BenchmarkCompileParallel
+// workload) whose per-function phase dominates — the regime the
+// parallel and cached modes exist for.
+func compileTimeSources() []*workload.Workload {
+	ws := workload.All()
+	wide := progen.GenerateWith(8, progen.Config{
+		MaxHelpers: 24, MaxGlobals: 10, MaxLocals: 6,
+		MaxStmts: 14, MaxDepth: 4, MaxExprDepth: 3, InputLines: 4,
+	})
+	return append(ws, &workload.Workload{Name: "progen-wide", Source: wide.Source})
+}
+
+// CompileTimes measures the full pipeline per program in all three
+// modes: sequential (the paper's measurement), parallel fan-out, and a
+// warm-cache recompile. Each mode takes the best of three runs.
+func CompileTimes() (*CompileTimesResult, error) {
+	out := &CompileTimesResult{Workers: runtime.GOMAXPROCS(0)}
+	for _, w := range compileTimeSources() {
+		row := CompileTimeRow{Program: w.Name}
+		var err error
+
+		row.Elapsed, err = bestOf(func() error {
+			_, err := compile(w.Source, ir.DefaultOptions)
+			return err
+		})
+		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		d := time.Since(start)
-		out.Rows = append(out.Rows, struct {
-			Program string
-			Elapsed time.Duration
-		}{w.Name, d})
-		out.Total += d
+
+		pcfg := pipeline.Config{Workers: 0} // GOMAXPROCS
+		row.Parallel, err = bestOf(func() error {
+			_, err := pipeline.CompileWith(w.Source, ir.DefaultOptions, pcfg, telemetry.tracer)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: parallel: %w", w.Name, err)
+		}
+
+		cache, cerr := tcache.New(0, "")
+		if cerr != nil {
+			return nil, cerr
+		}
+		ccfg := pipeline.Config{Workers: 0, Cache: cache}
+		if _, err := pipeline.CompileWith(w.Source, ir.DefaultOptions, ccfg, nil); err != nil {
+			return nil, fmt.Errorf("%s: cache warmup: %w", w.Name, err)
+		}
+		row.Cached, err = bestOf(func() error {
+			_, err := pipeline.CompileWith(w.Source, ir.DefaultOptions, ccfg, telemetry.tracer)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: cached: %w", w.Name, err)
+		}
+
+		out.Rows = append(out.Rows, row)
+		out.Total += row.Elapsed
+		out.TotalParallel += row.Parallel
+		out.TotalCached += row.Cached
 	}
 	return out, nil
 }
@@ -366,10 +467,13 @@ func CompileTimes() (*CompileTimesResult, error) {
 func (r *CompileTimesResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Compilation time (paper: up to a few seconds per benchmark)\n")
+	fmt.Fprintf(&b, "  %-10s %12s %12s %12s\n", "program", "sequential", fmt.Sprintf("parallel(%d)", r.Workers), "warm-cache")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-10s %v\n", row.Program, row.Elapsed)
+		fmt.Fprintf(&b, "  %-10s %12v %12v %12v\n", row.Program, row.Elapsed, row.Parallel, row.Cached)
 	}
-	fmt.Fprintf(&b, "  total      %v\n", r.Total)
+	fmt.Fprintf(&b, "  %-10s %12v %12v %12v\n", "total", r.Total, r.TotalParallel, r.TotalCached)
+	fmt.Fprintf(&b, "  speedup vs sequential: parallel %.2fx, warm-cache %.2fx\n",
+		r.ParallelSpeedup(), r.CachedSpeedup())
 	return b.String()
 }
 

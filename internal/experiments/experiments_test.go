@@ -112,18 +112,32 @@ func TestCompileTimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 10 {
+	// Ten servers plus the wide synthetic program.
+	if len(r.Rows) != 11 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
+	if r.Rows[len(r.Rows)-1].Program != "progen-wide" {
+		t.Errorf("last row = %q, want progen-wide", r.Rows[len(r.Rows)-1].Program)
+	}
 	// "Up to a few seconds" on 2006 hardware; these MiniC programs
-	// must compile in well under a second each.
+	// must compile in well under a second each, in every mode.
 	for _, row := range r.Rows {
 		if row.Elapsed.Seconds() > 2 {
 			t.Errorf("%s took %v to compile", row.Program, row.Elapsed)
 		}
+		if row.Parallel <= 0 || row.Cached <= 0 {
+			t.Errorf("%s: parallel/cached modes not measured: %v / %v",
+				row.Program, row.Parallel, row.Cached)
+		}
 	}
-	if !strings.Contains(r.Render(), "total") {
-		t.Error("render missing total")
+	if r.Workers < 1 {
+		t.Errorf("workers = %d", r.Workers)
+	}
+	out := r.Render()
+	for _, want := range []string{"total", "parallel", "warm-cache", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
 	}
 }
 

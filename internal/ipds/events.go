@@ -24,6 +24,8 @@ const (
 	EvLeave
 )
 
+// String names the event kind as emitted on the event stream
+// ("alarm", "spill", "fill", "enter", "leave").
 func (k EventKind) String() string {
 	switch k {
 	case EvAlarm:

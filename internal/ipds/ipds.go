@@ -54,6 +54,9 @@ type Alarm struct {
 	Taken    bool
 }
 
+// String renders the alarm as the one-line diagnostic the CLIs print:
+// the branch PC, its function, the BSV status the BAT predicted (§4.2)
+// and the direction actually taken.
 func (a Alarm) String() string {
 	return fmt.Sprintf("infeasible path: branch %#x in %s expected %s, went taken=%v (event %d)",
 		a.PC, a.Func, a.Expected, a.Taken, a.Seq)
@@ -92,7 +95,15 @@ func (a *activation) bits() (bsv, bcv, bat int) {
 	return a.img.BSVBits, a.img.BCVBits, a.img.BATBits
 }
 
-// Machine is one protected process's IPDS state.
+// Machine is one protected process's IPDS state: the hardware unit of
+// §4 — a stack of per-function table frames (BSV/BCV/BAT activations)
+// fed by the branch stream.
+//
+// Ownership: a Machine models one hardware context and is NOT safe for
+// concurrent use; exactly one goroutine (the VM or simulator driving
+// it) may call its methods. The tables.Image it checks against is
+// read-only and may be shared between machines (multi-process runs
+// share one image per program).
 type Machine struct {
 	img   *tables.Image
 	cfg   Config

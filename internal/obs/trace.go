@@ -38,6 +38,18 @@ func NewTracer(reg *Registry) *Tracer {
 
 var nopStop = func() {}
 
+// Registry returns the registry the tracer feeds, nil for a nil tracer
+// or a tracer created without one. Callers use it to hang counters next
+// to the tracer's span histograms (e.g. the pipeline's tcache_hits
+// counters); the nil-safety contract of Registry methods makes the
+// result usable unconditionally.
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
 // Span starts a named span and returns its stop function. Safe for
 // concurrent use; nested spans are fine (they simply overlap in the
 // trace).

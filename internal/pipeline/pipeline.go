@@ -1,10 +1,24 @@
 // Package pipeline bundles the full IPDS compiler pipeline — frontend,
 // lowering, pointer analysis, correlation analysis, table encoding —
 // into one call used by the tools, experiments and the public facade.
+//
+// Two compilation modes share one implementation. The sequential mode
+// (Compile, CompileTraced) analyses functions one at a time. The
+// parallel mode (CompileWith with Config.Workers != 1) runs the shared
+// frontend and alias phases once, then fans the per-function work —
+// core.BuildFunc correlation discovery plus tables.EncodeFunc hash
+// search and encoding — out to a bounded worker pool, collecting
+// results in program order so the emitted tables.Image is byte-for-byte
+// identical to the sequential output. An optional content-addressed
+// cache (Config.Cache, internal/tcache) skips both steps for functions
+// whose lowered IR and alias slice are unchanged since a previous
+// compile.
 package pipeline
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/alias"
 	"repro/internal/core"
@@ -12,6 +26,7 @@ import (
 	"repro/internal/minic"
 	"repro/internal/obs"
 	"repro/internal/tables"
+	"repro/internal/tcache"
 )
 
 // Artifacts is everything the compiler produces for a program.
@@ -23,18 +38,72 @@ type Artifacts struct {
 	Image  *tables.Image
 }
 
-// Compile runs the whole pipeline on MiniC source.
-func Compile(src string, opts ir.Options) (*Artifacts, error) {
-	return CompileTraced(src, opts, nil)
+// Config selects the compilation strategy. The zero value reproduces
+// the historical sequential, uncached pipeline.
+type Config struct {
+	// Workers bounds the per-function worker pool: 1 analyses
+	// sequentially, N > 1 fans out to N goroutines, and 0 — the
+	// parallel mode's default — selects GOMAXPROCS. Output is
+	// byte-identical regardless of the worker count (the golden test
+	// TestParallelCompileByteIdentical holds this). Compile and
+	// CompileTraced pin Workers to 1, preserving the historical
+	// sequential pipeline for existing call sites and benchmarks.
+	Workers int
+
+	// Cache, when non-nil, is consulted per function before analysis
+	// and filled after. Hits bypass core.BuildFunc and
+	// tables.EncodeFunc entirely.
+	Cache *tcache.Cache
+
+	// Core carries the correlation-analysis ablation toggles; it is
+	// part of every cache key.
+	Core core.Config
 }
 
-// CompileTraced runs the pipeline with per-phase spans recorded on tr
-// (nil for no tracing): lex, parse, sema, ir (lowering, CFG
-// construction), alias, core (region/range analysis and Figure 5
-// correlation discovery) and tables (hash search + bit-level encoding).
-// Each span feeds a `span_ns{span="compile/<phase>"}` histogram in the
-// tracer's registry.
+// workers resolves the configured pool size against the function count.
+func (c Config) workers(nfuncs int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nfuncs {
+		w = nfuncs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Compile runs the whole pipeline on MiniC source, sequentially and
+// uncached.
+func Compile(src string, opts ir.Options) (*Artifacts, error) {
+	return CompileWith(src, opts, Config{Workers: 1}, nil)
+}
+
+// CompileTraced is CompileWith with the sequential, uncached Config: it
+// exists for the common "just give me phase spans" call sites.
+//
+// The tracer may be nil, in which case tracing is a complete no-op: no
+// spans are recorded anywhere and no span_ns histograms are created —
+// obs.Tracer's nil receiver returns a no-op stop function, so the
+// compile itself is unaffected. Only when tr is non-nil does each phase
+// feed a `span_ns{span="compile/<phase>"}` histogram in the tracer's
+// registry (and only if the tracer was built over a registry).
 func CompileTraced(src string, opts ir.Options, tr *obs.Tracer) (*Artifacts, error) {
+	return CompileWith(src, opts, Config{Workers: 1}, tr)
+}
+
+// CompileWith runs the pipeline under an explicit Config, recording
+// per-phase spans on tr (nil for no tracing; see CompileTraced for the
+// nil contract): lex, parse, sema, ir (lowering, CFG construction),
+// alias, core (per-function region/range analysis, Figure 5 correlation
+// discovery and table encoding, one `compile/core/<fn>` sub-span per
+// function) and tables (deterministic image assembly).
+//
+// When cfg.Cache is set, per-function cache traffic is also counted on
+// tr's registry as tcache_hits_total / tcache_misses_total.
+func CompileWith(src string, opts ir.Options, cfg Config, tr *obs.Tracer) (*Artifacts, error) {
 	stopAll := tr.Span("compile")
 	defer stopAll()
 
@@ -68,16 +137,102 @@ func CompileTraced(src string, opts ir.Options, tr *obs.Tracer) (*Artifacts, err
 	stop()
 
 	stop = tr.Span("compile/core")
-	res := core.Build(prog, al)
-	stop()
-
-	stop = tr.Span("compile/tables")
-	img, err := tables.Encode(res)
+	funcs, err := buildFuncs(prog, al, cfg, tr)
 	stop()
 	if err != nil {
 		return nil, err
 	}
+
+	stop = tr.Span("compile/tables")
+	res := &core.Result{Prog: prog, Alias: al, Tables: map[*ir.Func]*core.FuncTables{}}
+	img := &tables.Image{ByBase: map[uint64]*tables.FuncImage{}}
+	for i, fn := range prog.Funcs {
+		res.Tables[fn] = funcs[i].ft
+		img.Funcs = append(img.Funcs, funcs[i].fi)
+		img.ByBase[funcs[i].fi.Base] = funcs[i].fi
+	}
+	stop()
 	return &Artifacts{Source: mp, Prog: prog, Alias: al, Tables: res, Image: img}, nil
+}
+
+// funcResult is one function's compiled tables.
+type funcResult struct {
+	ft  *core.FuncTables
+	fi  *tables.FuncImage
+	err error
+}
+
+// buildFuncs produces every function's FuncTables and FuncImage,
+// fanning out to cfg.workers goroutines. Results land in a slice
+// indexed by function position, so assembly order — and therefore the
+// final image bytes — never depends on scheduling.
+func buildFuncs(prog *ir.Program, al *alias.Analysis, cfg Config, tr *obs.Tracer) ([]funcResult, error) {
+	out := make([]funcResult, len(prog.Funcs))
+	reg := tr.Registry()
+	hits := reg.Counter("tcache_hits_total")
+	misses := reg.Counter("tcache_misses_total")
+
+	work := func(i int) {
+		fn := prog.Funcs[i]
+		stop := tr.Span("compile/core/" + fn.Name)
+		defer stop()
+
+		var key tcache.Key
+		if cfg.Cache != nil {
+			key = tcache.KeyFunc(al, fn, cfg.Core)
+			if blob, ok := cfg.Cache.Get(key); ok {
+				fi, ft, err := tcache.DecodeBlob(blob, fn)
+				if err == nil {
+					hits.Inc()
+					out[i] = funcResult{ft: ft, fi: fi}
+					return
+				}
+				// A corrupt or mismatched blob degrades to a miss.
+			}
+			misses.Inc()
+		}
+
+		ft := core.BuildFunc(prog, al, fn, cfg.Core)
+		fi, err := tables.EncodeFunc(ft)
+		if err != nil {
+			out[i] = funcResult{err: fmt.Errorf("tables: %s: %w", fn.Name, err)}
+			return
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.Put(key, tcache.EncodeBlob(fi, ft))
+		}
+		out[i] = funcResult{ft: ft, fi: fi}
+	}
+
+	if w := cfg.workers(len(prog.Funcs)); w <= 1 {
+		for i := range prog.Funcs {
+			work(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					work(i)
+				}
+			}()
+		}
+		for i := range prog.Funcs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i := range out {
+		if out[i].err != nil {
+			return nil, out[i].err
+		}
+	}
+	return out, nil
 }
 
 // MustCompile is Compile for known-good sources (workloads, examples).

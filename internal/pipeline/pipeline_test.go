@@ -89,8 +89,34 @@ func TestCompileTracedRecordsPhases(t *testing.T) {
 	if _, err := CompileTraced("int main( {", ir.DefaultOptions, tr); err == nil {
 		t.Fatal("syntax error not reported")
 	}
-	// And a nil tracer must be accepted.
-	if _, err := CompileTraced("int main() { return 0; }", ir.DefaultOptions, nil); err != nil {
+}
+
+// TestCompileTracedNilTracerIsNoOp pins the documented nil contract: a
+// nil tracer records nothing anywhere (no spans, no span_ns
+// histograms), and a tracer without a registry records spans but
+// creates no histograms. Neither may change the compile result.
+func TestCompileTracedNilTracerIsNoOp(t *testing.T) {
+	src := "int main() { return 0; }"
+	if _, err := CompileTraced(src, ir.DefaultOptions, nil); err != nil {
 		t.Fatal(err)
+	}
+	var nilTracer *obs.Tracer
+	if spans := nilTracer.Spans(); len(spans) != 0 {
+		t.Errorf("nil tracer recorded %d spans", len(spans))
+	}
+	if reg := nilTracer.Registry(); reg != nil {
+		t.Error("nil tracer must expose a nil registry")
+	}
+
+	// Registry-less tracer: spans yes, histograms nowhere to go.
+	tr := obs.NewTracer(nil)
+	if _, err := CompileTraced(src, ir.DefaultOptions, tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans()) == 0 {
+		t.Error("registry-less tracer must still record spans")
+	}
+	if tr.Registry() != nil {
+		t.Error("registry-less tracer must expose a nil registry")
 	}
 }

@@ -30,6 +30,7 @@ const (
 	NotTaken
 )
 
+// String renders the status as the paper's UN/T/NT shorthand.
 func (s Status) String() string {
 	switch s {
 	case Unknown:
@@ -69,7 +70,11 @@ type BATEntry struct {
 	Next   int32       // next entry index, -1 terminates
 }
 
-// FuncImage is the encoded table set of one function.
+// FuncImage is the encoded table set of one function (the compiler's
+// half of §5.4's function information table). It is immutable after
+// EncodeFunc/Unmarshal: the runtime (internal/ipds) and any number of
+// concurrent readers share it without synchronisation; per-run mutable
+// state (the BSV) lives in the runtime's activation, never here.
 type FuncImage struct {
 	Name     string
 	Base     uint64 // function code base address
@@ -166,7 +171,7 @@ func (im *Image) FuncByName(name string) *FuncImage {
 func Encode(res *core.Result) (*Image, error) {
 	im := &Image{ByBase: map[uint64]*FuncImage{}}
 	for _, fn := range res.Prog.Funcs {
-		fi, err := encodeFunc(res.Tables[fn])
+		fi, err := EncodeFunc(res.Tables[fn])
 		if err != nil {
 			return nil, fmt.Errorf("tables: %s: %w", fn.Name, err)
 		}
@@ -176,7 +181,14 @@ func Encode(res *core.Result) (*Image, error) {
 	return im, nil
 }
 
-func encodeFunc(ft *core.FuncTables) (*FuncImage, error) {
+// EncodeFunc encodes one function's analysis result: it searches for
+// the collision-free hash parameterisation (§5.2) and lays out the
+// BCV bits and BAT action lists. EncodeFunc only reads ft, so
+// concurrent calls on distinct FuncTables are safe — this is the unit
+// of work the parallel pipeline fans out per function. The result is
+// deterministic: identical FuncTables yield byte-identical MarshalFunc
+// output.
+func EncodeFunc(ft *core.FuncTables) (*FuncImage, error) {
 	fn := ft.Fn
 	pcs := make([]uint64, 0, len(ft.Branches))
 	for _, br := range ft.Branches {
@@ -289,41 +301,87 @@ const magic = uint32(0x49504453) // "IPDS"
 // binaries.
 func (im *Image) Marshal() []byte {
 	var buf []byte
-	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
-	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
-
-	u32(magic)
-	u32(uint32(len(im.Funcs)))
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(im.Funcs)))
 	for _, fi := range im.Funcs {
-		u32(uint32(len(fi.Name)))
-		buf = append(buf, fi.Name...)
-		u64(fi.Base)
-		buf = append(buf, fi.Hash.S1, fi.Hash.S2, fi.Hash.SizeLog2, 0)
-		u32(uint32(len(fi.BranchPCs)))
-		for _, pc := range fi.BranchPCs {
-			u64(pc)
-		}
-		u32(uint32(len(fi.BCV)))
-		for _, w := range fi.BCV {
-			u64(w)
-		}
-		u32(uint32(len(fi.Entries)))
-		for _, e := range fi.Entries {
-			u32(uint32(e.Target))
-			u32(uint32(e.Act))
-			u32(uint32(e.Next))
-		}
-		for _, h := range fi.BATHeads {
-			u32(uint32(h[0]))
-			u32(uint32(h[1]))
-		}
+		buf = appendFunc(buf, fi)
 	}
 	return buf
 }
 
+// appendFunc appends one function's serialised record to buf.
+func appendFunc(buf []byte, fi *FuncImage) []byte {
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+
+	u32(uint32(len(fi.Name)))
+	buf = append(buf, fi.Name...)
+	u64(fi.Base)
+	buf = append(buf, fi.Hash.S1, fi.Hash.S2, fi.Hash.SizeLog2, 0)
+	u32(uint32(len(fi.BranchPCs)))
+	for _, pc := range fi.BranchPCs {
+		u64(pc)
+	}
+	u32(uint32(len(fi.BCV)))
+	for _, w := range fi.BCV {
+		u64(w)
+	}
+	u32(uint32(len(fi.Entries)))
+	for _, e := range fi.Entries {
+		u32(uint32(e.Target))
+		u32(uint32(e.Act))
+		u32(uint32(e.Next))
+	}
+	for _, h := range fi.BATHeads {
+		u32(uint32(h[0]))
+		u32(uint32(h[1]))
+	}
+	return buf
+}
+
+// MarshalFunc serialises a single function image using the same record
+// layout Marshal embeds per function. The per-function table cache
+// (internal/tcache) stores these records as its blob payload.
+func MarshalFunc(fi *FuncImage) []byte {
+	return appendFunc(nil, fi)
+}
+
+// UnmarshalFunc reads a single function record produced by MarshalFunc,
+// returning the image and the number of bytes consumed.
+func UnmarshalFunc(data []byte) (*FuncImage, int, error) {
+	fi, off, err := readFunc(data, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fi, off, nil
+}
+
 // Unmarshal reads a serialised image.
 func Unmarshal(data []byte) (*Image, error) {
-	off := 0
+	if len(data) < 8 {
+		return nil, fmt.Errorf("tables: truncated image at header")
+	}
+	if binary.LittleEndian.Uint32(data) != magic {
+		return nil, fmt.Errorf("tables: bad magic")
+	}
+	nf := binary.LittleEndian.Uint32(data[4:])
+	off := 8
+	im := &Image{ByBase: map[uint64]*FuncImage{}}
+	for i := uint32(0); i < nf; i++ {
+		fi, next, err := readFunc(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		im.Funcs = append(im.Funcs, fi)
+		im.ByBase[fi.Base] = fi
+	}
+	return im, nil
+}
+
+// readFunc decodes one function record starting at off, returning the
+// image and the offset just past the record.
+func readFunc(data []byte, off int) (*FuncImage, int, error) {
 	fail := func(what string) error { return fmt.Errorf("tables: truncated image at %s", what) }
 	u32 := func() (uint32, bool) {
 		if off+4 > len(data) {
@@ -342,88 +400,75 @@ func Unmarshal(data []byte) (*Image, error) {
 		return v, true
 	}
 
-	m, ok := u32()
-	if !ok || m != magic {
-		return nil, fmt.Errorf("tables: bad magic")
+	nameLen, ok := u32()
+	if !ok || off+int(nameLen) > len(data) {
+		return nil, 0, fail("name")
 	}
-	nf, ok := u32()
+	name := string(data[off : off+int(nameLen)])
+	off += int(nameLen)
+	base, ok := u64()
 	if !ok {
-		return nil, fail("func count")
+		return nil, 0, fail("base")
 	}
-	im := &Image{ByBase: map[uint64]*FuncImage{}}
-	for i := uint32(0); i < nf; i++ {
-		nameLen, ok := u32()
-		if !ok || off+int(nameLen) > len(data) {
-			return nil, fail("name")
-		}
-		name := string(data[off : off+int(nameLen)])
-		off += int(nameLen)
-		base, ok := u64()
-		if !ok {
-			return nil, fail("base")
-		}
-		if off+4 > len(data) {
-			return nil, fail("hash params")
-		}
-		params := hashfn.Params{S1: data[off], S2: data[off+1], SizeLog2: data[off+2]}
-		off += 4
-		nPCs, ok := u32()
-		if !ok {
-			return nil, fail("branch pc count")
-		}
-		pcs := make([]uint64, 0, nPCs)
-		for j := uint32(0); j < nPCs; j++ {
-			pc, ok := u64()
-			if !ok {
-				return nil, fail("branch pc")
-			}
-			pcs = append(pcs, pc)
-		}
-		nBCV, ok := u32()
-		if !ok {
-			return nil, fail("bcv len")
-		}
-		fi := &FuncImage{Name: name, Base: base, Hash: params, NumSlots: params.Slots()}
-		fi.setBranchPCs(pcs)
-		for j := uint32(0); j < nBCV; j++ {
-			w, ok := u64()
-			if !ok {
-				return nil, fail("bcv")
-			}
-			fi.BCV = append(fi.BCV, w)
-		}
-		nEnt, ok := u32()
-		if !ok {
-			return nil, fail("entry count")
-		}
-		for j := uint32(0); j < nEnt; j++ {
-			tgt, ok1 := u32()
-			act, ok2 := u32()
-			next, ok3 := u32()
-			if !ok1 || !ok2 || !ok3 {
-				return nil, fail("entry")
-			}
-			fi.Entries = append(fi.Entries, BATEntry{
-				Target: int(tgt), Act: core.Action(act), Next: int32(next),
-			})
-		}
-		fi.BATHeads = make([][2]int32, fi.NumSlots)
-		for j := 0; j < fi.NumSlots; j++ {
-			h0, ok1 := u32()
-			h1, ok2 := u32()
-			if !ok1 || !ok2 {
-				return nil, fail("heads")
-			}
-			fi.BATHeads[j] = [2]int32{int32(h0), int32(h1)}
-		}
-		n := fi.NumSlots
-		fi.BSVBits = 2 * n
-		fi.BCVBits = n
-		ptrBits := log2ceil(len(fi.Entries) + 1)
-		slotBits := log2ceil(n)
-		fi.BATBits = 2*n*ptrBits + len(fi.Entries)*(slotBits+2+ptrBits)
-		im.Funcs = append(im.Funcs, fi)
-		im.ByBase[fi.Base] = fi
+	if off+4 > len(data) {
+		return nil, 0, fail("hash params")
 	}
-	return im, nil
+	params := hashfn.Params{S1: data[off], S2: data[off+1], SizeLog2: data[off+2]}
+	off += 4
+	nPCs, ok := u32()
+	if !ok {
+		return nil, 0, fail("branch pc count")
+	}
+	pcs := make([]uint64, 0, nPCs)
+	for j := uint32(0); j < nPCs; j++ {
+		pc, ok := u64()
+		if !ok {
+			return nil, 0, fail("branch pc")
+		}
+		pcs = append(pcs, pc)
+	}
+	nBCV, ok := u32()
+	if !ok {
+		return nil, 0, fail("bcv len")
+	}
+	fi := &FuncImage{Name: name, Base: base, Hash: params, NumSlots: params.Slots()}
+	fi.setBranchPCs(pcs)
+	for j := uint32(0); j < nBCV; j++ {
+		w, ok := u64()
+		if !ok {
+			return nil, 0, fail("bcv")
+		}
+		fi.BCV = append(fi.BCV, w)
+	}
+	nEnt, ok := u32()
+	if !ok {
+		return nil, 0, fail("entry count")
+	}
+	for j := uint32(0); j < nEnt; j++ {
+		tgt, ok1 := u32()
+		act, ok2 := u32()
+		next, ok3 := u32()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, 0, fail("entry")
+		}
+		fi.Entries = append(fi.Entries, BATEntry{
+			Target: int(tgt), Act: core.Action(act), Next: int32(next),
+		})
+	}
+	fi.BATHeads = make([][2]int32, fi.NumSlots)
+	for j := 0; j < fi.NumSlots; j++ {
+		h0, ok1 := u32()
+		h1, ok2 := u32()
+		if !ok1 || !ok2 {
+			return nil, 0, fail("heads")
+		}
+		fi.BATHeads[j] = [2]int32{int32(h0), int32(h1)}
+	}
+	n := fi.NumSlots
+	fi.BSVBits = 2 * n
+	fi.BCVBits = n
+	ptrBits := log2ceil(len(fi.Entries) + 1)
+	slotBits := log2ceil(n)
+	fi.BATBits = 2*n*ptrBits + len(fi.Entries)*(slotBits+2+ptrBits)
+	return fi, off, nil
 }

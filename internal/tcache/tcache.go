@@ -1,0 +1,217 @@
+// Package tcache is the content-addressed per-function table cache of
+// the compilation pipeline. Each function is keyed by a hash of its
+// lowered IR plus the slice of the pointer-analysis results the
+// Figure 5 construction consults for it (KeyFunc); the value is the
+// encoded table blob for that function — its bit-level FuncImage plus
+// the ID-based FuncTables diagnostics (EncodeBlob/DecodeBlob).
+//
+// On a hit the pipeline skips both the correlation analysis
+// (core.BuildFunc) and the hash search/encoding (tables.EncodeFunc)
+// for that function, so recompiling a program with one edited function
+// redoes only that function. Keys are conservative: any change to the
+// function's own IR, to the alias facts feeding it, or to the analysis
+// configuration changes the key and forces a miss — a stale hit is
+// impossible as long as SHA-256 doesn't collide.
+//
+// Storage is a bounded in-memory LRU fronting an optional on-disk
+// directory (one file per key, written atomically via rename), so a
+// cache survives process restarts when a directory is configured.
+// A Cache is safe for concurrent use; a nil *Cache is a valid no-op.
+package tcache
+
+import (
+	"container/list"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultMaxEntries bounds the in-memory LRU when the caller passes no
+// explicit capacity. Per-function blobs are small (hundreds of bytes to
+// a few KiB), so the default keeps even large programs resident.
+const DefaultMaxEntries = 4096
+
+// Cache is a bounded-memory, optionally disk-backed blob store. The
+// zero value is not usable; create caches with New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string // "" = memory only
+	byKey   map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	stats   Stats
+	hits    *obs.Counter // nil until Instrument
+	misses  *obs.Counter
+	evicted *obs.Counter
+}
+
+type entry struct {
+	key  Key
+	blob []byte
+}
+
+// Stats counts cache traffic. Hits = MemHits + DiskHits.
+type Stats struct {
+	Hits      uint64
+	MemHits   uint64
+	DiskHits  uint64
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64
+}
+
+// New creates a cache holding at most maxEntries blobs in memory
+// (<= 0 selects DefaultMaxEntries). A non-empty dir enables the
+// on-disk tier: blobs are persisted there and memory misses fall back
+// to disk before reporting a miss. The directory is created if needed.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Cache{
+		max:   maxEntries,
+		dir:   dir,
+		byKey: map[Key]*list.Element{},
+		lru:   list.New(),
+	}, nil
+}
+
+// Instrument mirrors hit/miss/eviction counts into reg as the
+// tcache_hits_total, tcache_misses_total and tcache_evictions_total
+// counters, alongside whatever the registry already carries.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = reg.Counter("tcache_hits_total")
+	c.misses = reg.Counter("tcache_misses_total")
+	c.evicted = reg.Counter("tcache_evictions_total")
+}
+
+// Get returns the blob stored under key. The returned slice is shared —
+// callers must treat it as read-only (DecodeBlob only reads). A nil
+// cache always misses.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.MemHits++
+		hits := c.hits
+		blob := el.Value.(*entry).blob
+		c.mu.Unlock()
+		hits.Inc()
+		return blob, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir != "" {
+		if blob, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.insert(key, blob)
+			c.stats.Hits++
+			c.stats.DiskHits++
+			hits := c.hits
+			c.mu.Unlock()
+			hits.Inc()
+			return blob, true
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	misses := c.misses
+	c.mu.Unlock()
+	misses.Inc()
+	return nil, false
+}
+
+// Put stores blob under key in memory and, when a directory is
+// configured, on disk. The cache takes ownership of blob; callers must
+// not mutate it afterwards. A nil cache drops the blob.
+func (c *Cache) Put(key Key, blob []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.insert(key, blob)
+	c.stats.Puts++
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir != "" {
+		// Atomic publish: write to a private temp file, then rename.
+		// Failures are silent — the disk tier is an optimisation, and a
+		// missing file is just a future miss.
+		tmp, err := os.CreateTemp(dir, "tcb-*")
+		if err != nil {
+			return
+		}
+		name := tmp.Name()
+		_, werr := tmp.Write(blob)
+		cerr := tmp.Close()
+		if werr == nil && cerr == nil {
+			if os.Rename(name, c.path(key)) == nil {
+				return
+			}
+		}
+		os.Remove(name)
+	}
+}
+
+// insert adds or refreshes a memory entry, evicting from the LRU tail.
+// Caller holds c.mu.
+func (c *Cache) insert(key Key, blob []byte) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).blob = blob
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, blob: blob})
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*entry).key)
+		c.stats.Evictions++
+		c.evicted.Inc()
+	}
+}
+
+// Len reports the number of blobs resident in memory.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path maps a key to its blob file.
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, hex.EncodeToString(key[:])+".tcb")
+}
