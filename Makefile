@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci report docscheck race-parallel compile-baseline
+.PHONY: build test vet race bench ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,25 @@ docscheck:
 	@grep -q 'docs/ARCHITECTURE.md' README.md || \
 		{ echo "docscheck: README.md does not link docs/ARCHITECTURE.md" >&2; exit 1; }
 
+# The daemon stack under the race detector, by name: wire protocol,
+# server lifecycle and the multi-session end-to-end verification.
+race-server:
+	$(GO) test -race ./internal/wire ./internal/ipdsclient
+	$(GO) test -race ./internal/server -run 'Test'
+
+# Short load-generator run against an in-process daemon: 8 sessions
+# replaying a tampered telnetd trace, exercising the full client →
+# wire → server → alarm path in one command.
+smoke-load:
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 20000 -tamper 97
+
 # One-iteration benchmark pass: a smoke check that every benchmark still
 # compiles and runs, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel bench
+ci: vet build docscheck race race-parallel race-server smoke-load bench
 
 # Observability-driven per-workload table + JSON baseline.
 report:
@@ -42,3 +54,11 @@ report:
 # Compile-time baseline across sequential/parallel/warm-cache modes.
 compile-baseline:
 	$(GO) run ./cmd/perfsim -compile -baseline BENCH_pr2.json
+
+# Serving-throughput baseline: events/sec at 1, 8 and 64 sessions
+# against an in-process daemon.
+serve-baseline:
+	rm -f BENCH_pr3.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 1 -events 200000 -tamper 97 -json BENCH_pr3.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 100000 -tamper 97 -json BENCH_pr3.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 20000 -tamper 97 -json BENCH_pr3.json

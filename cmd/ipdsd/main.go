@@ -1,0 +1,164 @@
+// Command ipdsd is the IPDS verification daemon: it compiles one or
+// more programs to branch-correlation table images, registers each
+// image under its content hash, and serves verifier sessions over TCP
+// using the internal/wire protocol. Remote clients (cmd/ipdsload,
+// internal/ipdsclient) open a session by hash, stream batched branch
+// events, and receive infeasible-path alarms back.
+//
+// Images are compiled through the parallel cached pipeline; with
+// -cachedir the marshalled images also land in the on-disk blob cache,
+// so a restarted daemon resolves reconnecting clients' hashes without
+// recompiling anything.
+//
+// With -telemetry the daemon serves /metrics (server_sessions_active,
+// server_events_total, server_batches_total,
+// server_backpressure_stalls_total, server_alarms_dropped_total, …),
+// /debug/vars and /debug/pprof while running.
+//
+// Usage:
+//
+//	ipdsd [-addr :7077] [-workload name]... [-all] [-cachedir dir]
+//	      [-telemetry :6060] [-idle 60s] [-verifiers n] [file.mc]...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/tcache"
+	"repro/internal/workload"
+)
+
+type nameFlags []string
+
+func (l *nameFlags) String() string { return fmt.Sprint(*l) }
+func (l *nameFlags) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+func main() {
+	var (
+		wlNames   nameFlags
+		addr      = flag.String("addr", "127.0.0.1:7077", "listen address for verifier sessions")
+		all       = flag.Bool("all", false, "serve every built-in workload")
+		cacheDir  = flag.String("cachedir", "", "on-disk table/image cache (survives restarts)")
+		cacheN    = flag.Int("cachesize", 1024, "in-memory cache entries")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		idle      = flag.Duration("idle", 60*time.Second, "evict sessions idle longer than this")
+		verifiers = flag.Int("verifiers", 0, "verifier worker pool size (0 = GOMAXPROCS)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	)
+	flag.Var(&wlNames, "workload", "serve a built-in server workload (repeatable)")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg)
+	if *telemetry != "" {
+		reg.PublishExpvar("ipdsd")
+		srv, taddr, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsd: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics\n", taddr)
+	}
+
+	cache, err := tcache.New(*cacheN, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsd: cache:", err)
+		os.Exit(1)
+	}
+
+	// Gather (name, source) pairs: built-in workloads and/or files.
+	type prog struct{ name, src string }
+	var progs []prog
+	if *all {
+		for _, w := range workload.All() {
+			progs = append(progs, prog{w.Name, w.Source})
+		}
+	}
+	for _, n := range wlNames {
+		w := workload.ByName(n)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "ipdsd: unknown workload %q (have %v)\n", n, workload.Names())
+			os.Exit(1)
+		}
+		progs = append(progs, prog{w.Name, w.Source})
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsd:", err)
+			os.Exit(1)
+		}
+		progs = append(progs, prog{filepath.Base(path), string(data)})
+	}
+	if len(progs) == 0 {
+		fmt.Fprintln(os.Stderr, "ipdsd: nothing to serve; use -workload, -all or file arguments")
+		os.Exit(1)
+	}
+
+	store := server.NewImageStore(cache)
+	for _, p := range progs {
+		art, err := pipeline.CompileWith(p.src, ir.DefaultOptions,
+			pipeline.Config{Cache: cache}, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipdsd: compile %s: %v\n", p.name, err)
+			os.Exit(1)
+		}
+		h := store.Add(p.name, art.Image)
+		fmt.Printf("ipdsd: serving %-10s image %x (%d funcs)\n", p.name, h[:8], len(art.Image.Funcs))
+	}
+
+	srv := server.New(store, server.Config{
+		ReadTimeout: *idle,
+		Verifiers:   *verifiers,
+		Reg:         reg,
+		Tracer:      tr,
+	})
+
+	// Graceful drain on SIGINT/SIGTERM: queued batches verify, queued
+	// alarms deliver, every session ends with Ack+Bye.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+
+	// ListenAndServe binds asynchronously; report the address once up.
+	for i := 0; i < 100; i++ {
+		if a := srv.Addr(); a != "" {
+			fmt.Printf("ipdsd: listening on %s\n", a)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "ipdsd: %v: draining (budget %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsd: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "ipdsd: drained")
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsd:", err)
+			os.Exit(1)
+		}
+	}
+}

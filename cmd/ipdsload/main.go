@@ -1,0 +1,203 @@
+// Command ipdsload is the load generator for the ipdsd daemon: it
+// captures a workload's branch-event trace once, then replays it from
+// N concurrent client sessions, reporting aggregate events/sec and
+// ack/alarm latency percentiles. With -tamper the replayed trace has
+// branch directions flipped, so the run also measures alarm delivery.
+//
+// The image hash is recomputed locally from the same source, so the
+// daemon must be serving the same workload (compilation is
+// deterministic: same source, same image, same hash).
+//
+// With -selfserve the process starts an in-process daemon engine on a
+// loopback listener and loads that instead of a remote ipdsd — one
+// command for benchmarks and CI smoke runs. -json appends a machine
+// readable result row, used to produce BENCH_pr3.json.
+//
+// Usage:
+//
+//	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
+//	         [-sessions n] [-events n] [-batch n] [-tamper stride]
+//	         [-events-file in.events] [-json out.json] [file.mc]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ipdsclient"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// row is one load run in the -json output.
+type row struct {
+	Program   string  `json:"program"`
+	Sessions  int     `json:"sessions"`
+	Events    uint64  `json:"events"`
+	Alarms    uint64  `json:"alarms"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	EventsSec float64 `json:"events_per_sec"`
+	AckP50Ns  int64   `json:"ack_p50_ns"`
+	AckP95Ns  int64   `json:"ack_p95_ns"`
+	AckP99Ns  int64   `json:"ack_p99_ns"`
+	AlarmP50  int64   `json:"alarm_p50_ns"`
+	AlarmP95  int64   `json:"alarm_p95_ns"`
+	AlarmP99  int64   `json:"alarm_p99_ns"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7077", "ipdsd address")
+		selfserve = flag.Bool("selfserve", false, "serve in-process instead of dialing a remote daemon")
+		wlName    = flag.String("workload", "telnetd", "built-in workload to replay")
+		sessions  = flag.Int("sessions", 8, "concurrent client sessions")
+		events    = flag.Int("events", 100000, "minimum events per session (trace loops to fill)")
+		batch     = flag.Int("batch", 512, "events per wire frame")
+		tamper    = flag.Int("tamper", 0, "flip every stride-th branch (0 = benign replay)")
+		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
+		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-session network timeout")
+	)
+	flag.Parse()
+
+	var src, name string
+	var input []string
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+			os.Exit(1)
+		}
+		src, name = string(data), filepath.Base(flag.Arg(0))
+	} else {
+		w := workload.ByName(*wlName)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "ipdsload: unknown workload %q (have %v)\n", *wlName, workload.Names())
+			os.Exit(1)
+		}
+		src, name, input = w.Source, w.Name, w.AttackSession
+	}
+
+	art, err := pipeline.CompileWith(src, ir.DefaultOptions, pipeline.Config{}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsload: compile:", err)
+		os.Exit(1)
+	}
+	hash := art.Image.Hash()
+
+	var trace []wire.Event
+	if *evFile != "" {
+		f, err := os.Open(*evFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+			os.Exit(1)
+		}
+		trace, err = wire.ReadEventsText(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipdsload: %s: %v\n", *evFile, err)
+			os.Exit(1)
+		}
+	} else {
+		trace = ipdsclient.Capture(art, input)
+	}
+	if *tamper > 0 {
+		trace = ipdsclient.Tamper(trace, *tamper)
+	}
+	if len(trace) == 0 {
+		fmt.Fprintln(os.Stderr, "ipdsload: captured an empty trace")
+		os.Exit(1)
+	}
+
+	target := *addr
+	if *selfserve {
+		store := server.NewImageStore(nil)
+		store.Add(name, art.Image)
+		srv := server.New(store, server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+			os.Exit(1)
+		}
+		go srv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		target = ln.Addr().String()
+	}
+
+	res := ipdsclient.RunLoad(ipdsclient.LoadConfig{
+		Addr:          target,
+		Image:         hash,
+		Program:       name,
+		Trace:         trace,
+		Sessions:      *sessions,
+		EventsPerConn: *events,
+		Batch:         *batch,
+		Timeout:       *timeout,
+	})
+	for _, err := range res.Errors {
+		fmt.Fprintln(os.Stderr, "ipdsload:", err)
+	}
+
+	fmt.Printf("-- %s: %d sessions, %d events (%d alarms) in %v\n",
+		name, res.Sessions, res.Events, res.Alarms, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("-- throughput: %.0f events/sec aggregate\n", res.EventsSec)
+	fmt.Printf("-- ack latency:   p50=%v p95=%v p99=%v\n", res.AckP50, res.AckP95, res.AckP99)
+	if res.Alarms > 0 {
+		fmt.Printf("-- alarm latency: p50=%v p95=%v p99=%v\n", res.AlarmP50, res.AlarmP95, res.AlarmP99)
+	}
+
+	if *jsonOut != "" {
+		if err := appendRow(*jsonOut, row{
+			Program:   name,
+			Sessions:  res.Sessions,
+			Events:    res.Events,
+			Alarms:    res.Alarms,
+			ElapsedNs: res.Elapsed.Nanoseconds(),
+			EventsSec: res.EventsSec,
+			AckP50Ns:  res.AckP50.Nanoseconds(),
+			AckP95Ns:  res.AckP95.Nanoseconds(),
+			AckP99Ns:  res.AckP99.Nanoseconds(),
+			AlarmP50:  res.AlarmP50.Nanoseconds(),
+			AlarmP95:  res.AlarmP95.Nanoseconds(),
+			AlarmP99:  res.AlarmP99.Nanoseconds(),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+			os.Exit(1)
+		}
+	}
+	if len(res.Errors) > 0 {
+		os.Exit(1)
+	}
+}
+
+// appendRow merges one result row into path's {"rows": [...]} document,
+// creating it if absent — repeated runs build one bench file.
+func appendRow(path string, r row) error {
+	doc := struct {
+		Rows []row `json:"rows"`
+	}{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	doc.Rows = append(doc.Rows, r)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -8,10 +8,18 @@
 // scrape, and -tracefile dumps compile/run phase spans as a Chrome
 // trace-event JSON file.
 //
+// -eventfile records the detector's event stream — function entries,
+// exits and committed branches — in the canonical textual form shared
+// with the wire protocol's Batch frames (see internal/wire): `enter
+// 0x40`, `branch 0x4a T`, `branch 0x52 NT`, `leave`, with '#' comment
+// and blank lines ignored. The file replays against a daemon via
+// `ipdsload -events-file`, and text ↔ wire round trips are byte-exact.
+//
 // Usage:
 //
 //	ipdsrun [-in line]... [-trace] [-telemetry :6060] [-repeat n]
-//	        [-tracefile out.json] (file.mc | -workload name [-session])
+//	        [-tracefile out.json] [-eventfile out.events]
+//	        (file.mc | -workload name [-session])
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/vm"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -45,6 +54,7 @@ func main() {
 		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		repeat    = flag.Int("repeat", 1, "run the program this many times (keeps telemetry endpoints warm)")
 		traceFile = flag.String("tracefile", "", "write compile/run phase spans as Chrome trace-event JSON")
+		eventFile = flag.String("eventfile", "", "write the branch-event stream in canonical text form")
 	)
 	flag.Var(&inputs, "in", "input line (repeatable)")
 	flag.Parse()
@@ -115,12 +125,26 @@ func main() {
 	}
 	var res vm.Result
 	var m *ipds.Machine
+	var events []wire.Event
 	for i := 0; i < *repeat; i++ {
 		stop := tr.Span("run")
 		v := vm.New(art.Prog, vm.DefaultConfig, input)
 		m = ipds.New(art.Image, ipds.DefaultConfig)
 		m.Instrument(reg, "workload", name)
 		ipds.Attach(v, m)
+		if *eventFile != "" {
+			v.AddHooks(vm.Hooks{
+				OnCall: func(fn *ir.Func) {
+					events = append(events, wire.Event{Kind: wire.EvEnter, PC: fn.Base})
+				},
+				OnRet: func(fn *ir.Func) {
+					events = append(events, wire.Event{Kind: wire.EvLeave})
+				},
+				OnBranch: func(br *ir.Instr, taken bool) {
+					events = append(events, wire.Event{Kind: wire.EvBranch, PC: br.PC, Taken: taken})
+				},
+			})
+		}
 		if *trace {
 			v.AddHooks(vm.Hooks{OnBranch: func(br *ir.Instr, taken bool) {
 				fmt.Printf("branch %#x taken=%v expected=%v\n", br.PC, taken, m.Status(br.PC))
@@ -128,6 +152,24 @@ func main() {
 		}
 		res = v.Run()
 		stop()
+	}
+
+	if *eventFile != "" {
+		f, err := os.Create(*eventFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(f, "# %s: %d events (%d runs)\n", name, len(events), *repeat)
+		if err := wire.WriteEventsText(f, events); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrun:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *traceFile != "" {

@@ -1,0 +1,352 @@
+// Package ipdsclient is the client half of the remote-attestation
+// stack: it connects a branch-event stream to an ipdsd verification
+// daemon (internal/server) over the internal/wire protocol. The
+// package also carries the trace tooling the daemon's tests and the
+// load generator share — capturing a program's event trace from a VM
+// run, tampering a trace the way a memory-corruption attack bends
+// control flow, replaying a trace against an in-process machine for a
+// reference alarm set, and a multi-session load generator.
+package ipdsclient
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config parameterises a client connection.
+type Config struct {
+	// Addr is the daemon's TCP address.
+	Addr string
+
+	// Image is the content hash (tables.Image.Hash) of the table image
+	// the event stream must be verified against.
+	Image [32]byte
+
+	// Program names the client for daemon-side diagnostics.
+	Program string
+
+	// Batch is the events-per-frame flush threshold (default 512,
+	// capped at wire.MaxBatch).
+	Batch int
+
+	// Timeout bounds dial, handshake and individual writes
+	// (default 10s).
+	Timeout time.Duration
+
+	// OnAlarm, when set, observes each alarm as it arrives (called
+	// from the client's reader goroutine).
+	OnAlarm func(wire.Alarm)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 || c.Batch > wire.MaxBatch {
+		if c.Batch > wire.MaxBatch {
+			c.Batch = wire.MaxBatch
+		} else {
+			c.Batch = 512
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// batchMark remembers when a flushed batch was sent so acks and alarms
+// can be turned into latency samples.
+type batchMark struct {
+	events   uint64 // cumulative events after this batch
+	branchHi uint64 // cumulative branch events after this batch
+	sent     time.Time
+}
+
+// Client is one verifier session. Send/Flush/Drain must be called from
+// a single goroutine; alarm and ack delivery runs on an internal
+// reader goroutine.
+type Client struct {
+	cfg  Config
+	conn net.Conn
+	buf  []byte
+	pend []wire.Event
+
+	sent     uint64 // events flushed
+	branches uint64 // branch events flushed
+
+	mu        sync.Mutex
+	marks     []batchMark
+	alarms    []wire.Alarm
+	acked     uint64
+	ackLat    []time.Duration
+	alarmLat  []time.Duration
+	srvErr    *wire.Error
+	readerErr error
+
+	sawBye  chan struct{}
+	readerD chan struct{}
+}
+
+// Dial connects, performs the hello handshake and starts the reader.
+func Dial(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		cfg:     cfg,
+		conn:    conn,
+		sawBye:  make(chan struct{}),
+		readerD: make(chan struct{}),
+	}
+	hello, err := wire.Append(nil, wire.Hello{
+		Version: wire.Version,
+		Image:   cfg.Image,
+		Program: cfg.Program,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	rd := wire.NewReader(conn)
+	f, err := rd.Next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ipdsclient: handshake: %w", err)
+	}
+	switch fr := f.(type) {
+	case wire.HelloAck:
+		if fr.Version != wire.Version {
+			conn.Close()
+			return nil, fmt.Errorf("ipdsclient: server speaks version %d, want %d", fr.Version, wire.Version)
+		}
+		if int(fr.MaxBatch) > 0 && c.cfg.Batch > int(fr.MaxBatch) {
+			c.cfg.Batch = int(fr.MaxBatch)
+		}
+	case wire.Error:
+		conn.Close()
+		return nil, fmt.Errorf("ipdsclient: refused: %s: %s", fr.Code, fr.Msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("ipdsclient: handshake: unexpected %v frame", f.Type())
+	}
+	conn.SetDeadline(time.Time{})
+	go c.readLoop(rd)
+	return c, nil
+}
+
+// readLoop consumes server frames until Bye, error or EOF.
+func (c *Client) readLoop(rd *wire.Reader) {
+	defer close(c.readerD)
+	for {
+		f, err := rd.Next()
+		if err != nil {
+			c.mu.Lock()
+			c.readerErr = err
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		switch fr := f.(type) {
+		case wire.Ack:
+			c.mu.Lock()
+			c.acked = fr.Events
+			// Retire every mark this cumulative ack covers; the newest
+			// retired mark timestamps the ack round trip.
+			retired := -1
+			for i, mk := range c.marks {
+				if mk.events <= fr.Events {
+					retired = i
+				}
+			}
+			if retired >= 0 {
+				c.ackLat = append(c.ackLat, now.Sub(c.marks[retired].sent))
+				c.marks = c.marks[retired+1:]
+			}
+			c.mu.Unlock()
+		case wire.Alarm:
+			c.mu.Lock()
+			c.alarms = append(c.alarms, fr)
+			// The alarm's Seq counts branch events; find the batch that
+			// carried it for a delivery-latency sample.
+			for _, mk := range c.marks {
+				if fr.Seq <= mk.branchHi {
+					c.alarmLat = append(c.alarmLat, now.Sub(mk.sent))
+					break
+				}
+			}
+			c.mu.Unlock()
+			if c.cfg.OnAlarm != nil {
+				c.cfg.OnAlarm(fr)
+			}
+		case wire.Error:
+			e := fr
+			c.mu.Lock()
+			c.srvErr = &e
+			c.mu.Unlock()
+		case wire.Bye:
+			close(c.sawBye)
+			return
+		}
+	}
+}
+
+// Send buffers events, flushing whole batches as the threshold fills.
+func (c *Client) Send(evs ...wire.Event) error {
+	c.pend = append(c.pend, evs...)
+	for len(c.pend) >= c.cfg.Batch {
+		if err := c.flushN(c.cfg.Batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush sends any buffered partial batch.
+func (c *Client) Flush() error {
+	for len(c.pend) > 0 {
+		n := len(c.pend)
+		if n > c.cfg.Batch {
+			n = c.cfg.Batch
+		}
+		if err := c.flushN(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) flushN(n int) error {
+	evs := c.pend[:n]
+	c.buf = c.buf[:0]
+	var err error
+	c.buf, err = wire.Append(c.buf, wire.Batch{Events: evs})
+	if err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if ev.Kind == wire.EvBranch {
+			c.branches++
+		}
+	}
+	c.sent += uint64(n)
+	mark := batchMark{events: c.sent, branchHi: c.branches, sent: time.Now()}
+	c.mu.Lock()
+	c.marks = append(c.marks, mark)
+	c.mu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return fmt.Errorf("ipdsclient: %w", err)
+	}
+	copy(c.pend, c.pend[n:])
+	c.pend = c.pend[:len(c.pend)-n]
+	return nil
+}
+
+// Drain flushes, sends Bye, and waits until the server has verified
+// everything and said Bye back (or the timeout expires). The client's
+// alarm set is complete once Drain returns nil.
+func (c *Client) Drain() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	bye := wire.MustAppend(nil, wire.Bye{})
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	if _, err := c.conn.Write(bye); err != nil {
+		return fmt.Errorf("ipdsclient: %w", err)
+	}
+	select {
+	case <-c.sawBye:
+	case <-c.readerD:
+		// Reader died before Bye: surface the server error if one
+		// arrived, else the transport error.
+		if e := c.ServerError(); e != nil {
+			return fmt.Errorf("ipdsclient: session ended: %s: %s", e.Code, e.Msg)
+		}
+		c.mu.Lock()
+		err := c.readerErr
+		c.mu.Unlock()
+		return fmt.Errorf("ipdsclient: session ended: %w", err)
+	case <-time.After(c.cfg.Timeout):
+		return fmt.Errorf("ipdsclient: drain timed out after %v", c.cfg.Timeout)
+	}
+	if c.Acked() != c.sent {
+		return fmt.Errorf("ipdsclient: drained with %d/%d events acked", c.Acked(), c.sent)
+	}
+	return nil
+}
+
+// Close tears the connection down. Safe after Drain.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerD
+	return err
+}
+
+// Done returns a channel closed when the session ends from the server
+// side — Bye received or connection lost. It lets a caller observe a
+// server-initiated drain without sending its own Bye.
+func (c *Client) Done() <-chan struct{} { return c.readerD }
+
+// Alarms returns the alarms received so far (in delivery order).
+func (c *Client) Alarms() []wire.Alarm {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.Alarm, len(c.alarms))
+	copy(out, c.alarms)
+	return out
+}
+
+// Acked returns the server's cumulative verified-event count.
+func (c *Client) Acked() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acked
+}
+
+// Sent returns the events flushed to the server so far.
+func (c *Client) Sent() uint64 { return c.sent }
+
+// ServerError returns the last Error frame received, if any.
+func (c *Client) ServerError() *wire.Error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srvErr == nil {
+		return nil
+	}
+	e := *c.srvErr
+	return &e
+}
+
+// Latencies returns the collected ack round-trip and alarm delivery
+// samples (both may be empty).
+func (c *Client) Latencies() (ack, alarm []time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ack = append([]time.Duration(nil), c.ackLat...)
+	alarm = append([]time.Duration(nil), c.alarmLat...)
+	return ack, alarm
+}
+
+// Percentile returns the q-th (0..1) percentile of samples (0 when
+// empty). Samples are sorted in place.
+func Percentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q * float64(len(samples)-1))
+	return samples[i]
+}

@@ -1,0 +1,141 @@
+package ipdsclient
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// LoadConfig parameterises a load-generation run against a daemon.
+type LoadConfig struct {
+	// Addr is the daemon's address.
+	Addr string
+
+	// Image is the table-image hash every session verifies against.
+	Image [32]byte
+
+	// Program labels the sessions.
+	Program string
+
+	// Trace is the event stream each session replays. Sessions loop it
+	// until they have sent at least EventsPerConn events.
+	Trace []wire.Event
+
+	// Sessions is the number of concurrent connections (default 1).
+	Sessions int
+
+	// EventsPerConn is the minimum events each session ships
+	// (default: one pass over Trace).
+	EventsPerConn int
+
+	// Batch is the per-frame event count (default 512).
+	Batch int
+
+	// Timeout bounds each session's network operations.
+	Timeout time.Duration
+}
+
+// LoadResult aggregates a load run.
+type LoadResult struct {
+	Sessions  int
+	Events    uint64        // total events verified across sessions
+	Alarms    uint64        // total alarms delivered
+	Elapsed   time.Duration // wall clock, dial to last drain
+	EventsSec float64       // Events / Elapsed
+
+	// Ack round-trip latency percentiles across all sessions.
+	AckP50, AckP95, AckP99 time.Duration
+
+	// Alarm delivery latency percentiles (send of the batch carrying
+	// the offending branch → alarm frame arrival); zero when the trace
+	// raises no alarms.
+	AlarmP50, AlarmP95, AlarmP99 time.Duration
+
+	// Errors collects per-session failures (nil entries elided).
+	Errors []error
+}
+
+// RunLoad replays cfg.Trace from cfg.Sessions concurrent connections
+// and reports aggregate throughput and latency percentiles.
+func RunLoad(cfg LoadConfig) LoadResult {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.EventsPerConn <= 0 {
+		cfg.EventsPerConn = len(cfg.Trace)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		events   uint64
+		alarms   uint64
+		ackLat   []time.Duration
+		alarmLat []time.Duration
+		errs     []error
+	)
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(Config{
+				Addr:    cfg.Addr,
+				Image:   cfg.Image,
+				Program: fmt.Sprintf("%s#%d", cfg.Program, id),
+				Batch:   cfg.Batch,
+				Timeout: cfg.Timeout,
+			})
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("session %d: %w", id, err))
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			sent := 0
+			for sent < cfg.EventsPerConn && len(cfg.Trace) > 0 {
+				if err := c.Send(cfg.Trace...); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("session %d: %w", id, err))
+					mu.Unlock()
+					return
+				}
+				sent += len(cfg.Trace)
+			}
+			if err := c.Drain(); err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("session %d: %w", id, err))
+				mu.Unlock()
+				return
+			}
+			ack, al := c.Latencies()
+			mu.Lock()
+			events += c.Acked()
+			alarms += uint64(len(c.Alarms()))
+			ackLat = append(ackLat, ack...)
+			alarmLat = append(alarmLat, al...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := LoadResult{
+		Sessions: cfg.Sessions,
+		Events:   events,
+		Alarms:   alarms,
+		Elapsed:  elapsed,
+		AckP50:   Percentile(ackLat, 0.50),
+		AckP95:   Percentile(ackLat, 0.95),
+		AckP99:   Percentile(ackLat, 0.99),
+		AlarmP50: Percentile(alarmLat, 0.50),
+		AlarmP95: Percentile(alarmLat, 0.95),
+		AlarmP99: Percentile(alarmLat, 0.99),
+		Errors:   errs,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.EventsSec = float64(events) / secs
+	}
+	return res
+}

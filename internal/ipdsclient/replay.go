@@ -1,0 +1,77 @@
+package ipdsclient
+
+import (
+	"repro/internal/ipds"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Capture executes art.Prog under the VM with the given input and
+// records the branch-event stream an attached detector would see —
+// function entries, exits, and every committed conditional branch — as
+// wire events ready to ship to an ipdsd daemon.
+func Capture(art *pipeline.Artifacts, input []string) []wire.Event {
+	var evs []wire.Event
+	v := vm.New(art.Prog, vm.DefaultConfig, input)
+	v.AddHooks(vm.Hooks{
+		OnCall: func(fn *ir.Func) {
+			evs = append(evs, wire.Event{Kind: wire.EvEnter, PC: fn.Base})
+		},
+		OnRet: func(fn *ir.Func) {
+			evs = append(evs, wire.Event{Kind: wire.EvLeave})
+		},
+		OnBranch: func(br *ir.Instr, taken bool) {
+			evs = append(evs, wire.Event{Kind: wire.EvBranch, PC: br.PC, Taken: taken})
+		},
+	})
+	v.Run()
+	return evs
+}
+
+// Tamper returns a copy of a captured trace with every stride-th branch
+// direction flipped (stride <= 0 means 97, a prime that scatters flips
+// across protocol phases). This is the wire-level model of a control
+// flow bent by memory corruption: the PCs are still legal branch sites,
+// but the directions contradict the correlations the tables encode, so
+// the verifier raises alarms exactly where a live detector would.
+func Tamper(evs []wire.Event, stride int) []wire.Event {
+	if stride <= 0 {
+		stride = 97
+	}
+	out := make([]wire.Event, len(evs))
+	copy(out, evs)
+	nb := 0
+	for i := range out {
+		if out[i].Kind != wire.EvBranch {
+			continue
+		}
+		if nb%stride == stride-1 {
+			out[i].Taken = !out[i].Taken
+		}
+		nb++
+	}
+	return out
+}
+
+// ReplayLocal feeds a trace to an in-process ipds.Machine and returns
+// every alarm raised, in order. This is the reference the remote path
+// must match byte for byte: the daemon runs the same machine over the
+// same events, so the alarm sets (Seq/PC/Func/Slot) are identical.
+func ReplayLocal(m *ipds.Machine, evs []wire.Event) []ipds.Alarm {
+	var out []ipds.Alarm
+	for _, ev := range evs {
+		switch ev.Kind {
+		case wire.EvEnter:
+			m.EnterFunc(ev.PC)
+		case wire.EvLeave:
+			m.LeaveFunc()
+		case wire.EvBranch:
+			if a, _ := m.OnBranch(ev.PC, ev.Taken); a != nil {
+				out = append(out, *a)
+			}
+		}
+	}
+	return out
+}

@@ -204,3 +204,33 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("/debug/pprof/ not serving an index:\n%s", body)
 	}
 }
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// 100 observations of 3 (bucket 2, upper edge 3) and one of 1000
+	// (bucket 10, upper edge 1023).
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	h.Observe(1000)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %d, want 3", got)
+	}
+	if got := s.Quantile(0); got != 3 {
+		t.Fatalf("p0 = %d, want 3", got)
+	}
+	if got := s.Quantile(1); got != 1023 {
+		t.Fatalf("p100 = %d, want 1023", got)
+	}
+	// Zeros land in bucket 0 with upper edge 0.
+	z := r.Histogram("z")
+	z.Observe(0)
+	if got := z.Snapshot().Quantile(1); got != 0 {
+		t.Fatalf("all-zero p100 = %d, want 0", got)
+	}
+}

@@ -134,6 +134,35 @@ type HistSnapshot struct {
 	Buckets []uint64 // len histBuckets, bucket i: values with bit length i
 }
 
+// Quantile returns an upper bound on the q-th quantile (q in 0..1): the
+// upper edge of the power-of-two bucket where the cumulative count
+// crosses rank q. Bucket resolution, not interpolation — good to a
+// factor of two, which is what latency percentiles over power-of-two
+// buckets can honestly claim. Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<uint(len(s.Buckets)-1) - 1
+}
+
 // Snapshot copies the histogram state.
 func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{Buckets: make([]uint64, histBuckets)}

@@ -1,0 +1,175 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ipds"
+	"repro/internal/ipdsclient"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/tcache"
+	"repro/internal/workload"
+)
+
+// TestEndToEndRemoteMatchesLocal is the PR's acceptance bar: compile a
+// real workload through the parallel cached pipeline, serve its image
+// from the daemon engine, replay the workload's tamper trace from many
+// remote sessions at once, and require every session's alarm set to be
+// byte-identical (Seq/PC/Func/Slot/Expected/Taken) to what an
+// in-process ipds.Machine raises on the same events.
+func TestEndToEndRemoteMatchesLocal(t *testing.T) {
+	const sessions = 8
+
+	w := workload.ByName("telnetd")
+	if w == nil {
+		t.Fatal("telnetd workload missing")
+	}
+	cache, err := tcache.New(256, t.TempDir())
+	if err != nil {
+		t.Fatalf("tcache: %v", err)
+	}
+	art, err := pipeline.CompileWith(w.Source, ir.DefaultOptions,
+		pipeline.Config{Workers: 0, Cache: cache}, nil)
+	if err != nil {
+		t.Fatalf("compile %s: %v", w.Name, err)
+	}
+
+	// The daemon resolves the image by content hash through the same
+	// cache the compiler filled.
+	store := server.NewImageStore(cache)
+	hash := store.Add(w.Name, art.Image)
+	reg := obs.NewRegistry()
+	srv := server.New(store, server.Config{Reg: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.AttackSession), 31)
+	ref := ipdsclient.ReplayLocal(ipds.New(art.Image, ipds.DefaultConfig), trace)
+	if len(ref) == 0 {
+		t.Fatal("tampered telnetd trace raised no reference alarms; test is vacuous")
+	}
+	t.Logf("%s: %d events, %d reference alarms", w.Name, len(trace), len(ref))
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := ipdsclient.Dial(ipdsclient.Config{
+				Addr: addr, Image: hash, Program: w.Name, Batch: 256,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Send(trace...); err != nil {
+				errCh <- err
+				return
+			}
+			if err := c.Drain(); err != nil {
+				errCh <- err
+				return
+			}
+			got := c.Alarms()
+			if len(got) != len(ref) {
+				t.Errorf("session %d: %d alarms, want %d", id, len(got), len(ref))
+				return
+			}
+			for j, a := range got {
+				r := ref[j]
+				if a.Seq != r.Seq || a.PC != r.PC || a.Func != r.Func ||
+					a.Slot != uint32(r.Slot) || a.Expected != uint8(r.Expected) || a.Taken != r.Taken {
+					t.Errorf("session %d alarm %d: got %+v, want %+v", id, j, a, r)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("session: %v", err)
+	}
+
+	wantEvents := uint64(len(trace)) * sessions
+	if got := reg.Counter("server_events_total").Value(); got != wantEvents {
+		t.Errorf("server_events_total = %d, want %d", got, wantEvents)
+	}
+	if got := reg.Counter("server_sessions_total").Value(); got != sessions {
+		t.Errorf("server_sessions_total = %d, want %d", got, sessions)
+	}
+}
+
+// TestEndToEndRestartedDaemon replays against a second daemon sharing
+// only the disk cache: the image must resolve by hash with no
+// recompilation and verify identically.
+func TestEndToEndRestartedDaemon(t *testing.T) {
+	w := workload.ByName("atftpd")
+	if w == nil {
+		t.Fatal("atftpd workload missing")
+	}
+	dir := t.TempDir()
+	cache1, err := tcache.New(256, dir)
+	if err != nil {
+		t.Fatalf("tcache: %v", err)
+	}
+	art, err := pipeline.CompileWith(w.Source, ir.DefaultOptions,
+		pipeline.Config{Cache: cache1}, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	hash := server.NewImageStore(cache1).Add(w.Name, art.Image)
+
+	// "Restart": a brand-new store over a brand-new cache handle on the
+	// same directory, never Add-ed to.
+	cache2, err := tcache.New(256, dir)
+	if err != nil {
+		t.Fatalf("tcache: %v", err)
+	}
+	srv := server.New(server.NewImageStore(cache2), server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.AttackSession), 31)
+	ref := ipdsclient.ReplayLocal(ipds.New(art.Image, ipds.DefaultConfig), trace)
+
+	c, err := ipdsclient.Dial(ipdsclient.Config{Addr: ln.Addr().String(), Image: hash, Program: w.Name})
+	if err != nil {
+		t.Fatalf("dial restarted daemon: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(trace...); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	requireAlarmsEqual(t, ref, c.Alarms())
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"repro/internal/ipds"
+	"repro/internal/obs"
+)
+
+// metrics is the server-wide instrument set. All fields may be nil
+// (registry absent); obs metrics are nil-receiver no-ops, so the hot
+// path never branches on telemetry being configured.
+type metrics struct {
+	sessionsActive *obs.Gauge   // server_sessions_active
+	sessionsTotal  *obs.Counter // server_sessions_total
+	eventsTotal    *obs.Counter // server_events_total
+	batchesTotal   *obs.Counter // server_batches_total
+	backpressure   *obs.Counter // server_backpressure_stalls_total
+	alarmsTotal    *obs.Counter // server_alarms_total
+	errorsTotal    *obs.Counter // server_errors_total
+	evictionsTotal *obs.Counter // server_evictions_total
+	batchLen       *obs.Histogram
+	verifyNs       *obs.Histogram
+
+	// Aggregated machine counters, absorbed from each session's
+	// ipds.Machine when the session ends. alarmsDropped is the
+	// satellite fix: ring drops were only visible in per-machine Stats;
+	// the daemon surfaces them registry-wide.
+	mBranches      *obs.Counter // server_machine_branches_total
+	mVerified      *obs.Counter // server_machine_verified_total
+	mAlarmsDropped *obs.Counter // server_alarms_dropped_total
+	mStrictRejects *obs.Counter // server_strict_rejects_total
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		sessionsActive: r.Gauge("server_sessions_active"),
+		sessionsTotal:  r.Counter("server_sessions_total"),
+		eventsTotal:    r.Counter("server_events_total"),
+		batchesTotal:   r.Counter("server_batches_total"),
+		backpressure:   r.Counter("server_backpressure_stalls_total"),
+		alarmsTotal:    r.Counter("server_alarms_total"),
+		errorsTotal:    r.Counter("server_errors_total"),
+		evictionsTotal: r.Counter("server_evictions_total"),
+		batchLen:       r.Histogram("server_batch_events"),
+		verifyNs:       r.Histogram("server_verify_ns"),
+		mBranches:      r.Counter("server_machine_branches_total"),
+		mVerified:      r.Counter("server_machine_verified_total"),
+		mAlarmsDropped: r.Counter("server_alarms_dropped_total"),
+		mStrictRejects: r.Counter("server_strict_rejects_total"),
+	}
+}
+
+// absorb folds a finished session machine's counters into the
+// server-wide series.
+func (m *metrics) absorb(st ipds.Stats) {
+	m.mBranches.Add(st.Branches)
+	m.mVerified.Add(st.Verified)
+	m.mAlarmsDropped.Add(st.AlarmsDropped)
+	m.mStrictRejects.Add(st.StrictRejects)
+}

@@ -1,0 +1,411 @@
+// Package server hosts many concurrent IPDS verifier sessions over
+// TCP: the daemon half of the remote-attestation stack (cmd/ipdsd is
+// its CLI shell). Each accepted connection opens with a wire.Hello
+// naming a table image by content hash; the server resolves the image
+// through its ImageStore, dedicates one ipds.Machine to the session,
+// and from then on verifies the client's batched branch-event stream,
+// pushing wire.Alarm frames back as infeasible paths are detected.
+//
+// Concurrency model. Sessions are sharded across a fixed pool of
+// verifier workers: a session's batches are always processed by the
+// same worker (session id mod pool size), which preserves the
+// ipds.Machine single-goroutine ownership rule and per-session event
+// order while letting independent sessions verify in parallel. The
+// per-connection reader goroutine only decodes frames and enqueues
+// them — draining the socket ahead of verification so the client's
+// send window never closes on a momentarily busy verifier — and a
+// per-connection writer goroutine owns the outbound side.
+//
+// Bounded everything: batch size (wire limits), per-shard task queues
+// (readers block when a verifier falls behind — backpressure to the
+// socket, counted, never unbounded buffering), and per-session alarm
+// queues (verifiers block when a client won't drain its alarms,
+// counted as server_backpressure_stalls_total). Sessions carry a
+// per-frame read deadline, so an idle client is evicted with
+// wire.ErrIdle instead of holding a machine forever. Shutdown drains
+// gracefully: already-queued batches are verified and already-queued
+// alarms delivered, each session ending in a final Ack and Bye.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ipds"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Config parameterises a Server. The zero value of any field selects
+// the documented default.
+type Config struct {
+	// MaxBatch caps the events accepted in one Batch frame (default
+	// wire.MaxBatch). Advertised to clients in the HelloAck.
+	MaxBatch int
+
+	// ReadTimeout is the per-frame read deadline; a session that sends
+	// nothing for this long is evicted (default 60s).
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each outbound frame write (default 10s). A
+	// client that stops draining alarms past the queue and this
+	// deadline loses the session rather than wedging a verifier.
+	WriteTimeout time.Duration
+
+	// AlarmQueue bounds each session's outbound frame queue (default
+	// 256 frames). When full, the verifier stalls — backpressure,
+	// counted — instead of buffering without bound.
+	AlarmQueue int
+
+	// Verifiers sizes the shard worker pool (default GOMAXPROCS).
+	Verifiers int
+
+	// ShardQueue bounds each verifier's pending-batch queue (default
+	// 16 batches).
+	ShardQueue int
+
+	// IPDS configures each session's machine (zero value selects
+	// ipds.DefaultConfig, matching in-process runs).
+	IPDS ipds.Config
+
+	// Reg receives server_* metrics; nil disables (free).
+	Reg *obs.Registry
+
+	// Tracer records per-session serve spans; nil disables (free).
+	Tracer *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 || c.MaxBatch > wire.MaxBatch {
+		c.MaxBatch = wire.MaxBatch
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.AlarmQueue <= 0 {
+		c.AlarmQueue = 256
+	}
+	if c.Verifiers <= 0 {
+		c.Verifiers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 16
+	}
+	if c.IPDS == (ipds.Config{}) {
+		c.IPDS = ipds.DefaultConfig
+	}
+	return c
+}
+
+// task is one decoded batch bound for a session's verifier shard.
+type task struct {
+	s   *session
+	evs []wire.Event
+}
+
+// Server hosts verifier sessions. Create with New, feed with Serve (or
+// ListenAndServe), stop with Shutdown — which must be called exactly
+// once to release the verifier pool.
+type Server struct {
+	cfg   Config
+	store *ImageStore
+	met   metrics
+
+	shards   []chan task
+	workerWG sync.WaitGroup
+	readerWG sync.WaitGroup
+	writerWG sync.WaitGroup
+
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+}
+
+// New creates a server over an image store. The verifier pool starts
+// immediately; Shutdown stops it.
+func New(store *ImageStore, cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		store:    store,
+		sessions: map[uint64]*session{},
+	}
+	s.met = newMetrics(s.cfg.Reg)
+	s.shards = make([]chan task, s.cfg.Verifiers)
+	for i := range s.shards {
+		ch := make(chan task, s.cfg.ShardQueue)
+		s.shards[i] = ch
+		s.workerWG.Add(1)
+		go s.verifyLoop(ch)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a clean shutdown, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ActiveSessions reports the live session count.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Shutdown drains the server: stop accepting, wake every session
+// reader, verify everything already queued, deliver every queued alarm
+// (final Ack + Bye per session), then stop the verifier pool. It
+// returns nil on a full drain or ctx.Err() if the context expired
+// first (remaining connections are then closed hard).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining.Swap(true)
+	ln := s.ln
+	live := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		live = append(live, ss)
+	}
+	s.mu.Unlock()
+	if already {
+		return fmt.Errorf("server: Shutdown called twice")
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	// Wake blocked readers; in-flight reads fail immediately with a
+	// timeout, and the draining flag turns that into a graceful stop.
+	for _, ss := range live {
+		ss.conn.SetReadDeadline(time.Now().Add(-time.Second))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.readerWG.Wait()
+		for _, ch := range s.shards {
+			close(ch)
+		}
+		s.workerWG.Wait()
+		s.writerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, ss := range s.sessions {
+			ss.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// register adds a session under a fresh id, refusing during drain.
+func (s *Server) register(ss *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.nextID++
+	ss.id = s.nextID
+	ss.shard = int(ss.id % uint64(len(s.shards)))
+	s.sessions[ss.id] = ss
+	s.met.sessionsTotal.Inc()
+	s.met.sessionsActive.Set(int64(len(s.sessions)))
+	return true
+}
+
+// unregister removes a finished session and absorbs its machine's
+// counters into the server-wide series.
+func (s *Server) unregister(ss *session) {
+	s.mu.Lock()
+	delete(s.sessions, ss.id)
+	s.met.sessionsActive.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	s.met.absorb(ss.m.Stats())
+	if ss.stopSpan != nil {
+		ss.stopSpan()
+	}
+}
+
+// refuse answers a connection that never became a session: one error
+// frame, best effort, then close.
+func (s *Server) refuse(conn net.Conn, code wire.ErrCode, msg string) {
+	s.met.errorsTotal.Inc()
+	if len(msg) > wire.MaxString {
+		msg = msg[:wire.MaxString]
+	}
+	b := wire.MustAppend(nil, wire.Error{Code: code, Msg: msg})
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	conn.Write(b)
+	conn.Close()
+}
+
+// handleConn performs the hello handshake and promotes the connection
+// into a session.
+func (s *Server) handleConn(conn net.Conn) {
+	if s.draining.Load() {
+		s.refuse(conn, wire.ErrDraining, "server draining")
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	rd := wire.NewReader(conn)
+	f, err := rd.Next()
+	if err != nil {
+		s.met.errorsTotal.Inc()
+		conn.Close()
+		return
+	}
+	hello, ok := f.(wire.Hello)
+	if !ok {
+		s.refuse(conn, wire.ErrProtocol, fmt.Sprintf("expected hello, got %v", f.Type()))
+		return
+	}
+	if hello.Version != wire.Version {
+		s.refuse(conn, wire.ErrBadVersion, fmt.Sprintf("server speaks version %d", wire.Version))
+		return
+	}
+	img, ok := s.store.Resolve(hello.Image)
+	if !ok {
+		s.refuse(conn, wire.ErrUnknownImage, fmt.Sprintf("no table image %x", hello.Image[:8]))
+		return
+	}
+
+	ss := &session{
+		srv:     s,
+		conn:    conn,
+		rd:      rd,
+		m:       ipds.New(img, s.cfg.IPDS),
+		out:     make(chan []byte, s.cfg.AlarmQueue),
+		program: hello.Program,
+	}
+	if !s.register(ss) {
+		s.refuse(conn, wire.ErrDraining, "server draining")
+		return
+	}
+	ss.stopSpan = s.cfg.Tracer.Span(obs.Name("serve/session", "program", ss.program))
+
+	ack := wire.MustAppend(nil, wire.HelloAck{Version: wire.Version, MaxBatch: uint32(s.cfg.MaxBatch)})
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if _, err := conn.Write(ack); err != nil {
+		// The writer goroutine has not started; unwind by hand.
+		conn.Close()
+		s.unregister(ss)
+		return
+	}
+
+	s.writerWG.Add(1)
+	go ss.writeLoop()
+	s.readerWG.Add(1)
+	go ss.readLoop()
+}
+
+// verifyLoop is one shard worker: it owns the machines of every
+// session assigned to its shard (batches of one session never cross
+// shards, so each machine stays single-goroutine).
+func (s *Server) verifyLoop(ch chan task) {
+	defer s.workerWG.Done()
+	for t := range ch {
+		s.verifyBatch(t)
+	}
+}
+
+// verifyBatch feeds one batch through the session's machine, streaming
+// alarms out as they fire and acknowledging the batch.
+func (s *Server) verifyBatch(t task) {
+	ss := t.s
+	start := time.Now()
+	for _, ev := range t.evs {
+		switch ev.Kind {
+		case wire.EvEnter:
+			ss.m.EnterFunc(ev.PC)
+		case wire.EvLeave:
+			ss.m.LeaveFunc()
+		case wire.EvBranch:
+			if a, _ := ss.m.OnBranch(ev.PC, ev.Taken); a != nil {
+				s.met.alarmsTotal.Inc()
+				ss.send(wire.MustAppend(nil, alarmFrame(a)))
+			}
+		}
+	}
+	s.met.verifyNs.Observe(uint64(time.Since(start).Nanoseconds()))
+	s.met.eventsTotal.Add(uint64(len(t.evs)))
+	s.met.batchesTotal.Inc()
+	s.met.batchLen.Observe(uint64(len(t.evs)))
+	// Order matters: the ack must be queued before the task is marked
+	// done, or a concurrent reader-side maybeFinish could close the
+	// outbound queue under us.
+	done := ss.addEvents(uint64(len(t.evs)))
+	ss.send(wire.MustAppend(nil, wire.Ack{Events: done}))
+	ss.taskDone()
+}
+
+// alarmFrame converts a machine alarm to its wire form.
+func alarmFrame(a *ipds.Alarm) wire.Alarm {
+	fn := a.Func
+	if len(fn) > wire.MaxString {
+		fn = fn[:wire.MaxString]
+	}
+	return wire.Alarm{
+		Seq:      a.Seq,
+		PC:       a.PC,
+		Func:     fn,
+		Slot:     uint32(a.Slot),
+		Expected: uint8(a.Expected),
+		Taken:    a.Taken,
+	}
+}

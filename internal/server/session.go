@@ -1,0 +1,194 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ipds"
+	"repro/internal/wire"
+)
+
+// session is one live verifier connection. Field ownership:
+//
+//   - rd and conn reads: the reader goroutine (readLoop)
+//   - m (the machine): the session's shard verifier, exclusively
+//   - out and conn writes: the writer goroutine (writeLoop)
+//   - mu guards the lifecycle bookkeeping (pending/readerDone/
+//     finished/events) shared by reader and verifier
+//
+// The outbound queue `out` is closed exactly once, by maybeFinish,
+// strictly after the reader has stopped and every queued batch has
+// been verified — which is what makes graceful drain deliver
+// already-queued alarms before the closing Ack+Bye.
+type session struct {
+	id       uint64
+	shard    int
+	srv      *Server
+	conn     net.Conn
+	rd       *wire.Reader
+	m        *ipds.Machine
+	out      chan []byte
+	program  string
+	stopSpan func()
+
+	mu         sync.Mutex
+	pending    int    // batches enqueued to the shard, not yet verified
+	readerDone bool   // readLoop exited; no further batches will arrive
+	finished   bool   // out has been sealed with the final Ack+Bye
+	events     uint64 // events fully verified (ack currency)
+}
+
+// isClosedErr reports a read failing because the connection was closed
+// locally (forced shutdown), which is not a client protocol error.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// send queues one encoded frame for the writer, counting a
+// backpressure stall when the bounded queue is full. It never drops:
+// the writer always drains `out` (discarding after a write failure),
+// so this blocks only while the client is slow, not forever.
+func (s *session) send(b []byte) {
+	select {
+	case s.out <- b:
+	default:
+		s.srv.met.backpressure.Inc()
+		s.out <- b
+	}
+}
+
+// addEvents credits n verified events and returns the new total.
+func (s *session) addEvents(n uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events += n
+	return s.events
+}
+
+// taskDone retires one verified batch and finishes the session if the
+// reader is already gone.
+func (s *session) taskDone() {
+	s.mu.Lock()
+	s.pending--
+	s.mu.Unlock()
+	s.maybeFinish()
+}
+
+// maybeFinish seals the session once no more input can arrive
+// (readerDone) and everything that did arrive has been verified
+// (pending == 0): queue the final cumulative Ack and a Bye, then close
+// the outbound queue so the writer flushes and tears the session down.
+func (s *session) maybeFinish() {
+	s.mu.Lock()
+	if !s.readerDone || s.pending != 0 || s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	total := s.events
+	s.mu.Unlock()
+
+	s.send(wire.MustAppend(nil, wire.Ack{Events: total}))
+	s.send(wire.MustAppend(nil, wire.Bye{}))
+	close(s.out)
+}
+
+// drainGrace is the per-read deadline a draining session reads with:
+// long enough to pick up everything a client already had in flight on
+// loopback or a LAN, short enough that shutdown stays prompt. A client
+// that keeps streaming past the drain is bounded by the Shutdown
+// context, which closes connections hard on expiry.
+const drainGrace = 50 * time.Millisecond
+
+// readLoop drains the socket: decode frames, enqueue batches to the
+// session's verifier shard, stop on Bye / error / idle deadline.
+// During server drain the loop keeps reading under drainGrace
+// deadlines until the socket goes quiet, so events the client sent
+// before the shutdown began are still verified (wire.Reader resumes
+// cleanly across the shutdown's deadline poke).
+func (s *session) readLoop() {
+	defer s.srv.readerWG.Done()
+	srv := s.srv
+	for {
+		graced := srv.draining.Load()
+		d := srv.cfg.ReadTimeout
+		if graced {
+			d = drainGrace
+		}
+		s.conn.SetReadDeadline(time.Now().Add(d))
+		f, err := s.rd.Next()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if srv.draining.Load() {
+					if graced {
+						// Quiet under a grace deadline: fully drained.
+						break
+					}
+					// The shutdown poke interrupted a blocked read; go
+					// around once more to sweep buffered frames.
+					continue
+				}
+				// Idle eviction: tell the client why, then drain.
+				srv.met.evictionsTotal.Inc()
+				s.send(wire.MustAppend(nil, wire.Error{Code: wire.ErrIdle, Msg: "idle deadline exceeded"}))
+			} else if err != nil && !isClosedErr(err) {
+				// Hard protocol garbage or a vanished peer; io.EOF is
+				// the silent variant of Bye.
+				srv.met.errorsTotal.Inc()
+			}
+			break
+		}
+		switch fr := f.(type) {
+		case wire.Batch:
+			if len(fr.Events) > srv.cfg.MaxBatch {
+				srv.met.errorsTotal.Inc()
+				s.send(wire.MustAppend(nil, wire.Error{Code: wire.ErrProtocol, Msg: "batch exceeds advertised maximum"}))
+				goto out
+			}
+			s.mu.Lock()
+			s.pending++
+			s.mu.Unlock()
+			// Blocking enqueue: a full shard queue is backpressure to
+			// this socket, counted like an alarm-queue stall.
+			select {
+			case srv.shards[s.shard] <- task{s: s, evs: fr.Events}:
+			default:
+				srv.met.backpressure.Inc()
+				srv.shards[s.shard] <- task{s: s, evs: fr.Events}
+			}
+		case wire.Bye:
+			goto out
+		default:
+			srv.met.errorsTotal.Inc()
+			s.send(wire.MustAppend(nil, wire.Error{Code: wire.ErrProtocol, Msg: "unexpected " + fr.Type().String() + " frame"}))
+			goto out
+		}
+	}
+out:
+	s.mu.Lock()
+	s.readerDone = true
+	s.mu.Unlock()
+	s.maybeFinish()
+}
+
+// writeLoop owns conn writes: it drains the outbound queue until
+// maybeFinish closes it, then closes the connection and retires the
+// session. After the first write failure it keeps consuming (and
+// discarding) so verifiers can never block forever on a dead peer.
+func (s *session) writeLoop() {
+	defer s.srv.writerWG.Done()
+	failed := false
+	for b := range s.out {
+		if failed {
+			continue
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+		if _, err := s.conn.Write(b); err != nil {
+			failed = true
+		}
+	}
+	s.conn.Close()
+	s.srv.unregister(s)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tables"
+	"repro/internal/tcache"
+)
+
+// ImageStore resolves wire.Hello image hashes to decoded table images.
+//
+// Two tiers: an in-memory map of decoded *tables.Image (what sessions
+// actually verify against — images are immutable and shared between
+// any number of concurrent machines), and an optional tcache.Cache
+// holding the *marshalled* image bytes keyed by tcache.KeyOf (==
+// tables.Image.Hash). With a disk-backed cache, a restarted daemon
+// resolves a reconnecting client's hash straight from the blob store
+// — no recompilation — while the per-function tier of the same cache
+// keeps any recompilation that is needed warm.
+//
+// An ImageStore is safe for concurrent use.
+type ImageStore struct {
+	mu    sync.Mutex
+	cache *tcache.Cache // optional persistent tier; nil = memory only
+	byH   map[[32]byte]*tables.Image
+	names map[[32]byte]string // diagnostic name per image
+}
+
+// NewImageStore creates a store over an optional blob cache (nil for a
+// purely in-memory store).
+func NewImageStore(cache *tcache.Cache) *ImageStore {
+	return &ImageStore{
+		cache: cache,
+		byH:   map[[32]byte]*tables.Image{},
+		names: map[[32]byte]string{},
+	}
+}
+
+// Add registers an image under its content hash and persists the
+// marshalled bytes to the blob cache when one is configured. It
+// returns the hash clients must put in their Hello.
+func (st *ImageStore) Add(name string, img *tables.Image) [32]byte {
+	blob := img.Marshal()
+	k := tcache.KeyOf(blob)
+	h := [32]byte(k)
+	st.mu.Lock()
+	st.byH[h] = img
+	st.names[h] = name
+	st.mu.Unlock()
+	st.cache.Put(k, blob)
+	return h
+}
+
+// Resolve returns the image for a hash: from memory first, then — on a
+// miss — from the blob cache, unmarshalling and memoising the result.
+func (st *ImageStore) Resolve(h [32]byte) (*tables.Image, bool) {
+	st.mu.Lock()
+	img, ok := st.byH[h]
+	st.mu.Unlock()
+	if ok {
+		return img, true
+	}
+	blob, ok := st.cache.Get(tcache.Key(h))
+	if !ok {
+		return nil, false
+	}
+	img, err := tables.Unmarshal(blob)
+	if err != nil {
+		// A corrupt blob is a miss, not a fault: the cache tier is an
+		// optimisation and the client will be refused cleanly.
+		return nil, false
+	}
+	if tcache.KeyOf(img.Marshal()) != tcache.Key(h) {
+		// The blob decoded but does not re-marshal to its own address;
+		// refuse rather than verify against the wrong tables.
+		return nil, false
+	}
+	st.mu.Lock()
+	st.byH[h] = img
+	if _, named := st.names[h]; !named {
+		st.names[h] = fmt.Sprintf("image-%x", h[:4])
+	}
+	st.mu.Unlock()
+	return img, true
+}
+
+// Name returns the diagnostic name an image was registered under.
+func (st *ImageStore) Name(h [32]byte) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.names[h]
+}
+
+// Images lists the registered (hash, name) pairs in unspecified order.
+func (st *ImageStore) Images() map[[32]byte]string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[[32]byte]string, len(st.names))
+	for h, n := range st.names {
+		out[h] = n
+	}
+	return out
+}

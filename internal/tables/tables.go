@@ -11,6 +11,7 @@
 package tables
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -307,6 +308,15 @@ func (im *Image) Marshal() []byte {
 		buf = appendFunc(buf, fi)
 	}
 	return buf
+}
+
+// Hash is the image's content address: the SHA-256 of its marshalled
+// bytes. Because Marshal is deterministic (same source + options ⇒
+// byte-identical image), the hash identifies a program's table set
+// across processes and machines — it is what a wire.Hello carries and
+// what the serving daemon resolves images by.
+func (im *Image) Hash() [sha256.Size]byte {
+	return sha256.Sum256(im.Marshal())
 }
 
 // appendFunc appends one function's serialised record to buf.

@@ -18,6 +18,13 @@ type Key [sha256.Size]byte
 // String renders the key as hex (diagnostics).
 func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
 
+// KeyOf addresses an arbitrary blob by content. The serving layer uses
+// it to store whole marshalled table images in the same cache that
+// holds per-function blobs, keyed by tables.Image.Hash — a disk-backed
+// cache then lets a restarted daemon resolve a reconnecting client's
+// image hash without recompiling anything.
+func KeyOf(data []byte) Key { return sha256.Sum256(data) }
+
 // keyVersion invalidates every existing cache entry whenever the key
 // derivation or the blob format changes incompatibly.
 const keyVersion = 2

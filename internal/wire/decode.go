@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Decode parses one frame payload (the bytes after the length prefix).
+// It is pure and total: any input — truncated, oversized, hostile —
+// yields a frame or an error, never a panic, and no allocation is
+// sized from an attacker-controlled count without first checking that
+// the bytes backing that count are actually present.
+func Decode(payload []byte) (Frame, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", len(payload))
+	}
+	d := decoder{b: payload[1:]}
+	switch t := FrameType(payload[0]); t {
+	case TypeHello:
+		return d.hello()
+	case TypeHelloAck:
+		return d.helloAck()
+	case TypeBatch:
+		return d.batch()
+	case TypeAlarm:
+		return d.alarm()
+	case TypeAck:
+		return d.ack()
+	case TypeError:
+		return d.errorFrame()
+	case TypeBye:
+		return d.done(Bye{})
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", payload[0])
+	}
+}
+
+// decoder is a bounds-checked cursor over one payload body.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) fail(what string) error {
+	return fmt.Errorf("wire: truncated frame at %s", what)
+}
+
+func (d *decoder) u8(what string) (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, d.fail(what)
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, d.fail(what)
+	}
+	d.off += n
+	return v, nil
+}
+
+// str reads a uvarint length and that many bytes, capped at MaxString.
+func (d *decoder) str(what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > MaxString {
+		return "", fmt.Errorf("wire: %s length %d exceeds MaxString", what, n)
+	}
+	if d.off+int(n) > len(d.b) {
+		return "", d.fail(what)
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// done rejects trailing garbage, which would otherwise let a sender
+// smuggle bytes past version checks.
+func (d *decoder) done(f Frame) (Frame, error) {
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s frame", len(d.b)-d.off, f.Type())
+	}
+	return f, nil
+}
+
+func (d *decoder) hello() (Frame, error) {
+	var h Hello
+	v, err := d.u8("hello version")
+	if err != nil {
+		return nil, err
+	}
+	h.Version = v
+	if d.off+HashLen > len(d.b) {
+		return nil, d.fail("hello image hash")
+	}
+	copy(h.Image[:], d.b[d.off:])
+	d.off += HashLen
+	if h.Program, err = d.str("hello program"); err != nil {
+		return nil, err
+	}
+	return d.done(h)
+}
+
+func (d *decoder) helloAck() (Frame, error) {
+	var h HelloAck
+	v, err := d.u8("helloack version")
+	if err != nil {
+		return nil, err
+	}
+	h.Version = v
+	mb, err := d.uvarint("helloack maxbatch")
+	if err != nil {
+		return nil, err
+	}
+	if mb > MaxBatch {
+		return nil, fmt.Errorf("wire: helloack maxbatch %d exceeds MaxBatch", mb)
+	}
+	h.MaxBatch = uint32(mb)
+	return d.done(h)
+}
+
+func (d *decoder) batch() (Frame, error) {
+	n, err := d.uvarint("batch count")
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatch {
+		return nil, fmt.Errorf("wire: batch of %d events exceeds MaxBatch", n)
+	}
+	// Every event costs at least one byte, so a count exceeding the
+	// remaining bytes is hostile; refusing here bounds the allocation
+	// below by the actual payload size.
+	if int(n) > len(d.b)-d.off {
+		return nil, fmt.Errorf("wire: batch count %d exceeds payload", n)
+	}
+	evs := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.u8("event kind")
+		if err != nil {
+			return nil, err
+		}
+		switch k {
+		case evEnter, evBranchTaken, evBranchNotTaken:
+			pc, err := d.uvarint("event pc")
+			if err != nil {
+				return nil, err
+			}
+			switch k {
+			case evEnter:
+				evs = append(evs, Event{Kind: EvEnter, PC: pc})
+			case evBranchTaken:
+				evs = append(evs, Event{Kind: EvBranch, PC: pc, Taken: true})
+			default:
+				evs = append(evs, Event{Kind: EvBranch, PC: pc})
+			}
+		case evLeave:
+			evs = append(evs, Event{Kind: EvLeave})
+		default:
+			return nil, fmt.Errorf("wire: unknown event kind %d", k)
+		}
+	}
+	return d.done(Batch{Events: evs})
+}
+
+func (d *decoder) alarm() (Frame, error) {
+	var a Alarm
+	var err error
+	if a.Seq, err = d.uvarint("alarm seq"); err != nil {
+		return nil, err
+	}
+	if a.PC, err = d.uvarint("alarm pc"); err != nil {
+		return nil, err
+	}
+	slot, err := d.uvarint("alarm slot")
+	if err != nil {
+		return nil, err
+	}
+	if slot > 1<<31 {
+		return nil, fmt.Errorf("wire: alarm slot %d out of range", slot)
+	}
+	a.Slot = uint32(slot)
+	if a.Expected, err = d.u8("alarm expected"); err != nil {
+		return nil, err
+	}
+	tk, err := d.u8("alarm taken")
+	if err != nil {
+		return nil, err
+	}
+	a.Taken = tk != 0
+	if a.Func, err = d.str("alarm func"); err != nil {
+		return nil, err
+	}
+	return d.done(a)
+}
+
+func (d *decoder) ack() (Frame, error) {
+	var a Ack
+	var err error
+	if a.Events, err = d.uvarint("ack events"); err != nil {
+		return nil, err
+	}
+	return d.done(a)
+}
+
+func (d *decoder) errorFrame() (Frame, error) {
+	var e Error
+	c, err := d.u8("error code")
+	if err != nil {
+		return nil, err
+	}
+	e.Code = ErrCode(c)
+	if e.Msg, err = d.str("error message"); err != nil {
+		return nil, err
+	}
+	return d.done(e)
+}
+
+// Reader decodes a stream of length-prefixed frames. The payload
+// buffer is reused between frames; decoded frames never alias it
+// (strings and event slices are copied out by Decode).
+//
+// Next is resumable: when a read fails with a temporary error — a
+// poked or expiring net deadline, typically — partial header/payload
+// progress is kept, and the following Next call continues the same
+// frame instead of desynchronising the stream. The server relies on
+// this to wake blocked readers during shutdown and still drain the
+// bytes a client had in flight.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+
+	hdr  [4]byte
+	hdrN int // header bytes read so far
+	need int // payload length once the header is complete (0 = no frame open)
+	got  int // payload bytes read so far
+}
+
+// NewReader wraps r in a buffered frame reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads and decodes one frame. It returns io.EOF on a clean
+// stream end between frames and io.ErrUnexpectedEOF on a stream that
+// dies inside a frame. After a timeout error, calling Next again
+// resumes the interrupted frame.
+func (r *Reader) Next() (Frame, error) {
+	for r.hdrN < 4 {
+		n, err := r.br.Read(r.hdr[r.hdrN:])
+		r.hdrN += n
+		if err != nil && r.hdrN < 4 {
+			if err == io.EOF && r.hdrN > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	if r.need == 0 {
+		n := binary.LittleEndian.Uint32(r.hdr[:])
+		if n == 0 {
+			return nil, fmt.Errorf("wire: zero-length frame")
+		}
+		if n > MaxFrame {
+			return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", n)
+		}
+		r.need = int(n)
+		r.got = 0
+		if cap(r.buf) < r.need {
+			r.buf = make([]byte, r.need)
+		}
+		r.buf = r.buf[:r.need]
+	}
+	for r.got < r.need {
+		n, err := r.br.Read(r.buf[r.got:])
+		r.got += n
+		if err != nil && r.got < r.need {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	r.hdrN, r.need, r.got = 0, 0, 0
+	return Decode(r.buf)
+}

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Canonical textual event form — the human-readable twin of the Batch
+// frame encoding, written by `ipdsrun -eventfile` and consumed by
+// `ipdsload -events-file`. One event per line:
+//
+//	enter 0x40       # function entry, hex code base
+//	branch 0x4a T    # committed branch, hex PC, T = taken
+//	branch 0x52 NT   # NT = not taken
+//	leave            # function return
+//
+// Blank lines and lines starting with '#' are ignored; a trailing
+// '#'-comment on an event line is not permitted (PCs are the only
+// variable-width field, keeping the grammar trivially regular). The
+// direction letters match the paper's (and tables.Status's) T/NT
+// shorthand. Text ↔ wire round trips are byte-exact both ways; the
+// golden test in text_test.go holds that.
+
+// Text renders one event in the canonical textual form (without a
+// trailing newline).
+func (e Event) Text() string {
+	switch e.Kind {
+	case EvEnter:
+		return fmt.Sprintf("enter %#x", e.PC)
+	case EvLeave:
+		return "leave"
+	case EvBranch:
+		dir := "NT"
+		if e.Taken {
+			dir = "T"
+		}
+		return fmt.Sprintf("branch %#x %s", e.PC, dir)
+	}
+	return fmt.Sprintf("?%d", e.Kind)
+}
+
+// ParseEventText parses one canonical event line (as produced by
+// Event.Text). Leading/trailing space is ignored.
+func ParseEventText(line string) (Event, error) {
+	fields := strings.Fields(line)
+	bad := func() (Event, error) {
+		return Event{}, fmt.Errorf("wire: bad event line %q", strings.TrimSpace(line))
+	}
+	if len(fields) == 0 {
+		return bad()
+	}
+	switch fields[0] {
+	case "leave":
+		if len(fields) != 1 {
+			return bad()
+		}
+		return Event{Kind: EvLeave}, nil
+	case "enter":
+		if len(fields) != 2 {
+			return bad()
+		}
+		pc, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return bad()
+		}
+		return Event{Kind: EvEnter, PC: pc}, nil
+	case "branch":
+		if len(fields) != 3 {
+			return bad()
+		}
+		pc, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return bad()
+		}
+		switch fields[2] {
+		case "T":
+			return Event{Kind: EvBranch, PC: pc, Taken: true}, nil
+		case "NT":
+			return Event{Kind: EvBranch, PC: pc}, nil
+		}
+		return bad()
+	}
+	return bad()
+}
+
+// WriteEventsText writes events in canonical text, one per line.
+func WriteEventsText(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range evs {
+		if _, err := bw.WriteString(e.Text()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEventsText parses a canonical text event stream, skipping blank
+// lines and '#' comment lines. Errors name the offending line number.
+func ReadEventsText(r io.Reader) ([]Event, error) {
+	var evs []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := ParseEventText(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}

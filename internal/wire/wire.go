@@ -1,0 +1,374 @@
+// Package wire defines the ipdsd remote-attestation protocol: the
+// compact length-prefixed binary frames a monitored process (or a
+// replaying client) streams to a verification daemon, and the alarm /
+// acknowledgement / error frames the daemon streams back.
+//
+// The protocol is deliberately minimal and one-directional per frame
+// kind: a session opens with a Hello that names the table image the
+// client was compiled against (by SHA-256 of the marshalled
+// tables.Image, so the daemon can resolve a shared image without
+// recompiling), the daemon answers with a HelloAck, and from then on
+// the client sends Batch frames of branch events (function enter/leave
+// plus committed conditional branches) while the daemon sends Alarm,
+// Ack and Error frames. A Bye frame from the client asks for a graceful
+// drain; the daemon replies with a final Ack and its own Bye once every
+// queued event has been verified and every queued alarm delivered.
+//
+// Framing: every frame is a little-endian uint32 payload length
+// followed by the payload; payload byte 0 is the FrameType. Integers
+// inside payloads are unsigned varints (binary.AppendUvarint), which
+// keeps batched branch events at ~3 bytes each for typical PCs.
+//
+// The package has no dependencies beyond the standard library and the
+// decoder is pure: hostile, truncated or oversized input yields an
+// error, never a panic and never an allocation proportional to an
+// attacker-controlled count (counts are validated against the bytes
+// actually present before any slice is sized). cmd/ipdsfuzz -wire and
+// FuzzDecode hammer exactly that contract.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Version is the protocol version carried in Hello/HelloAck. A daemon
+// refuses clients whose version it does not speak.
+const Version = 1
+
+// Wire limits. Decode enforces all three; Append* enforce them on the
+// encoding side so a conforming sender cannot produce a frame a
+// conforming receiver refuses.
+const (
+	// MaxFrame bounds one frame payload in bytes.
+	MaxFrame = 1 << 20
+	// MaxBatch bounds the events in one Batch frame.
+	MaxBatch = 1 << 16
+	// MaxString bounds program and function names.
+	MaxString = 1 << 10
+	// HashLen is the table-image content-hash length (SHA-256).
+	HashLen = 32
+)
+
+// FrameType discriminates frame payloads (payload byte 0).
+type FrameType uint8
+
+// Frame types. Zero is reserved so an all-zero payload is invalid.
+const (
+	TypeHello    FrameType = 1 // client → server: open session
+	TypeHelloAck FrameType = 2 // server → client: session accepted
+	TypeBatch    FrameType = 3 // client → server: branch events
+	TypeAlarm    FrameType = 4 // server → client: infeasible path
+	TypeAck      FrameType = 5 // server → client: events verified so far
+	TypeError    FrameType = 6 // server → client: refusal/eviction
+	TypeBye      FrameType = 7 // either direction: graceful close
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "helloack"
+	case TypeBatch:
+		return "batch"
+	case TypeAlarm:
+		return "alarm"
+	case TypeAck:
+		return "ack"
+	case TypeError:
+		return "error"
+	case TypeBye:
+		return "bye"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// EventKind discriminates branch-stream events.
+type EventKind uint8
+
+// Event kinds. On the wire the branch direction is folded into the
+// kind byte (see evBranchTaken / evBranchNotTaken) so a branch event
+// costs one byte of kind plus one varint of PC.
+const (
+	// EvEnter pushes the table frame of the function based at PC.
+	EvEnter EventKind = iota
+	// EvLeave pops the top table frame.
+	EvLeave
+	// EvBranch verifies one committed conditional branch at PC.
+	EvBranch
+)
+
+// String names the event kind ("enter", "leave", "branch").
+func (k EventKind) String() string {
+	switch k {
+	case EvEnter:
+		return "enter"
+	case EvLeave:
+		return "leave"
+	case EvBranch:
+		return "branch"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Wire encodings of one event's kind byte.
+const (
+	evEnter          = 0
+	evLeave          = 1
+	evBranchTaken    = 2
+	evBranchNotTaken = 3
+)
+
+// Event is one branch-stream occurrence: a function entry (PC = code
+// base), a function return, or a committed conditional branch
+// (PC = branch address, Taken = direction). This is the unit the
+// daemon feeds to ipds.Machine.EnterFunc/LeaveFunc/OnBranch.
+type Event struct {
+	Kind  EventKind
+	PC    uint64
+	Taken bool
+}
+
+// Frame is any decoded protocol frame.
+type Frame interface {
+	// Type returns the frame's wire type byte.
+	Type() FrameType
+}
+
+// Hello opens a session: the protocol version, the SHA-256 of the
+// marshalled table image the client's event stream must be verified
+// against, and a free-form program name for diagnostics.
+type Hello struct {
+	Version uint8
+	Image   [HashLen]byte
+	Program string
+}
+
+// Type returns TypeHello.
+func (Hello) Type() FrameType { return TypeHello }
+
+// HelloAck accepts a session: the version the server speaks and the
+// largest Batch it will accept.
+type HelloAck struct {
+	Version  uint8
+	MaxBatch uint32
+}
+
+// Type returns TypeHelloAck.
+func (HelloAck) Type() FrameType { return TypeHelloAck }
+
+// Batch carries up to MaxBatch branch-stream events.
+type Batch struct {
+	Events []Event
+}
+
+// Type returns TypeBatch.
+func (Batch) Type() FrameType { return TypeBatch }
+
+// Alarm reports one detected infeasible path, mirroring ipds.Alarm
+// field for field (Expected is the tables.Status value).
+type Alarm struct {
+	Seq      uint64 // branch-event sequence number within the session
+	PC       uint64
+	Func     string
+	Slot     uint32
+	Expected uint8
+	Taken    bool
+}
+
+// Type returns TypeAlarm.
+func (Alarm) Type() FrameType { return TypeAlarm }
+
+// Ack reports cumulative verification progress: the total number of
+// events (of any kind) the server has fully processed on this session.
+type Ack struct {
+	Events uint64
+}
+
+// Type returns TypeAck.
+func (Ack) Type() FrameType { return TypeAck }
+
+// ErrCode classifies an Error frame.
+type ErrCode uint8
+
+// Error codes.
+const (
+	// ErrProtocol: malformed or out-of-order frame.
+	ErrProtocol ErrCode = 1
+	// ErrBadVersion: the Hello version is not spoken here.
+	ErrBadVersion ErrCode = 2
+	// ErrUnknownImage: the Hello image hash resolves to no table image.
+	ErrUnknownImage ErrCode = 3
+	// ErrIdle: the session sat idle past the server deadline.
+	ErrIdle ErrCode = 4
+	// ErrDraining: the server is shutting down.
+	ErrDraining ErrCode = 5
+)
+
+// String names the error code.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrProtocol:
+		return "protocol"
+	case ErrBadVersion:
+		return "bad-version"
+	case ErrUnknownImage:
+		return "unknown-image"
+	case ErrIdle:
+		return "idle"
+	case ErrDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("err(%d)", uint8(c))
+}
+
+// Error is a server refusal or eviction notice. It is advisory: the
+// connection closes after the frame is delivered.
+type Error struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Type returns TypeError.
+func (Error) Type() FrameType { return TypeError }
+
+// Bye asks for (client → server) or announces (server → client) a
+// graceful close.
+type Bye struct{}
+
+// Type returns TypeBye.
+func (Bye) Type() FrameType { return TypeBye }
+
+// Append encodes f as one length-prefixed frame appended to dst. It
+// returns an error — leaving dst unusable — if the frame violates a
+// wire limit (batch too large, string too long).
+func Append(dst []byte, f Frame) ([]byte, error) {
+	// Reserve the length prefix, encode the payload, then patch the
+	// prefix in place.
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	var err error
+	switch fr := f.(type) {
+	case Hello:
+		dst, err = appendHello(dst, fr)
+	case HelloAck:
+		dst = append(dst, byte(TypeHelloAck), fr.Version)
+		dst = binary.AppendUvarint(dst, uint64(fr.MaxBatch))
+	case Batch:
+		dst, err = appendBatch(dst, fr)
+	case Alarm:
+		dst, err = appendAlarm(dst, fr)
+	case Ack:
+		dst = append(dst, byte(TypeAck))
+		dst = binary.AppendUvarint(dst, fr.Events)
+	case Error:
+		dst, err = appendError(dst, fr)
+	case Bye:
+		dst = append(dst, byte(TypeBye))
+	default:
+		err = fmt.Errorf("wire: cannot encode %T", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", payload)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payload))
+	return dst, nil
+}
+
+func appendHello(dst []byte, h Hello) ([]byte, error) {
+	if len(h.Program) > MaxString {
+		return nil, fmt.Errorf("wire: program name %d bytes exceeds MaxString", len(h.Program))
+	}
+	dst = append(dst, byte(TypeHello), h.Version)
+	dst = append(dst, h.Image[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Program)))
+	return append(dst, h.Program...), nil
+}
+
+func appendBatch(dst []byte, b Batch) ([]byte, error) {
+	if len(b.Events) > MaxBatch {
+		return nil, fmt.Errorf("wire: batch of %d events exceeds MaxBatch", len(b.Events))
+	}
+	dst = append(dst, byte(TypeBatch))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Events)))
+	for _, ev := range b.Events {
+		switch ev.Kind {
+		case EvEnter:
+			dst = append(dst, evEnter)
+			dst = binary.AppendUvarint(dst, ev.PC)
+		case EvLeave:
+			dst = append(dst, evLeave)
+		case EvBranch:
+			if ev.Taken {
+				dst = append(dst, evBranchTaken)
+			} else {
+				dst = append(dst, evBranchNotTaken)
+			}
+			dst = binary.AppendUvarint(dst, ev.PC)
+		default:
+			return nil, fmt.Errorf("wire: cannot encode event kind %d", ev.Kind)
+		}
+	}
+	return dst, nil
+}
+
+func appendAlarm(dst []byte, a Alarm) ([]byte, error) {
+	if len(a.Func) > MaxString {
+		return nil, fmt.Errorf("wire: func name %d bytes exceeds MaxString", len(a.Func))
+	}
+	dst = append(dst, byte(TypeAlarm))
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dst = binary.AppendUvarint(dst, a.PC)
+	dst = binary.AppendUvarint(dst, uint64(a.Slot))
+	dst = append(dst, a.Expected)
+	if a.Taken {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(a.Func)))
+	return append(dst, a.Func...), nil
+}
+
+func appendError(dst []byte, e Error) ([]byte, error) {
+	if len(e.Msg) > MaxString {
+		return nil, fmt.Errorf("wire: error message %d bytes exceeds MaxString", len(e.Msg))
+	}
+	dst = append(dst, byte(TypeError), byte(e.Code))
+	dst = binary.AppendUvarint(dst, uint64(len(e.Msg)))
+	return append(dst, e.Msg...), nil
+}
+
+// MustAppend is Append for frames known to respect the wire limits
+// (server-constructed acks, byes, bounded batches). It panics on an
+// encoding error, which for such frames means a programming bug.
+func MustAppend(dst []byte, f Frame) []byte {
+	out, err := Append(dst, f)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AppendBatches splits evs into Batch frames of at most max events
+// (max <= 0 or > MaxBatch selects MaxBatch) and appends them to dst.
+func AppendBatches(dst []byte, evs []Event, max int) []byte {
+	if max <= 0 || max > MaxBatch {
+		max = MaxBatch
+	}
+	for len(evs) > 0 {
+		n := len(evs)
+		if n > max {
+			n = max
+		}
+		dst = MustAppend(dst, Batch{Events: evs[:n]})
+		evs = evs[n:]
+	}
+	return dst
+}

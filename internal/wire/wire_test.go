@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleFrames covers every frame type with representative payloads.
+func sampleFrames() []Frame {
+	var img [HashLen]byte
+	for i := range img {
+		img[i] = byte(i * 7)
+	}
+	return []Frame{
+		Hello{Version: Version, Image: img, Program: "telnetd"},
+		Hello{Version: Version}, // empty program name
+		HelloAck{Version: Version, MaxBatch: MaxBatch},
+		Batch{Events: []Event{
+			{Kind: EvEnter, PC: 0x40},
+			{Kind: EvBranch, PC: 0x4a, Taken: true},
+			{Kind: EvBranch, PC: 0x52},
+			{Kind: EvLeave},
+		}},
+		Batch{}, // empty batch is legal
+		Alarm{Seq: 912, PC: 0x7fffffff12, Func: "handle_cmd", Slot: 13, Expected: 2, Taken: true},
+		Ack{Events: 1 << 40},
+		Error{Code: ErrUnknownImage, Msg: "no such image"},
+		Bye{},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		enc, err := Append(nil, f)
+		if err != nil {
+			t.Fatalf("Append(%v): %v", f.Type(), err)
+		}
+		got, err := Decode(enc[4:])
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", f.Type(), err)
+		}
+		want := f
+		if b, ok := want.(Batch); ok && b.Events == nil {
+			// Decode materialises an empty (non-nil) slice.
+			want = Batch{Events: []Event{}}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v: got %#v want %#v", f.Type(), got, want)
+		}
+	}
+}
+
+func TestReaderStream(t *testing.T) {
+	var buf []byte
+	frames := sampleFrames()
+	for _, f := range frames {
+		var err error
+		buf, err = Append(buf, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf))
+	for i, want := range frames {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("frame %d: got %v want %v", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("stream end: got %v want io.EOF", err)
+	}
+}
+
+func TestReaderMidFrameEOF(t *testing.T) {
+	enc, _ := Append(nil, Ack{Events: 7})
+	for cut := 1; cut < len(enc); cut++ {
+		r := NewReader(bytes.NewReader(enc[:cut]))
+		if _, err := r.Next(); err == nil {
+			t.Fatalf("cut at %d: expected error", cut)
+		}
+	}
+}
+
+func TestDecodeHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"unknown type":       {99},
+		"zero type":          {0},
+		"truncated hello":    {byte(TypeHello), Version, 1, 2, 3},
+		"batch count lies":   append([]byte{byte(TypeBatch)}, 0xff, 0xff, 0x3f), // huge count, no events
+		"batch bad kind":     {byte(TypeBatch), 1, 9},
+		"alarm no func":      {byte(TypeAlarm), 1, 2, 3, 0, 1, 5},
+		"trailing garbage":   {byte(TypeBye), 0},
+		"helloack big batch": append([]byte{byte(TypeHelloAck), Version}, 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"string too long":    append([]byte{byte(TypeError), 1}, 0xff, 0xff, 0x7f),
+	}
+	for name, payload := range cases {
+		if _, err := Decode(payload); err == nil {
+			t.Errorf("%s: Decode accepted hostile payload % x", name, payload)
+		}
+	}
+}
+
+// TestDecodeNoOverAllocate feeds a batch header whose count field
+// claims 2^16 events backed by no bytes; the decoder must refuse
+// before sizing any slice from the count.
+func TestDecodeNoOverAllocate(t *testing.T) {
+	payload := []byte{byte(TypeBatch), 0x80, 0x80, 0x04} // uvarint 65536
+	if _, err := Decode(payload); err == nil {
+		t.Fatal("decoder accepted batch count with no backing bytes")
+	}
+	if !testing.Short() {
+		allocs := testing.AllocsPerRun(100, func() {
+			Decode(payload)
+		})
+		if allocs > 4 { // the fmt.Errorf value, never a 64K event slice
+			t.Fatalf("hostile count cost %v allocs", allocs)
+		}
+	}
+}
+
+func TestAppendLimits(t *testing.T) {
+	if _, err := Append(nil, Batch{Events: make([]Event, MaxBatch+1)}); err == nil {
+		t.Error("Append accepted oversized batch")
+	}
+	if _, err := Append(nil, Error{Msg: strings.Repeat("x", MaxString+1)}); err == nil {
+		t.Error("Append accepted oversized message")
+	}
+	if _, err := Append(nil, Hello{Program: strings.Repeat("p", MaxString+1)}); err == nil {
+		t.Error("Append accepted oversized program name")
+	}
+}
+
+func TestAppendBatchesSplits(t *testing.T) {
+	evs := make([]Event, 2500)
+	for i := range evs {
+		evs[i] = Event{Kind: EvBranch, PC: uint64(i), Taken: i%2 == 0}
+	}
+	buf := AppendBatches(nil, evs, 1000)
+	r := NewReader(bytes.NewReader(buf))
+	var got []Event
+	var frames int
+	for {
+		f, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames++
+		got = append(got, f.(Batch).Events...)
+	}
+	if frames != 3 {
+		t.Fatalf("got %d frames, want 3", frames)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("split batches did not reassemble the event stream")
+	}
+}
+
+// TestDecodeRandomNeverPanics is the in-tree sibling of FuzzDecode:
+// random and randomly mutated valid frames must never panic the
+// decoder.
+func TestDecodeRandomNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	valid, _ := Append(nil, Batch{Events: []Event{
+		{Kind: EvEnter, PC: 0x40}, {Kind: EvBranch, PC: 0x44, Taken: true},
+	}})
+	for i := 0; i < 20000; i++ {
+		var payload []byte
+		if i%2 == 0 {
+			payload = make([]byte, rng.Intn(64))
+			rng.Read(payload)
+		} else {
+			payload = append([]byte(nil), valid[4:]...)
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				payload[rng.Intn(len(payload))] ^= byte(1 << rng.Intn(8))
+			}
+			if rng.Intn(2) == 0 && len(payload) > 1 {
+				payload = payload[:rng.Intn(len(payload))]
+			}
+		}
+		Decode(payload) // must not panic
+	}
+}

@@ -55,6 +55,17 @@ func All() []*Workload {
 	}
 }
 
+// Names lists the workload names in the paper's order, for CLI
+// help strings and iteration without building every program.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
 // ByName returns the named workload, or nil.
 func ByName(name string) *Workload {
 	for _, w := range All() {
