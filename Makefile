@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline
+.PHONY: build test vet race bench bench-kernel alloc-gate ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline
 
 build:
 	$(GO) build ./...
@@ -44,8 +44,18 @@ smoke-load:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Hot-path measurement: the verification kernel (per-event and batched)
+# and the full in-process serve loop, with allocation reporting.
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'BenchmarkOnBranch|BenchmarkOnBatch' -benchmem ./internal/ipds
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSession' -benchmem ./internal/server
+
+# Allocation-regression gate: kernel benchmarks must report 0 allocs/op.
+alloc-gate:
+	./scripts/checkallocs.sh
+
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel race-server smoke-load bench
+ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate
 
 # Observability-driven per-workload table + JSON baseline.
 report:
@@ -56,9 +66,14 @@ compile-baseline:
 	$(GO) run ./cmd/perfsim -compile -baseline BENCH_pr2.json
 
 # Serving-throughput baseline: events/sec at 1, 8 and 64 sessions
-# against an in-process daemon.
+# against an in-process daemon. Writes BENCH_pr4.json; the committed
+# BENCH_pr3.json (pre-zero-allocation serve loop) stays as the
+# comparison point. Runs are longer than the PR3 capture (200k/100k/20k
+# events per session) so the steady-state rate dominates dial and
+# warm-up; for an apples-to-apples check, the PR3 commit re-measured at
+# THESE settings serves 12.7M / 13.0M / 13.7M events/sec.
 serve-baseline:
-	rm -f BENCH_pr3.json
-	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 1 -events 200000 -tamper 97 -json BENCH_pr3.json
-	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 100000 -tamper 97 -json BENCH_pr3.json
-	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 20000 -tamper 97 -json BENCH_pr3.json
+	rm -f BENCH_pr4.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 1 -events 5000000 -tamper 97 -json BENCH_pr4.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -json BENCH_pr4.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -json BENCH_pr4.json

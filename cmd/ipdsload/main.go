@@ -17,7 +17,8 @@
 //
 //	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
 //	         [-sessions n] [-events n] [-batch n] [-tamper stride]
-//	         [-events-file in.events] [-json out.json] [file.mc]
+//	         [-events-file in.events] [-json out.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [file.mc]
 package main
 
 import (
@@ -28,6 +29,8 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/ipdsclient"
@@ -66,6 +69,8 @@ func main() {
 		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
 		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-session network timeout")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -137,6 +142,25 @@ func main() {
 		target = ln.Addr().String()
 	}
 
+	// Profiling brackets only the load run itself: compilation and trace
+	// capture above stay out of the profile so the hot-path picture is
+	// the serve loop, not the frontend.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	res := ipdsclient.RunLoad(ipdsclient.LoadConfig{
 		Addr:          target,
 		Image:         hash,
@@ -149,6 +173,23 @@ func main() {
 	})
 	for _, err := range res.Errors {
 		fmt.Fprintln(os.Stderr, "ipdsload:", err)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+			os.Exit(1)
+		}
+		// Flush pending allocation records so the profile reflects the
+		// whole run, then write the allocs view (total allocation sites,
+		// the right lens for a zero-allocation hot path).
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload: memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	fmt.Printf("-- %s: %d sessions, %d events (%d alarms) in %v\n",

@@ -74,6 +74,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "perfsim:", err)
 			os.Exit(1)
 		}
+		if *baseline != "" {
+			// Baseline files additionally carry the raw verification
+			// kernel's throughput (the serve stack's upper bound).
+			if ct.Kernel, err = experiments.KernelThroughput(); err != nil {
+				fmt.Fprintln(os.Stderr, "perfsim:", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Println()
 		fmt.Print(ct.Render())
 		if *baseline != "" {

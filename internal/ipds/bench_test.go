@@ -1,0 +1,211 @@
+package ipds
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// benchSrc is a branch-heavy guarded program: a loop whose body mixes
+// checked correlated branches (the `mode` pair), a BAT-killing
+// redefinition, and cross-call traffic, so the captured trace exercises
+// verify hits, BAT walks and enter/leave table-stack churn — the same
+// mix the daemon sees, not a synthetic best case.
+const benchSrc = `
+int mode;
+int acc;
+void bump() {
+	if (acc > 50) {
+		acc = acc - 1;
+	}
+}
+int main() {
+	int i;
+	mode = read_int();
+	acc = 0;
+	i = 0;
+	while (i < 64) {
+		if (mode == 1) {
+			acc = acc + 3;
+		}
+		bump();
+		if (mode == 1) {
+			acc = acc + 1;
+		}
+		if (acc > 100) {
+			mode = 2;
+		}
+		if (mode == 2) {
+			acc = acc + 2;
+		}
+		i = i + 1;
+	}
+	print_int(acc);
+	return 0;
+}`
+
+// benchTrace compiles benchSrc and captures its clean branch-event
+// stream (the wire form a daemon would receive).
+func benchTrace(tb testing.TB) (*world, []wire.Event) {
+	tb.Helper()
+	w := buildWorld(tb, benchSrc)
+	var evs []wire.Event
+	v := vm.New(w.prog, vm.DefaultConfig, []string{"1"})
+	v.AddHooks(vm.Hooks{
+		OnCall: func(fn *ir.Func) {
+			evs = append(evs, wire.Event{Kind: wire.EvEnter, PC: fn.Base})
+		},
+		OnRet: func(fn *ir.Func) {
+			evs = append(evs, wire.Event{Kind: wire.EvLeave})
+		},
+		OnBranch: func(br *ir.Instr, taken bool) {
+			evs = append(evs, wire.Event{Kind: wire.EvBranch, PC: br.PC, Taken: taken})
+		},
+	})
+	if res := v.Run(); res.Status != vm.Exited {
+		tb.Fatalf("trace program did not exit cleanly: %v", res.Status)
+	}
+	if len(evs) < 256 {
+		tb.Fatalf("trace too small to benchmark: %d events", len(evs))
+	}
+	return w, evs
+}
+
+// replayPerEvent drives evs through the per-event entry points.
+func replayPerEvent(m *Machine, evs []wire.Event) int {
+	alarms := 0
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case wire.EvBranch:
+			if a, _ := m.OnBranch(ev.PC, ev.Taken); a != nil {
+				alarms++
+			}
+		case wire.EvEnter:
+			m.EnterFunc(ev.PC)
+		case wire.EvLeave:
+			m.LeaveFunc()
+		}
+	}
+	return alarms
+}
+
+// BenchmarkOnBranch measures the per-event kernel: one OnBranch (or
+// enter/leave) call per trace event on a warmed machine.
+func BenchmarkOnBranch(b *testing.B) {
+	w, evs := benchTrace(b)
+	m := New(w.img, DefaultConfig)
+	replayPerEvent(m, evs) // warm the activation arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayPerEvent(m, evs)
+	}
+	b.StopTimer()
+	reportEventRate(b, len(evs))
+}
+
+// BenchmarkOnBatch measures the batched kernel over the same trace,
+// split into daemon-sized batches.
+func BenchmarkOnBatch(b *testing.B) {
+	w, evs := benchTrace(b)
+	const batch = 512
+	m := New(w.img, DefaultConfig)
+	m.OnBatch(evs) // warm arena + result buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rest := evs
+		for len(rest) > 0 {
+			n := batch
+			if n > len(rest) {
+				n = len(rest)
+			}
+			m.OnBatch(rest[:n])
+			rest = rest[n:]
+		}
+	}
+	b.StopTimer()
+	reportEventRate(b, len(evs))
+}
+
+func reportEventRate(b *testing.B, eventsPerIter int) {
+	total := float64(eventsPerIter) * float64(b.N)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(total/s, "events/s")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/event")
+}
+
+// TestOnBatchZeroAlloc is the hot-path allocation gate: after one
+// warming batch (arena + result-buffer growth), feeding the machine
+// further batches must perform zero heap allocations, alarms included.
+func TestOnBatchZeroAlloc(t *testing.T) {
+	w, evs := benchTrace(t)
+
+	// Clean stream: verify-and-update only.
+	m := New(w.img, DefaultConfig)
+	m.OnBatch(evs)
+	if allocs := testing.AllocsPerRun(10, func() { m.OnBatch(evs) }); allocs != 0 {
+		t.Errorf("clean OnBatch allocates %.1f per batch, want 0", allocs)
+	}
+
+	// Tampered stream: every alarm path (ring push, result append) must
+	// stay allocation-free too once the result buffer has grown.
+	bent := make([]wire.Event, len(evs))
+	copy(bent, evs)
+	flipped := 0
+	for i := range bent {
+		if bent[i].Kind == wire.EvBranch && i%7 == 0 {
+			bent[i].Taken = !bent[i].Taken
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("trace has no branches to tamper")
+	}
+	mt := New(w.img, DefaultConfig)
+	if alarms := mt.OnBatch(bent); len(alarms) == 0 {
+		t.Fatal("tampered batch raised no alarms; gate would not cover the alarm path")
+	}
+	if allocs := testing.AllocsPerRun(10, func() { mt.OnBatch(bent) }); allocs != 0 {
+		t.Errorf("alarming OnBatch allocates %.1f per batch, want 0", allocs)
+	}
+}
+
+// TestOnBatchMatchesPerEvent holds the batched kernel to the per-event
+// one: same alarms (sequence, site, verdict), same stats, same final
+// stack state, clean and tampered.
+func TestOnBatchMatchesPerEvent(t *testing.T) {
+	w, evs := benchTrace(t)
+	bent := make([]wire.Event, len(evs))
+	copy(bent, evs)
+	for i := range bent {
+		if bent[i].Kind == wire.EvBranch && i%11 == 0 {
+			bent[i].Taken = !bent[i].Taken
+		}
+	}
+	for name, trace := range map[string][]wire.Event{"clean": evs, "tampered": bent} {
+		ref := New(w.img, DefaultConfig)
+		replayPerEvent(ref, trace)
+		got := New(w.img, DefaultConfig)
+		got.OnBatch(trace)
+		if ref.Stats() != got.Stats() {
+			t.Errorf("%s: stats diverge:\n per-event %+v\n batched   %+v", name, ref.Stats(), got.Stats())
+		}
+		ra, ga := ref.Alarms(), got.Alarms()
+		if len(ra) != len(ga) {
+			t.Fatalf("%s: alarm count %d (batched) != %d (per-event)", name, len(ga), len(ra))
+		}
+		for i := range ra {
+			if ra[i] != ga[i] {
+				t.Errorf("%s: alarm %d diverges: %+v vs %+v", name, i, ga[i], ra[i])
+			}
+		}
+		if ref.Depth() != got.Depth() {
+			t.Errorf("%s: depth %d != %d", name, got.Depth(), ref.Depth())
+		}
+	}
+}

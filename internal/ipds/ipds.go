@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/tables"
+	"repro/internal/wire"
 )
 
 // Config sizes the on-chip table buffers, in bits (Table 1 defaults).
@@ -83,6 +84,13 @@ type Stats struct {
 	StrictRejects uint64
 }
 
+// activation is one table-stack frame. Frames are stored by value in
+// the machine's stack slice, which doubles as an arena: popping a
+// frame truncates the slice but leaves the frame's bsv slice parked in
+// the unused capacity, so the next push at that depth reuses it
+// (re-zeroed) instead of allocating. Steady-state enter/leave traffic
+// therefore allocates only while the stack or a frame's slot count
+// grows past its high-water mark.
 type activation struct {
 	img *tables.FuncImage
 	bsv []tables.Status
@@ -107,7 +115,7 @@ func (a *activation) bits() (bsv, bcv, bat int) {
 type Machine struct {
 	img   *tables.Image
 	cfg   Config
-	stack []*activation
+	stack []activation // value arena; see activation
 
 	// resident marks the lowest stack index currently on-chip; frames
 	// below it are spilled to their home location.
@@ -115,6 +123,10 @@ type Machine struct {
 	bsvBits  int // on-chip bits across resident frames
 	bcvBits  int
 	batBits  int
+
+	// batchAlarms is the machine-owned result buffer OnBatch returns a
+	// view of; reused (truncated, never freed) across batches.
+	batchAlarms []Alarm
 
 	alarms *alarmRing
 	sink   EventSink
@@ -133,12 +145,14 @@ func New(img *tables.Image, cfg Config) *Machine {
 	}
 }
 
-// Reset clears all state, keeping the image, configuration and any
-// attached sink or registry instrumentation.
+// Reset clears all state, keeping the image, configuration, any
+// attached sink or registry instrumentation, and the warmed activation
+// arena (so a reused machine stays allocation-free).
 func (m *Machine) Reset() {
 	m.stack = m.stack[:0]
 	m.resident = 0
 	m.bsvBits, m.bcvBits, m.batBits = 0, 0, 0
+	m.batchAlarms = m.batchAlarms[:0]
 	m.alarms.reset()
 	m.stats = Stats{}
 	m.seq = 0
@@ -148,14 +162,32 @@ func (m *Machine) Reset() {
 // EnterFunc pushes the table frame for the function whose code starts
 // at base. Unknown functions (library code without tables) push an
 // inert frame, matching the paper's unprotected-library behaviour.
+//
+// The frame comes from the arena: a slot parked in the stack slice's
+// spare capacity is recycled when one fits, so a warmed machine pushes
+// without allocating.
 func (m *Machine) EnterFunc(base uint64) {
 	m.stats.Pushes++
 	m.met.pushes.Inc()
-	act := &activation{img: m.img.ByBase[base]}
-	if act.img != nil {
-		act.bsv = make([]tables.Status, act.img.NumSlots)
+	img := m.img.FuncAt(base)
+	n := len(m.stack)
+	if n < cap(m.stack) {
+		m.stack = m.stack[:n+1]
+	} else {
+		m.stack = append(m.stack, activation{})
 	}
-	m.stack = append(m.stack, act)
+	act := &m.stack[n]
+	act.img = img
+	if img != nil {
+		if cap(act.bsv) >= img.NumSlots {
+			act.bsv = act.bsv[:img.NumSlots]
+			clear(act.bsv)
+		} else {
+			act.bsv = make([]tables.Status, img.NumSlots)
+		}
+	} else {
+		act.bsv = act.bsv[:0]
+	}
 	b1, b2, b3 := act.bits()
 	m.bsvBits += b1
 	m.bcvBits += b2
@@ -165,14 +197,16 @@ func (m *Machine) EnterFunc(base uint64) {
 	m.syncGauges()
 }
 
-// LeaveFunc pops the top table frame.
+// LeaveFunc pops the top table frame. The frame's storage stays parked
+// in the arena for the next push at this depth.
 func (m *Machine) LeaveFunc() {
 	if len(m.stack) == 0 {
 		return
 	}
 	m.stats.Pops++
 	m.met.pops.Inc()
-	top := m.stack[len(m.stack)-1]
+	top := &m.stack[len(m.stack)-1]
+	b1, b2, b3 := top.bits()
 	m.stack = m.stack[:len(m.stack)-1]
 	if len(m.stack) < m.resident {
 		// The popped frame was itself spilled (cannot happen with the
@@ -182,7 +216,6 @@ func (m *Machine) LeaveFunc() {
 		m.syncGauges()
 		return
 	}
-	b1, b2, b3 := top.bits()
 	m.bsvBits -= b1
 	m.bcvBits -= b2
 	m.batBits -= b3
@@ -232,48 +265,52 @@ func (m *Machine) fillTop() {
 	m.spillToFit()
 }
 
-// OnBranch processes one committed conditional branch. It returns the
-// alarm raised (nil if the path is consistent) and the number of table
-// accesses the event cost (BSV/BCV probe plus BAT list walk), which the
-// CPU model converts into request-queue occupancy.
-func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
+// branch is the verification kernel shared by OnBranch and OnBatch: it
+// verifies one committed conditional branch and applies its BAT update
+// actions, returning everything by value so the hot path allocates
+// nothing — the BAT walk goes through tables.BATIter (a stack cursor,
+// no func value) and the alarm, when one fires, is copied into the
+// bounded ring rather than boxed.
+func (m *Machine) branch(pc uint64, taken bool) (alarm Alarm, fired bool, cost int) {
 	m.seq++
 	m.stats.Branches++
 	m.met.branches.Inc()
 	if len(m.stack) == 0 {
-		return nil, 1
+		return Alarm{}, false, 1
 	}
-	act := m.stack[len(m.stack)-1]
-	if act.img == nil {
-		return nil, 1
-	}
+	act := &m.stack[len(m.stack)-1]
 	img := act.img
+	if img == nil {
+		return Alarm{}, false, 1
+	}
 	if m.cfg.Strict && !img.ValidPC(pc) {
 		// The masked hash would alias this PC onto another branch's
 		// slot; refuse it instead of risking a bogus verify or update.
 		m.stats.StrictRejects++
 		m.met.strictRejects.Inc()
-		return nil, 1
+		return Alarm{}, false, 1
 	}
 	slot := img.Slot(pc)
-	cost := 1 // BCV + BSV probe (single wide access)
+	cost = 1 // BCV + BSV probe (single wide access)
 
-	var alarm *Alarm
 	if img.Checked(slot) {
 		m.stats.Verified++
 		m.met.verified.Inc()
 		if st := act.bsv[slot]; !st.Matches(taken) {
-			alarm = &Alarm{
+			alarm = Alarm{
 				Seq: m.seq, PC: pc, Func: img.Name, Slot: slot,
 				Expected: st, Taken: taken,
 			}
-			m.pushAlarm(*alarm)
+			fired = true
+			m.pushAlarm(alarm)
 		}
 	}
 
 	// Update phase: apply the BAT actions for this (branch, direction)
 	// event whether or not the branch is checked.
-	walked := img.Actions(slot, taken, func(e tables.BATEntry) {
+	walked := 0
+	it := img.ActionList(slot, taken)
+	for e, ok := it.Next(); ok; e, ok = it.Next() {
 		switch e.Act {
 		case core.SetTaken:
 			act.bsv[e.Target] = tables.Taken
@@ -282,20 +319,67 @@ func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
 		default:
 			act.bsv[e.Target] = tables.Unknown
 		}
-		m.stats.Updates++
-	})
+		walked++
+	}
+	m.stats.Updates += uint64(walked)
 	m.stats.BATAccesses += uint64(walked)
 	if mm := m.met; mm != nil {
-		mm.updates.Add(m.stats.Updates - mm.lastUpdates)
-		mm.lastUpdates = m.stats.Updates
+		mm.updates.Add(uint64(walked))
 		mm.batAccesses.Add(uint64(walked))
 		mm.batWalk.Observe(uint64(walked))
 	}
 	cost += walked
-	return alarm, cost
+	return alarm, fired, cost
 }
 
-// pushAlarm records an alarm in the bounded ring and publishes it.
+// OnBranch processes one committed conditional branch. It returns the
+// alarm raised (nil if the path is consistent) and the number of table
+// accesses the event cost (BSV/BCV probe plus BAT list walk), which the
+// CPU model converts into request-queue occupancy.
+func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
+	a, fired, cost := m.branch(pc, taken)
+	if !fired {
+		return nil, cost
+	}
+	boxed := a
+	return &boxed, cost
+}
+
+// OnBatch drives a whole decoded event batch — function entries,
+// returns and committed branches, in stream order — through the
+// machine in one tight loop and returns the alarms the batch raised.
+//
+// This is the daemon's hot path: it is behaviourally identical to
+// calling EnterFunc/LeaveFunc/OnBranch per event (same alarms, same
+// Stats, same table-stack state — the golden equivalence test in
+// internal/server holds all three paths to that), but it performs zero
+// heap allocations per event on a warmed machine.
+//
+// The returned slice is owned by the machine and valid only until the
+// next OnBatch or Reset call; callers that retain alarms must copy
+// them out before feeding the next batch.
+func (m *Machine) OnBatch(evs []wire.Event) []Alarm {
+	m.batchAlarms = m.batchAlarms[:0]
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case wire.EvBranch:
+			if a, fired, _ := m.branch(ev.PC, ev.Taken); fired {
+				m.batchAlarms = append(m.batchAlarms, a)
+			}
+		case wire.EvEnter:
+			m.EnterFunc(ev.PC)
+		case wire.EvLeave:
+			m.LeaveFunc()
+		}
+	}
+	return m.batchAlarms
+}
+
+// pushAlarm records an alarm in the bounded ring and publishes it. The
+// event-stream copy is only materialised when a sink is attached, so
+// the alarmless fast path and the sinkless serving path never box an
+// alarm onto the heap.
 func (m *Machine) pushAlarm(a Alarm) {
 	before := m.alarms.dropped
 	m.alarms.push(a)
@@ -305,7 +389,10 @@ func (m *Machine) pushAlarm(a Alarm) {
 		m.stats.AlarmsDropped++
 		m.met.alarmsDropped.Inc()
 	}
-	m.emit(Event{Kind: EvAlarm, Seq: a.Seq, Depth: len(m.stack), Alarm: &a})
+	if m.sink != nil {
+		boxed := a
+		m.sink.Emit(Event{Kind: EvAlarm, Seq: a.Seq, Depth: len(m.stack), Alarm: &boxed})
+	}
 }
 
 // Status returns the current expectation for a branch PC in the active

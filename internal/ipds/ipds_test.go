@@ -17,7 +17,7 @@ type world struct {
 	img  *tables.Image
 }
 
-func buildWorld(t *testing.T, src string) *world {
+func buildWorld(t testing.TB, src string) *world {
 	t.Helper()
 	mp, err := minic.Compile(src)
 	if err != nil {

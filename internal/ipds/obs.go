@@ -24,12 +24,11 @@ type machineMetrics struct {
 
 	batWalk *obs.Histogram // BAT list nodes walked per branch event
 
-	depth       *obs.Gauge // table-stack depth
-	resident    *obs.Gauge // lowest on-chip frame index
-	onchipBSV   *obs.Gauge // resident BSV bits
-	onchipBCV   *obs.Gauge
-	onchipBAT   *obs.Gauge
-	lastUpdates uint64 // delta tracking for the updates counter
+	depth     *obs.Gauge // table-stack depth
+	resident  *obs.Gauge // lowest on-chip frame index
+	onchipBSV *obs.Gauge // resident BSV bits
+	onchipBCV *obs.Gauge
+	onchipBAT *obs.Gauge
 }
 
 // Instrument attaches the machine to a metrics registry; every counter

@@ -221,7 +221,7 @@ func isBranchPC(fi *tables.FuncImage, pc uint64) bool {
 // syntheticImage builds an image of n same-shaped functions whose table
 // frames are big enough to force spill traffic against small buffers.
 func syntheticImage(n, frameBits int) (*tables.Image, []uint64) {
-	im := &tables.Image{ByBase: map[uint64]*tables.FuncImage{}}
+	im := &tables.Image{}
 	var bases []uint64
 	for i := 0; i < n; i++ {
 		base := uint64(0x1000 * (i + 1))
@@ -239,9 +239,9 @@ func syntheticImage(n, frameBits int) (*tables.Image, []uint64) {
 			fi.BATHeads[j] = [2]int32{-1, -1}
 		}
 		im.Funcs = append(im.Funcs, fi)
-		im.ByBase[base] = fi
 		bases = append(bases, base)
 	}
+	im.Index()
 	return im, bases
 }
 

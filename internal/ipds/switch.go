@@ -15,7 +15,7 @@ import "repro/internal/tables"
 // run different programs).
 type ProcessState struct {
 	img      *tables.Image
-	stack    []*activation
+	stack    []activation
 	resident int
 	bsvBits  int
 	bcvBits  int
@@ -59,6 +59,10 @@ func (ps *ProcessState) Alarms() []Alarm { return ps.alarms.all() }
 // Suspend captures the machine's per-process state and resets the
 // machine for the next process. The returned state resumes exactly
 // where it left off.
+//
+// The suspended state takes the activation arena with it (stack
+// truncation must not share backing storage across processes), so the
+// machine warms a fresh arena for the next process.
 func (m *Machine) Suspend() *ProcessState {
 	ps := &ProcessState{
 		img:      m.img,

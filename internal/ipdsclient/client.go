@@ -100,6 +100,15 @@ func Dial(cfg Config) (*Client, error) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	return DialConn(conn, cfg)
+}
+
+// DialConn performs the handshake and starts the reader over an
+// already-established connection — net.Pipe in in-process benchmarks,
+// a TCP conn in Dial. Ownership of conn passes to the client, which
+// closes it on any handshake failure.
+func DialConn(conn net.Conn, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
 	c := &Client{
 		cfg:     cfg,
 		conn:    conn,
@@ -255,6 +264,34 @@ func (c *Client) flushN(n int) error {
 	return nil
 }
 
+// SendEncoded ships pre-encoded Batch frames — typically built once
+// with wire.AppendBatches and replayed many times by a load generator,
+// so the per-replay client cost is one socket write instead of
+// re-encoding every event. events and branches must describe the
+// frames' contents (total events, total branch events); they feed the
+// same ack/alarm latency marks Send maintains, with one mark covering
+// the whole block. Events buffered by Send are flushed first so stream
+// order is preserved.
+func (c *Client) SendEncoded(frames []byte, events, branches uint64) error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	if len(frames) == 0 || events == 0 {
+		return nil
+	}
+	c.sent += events
+	c.branches += branches
+	mark := batchMark{events: c.sent, branchHi: c.branches, sent: time.Now()}
+	c.mu.Lock()
+	c.marks = append(c.marks, mark)
+	c.mu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	if _, err := c.conn.Write(frames); err != nil {
+		return fmt.Errorf("ipdsclient: %w", err)
+	}
+	return nil
+}
+
 // Drain flushes, sends Bye, and waits until the server has verified
 // everything and said Bye back (or the timeout expires). The client's
 // alarm set is complete once Drain returns nil.
@@ -270,15 +307,20 @@ func (c *Client) Drain() error {
 	select {
 	case <-c.sawBye:
 	case <-c.readerD:
-		// Reader died before Bye: surface the server error if one
-		// arrived, else the transport error.
-		if e := c.ServerError(); e != nil {
-			return fmt.Errorf("ipdsclient: session ended: %s: %s", e.Code, e.Msg)
+		// The reader closes sawBye and then readerD when a Bye lands, so
+		// both can be ready at once and the select may pick either; only
+		// a retired reader that never saw Bye is a failure.
+		select {
+		case <-c.sawBye:
+		default:
+			if e := c.ServerError(); e != nil {
+				return fmt.Errorf("ipdsclient: session ended: %s: %s", e.Code, e.Msg)
+			}
+			c.mu.Lock()
+			err := c.readerErr
+			c.mu.Unlock()
+			return fmt.Errorf("ipdsclient: session ended: %w", err)
 		}
-		c.mu.Lock()
-		err := c.readerErr
-		c.mu.Unlock()
-		return fmt.Errorf("ipdsclient: session ended: %w", err)
 	case <-time.After(c.cfg.Timeout):
 		return fmt.Errorf("ipdsclient: drain timed out after %v", c.cfg.Timeout)
 	}
@@ -318,6 +360,10 @@ func (c *Client) Acked() uint64 {
 
 // Sent returns the events flushed to the server so far.
 func (c *Client) Sent() uint64 { return c.sent }
+
+// Batch returns the session's events-per-frame limit after HelloAck
+// negotiation (the configured batch, lowered to the server's MaxBatch).
+func (c *Client) Batch() int { return c.cfg.Batch }
 
 // ServerError returns the last Error frame received, if any.
 func (c *Client) ServerError() *wire.Error {

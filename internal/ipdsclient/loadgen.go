@@ -75,6 +75,46 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		alarmLat []time.Duration
 		errs     []error
 	)
+
+	// Pre-encode the trace into one block of Batch frames, shared
+	// read-only by every session. Replaying the block costs one socket
+	// write instead of re-encoding the same events each pass, so the
+	// generator's CPU measures the daemon rather than its own encoder —
+	// which matters most when client and daemon share cores. The event
+	// sequence is byte-for-byte the sequence Send would produce; only
+	// frame boundaries differ (the machine carries state across frames,
+	// so alarms are identical).
+	batch := cfg.Batch
+	if batch <= 0 || batch > wire.MaxBatch {
+		batch = 512
+	}
+	var (
+		block         []byte
+		blockEvents   int
+		blockBranches uint64
+	)
+	if len(cfg.Trace) > 0 {
+		const targetBlock = 16384 // events per block: enough to amortize per-write marks
+		reps := targetBlock / len(cfg.Trace)
+		if c := cfg.EventsPerConn / len(cfg.Trace); c >= 1 && c < reps {
+			reps = c // keep the overshoot past EventsPerConn bounded
+		}
+		if reps < 1 {
+			reps = 1
+		}
+		evs := make([]wire.Event, 0, reps*len(cfg.Trace))
+		for i := 0; i < reps; i++ {
+			evs = append(evs, cfg.Trace...)
+		}
+		block = wire.AppendBatches(nil, evs, batch)
+		blockEvents = len(evs)
+		for _, ev := range evs {
+			if ev.Kind == wire.EvBranch {
+				blockBranches++
+			}
+		}
+	}
+
 	start := time.Now()
 	for i := 0; i < cfg.Sessions; i++ {
 		wg.Add(1)
@@ -94,15 +134,26 @@ func RunLoad(cfg LoadConfig) LoadResult {
 				return
 			}
 			defer c.Close()
+			// The pre-encoded block requires the negotiated per-frame
+			// limit to cover the batch size it was built with; a daemon
+			// advertising a smaller MaxBatch gets the re-encoding path.
+			useBlock := len(block) > 0 && c.Batch() >= batch
 			sent := 0
 			for sent < cfg.EventsPerConn && len(cfg.Trace) > 0 {
-				if err := c.Send(cfg.Trace...); err != nil {
+				var err error
+				if useBlock {
+					err = c.SendEncoded(block, uint64(blockEvents), blockBranches)
+					sent += blockEvents
+				} else {
+					err = c.Send(cfg.Trace...)
+					sent += len(cfg.Trace)
+				}
+				if err != nil {
 					mu.Lock()
 					errs = append(errs, fmt.Errorf("session %d: %w", id, err))
 					mu.Unlock()
 					return
 				}
-				sent += len(cfg.Trace)
 			}
 			if err := c.Drain(); err != nil {
 				mu.Lock()

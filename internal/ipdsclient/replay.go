@@ -55,6 +55,28 @@ func Tamper(evs []wire.Event, stride int) []wire.Event {
 	return out
 }
 
+// ReplayLocalBatched feeds a trace through the machine's batched kernel
+// (ipds.Machine.OnBatch) in batches of the given size (<= 0 means
+// wire.MaxBatch), copying each batch's alarms out of the machine-owned
+// result buffer. It must produce the same alarms, in the same order, as
+// ReplayLocal over the same trace — the golden equivalence test in
+// internal/server holds both (and the remote daemon) to that.
+func ReplayLocalBatched(m *ipds.Machine, evs []wire.Event, batch int) []ipds.Alarm {
+	if batch <= 0 {
+		batch = wire.MaxBatch
+	}
+	var out []ipds.Alarm
+	for len(evs) > 0 {
+		n := batch
+		if n > len(evs) {
+			n = len(evs)
+		}
+		out = append(out, m.OnBatch(evs[:n])...)
+		evs = evs[n:]
+	}
+	return out
+}
+
 // ReplayLocal feeds a trace to an in-process ipds.Machine and returns
 // every alarm raised, in order. This is the reference the remote path
 // must match byte for byte: the daemon runs the same machine over the

@@ -145,12 +145,12 @@ func CompileWith(src string, opts ir.Options, cfg Config, tr *obs.Tracer) (*Arti
 
 	stop = tr.Span("compile/tables")
 	res := &core.Result{Prog: prog, Alias: al, Tables: map[*ir.Func]*core.FuncTables{}}
-	img := &tables.Image{ByBase: map[uint64]*tables.FuncImage{}}
+	img := &tables.Image{}
 	for i, fn := range prog.Funcs {
 		res.Tables[fn] = funcs[i].ft
 		img.Funcs = append(img.Funcs, funcs[i].fi)
-		img.ByBase[funcs[i].fi.Base] = funcs[i].fi
 	}
+	img.Index()
 	stop()
 	return &Artifacts{Source: mp, Prog: prog, Alias: al, Tables: res, Image: img}, nil
 }

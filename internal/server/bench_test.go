@@ -1,0 +1,125 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ipdsclient"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// pipeListener adapts net.Pipe to net.Listener so the daemon can be
+// benchmarked fully in-process: no TCP stack, no loopback syscalls —
+// what remains is decode, verify and encode, which is exactly the
+// serve-loop cost the zero-allocation work targets.
+type pipeListener struct {
+	conns chan net.Conn
+	once  sync.Once
+	done  chan struct{}
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr {
+	return &net.UnixAddr{Name: "pipe", Net: "pipe"}
+}
+
+// dialPipe opens an in-process session against the served listener.
+func dialPipe(tb testing.TB, l *pipeListener, hash [32]byte, batch int) *ipdsclient.Client {
+	tb.Helper()
+	cc, sc := net.Pipe()
+	select {
+	case l.conns <- sc:
+	case <-time.After(5 * time.Second):
+		tb.Fatal("server never accepted the pipe")
+	}
+	c, err := ipdsclient.DialConn(cc, ipdsclient.Config{
+		Image: hash, Program: "bench", Batch: batch,
+	})
+	if err != nil {
+		tb.Fatalf("handshake: %v", err)
+	}
+	return c
+}
+
+// BenchmarkServeSession measures steady-state daemon throughput for one
+// session over an in-process pipe: a captured telnetd trace, replayed
+// b.N times through the full client→wire→decode→OnBatch→ack path.
+func BenchmarkServeSession(b *testing.B) {
+	w := workload.ByName("telnetd")
+	if w == nil {
+		b.Fatal("telnetd workload missing")
+	}
+	art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	trace := ipdsclient.Capture(art, w.Sessions()[0])
+	if len(trace) == 0 {
+		b.Fatal("empty trace")
+	}
+
+	store := server.NewImageStore(nil)
+	hash := store.Add("telnetd", art.Image)
+	srv := server.New(store, server.Config{})
+	ln := newPipeListener()
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	c := dialPipe(b, ln, hash, wire.MaxBatch)
+	defer c.Close()
+	// Warm the session: pools, arena, reader buffers.
+	if err := c.Send(trace...); err != nil {
+		b.Fatalf("warm send: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatalf("warm flush: %v", err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(trace...); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatalf("flush: %v", err)
+	}
+	if err := c.Drain(); err != nil {
+		b.Fatalf("drain: %v", err)
+	}
+	b.StopTimer()
+	total := float64(len(trace)) * float64(b.N)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(total/s, "events/s")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/event")
+}

@@ -105,10 +105,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// task is one decoded batch bound for a session's verifier shard.
+// task is one decoded batch bound for a session's verifier shard. The
+// batch is pool-owned: the reader leases it from Server.batchPool,
+// ownership rides the task through the shard queue, and the verifier
+// returns it once OnBatch has consumed the events.
 type task struct {
-	s   *session
-	evs []wire.Event
+	s *session
+	b *wire.Batch
+}
+
+// frameBuf is one pooled outbound encoding: one frame, or several
+// concatenated frames (a batch's alarms and its ack travel as one
+// buffer — the stream is self-delimiting, so receivers cannot tell the
+// difference, and the verifier pays one queue operation per batch
+// instead of one per alarm). Ownership rule: the encoder leases it, the
+// session's writer goroutine is the only party that may release it, and
+// only once the writer is done with the bytes — after copying them into
+// its coalesced write buffer (or discarding them) — never while the
+// frame is still queued, or a reuse would corrupt bytes in flight.
+type frameBuf struct {
+	b []byte
 }
 
 // Server hosts verifier sessions. Create with New, feed with Serve (or
@@ -118,6 +134,14 @@ type Server struct {
 	cfg   Config
 	store *ImageStore
 	met   metrics
+
+	// batchPool recycles decoded event batches between the per-conn
+	// readers and the verifier pool; bufPool recycles outbound frame
+	// encodings between verifiers/readers and the per-conn writers.
+	// Together they make the steady-state serve loop allocation-free
+	// per event.
+	batchPool sync.Pool
+	bufPool   sync.Pool
 
 	shards   []chan task
 	workerWG sync.WaitGroup
@@ -140,6 +164,8 @@ func New(store *ImageStore, cfg Config) *Server {
 		store:    store,
 		sessions: map[uint64]*session{},
 	}
+	s.batchPool.New = func() any { return &wire.Batch{} }
+	s.bufPool.New = func() any { return &frameBuf{} }
 	s.met = newMetrics(s.cfg.Reg)
 	s.shards = make([]chan task, s.cfg.Verifiers)
 	for i := range s.shards {
@@ -330,7 +356,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn:    conn,
 		rd:      rd,
 		m:       ipds.New(img, s.cfg.IPDS),
-		out:     make(chan []byte, s.cfg.AlarmQueue),
+		out:     make(chan *frameBuf, s.cfg.AlarmQueue),
 		program: hello.Program,
 	}
 	if !s.register(ss) {
@@ -364,33 +390,41 @@ func (s *Server) verifyLoop(ch chan task) {
 	}
 }
 
-// verifyBatch feeds one batch through the session's machine, streaming
-// alarms out as they fire and acknowledging the batch.
+// verifyBatch feeds one batch through the session's machine via the
+// zero-allocation OnBatch kernel, streams the raised alarms out through
+// pooled encode buffers, acknowledges the batch, and returns the batch
+// to the pool.
 func (s *Server) verifyBatch(t task) {
 	ss := t.s
+	n := len(t.b.Events)
 	start := time.Now()
-	for _, ev := range t.evs {
-		switch ev.Kind {
-		case wire.EvEnter:
-			ss.m.EnterFunc(ev.PC)
-		case wire.EvLeave:
-			ss.m.LeaveFunc()
-		case wire.EvBranch:
-			if a, _ := ss.m.OnBranch(ev.PC, ev.Taken); a != nil {
-				s.met.alarmsTotal.Inc()
-				ss.send(wire.MustAppend(nil, alarmFrame(a)))
-			}
+	// The returned alarm slice is machine-owned and valid until the
+	// machine's next batch; this shard is the machine's only driver, so
+	// encoding the alarms here, before releasing the batch, is safe.
+	alarms := ss.m.OnBatch(t.b.Events)
+	// The batch's alarms and its ack ride one pooled buffer: one queue
+	// operation and (after writer coalescing) one socket write per
+	// batch, however many alarms it raised.
+	fb := s.bufPool.Get().(*frameBuf)
+	fb.b = fb.b[:0]
+	for i := range alarms {
+		s.met.alarmsTotal.Inc()
+		var err error
+		if fb.b, err = wire.AppendAlarm(fb.b, alarmFrame(&alarms[i])); err != nil {
+			panic(err) // alarmFrame clamps Func; unreachable absent a bug
 		}
 	}
+	s.batchPool.Put(t.b)
 	s.met.verifyNs.Observe(uint64(time.Since(start).Nanoseconds()))
-	s.met.eventsTotal.Add(uint64(len(t.evs)))
+	s.met.eventsTotal.Add(uint64(n))
 	s.met.batchesTotal.Inc()
-	s.met.batchLen.Observe(uint64(len(t.evs)))
+	s.met.batchLen.Observe(uint64(n))
 	// Order matters: the ack must be queued before the task is marked
 	// done, or a concurrent reader-side maybeFinish could close the
 	// outbound queue under us.
-	done := ss.addEvents(uint64(len(t.evs)))
-	ss.send(wire.MustAppend(nil, wire.Ack{Events: done}))
+	done := ss.addEvents(uint64(n))
+	fb.b = wire.AppendAck(fb.b, wire.Ack{Events: done})
+	ss.send(fb)
 	ss.taskDone()
 }
 

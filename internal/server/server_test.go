@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"net"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -75,6 +76,12 @@ func startWorld(t *testing.T, cfg server.Config) *testWorld {
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
+	return startWorldWith(t, art, "guard", cfg)
+}
+
+// startWorldWith serves an already-compiled artifact set.
+func startWorldWith(t *testing.T, art *pipeline.Artifacts, name string, cfg server.Config) *testWorld {
+	t.Helper()
 	reg := obs.NewRegistry()
 	if cfg.Reg == nil {
 		cfg.Reg = reg
@@ -82,7 +89,7 @@ func startWorld(t *testing.T, cfg server.Config) *testWorld {
 		reg = cfg.Reg
 	}
 	store := server.NewImageStore(nil)
-	hash := store.Add("guard", art.Image)
+	hash := store.Add(name, art.Image)
 	srv := server.New(store, cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -293,6 +300,52 @@ func TestGracefulDrainDeliversAlarms(t *testing.T) {
 	}
 }
 
+// TestDrainFlushesPooledWriterBuffers stresses the pooled outbound
+// path under drain: a 1-frame queue forces every alarm, ack and the
+// closing Ack+Bye through constant pool recycling while the server is
+// shutting down. Every frame must still arrive intact and in order —
+// a buffer released before its bytes hit the wire would corrupt the
+// alarm set or lose the final Ack.
+func TestDrainFlushesPooledWriterBuffers(t *testing.T) {
+	w := startWorld(t, server.Config{AlarmQueue: 1})
+	trace := ipdsclient.Tamper(ipdsclient.Capture(w.art, nil), 5)
+	var ref []ipds.Alarm
+	m := ipds.New(w.art.Image, ipds.DefaultConfig)
+	// Loop the trace so hundreds of alarm frames recycle the 1-frame
+	// queue's pooled buffers.
+	const loops = 50
+	for i := 0; i < loops; i++ {
+		ref = append(ref, ipdsclient.ReplayLocalBatched(m, trace, 4)...)
+	}
+	if len(ref) < 100 {
+		t.Fatalf("only %d reference alarms; not enough pool churn", len(ref))
+	}
+
+	c, err := ipdsclient.Dial(ipdsclient.Config{Addr: w.addr, Image: w.hash, Program: "pooldrain", Batch: 4})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < loops; i++ {
+		if err := c.Send(trace...); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	w.shut(t)
+	select {
+	case <-c.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never ended the session")
+	}
+	requireAlarmsEqual(t, ref, c.Alarms())
+	if got, want := c.Acked(), c.Sent(); got != want {
+		t.Fatalf("drain acked %d of %d events; the final pooled Ack was lost", got, want)
+	}
+}
+
 func TestShutdownTwiceErrors(t *testing.T) {
 	w := startWorld(t, server.Config{})
 	w.shut(t)
@@ -488,5 +541,66 @@ func TestResolveFromBlobCache(t *testing.T) {
 	}
 	if _, ok := st2.Resolve([32]byte{1, 2, 3}); ok {
 		t.Fatal("resolved a hash that was never added")
+	}
+}
+
+// TestSendEncodedMatchesSend replays the same tampered trace through a
+// per-event Send session and a pre-encoded SendEncoded session (the
+// load generator's fast path) and requires identical alarms and acks:
+// the pre-encoded block is the same event sequence, so only frame
+// boundaries may differ, and the daemon must not care.
+func TestSendEncodedMatchesSend(t *testing.T) {
+	w := startWorld(t, server.Config{})
+	trace := ipdsclient.Tamper(ipdsclient.Capture(w.art, nil), 5)
+	if len(trace) == 0 {
+		t.Fatal("empty capture")
+	}
+	const loops = 20
+
+	run := func(encoded bool) ([]wire.Alarm, uint64) {
+		c, err := ipdsclient.Dial(ipdsclient.Config{
+			Addr: w.addr, Image: w.hash, Program: "sendenc", Batch: 64,
+		})
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+		if encoded {
+			frames := wire.AppendBatches(nil, trace, c.Batch())
+			var branches uint64
+			for _, ev := range trace {
+				if ev.Kind == wire.EvBranch {
+					branches++
+				}
+			}
+			for i := 0; i < loops; i++ {
+				if err := c.SendEncoded(frames, uint64(len(trace)), branches); err != nil {
+					t.Fatalf("send encoded: %v", err)
+				}
+			}
+		} else {
+			for i := 0; i < loops; i++ {
+				if err := c.Send(trace...); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+			}
+		}
+		if err := c.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		return c.Alarms(), c.Acked()
+	}
+
+	refAlarms, refAcked := run(false)
+	gotAlarms, gotAcked := run(true)
+	if len(refAlarms) == 0 {
+		t.Fatal("reference session raised no alarms; test is vacuous")
+	}
+	if gotAcked != refAcked {
+		t.Fatalf("acked %d events via SendEncoded, want %d", gotAcked, refAcked)
+	}
+	if !reflect.DeepEqual(gotAlarms, refAlarms) {
+		t.Fatalf("SendEncoded alarms diverged:\n got %d alarms %+v\nwant %d alarms %+v",
+			len(gotAlarms), gotAlarms[:min(3, len(gotAlarms))], len(refAlarms), refAlarms[:min(3, len(refAlarms))])
 	}
 }

@@ -29,7 +29,7 @@ type session struct {
 	conn     net.Conn
 	rd       *wire.Reader
 	m        *ipds.Machine
-	out      chan []byte
+	out      chan *frameBuf
 	program  string
 	stopSpan func()
 
@@ -46,17 +46,26 @@ func isClosedErr(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-// send queues one encoded frame for the writer, counting a
+// send queues one pooled frame encoding for the writer, counting a
 // backpressure stall when the bounded queue is full. It never drops:
 // the writer always drains `out` (discarding after a write failure),
-// so this blocks only while the client is slow, not forever.
-func (s *session) send(b []byte) {
+// so this blocks only while the client is slow, not forever. Ownership
+// of the buffer transfers to the writer, which releases it to the pool
+// once the frame is on the wire.
+func (s *session) send(fb *frameBuf) {
 	select {
-	case s.out <- b:
+	case s.out <- fb:
 	default:
 		s.srv.met.backpressure.Inc()
-		s.out <- b
+		s.out <- fb
 	}
+}
+
+// sendFrame encodes f into a pooled buffer and queues it.
+func (s *session) sendFrame(f wire.Frame) {
+	fb := s.srv.bufPool.Get().(*frameBuf)
+	fb.b = wire.MustAppend(fb.b[:0], f)
+	s.send(fb)
 }
 
 // addEvents credits n verified events and returns the new total.
@@ -90,8 +99,13 @@ func (s *session) maybeFinish() {
 	total := s.events
 	s.mu.Unlock()
 
-	s.send(wire.MustAppend(nil, wire.Ack{Events: total}))
-	s.send(wire.MustAppend(nil, wire.Bye{}))
+	// The final Ack and Bye ride the same pooled queue as every other
+	// frame, strictly after any still-queued alarms/acks; the writer
+	// flushes the whole queue — releasing each pooled buffer only after
+	// its bytes are on the wire — before the close tears the session
+	// down, so a drained session never loses its closing Ack.
+	s.sendFrame(wire.Ack{Events: total})
+	s.sendFrame(wire.Bye{})
 	close(s.out)
 }
 
@@ -111,6 +125,11 @@ const drainGrace = 50 * time.Millisecond
 func (s *session) readLoop() {
 	defer s.srv.readerWG.Done()
 	srv := s.srv
+	// One leased batch at a time: NextInto decodes into it without
+	// allocating; enqueueing a task transfers ownership to the verifier
+	// (which returns it to the pool), non-batch frames leave the lease
+	// in hand for the next frame.
+	b := srv.batchPool.Get().(*wire.Batch)
 	for {
 		graced := srv.draining.Load()
 		d := srv.cfg.ReadTimeout
@@ -118,7 +137,7 @@ func (s *session) readLoop() {
 			d = drainGrace
 		}
 		s.conn.SetReadDeadline(time.Now().Add(d))
-		f, err := s.rd.Next()
+		f, err := s.rd.NextInto(b)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				if srv.draining.Load() {
@@ -132,7 +151,7 @@ func (s *session) readLoop() {
 				}
 				// Idle eviction: tell the client why, then drain.
 				srv.met.evictionsTotal.Inc()
-				s.send(wire.MustAppend(nil, wire.Error{Code: wire.ErrIdle, Msg: "idle deadline exceeded"}))
+				s.sendFrame(wire.Error{Code: wire.ErrIdle, Msg: "idle deadline exceeded"})
 			} else if err != nil && !isClosedErr(err) {
 				// Hard protocol garbage or a vanished peer; io.EOF is
 				// the silent variant of Bye.
@@ -141,10 +160,10 @@ func (s *session) readLoop() {
 			break
 		}
 		switch fr := f.(type) {
-		case wire.Batch:
+		case *wire.Batch:
 			if len(fr.Events) > srv.cfg.MaxBatch {
 				srv.met.errorsTotal.Inc()
-				s.send(wire.MustAppend(nil, wire.Error{Code: wire.ErrProtocol, Msg: "batch exceeds advertised maximum"}))
+				s.sendFrame(wire.Error{Code: wire.ErrProtocol, Msg: "batch exceeds advertised maximum"})
 				goto out
 			}
 			s.mu.Lock()
@@ -153,40 +172,74 @@ func (s *session) readLoop() {
 			// Blocking enqueue: a full shard queue is backpressure to
 			// this socket, counted like an alarm-queue stall.
 			select {
-			case srv.shards[s.shard] <- task{s: s, evs: fr.Events}:
+			case srv.shards[s.shard] <- task{s: s, b: fr}:
 			default:
 				srv.met.backpressure.Inc()
-				srv.shards[s.shard] <- task{s: s, evs: fr.Events}
+				srv.shards[s.shard] <- task{s: s, b: fr}
 			}
+			b = srv.batchPool.Get().(*wire.Batch)
 		case wire.Bye:
 			goto out
 		default:
 			srv.met.errorsTotal.Inc()
-			s.send(wire.MustAppend(nil, wire.Error{Code: wire.ErrProtocol, Msg: "unexpected " + fr.Type().String() + " frame"}))
+			s.sendFrame(wire.Error{Code: wire.ErrProtocol, Msg: "unexpected " + fr.Type().String() + " frame"})
 			goto out
 		}
 	}
 out:
+	srv.batchPool.Put(b)
 	s.mu.Lock()
 	s.readerDone = true
 	s.mu.Unlock()
 	s.maybeFinish()
 }
 
+// maxWriteCoalesce bounds the writer's merged buffer: big enough to
+// swallow a burst of per-batch alarm+ack buffers in one syscall, small
+// enough to keep write latency and memory per session bounded.
+const maxWriteCoalesce = 256 << 10
+
 // writeLoop owns conn writes: it drains the outbound queue until
 // maybeFinish closes it, then closes the connection and retires the
-// session. After the first write failure it keeps consuming (and
-// discarding) so verifiers can never block forever on a dead peer.
+// session. Queued buffers are coalesced — everything waiting in the
+// queue is copied into one write buffer and flushed with a single
+// conn.Write — so an alarm burst or a run of acks costs one syscall,
+// not one per frame. After the first write failure the loop keeps
+// consuming (and discarding) so verifiers can never block forever on a
+// dead peer. Every pooled buffer is released here, after its bytes have
+// been copied into the write buffer (or deliberately discarded), never
+// while still queued — which is what keeps pooling safe under drain.
 func (s *session) writeLoop() {
 	defer s.srv.writerWG.Done()
 	failed := false
-	for b := range s.out {
-		if failed {
-			continue
+	open := true
+	var wbuf []byte
+	for open {
+		fb, ok := <-s.out
+		if !ok {
+			break
 		}
-		s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
-		if _, err := s.conn.Write(b); err != nil {
-			failed = true
+		wbuf = append(wbuf[:0], fb.b...)
+		s.srv.bufPool.Put(fb)
+	drain:
+		for len(wbuf) < maxWriteCoalesce {
+			select {
+			case more, ok := <-s.out:
+				if !ok {
+					open = false
+					break drain
+				}
+				wbuf = append(wbuf, more.b...)
+				s.srv.bufPool.Put(more)
+			default:
+				break drain
+			}
+		}
+		if !failed && len(wbuf) > 0 {
+			s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+			if _, err := s.conn.Write(wbuf); err != nil {
+				failed = true
+			}
 		}
 	}
 	s.conn.Close()

@@ -86,9 +86,14 @@ type FuncImage struct {
 	// The slot hash is masked, so any PC maps onto *some* slot; this
 	// list lets a strict runtime reject PCs that are not actually
 	// branches of the function instead of silently aliasing them onto
-	// another branch's slot.
+	// another branch's slot. ValidPC binary-searches this slice
+	// directly — there is no side map, so a FuncImage costs no pointer
+	// chasing beyond the slice itself on the verification hot path.
 	BranchPCs []uint64
-	pcSet     map[uint64]struct{}
+	// hasPCs distinguishes an image encoded with (possibly zero)
+	// branch-PC metadata from a hand-built fixture without any: only
+	// the latter accepts every PC.
+	hasPCs bool
 
 	// BCV is the checking vector, one bit per slot.
 	BCV []uint64
@@ -112,39 +117,74 @@ func (fi *FuncImage) Checked(slot int) bool {
 // Slot maps a branch PC to its table slot.
 func (fi *FuncImage) Slot(pc uint64) int { return fi.Hash.Slot(fi.Base, pc) }
 
-// ValidPC reports whether pc is one of the function's known branch PCs.
-// Images without branch-PC metadata (hand-built test fixtures) accept
-// every PC, preserving the paper's tagless-table behaviour.
+// ValidPC reports whether pc is one of the function's known branch PCs
+// by binary search over the sorted BranchPCs slice (no map, no
+// allocation). Images without branch-PC metadata (hand-built test
+// fixtures) accept every PC, preserving the paper's tagless-table
+// behaviour.
 func (fi *FuncImage) ValidPC(pc uint64) bool {
-	if fi.pcSet == nil {
+	if !fi.hasPCs {
 		return true
 	}
-	_, ok := fi.pcSet[pc]
-	return ok
+	lo, hi := 0, len(fi.BranchPCs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fi.BranchPCs[mid] < pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(fi.BranchPCs) && fi.BranchPCs[lo] == pc
 }
 
-// setBranchPCs installs the branch-PC list and its lookup set.
+// setBranchPCs installs the sorted branch-PC list ValidPC searches.
 func (fi *FuncImage) setBranchPCs(pcs []uint64) {
 	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	fi.BranchPCs = pcs
-	fi.pcSet = make(map[uint64]struct{}, len(pcs))
-	for _, pc := range pcs {
-		fi.pcSet[pc] = struct{}{}
-	}
+	fi.hasPCs = true
 }
 
-// Actions iterates the BAT list for (slot, taken), reporting the number
-// of entries walked (the runtime's per-update table accesses).
-func (fi *FuncImage) Actions(slot int, taken bool, yield func(BATEntry)) int {
+// BATIter is an allocation-free cursor over one (slot, direction) BAT
+// action list. The zero value is exhausted; obtain one with
+// FuncImage.ActionList. It is a value type: copying it forks the
+// cursor, and no call on it allocates or escapes to the heap — this is
+// what lets the runtime's branch hot path walk update lists without a
+// func value.
+type BATIter struct {
+	entries []BATEntry
+	idx     int32
+}
+
+// Next returns the next action entry, or ok=false when the list is
+// exhausted.
+func (it *BATIter) Next() (e BATEntry, ok bool) {
+	if it.idx < 0 {
+		return BATEntry{}, false
+	}
+	e = it.entries[it.idx]
+	it.idx = e.Next
+	return e, true
+}
+
+// ActionList returns a cursor over the BAT list for (slot, taken).
+func (fi *FuncImage) ActionList(slot int, taken bool) BATIter {
 	dir := 0
 	if !taken {
 		dir = 1
 	}
+	return BATIter{entries: fi.Entries, idx: fi.BATHeads[slot][dir]}
+}
+
+// Actions iterates the BAT list for (slot, taken), reporting the number
+// of entries walked (the runtime's per-update table accesses). The
+// runtime itself uses ActionList; this closure form remains for tests
+// and diagnostics.
+func (fi *FuncImage) Actions(slot int, taken bool, yield func(BATEntry)) int {
+	it := fi.ActionList(slot, taken)
 	n := 0
-	for idx := fi.BATHeads[slot][dir]; idx >= 0; {
-		e := fi.Entries[idx]
+	for e, ok := it.Next(); ok; e, ok = it.Next() {
 		yield(e)
-		idx = e.Next
 		n++
 	}
 	return n
@@ -152,10 +192,56 @@ func (fi *FuncImage) Actions(slot int, taken bool, yield func(BATEntry)) int {
 
 // Image is the whole-program table set plus the function information
 // table the compiler hands to the runtime (§5.4).
+//
+// Function lookup by entry address goes through FuncAt, which binary
+// searches a dense base-sorted index (two parallel slices) instead of
+// a map: the index is one cache-friendly []uint64 probe on the
+// runtime's EnterFunc path, and the whole structure is immutable after
+// Index, so any number of concurrent machines may share it.
 type Image struct {
 	Funcs []*FuncImage
-	// ByBase locates a function image from its entry address.
-	ByBase map[uint64]*FuncImage
+
+	// bases/byBase form the dense sorted index FuncAt searches:
+	// bases[i] is the entry address of byBase[i], ascending.
+	bases  []uint64
+	byBase []*FuncImage
+}
+
+// Index (re)builds the base-address lookup index over Funcs. Encode,
+// Unmarshal and the pipeline call it before an image is shared;
+// hand-assembled images (tests, tools) must call it before FuncAt —
+// concurrently sharing an image while calling Index is a data race.
+func (im *Image) Index() {
+	im.bases = make([]uint64, 0, len(im.Funcs))
+	im.byBase = make([]*FuncImage, 0, len(im.Funcs))
+	fns := make([]*FuncImage, len(im.Funcs))
+	copy(fns, im.Funcs)
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Base < fns[j].Base })
+	for _, fi := range fns {
+		im.bases = append(im.bases, fi.Base)
+		im.byBase = append(im.byBase, fi)
+	}
+}
+
+// FuncAt locates a function image from its entry address (nil when the
+// address belongs to no table-carrying function, e.g. library code).
+// It allocates nothing and is safe for concurrent use once the image
+// is indexed.
+func (im *Image) FuncAt(base uint64) *FuncImage {
+	bases := im.bases
+	lo, hi := 0, len(bases)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bases[mid] < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(bases) && bases[lo] == base {
+		return im.byBase[lo]
+	}
+	return nil
 }
 
 // FuncByName returns the image for the named function, or nil.
@@ -170,15 +256,15 @@ func (im *Image) FuncByName(name string) *FuncImage {
 
 // Encode builds table images for every function in the analysis result.
 func Encode(res *core.Result) (*Image, error) {
-	im := &Image{ByBase: map[uint64]*FuncImage{}}
+	im := &Image{}
 	for _, fn := range res.Prog.Funcs {
 		fi, err := EncodeFunc(res.Tables[fn])
 		if err != nil {
 			return nil, fmt.Errorf("tables: %s: %w", fn.Name, err)
 		}
 		im.Funcs = append(im.Funcs, fi)
-		im.ByBase[fi.Base] = fi
 	}
+	im.Index()
 	return im, nil
 }
 
@@ -376,7 +462,7 @@ func Unmarshal(data []byte) (*Image, error) {
 	}
 	nf := binary.LittleEndian.Uint32(data[4:])
 	off := 8
-	im := &Image{ByBase: map[uint64]*FuncImage{}}
+	im := &Image{}
 	for i := uint32(0); i < nf; i++ {
 		fi, next, err := readFunc(data, off)
 		if err != nil {
@@ -384,8 +470,8 @@ func Unmarshal(data []byte) (*Image, error) {
 		}
 		off = next
 		im.Funcs = append(im.Funcs, fi)
-		im.ByBase[fi.Base] = fi
 	}
+	im.Index()
 	return im, nil
 }
 

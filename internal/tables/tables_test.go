@@ -58,8 +58,8 @@ func TestEncodeBasics(t *testing.T) {
 		if fi == nil {
 			t.Fatalf("no image for %s", fn.Name)
 		}
-		if im.ByBase[fn.Base] != fi {
-			t.Error("ByBase lookup broken")
+		if im.FuncAt(fn.Base) != fi {
+			t.Error("FuncAt lookup broken")
 		}
 		ft := res.Tables[fn]
 		// Every branch maps to a distinct in-range slot.

@@ -131,6 +131,16 @@ func (d *decoder) helloAck() (Frame, error) {
 }
 
 func (d *decoder) batch() (Frame, error) {
+	evs, err := d.events([]Event{}) // non-nil: an empty batch decodes to empty, not absent
+	if err != nil {
+		return nil, err
+	}
+	return d.done(Batch{Events: evs})
+}
+
+// events decodes a batch body, appending onto evs (which may be nil or
+// a reused slice already truncated by the caller).
+func (d *decoder) events(evs []Event) ([]Event, error) {
 	n, err := d.uvarint("batch count")
 	if err != nil {
 		return nil, err
@@ -144,33 +154,88 @@ func (d *decoder) batch() (Frame, error) {
 	if int(n) > len(d.b)-d.off {
 		return nil, fmt.Errorf("wire: batch count %d exceeds payload", n)
 	}
-	evs := make([]Event, 0, n)
+	if need := len(evs) + int(n); cap(evs) < need {
+		grown := make([]Event, len(evs), need)
+		copy(grown, evs)
+		evs = grown
+	}
+	// The loop below is the server's per-event decode cost, so it works
+	// on local cursor copies and unrolls the one- and two-byte uvarint
+	// cases (instrumented PCs are small; multi-byte PCs take the
+	// binary.Uvarint fallback). Semantics are identical to u8+uvarint.
+	b := d.b
+	off := d.off
 	for i := uint64(0); i < n; i++ {
-		k, err := d.u8("event kind")
-		if err != nil {
-			return nil, err
+		if off >= len(b) {
+			d.off = off
+			return nil, d.fail("event kind")
 		}
-		switch k {
-		case evEnter, evBranchTaken, evBranchNotTaken:
-			pc, err := d.uvarint("event pc")
-			if err != nil {
-				return nil, err
-			}
-			switch k {
-			case evEnter:
-				evs = append(evs, Event{Kind: EvEnter, PC: pc})
-			case evBranchTaken:
-				evs = append(evs, Event{Kind: EvBranch, PC: pc, Taken: true})
-			default:
-				evs = append(evs, Event{Kind: EvBranch, PC: pc})
-			}
-		case evLeave:
+		k := b[off]
+		off++
+		if k == evLeave {
 			evs = append(evs, Event{Kind: EvLeave})
-		default:
+			continue
+		}
+		if k > evBranchNotTaken {
+			d.off = off
 			return nil, fmt.Errorf("wire: unknown event kind %d", k)
 		}
+		var pc uint64
+		if off < len(b) && b[off] < 0x80 {
+			pc = uint64(b[off])
+			off++
+		} else if off+1 < len(b) && b[off+1] < 0x80 {
+			pc = uint64(b[off]&0x7f) | uint64(b[off+1])<<7
+			off += 2
+		} else {
+			v, m := binary.Uvarint(b[off:])
+			if m <= 0 {
+				d.off = off
+				return nil, d.fail("event pc")
+			}
+			pc = v
+			off += m
+		}
+		switch k {
+		case evEnter:
+			evs = append(evs, Event{Kind: EvEnter, PC: pc})
+		case evBranchTaken:
+			evs = append(evs, Event{Kind: EvBranch, PC: pc, Taken: true})
+		default:
+			evs = append(evs, Event{Kind: EvBranch, PC: pc})
+		}
 	}
-	return d.done(Batch{Events: evs})
+	d.off = off
+	return evs, nil
+}
+
+// DecodeBatchInto parses a Batch frame payload into *b, reusing the
+// capacity of b.Events instead of allocating a fresh slice — the
+// zero-allocation (steady-state) counterpart of Decode for the one
+// frame kind that dominates a verification stream. The payload must be
+// a TypeBatch frame; any other input yields an error and leaves b
+// truncated but usable.
+func DecodeBatchInto(payload []byte, b *Batch) error {
+	b.Events = b.Events[:0]
+	if len(payload) == 0 {
+		return fmt.Errorf("wire: empty frame")
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds MaxFrame", len(payload))
+	}
+	if FrameType(payload[0]) != TypeBatch {
+		return fmt.Errorf("wire: DecodeBatchInto on %s frame", FrameType(payload[0]))
+	}
+	d := decoder{b: payload[1:]}
+	evs, err := d.events(b.Events)
+	if err != nil {
+		return err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes after batch frame", len(d.b)-d.off)
+	}
+	b.Events = evs
+	return nil
 }
 
 func (d *decoder) alarm() (Frame, error) {
@@ -227,8 +292,10 @@ func (d *decoder) errorFrame() (Frame, error) {
 }
 
 // Reader decodes a stream of length-prefixed frames. The payload
-// buffer is reused between frames; decoded frames never alias it
-// (strings and event slices are copied out by Decode).
+// buffer is reused between frames and grows geometrically (capped at
+// MaxFrame), so a long stream settles into zero per-frame buffer
+// allocations no matter how frame sizes fluctuate; decoded frames
+// never alias it (strings and event slices are copied out by Decode).
 //
 // Next is resumable: when a read fails with a temporary error — a
 // poked or expiring net deadline, typically — partial header/payload
@@ -251,11 +318,13 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
 }
 
-// Next reads and decodes one frame. It returns io.EOF on a clean
-// stream end between frames and io.ErrUnexpectedEOF on a stream that
-// dies inside a frame. After a timeout error, calling Next again
-// resumes the interrupted frame.
-func (r *Reader) Next() (Frame, error) {
+// minFrameBuf is the frame buffer's starting capacity; doubling from
+// here reaches MaxFrame in a handful of growth steps.
+const minFrameBuf = 4 << 10
+
+// readFrame reads one length-prefixed payload into r.buf, resuming
+// partial progress after a temporary error.
+func (r *Reader) readFrame() error {
 	for r.hdrN < 4 {
 		n, err := r.br.Read(r.hdr[r.hdrN:])
 		r.hdrN += n
@@ -263,21 +332,34 @@ func (r *Reader) Next() (Frame, error) {
 			if err == io.EOF && r.hdrN > 0 {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, err
+			return err
 		}
 	}
 	if r.need == 0 {
 		n := binary.LittleEndian.Uint32(r.hdr[:])
 		if n == 0 {
-			return nil, fmt.Errorf("wire: zero-length frame")
+			return fmt.Errorf("wire: zero-length frame")
 		}
 		if n > MaxFrame {
-			return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", n)
+			return fmt.Errorf("wire: frame payload %d exceeds MaxFrame", n)
 		}
 		r.need = int(n)
 		r.got = 0
 		if cap(r.buf) < r.need {
-			r.buf = make([]byte, r.need)
+			// Grow-capped reuse: at least double the old capacity (floor
+			// minFrameBuf, ceiling MaxFrame) so oscillating frame sizes
+			// cannot force an allocation per oversized frame.
+			c := 2 * cap(r.buf)
+			if c < minFrameBuf {
+				c = minFrameBuf
+			}
+			if c < r.need {
+				c = r.need
+			}
+			if c > MaxFrame {
+				c = MaxFrame
+			}
+			r.buf = make([]byte, c)
 		}
 		r.buf = r.buf[:r.need]
 	}
@@ -288,9 +370,39 @@ func (r *Reader) Next() (Frame, error) {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, err
+			return err
 		}
 	}
 	r.hdrN, r.need, r.got = 0, 0, 0
+	return nil
+}
+
+// Next reads and decodes one frame. It returns io.EOF on a clean
+// stream end between frames and io.ErrUnexpectedEOF on a stream that
+// dies inside a frame. After a timeout error, calling Next again
+// resumes the interrupted frame.
+func (r *Reader) Next() (Frame, error) {
+	if err := r.readFrame(); err != nil {
+		return nil, err
+	}
+	return Decode(r.buf)
+}
+
+// NextInto is Next with an allocation-free fast path for Batch frames:
+// a batch is decoded into *b — reusing b.Events' capacity — and b
+// itself is returned as the Frame, so the dominant frame kind of a
+// verification stream costs no per-frame slice or interface boxing.
+// Other frame kinds fall back to Decode. The caller owns *b and must
+// be done with it before the following NextInto call.
+func (r *Reader) NextInto(b *Batch) (Frame, error) {
+	if err := r.readFrame(); err != nil {
+		return nil, err
+	}
+	if FrameType(r.buf[0]) == TypeBatch {
+		if err := DecodeBatchInto(r.buf, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
 	return Decode(r.buf)
 }

@@ -25,6 +25,30 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		fr, err := Decode(payload)
+
+		// DecodeBatchInto must agree with Decode on every batch payload:
+		// same accept/reject verdict, same events.
+		var reused Batch
+		intoErr := DecodeBatchInto(payload, &reused)
+		if len(payload) > 0 && FrameType(payload[0]) == TypeBatch && len(payload) <= MaxFrame {
+			if (err == nil) != (intoErr == nil) {
+				t.Fatalf("Decode err=%v but DecodeBatchInto err=%v", err, intoErr)
+			}
+			if err == nil {
+				want := fr.(Batch).Events
+				if len(want) != len(reused.Events) {
+					t.Fatalf("DecodeBatchInto decoded %d events, Decode %d", len(reused.Events), len(want))
+				}
+				for i := range want {
+					if want[i] != reused.Events[i] {
+						t.Fatalf("event %d: DecodeBatchInto %+v, Decode %+v", i, reused.Events[i], want[i])
+					}
+				}
+			}
+		} else if intoErr == nil {
+			t.Fatalf("DecodeBatchInto accepted a non-batch payload")
+		}
+
 		if err != nil {
 			return
 		}

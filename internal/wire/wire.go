@@ -345,6 +345,33 @@ func appendError(dst []byte, e Error) ([]byte, error) {
 	return append(dst, e.Msg...), nil
 }
 
+// AppendAlarm encodes a as one length-prefixed Alarm frame appended to
+// dst without routing a through the Frame interface. The server calls
+// this once per raised alarm on its verify hot path, where boxing the
+// frame value would be the only allocation left; encoding and limits
+// are exactly those of Append.
+func AppendAlarm(dst []byte, a Alarm) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := appendAlarm(dst, a)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst, nil
+}
+
+// AppendAck encodes a cumulative-progress Ack as one length-prefixed
+// frame appended to dst, the no-boxing counterpart of AppendAlarm for
+// the per-batch acknowledgement.
+func AppendAck(dst []byte, a Ack) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(TypeAck))
+	dst = binary.AppendUvarint(dst, a.Events)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
 // MustAppend is Append for frames known to respect the wire limits
 // (server-constructed acks, byes, bounded batches). It panics on an
 // encoding error, which for such frames means a programming bug.

@@ -192,3 +192,79 @@ func TestDecodeRandomNeverPanics(t *testing.T) {
 		Decode(payload) // must not panic
 	}
 }
+
+// TestEventPCVarintWidths pins the decoder's unrolled one- and
+// two-byte uvarint fast paths against PCs needing every varint width,
+// including the seams (0x7f/0x80, 0x3fff/0x4000) where the fast path
+// hands off to the generic fallback.
+func TestEventPCVarintWidths(t *testing.T) {
+	pcs := []uint64{
+		0, 1, 0x7f, // one byte
+		0x80, 0x1234, 0x3fff, // two bytes
+		0x4000, 0x1fffff, // three bytes
+		0x200000, 0xfffffff, // four bytes
+		1 << 35, 1 << 56, ^uint64(0), // wide
+	}
+	var evs []Event
+	for i, pc := range pcs {
+		evs = append(evs,
+			Event{Kind: EvEnter, PC: pc},
+			Event{Kind: EvBranch, PC: pc, Taken: i%2 == 0},
+			Event{Kind: EvLeave})
+	}
+	enc := MustAppend(nil, Batch{Events: evs})
+	got, err := Decode(enc[4:])
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, Batch{Events: evs}) {
+		t.Fatalf("varint-width round trip diverged:\n got %#v\nwant %#v", got, evs)
+	}
+
+	// A continuation byte with nothing after it must fail, not read
+	// past the payload: strip the final terminal byte of a wide PC.
+	enc = MustAppend(nil, Batch{Events: []Event{{Kind: EvEnter, PC: 1 << 56}}})
+	payload := enc[4 : len(enc)-1]
+	if _, err := Decode(payload); err == nil {
+		t.Fatal("Decode accepted a batch ending inside a varint PC")
+	}
+}
+
+// TestAppendAlarmAckMatchAppend pins the no-boxing hot-path encoders
+// to the generic Append byte for byte.
+func TestAppendAlarmAckMatchAppend(t *testing.T) {
+	al := Alarm{Seq: 912, PC: 0x7fffffff12, Func: "handle_cmd", Slot: 13, Expected: 2, Taken: true}
+	want := MustAppend(nil, al)
+	got, err := AppendAlarm([]byte{}, al)
+	if err != nil {
+		t.Fatalf("AppendAlarm: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendAlarm diverged from Append:\n got %x\nwant %x", got, want)
+	}
+	if _, err := AppendAlarm(nil, Alarm{Func: strings.Repeat("x", MaxString+1)}); err == nil {
+		t.Fatal("AppendAlarm accepted an oversized func name")
+	}
+
+	ack := Ack{Events: 1 << 40}
+	if got, want := AppendAck(nil, ack), MustAppend(nil, ack); !bytes.Equal(got, want) {
+		t.Fatalf("AppendAck diverged from Append:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestAppendAlarmAckNoAlloc holds the hot-path encoders to zero
+// allocations once the destination has capacity.
+func TestAppendAlarmAckNoAlloc(t *testing.T) {
+	al := Alarm{Seq: 1, PC: 0x1234, Func: "f", Slot: 3, Expected: 1}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(100, func() {
+		b, err := AppendAlarm(buf, al)
+		if err != nil || len(b) == 0 {
+			t.Fatal("AppendAlarm failed")
+		}
+		b = AppendAck(b[:0], Ack{Events: 99})
+		_ = b
+	}); n != 0 {
+		t.Fatalf("alarm+ack encode allocates %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# checkallocs.sh — allocation-regression gate for the IPDS hot path.
+#
+# Runs the kernel benchmarks with -benchmem and fails if any of them
+# reports a nonzero allocs/op: the batched verification kernel and the
+# per-event kernel must stay allocation-free per event on a warmed
+# machine. (The AllocsPerRun unit gates in internal/ipds and
+# internal/wire cover the same property under `make test`; this script
+# holds the benchmarks themselves to it, so a regression shows up even
+# if someone relaxes the unit tests.)
+set -e
+
+out=$(go test -run '^$' -bench 'BenchmarkOnBranch|BenchmarkOnBatch' -benchtime 100x -benchmem ./internal/ipds)
+echo "$out"
+
+echo "$out" | awk '
+/^Benchmark/ {
+	allocs = $(NF-1)
+	if (allocs + 0 != 0) {
+		printf "checkallocs: %s reports %s allocs/op (want 0)\n", $1, allocs > "/dev/stderr"
+		bad = 1
+	}
+}
+END { exit bad }
+'
+echo "checkallocs: kernel benchmarks are allocation-free"
