@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel alloc-gate ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline
+.PHONY: build test vet race bench bench-kernel alloc-gate forensics-gate ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5
 
 build:
 	$(GO) build ./...
@@ -44,18 +44,29 @@ smoke-load:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Hot-path measurement: the verification kernel (per-event and batched)
-# and the full in-process serve loop, with allocation reporting.
+# Hot-path measurement: the verification kernel (per-event and batched,
+# with and without the flight recorder) and the full in-process serve
+# loop, with allocation reporting.
 bench-kernel:
 	$(GO) test -run '^$$' -bench 'BenchmarkOnBranch|BenchmarkOnBatch' -benchmem ./internal/ipds
 	$(GO) test -run '^$$' -bench 'BenchmarkServeSession' -benchmem ./internal/server
 
-# Allocation-regression gate: kernel benchmarks must report 0 allocs/op.
+# Allocation-regression gate: kernel benchmarks — including the
+# recorder-enabled batch kernel — must report 0 allocs/op.
 alloc-gate:
 	./scripts/checkallocs.sh
 
+# Forensics gate: the tampered-trace end-to-end run under the race
+# detector. A live daemon session must produce alarms whose forensic
+# contexts (recent window, stack, BSV state) are byte-identical to an
+# in-process replay, and per-session telemetry must flush cleanly on
+# idle-eviction and drain.
+forensics-gate:
+	$(GO) test -race -run 'TestForensics|TestDebugSessions|TestEvictionFlushesSessionTelemetry|TestDrainFlushesSessionTelemetry' ./internal/server
+	$(GO) test -race -run 'TestRecorder|TestAlarmContext|TestEventSinkBatchedEquivalence' ./internal/ipds
+
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate
+ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate forensics-gate
 
 # Observability-driven per-workload table + JSON baseline.
 report:
@@ -77,3 +88,21 @@ serve-baseline:
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 1 -events 5000000 -tamper 97 -json BENCH_pr4.json
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -json BENCH_pr4.json
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -json BENCH_pr4.json
+
+# PR5 serving baseline: same workload points as serve-baseline, with
+# the flight recorder and forensic alarm-context delivery active (the
+# daemon default). Rows carry alarm_ctxs and the daemon-side
+# verify_p50/p99/p99.9 batch-verify quantiles. Each config is recorded
+# twice back-to-back — a forensics=false control row, then the
+# forensics row — and each run is best-of-5 (-repeat): the forensics
+# budget (< 5%) is judged against the paired same-host control, which
+# is the PR4 serve path re-measured under identical conditions;
+# BENCH_pr4.json stays as the historical anchor.
+serve-baseline-pr5:
+	rm -f BENCH_pr5.json
+	$(GO) run ./cmd/ipdsload -selfserve -forensics=false -workload telnetd -sessions 1 -events 5000000 -tamper 97 -repeat 5 -json BENCH_pr5.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 1 -events 5000000 -tamper 97 -repeat 5 -json BENCH_pr5.json
+	$(GO) run ./cmd/ipdsload -selfserve -forensics=false -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr5.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr5.json
+	$(GO) run ./cmd/ipdsload -selfserve -forensics=false -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr5.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr5.json

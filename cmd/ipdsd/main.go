@@ -13,7 +13,9 @@
 // With -telemetry the daemon serves /metrics (server_sessions_active,
 // server_events_total, server_batches_total,
 // server_backpressure_stalls_total, server_alarms_dropped_total, …),
-// /debug/vars and /debug/pprof while running.
+// /debug/vars, /debug/pprof, and /debug/sessions — a JSON document of
+// every live session's telemetry and most recent forensic alarm
+// context, polled by cmd/ipdstop for a live top-style view.
 //
 // Usage:
 //
@@ -64,16 +66,6 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer(reg)
-	if *telemetry != "" {
-		reg.PublishExpvar("ipdsd")
-		srv, taddr, err := obs.Serve(*telemetry, reg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipdsd: telemetry:", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics\n", taddr)
-	}
 
 	cache, err := tcache.New(*cacheN, *cacheDir)
 	if err != nil {
@@ -128,6 +120,23 @@ func main() {
 		Reg:         reg,
 		Tracer:      tr,
 	})
+
+	// The telemetry endpoint mounts the live-session document next to
+	// the standard obs surface, so it starts after the verification
+	// server exists. Compile-phase spans recorded above are already in
+	// the registry; nothing is lost by the later bind.
+	if *telemetry != "" {
+		reg.PublishExpvar("ipdsd")
+		mux := obs.NewMux(reg)
+		mux.Handle("/debug/sessions", srv.DebugHandler())
+		tsrv, taddr, err := obs.ServeHandler(*telemetry, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsd: telemetry:", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics, sessions on /debug/sessions\n", taddr)
+	}
 
 	// Graceful drain on SIGINT/SIGTERM: queued batches verify, queued
 	// alarms deliver, every session ends with Ack+Bye.

@@ -11,14 +11,22 @@
 // With -selfserve the process starts an in-process daemon engine on a
 // loopback listener and loads that instead of a remote ipdsd — one
 // command for benchmarks and CI smoke runs. -json appends a machine
-// readable result row, used to produce BENCH_pr3.json.
+// readable result row (used to produce the BENCH_pr*.json baselines);
+// under -selfserve the row also carries the daemon-side batch-verify
+// latency quantiles and the forensic context count, read from the
+// in-process telemetry registry.
 //
 // Usage:
 //
 //	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
 //	         [-sessions n] [-events n] [-batch n] [-tamper stride]
-//	         [-events-file in.events] [-json out.json]
+//	         [-repeat n] [-events-file in.events] [-json out.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [file.mc]
+//
+// -repeat runs the load n times against the same server and reports
+// (and records) the fastest run — best-of-n is the noise-robust
+// estimator for recorded baselines on shared hosts. The daemon-side
+// verify quantiles in the JSON row are cumulative over all repeats.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 
 	"repro/internal/ipdsclient"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -44,9 +53,11 @@ import (
 // row is one load run in the -json output.
 type row struct {
 	Program   string  `json:"program"`
+	Forensics bool    `json:"forensics"`
 	Sessions  int     `json:"sessions"`
 	Events    uint64  `json:"events"`
 	Alarms    uint64  `json:"alarms"`
+	AlarmCtxs uint64  `json:"alarm_ctxs"`
 	ElapsedNs int64   `json:"elapsed_ns"`
 	EventsSec float64 `json:"events_per_sec"`
 	AckP50Ns  int64   `json:"ack_p50_ns"`
@@ -55,17 +66,26 @@ type row struct {
 	AlarmP50  int64   `json:"alarm_p50_ns"`
 	AlarmP95  int64   `json:"alarm_p95_ns"`
 	AlarmP99  int64   `json:"alarm_p99_ns"`
+
+	// Daemon-side batch-verify latency quantiles, read from the
+	// in-process registry — populated only with -selfserve (a remote
+	// daemon keeps its registry; scrape /metrics there instead).
+	VerifyP50Ns  uint64 `json:"verify_p50_ns"`
+	VerifyP99Ns  uint64 `json:"verify_p99_ns"`
+	VerifyP999Ns uint64 `json:"verify_p999_ns"`
 }
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7077", "ipdsd address")
 		selfserve = flag.Bool("selfserve", false, "serve in-process instead of dialing a remote daemon")
+		forensics = flag.Bool("forensics", true, "with -selfserve: enable the flight recorder + AlarmCtx delivery (the daemon default)")
 		wlName    = flag.String("workload", "telnetd", "built-in workload to replay")
 		sessions  = flag.Int("sessions", 8, "concurrent client sessions")
 		events    = flag.Int("events", 100000, "minimum events per session (trace loops to fill)")
 		batch     = flag.Int("batch", 512, "events per wire frame")
 		tamper    = flag.Int("tamper", 0, "flip every stride-th branch (0 = benign replay)")
+		repeat    = flag.Int("repeat", 1, "run the load n times and report/record the best run (suppresses host noise in baselines)")
 		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
 		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-session network timeout")
@@ -124,10 +144,16 @@ func main() {
 	}
 
 	target := *addr
+	var reg *obs.Registry
 	if *selfserve {
+		reg = obs.NewRegistry()
 		store := server.NewImageStore(nil)
 		store.Add(name, art.Image)
-		srv := server.New(store, server.Config{})
+		scfg := server.Config{Reg: reg}
+		if !*forensics {
+			scfg.RecorderDepth = -1
+		}
+		srv := server.New(store, scfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
@@ -161,18 +187,34 @@ func main() {
 		}()
 	}
 
-	res := ipdsclient.RunLoad(ipdsclient.LoadConfig{
-		Addr:          target,
-		Image:         hash,
-		Program:       name,
-		Trace:         trace,
-		Sessions:      *sessions,
-		EventsPerConn: *events,
-		Batch:         *batch,
-		Timeout:       *timeout,
-	})
-	for _, err := range res.Errors {
-		fmt.Fprintln(os.Stderr, "ipdsload:", err)
+	// With -repeat the load runs several times against the same server
+	// and the fastest run is the one reported and recorded: aggregate
+	// throughput on a shared host is noisy, and the best of n is the
+	// stable estimator of what the serve path can actually sustain.
+	var res ipdsclient.LoadResult
+	for i := 0; i < *repeat; i++ {
+		r := ipdsclient.RunLoad(ipdsclient.LoadConfig{
+			Addr:          target,
+			Image:         hash,
+			Program:       name,
+			Trace:         trace,
+			Sessions:      *sessions,
+			EventsPerConn: *events,
+			Batch:         *batch,
+			Timeout:       *timeout,
+		})
+		for _, err := range r.Errors {
+			fmt.Fprintln(os.Stderr, "ipdsload:", err)
+		}
+		if *repeat > 1 {
+			fmt.Printf("-- run %d/%d: %.0f events/sec\n", i+1, *repeat, r.EventsSec)
+		}
+		if i == 0 || len(r.Errors) > 0 || r.EventsSec > res.EventsSec {
+			res = r
+		}
+		if len(r.Errors) > 0 {
+			break
+		}
 	}
 
 	if *memProf != "" {
@@ -192,28 +234,40 @@ func main() {
 		f.Close()
 	}
 
-	fmt.Printf("-- %s: %d sessions, %d events (%d alarms) in %v\n",
-		name, res.Sessions, res.Events, res.Alarms, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("-- %s: %d sessions, %d events (%d alarms, %d contexts) in %v\n",
+		name, res.Sessions, res.Events, res.Alarms, res.AlarmCtxs, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("-- throughput: %.0f events/sec aggregate\n", res.EventsSec)
 	fmt.Printf("-- ack latency:   p50=%v p95=%v p99=%v\n", res.AckP50, res.AckP95, res.AckP99)
 	if res.Alarms > 0 {
 		fmt.Printf("-- alarm latency: p50=%v p95=%v p99=%v\n", res.AlarmP50, res.AlarmP95, res.AlarmP99)
 	}
+	var verify obs.HistSnapshot
+	if reg != nil {
+		verify = reg.Histogram("server_verify_ns").Snapshot()
+		fmt.Printf("-- batch verify:  p50=%v p99=%v p99.9=%v (%d batches)\n",
+			time.Duration(verify.Quantile(0.50)), time.Duration(verify.Quantile(0.99)),
+			time.Duration(verify.Quantile(0.999)), verify.Count)
+	}
 
 	if *jsonOut != "" {
 		if err := appendRow(*jsonOut, row{
-			Program:   name,
-			Sessions:  res.Sessions,
-			Events:    res.Events,
-			Alarms:    res.Alarms,
-			ElapsedNs: res.Elapsed.Nanoseconds(),
-			EventsSec: res.EventsSec,
-			AckP50Ns:  res.AckP50.Nanoseconds(),
-			AckP95Ns:  res.AckP95.Nanoseconds(),
-			AckP99Ns:  res.AckP99.Nanoseconds(),
-			AlarmP50:  res.AlarmP50.Nanoseconds(),
-			AlarmP95:  res.AlarmP95.Nanoseconds(),
-			AlarmP99:  res.AlarmP99.Nanoseconds(),
+			Program:      name,
+			Forensics:    !*selfserve || *forensics,
+			Sessions:     res.Sessions,
+			Events:       res.Events,
+			Alarms:       res.Alarms,
+			AlarmCtxs:    res.AlarmCtxs,
+			ElapsedNs:    res.Elapsed.Nanoseconds(),
+			EventsSec:    res.EventsSec,
+			AckP50Ns:     res.AckP50.Nanoseconds(),
+			AckP95Ns:     res.AckP95.Nanoseconds(),
+			AckP99Ns:     res.AckP99.Nanoseconds(),
+			AlarmP50:     res.AlarmP50.Nanoseconds(),
+			AlarmP95:     res.AlarmP95.Nanoseconds(),
+			AlarmP99:     res.AlarmP99.Nanoseconds(),
+			VerifyP50Ns:  verify.Quantile(0.50),
+			VerifyP99Ns:  verify.Quantile(0.99),
+			VerifyP999Ns: verify.Quantile(0.999),
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
 			os.Exit(1)

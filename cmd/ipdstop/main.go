@@ -1,0 +1,117 @@
+// Command ipdstop is a top-style live view of an ipdsd daemon: it polls
+// the daemon's /debug/sessions telemetry endpoint and renders the live
+// session table — per-session event/batch/alarm counts, idle time, and
+// each session's most recent forensic alarm context (violating function
+// and branch, recent-window size, activation stack).
+//
+// With -once it prints a single snapshot and exits (scriptable, and
+// what the tests drive); otherwise it redraws every -interval using an
+// ANSI home+clear, like top.
+//
+// Usage:
+//
+//	ipdstop [-addr http://127.0.0.1:6060] [-interval 2s] [-once]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:6060", "ipdsd telemetry base URL (its -telemetry address)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+	)
+	flag.Parse()
+
+	url := strings.TrimRight(*addr, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url += "/debug/sessions"
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		info, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdstop:", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear, top-style
+		}
+		os.Stdout.WriteString(render(info))
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch retrieves and decodes one /debug/sessions document.
+func fetch(c *http.Client, url string) (server.DebugInfo, error) {
+	var info server.DebugInfo
+	resp, err := c.Get(url)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return info, fmt.Errorf("%s: %w", url, err)
+	}
+	return info, nil
+}
+
+// render formats one snapshot as the session table. Pure — the tests
+// drive it with synthetic documents.
+func render(info server.DebugInfo) string {
+	var b strings.Builder
+	state := "serving"
+	if info.Draining {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(&b, "ipdsd %s — %d session(s) — %s\n\n",
+		state, len(info.Sessions), time.Unix(0, info.NowUnixNs).Format(time.TimeOnly))
+	if len(info.Sessions) == 0 {
+		b.WriteString("(no live sessions)\n")
+		return b.String()
+	}
+	sessions := append([]server.DebugSession(nil), info.Sessions...)
+	// Busiest first, like top; stable on id so equal rows don't flap.
+	sort.SliceStable(sessions, func(i, j int) bool {
+		if sessions[i].Events != sessions[j].Events {
+			return sessions[i].Events > sessions[j].Events
+		}
+		return sessions[i].ID < sessions[j].ID
+	})
+	fmt.Fprintf(&b, "%6s  %-16s %5s %10s %8s %7s %9s %6s  %s\n",
+		"ID", "PROGRAM", "SHARD", "EVENTS", "BATCHES", "ALARMS", "RECORDED", "IDLE", "LAST ALARM")
+	for _, s := range sessions {
+		last := "-"
+		if a := s.LastAlarm; a != nil {
+			last = fmt.Sprintf("seq=%d %s@%#x taken=%v expected=%s window=%d stack=%s",
+				a.Seq, a.Func, a.PC, a.Taken, a.Expected, a.Window, strings.Join(a.Stack, ">"))
+		}
+		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %9d %5dms  %s\n",
+			s.ID, s.Program, s.Shard, s.Events, s.Batches, s.Alarms, s.Recorded, s.IdleMs, last)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func sampleInfo() server.DebugInfo {
+	return server.DebugInfo{
+		NowUnixNs: 1_700_000_000_000_000_000,
+		Sessions: []server.DebugSession{
+			{ID: 1, Program: "telnetd#0", Shard: 1, Events: 1000, Batches: 2, Alarms: 0, Recorded: 1000, IdleMs: 5},
+			{ID: 2, Program: "telnetd#1", Shard: 0, Events: 64000, Batches: 125, Alarms: 3, Recorded: 64000, IdleMs: 1,
+				LastAlarm: &server.DebugAlarm{
+					Seq: 512, PC: 0x1234, Func: "check", Expected: "taken", Taken: false,
+					Window: 64, Stack: []string{"main", "check"},
+				}},
+		},
+	}
+}
+
+func TestRenderSessionTable(t *testing.T) {
+	out := render(sampleInfo())
+	for _, want := range []string{
+		"2 session(s)", "telnetd#0", "telnetd#1",
+		"seq=512 check@0x1234 taken=false expected=taken window=64 stack=main>check",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered view lacks %q:\n%s", want, out)
+		}
+	}
+	// Busiest session first.
+	if i0, i1 := strings.Index(out, "telnetd#1"), strings.Index(out, "telnetd#0"); i0 > i1 {
+		t.Errorf("sessions not sorted by events desc:\n%s", out)
+	}
+	if drained := render(server.DebugInfo{Draining: true}); !strings.Contains(drained, "DRAINING") ||
+		!strings.Contains(drained, "(no live sessions)") {
+		t.Errorf("empty draining view wrong:\n%s", drained)
+	}
+}
+
+// TestFetchRoundTrip drives fetch against an httptest server producing
+// the same JSON the daemon's DebugHandler emits.
+func TestFetchRoundTrip(t *testing.T) {
+	want := sampleInfo()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/sessions" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer ts.Close()
+
+	got, err := fetch(ts.Client(), ts.URL+"/debug/sessions")
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if len(got.Sessions) != 2 || got.Sessions[1].LastAlarm == nil ||
+		got.Sessions[1].LastAlarm.Func != "check" {
+		t.Fatalf("decoded document diverges: %+v", got)
+	}
+	if _, err := fetch(ts.Client(), ts.URL+"/nope"); err == nil {
+		t.Fatal("fetch of a 404 endpoint returned nil error")
+	}
+}

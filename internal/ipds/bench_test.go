@@ -131,6 +131,35 @@ func BenchmarkOnBatch(b *testing.B) {
 	reportEventRate(b, len(evs))
 }
 
+// BenchmarkOnBatchRecorder is BenchmarkOnBatch with the flight recorder
+// enabled at its default depth — the daemon's forensic configuration.
+// checkallocs.sh gates it to 0 allocs/op alongside the other kernels,
+// and comparing its ns/event against BenchmarkOnBatch bounds the
+// recorder tax.
+func BenchmarkOnBatchRecorder(b *testing.B) {
+	w, evs := benchTrace(b)
+	const batch = 512
+	cfg := DefaultConfig
+	cfg.Recorder = DefaultRecorderDepth
+	m := New(w.img, cfg)
+	m.OnBatch(evs) // warm arena + result buffer + recorder ring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rest := evs
+		for len(rest) > 0 {
+			n := batch
+			if n > len(rest) {
+				n = len(rest)
+			}
+			m.OnBatch(rest[:n])
+			rest = rest[n:]
+		}
+	}
+	b.StopTimer()
+	reportEventRate(b, len(evs))
+}
+
 func reportEventRate(b *testing.B, eventsPerIter int) {
 	total := float64(eventsPerIter) * float64(b.N)
 	if s := b.Elapsed().Seconds(); s > 0 {
@@ -172,6 +201,24 @@ func TestOnBatchZeroAlloc(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(10, func() { mt.OnBatch(bent) }); allocs != 0 {
 		t.Errorf("alarming OnBatch allocates %.1f per batch, want 0", allocs)
+	}
+
+	// Flight recorder on, tampered stream, storm throttle off (the
+	// harshest capture rate): every record() store and every per-alarm
+	// captureContext (ring snapshot, stack summary, BSV copy) must
+	// reuse its preallocated slot slices once warmed.
+	rcfg := DefaultConfig
+	rcfg.Recorder = DefaultRecorderDepth
+	rcfg.CtxGap = -1
+	mr := New(w.img, rcfg)
+	if alarms := mr.OnBatch(bent); len(alarms) == 0 {
+		t.Fatal("tampered batch raised no alarms on the recorder machine")
+	}
+	if mr.LastContext() == nil {
+		t.Fatal("recorder machine captured no context; gate would not cover capture")
+	}
+	if allocs := testing.AllocsPerRun(10, func() { mr.OnBatch(bent) }); allocs != 0 {
+		t.Errorf("recorder-enabled OnBatch allocates %.1f per batch, want 0", allocs)
 	}
 }
 

@@ -22,10 +22,17 @@ const (
 	EvEnter
 	// EvLeave: the top table frame was popped.
 	EvLeave
+	// EvBranch: a committed conditional branch. Branch events appear
+	// only in flight-recorder windows (RecEvent) — the EventSink stream
+	// never carries them, on either the per-event or the batched path:
+	// at millions of branches per second a per-branch sink call would
+	// be the hot path, which is exactly what the recorder's value ring
+	// exists to avoid.
+	EvBranch
 )
 
 // String names the event kind as emitted on the event stream
-// ("alarm", "spill", "fill", "enter", "leave").
+// ("alarm", "spill", "fill", "enter", "leave", "branch").
 func (k EventKind) String() string {
 	switch k {
 	case EvAlarm:
@@ -38,6 +45,8 @@ func (k EventKind) String() string {
 		return "enter"
 	case EvLeave:
 		return "leave"
+	case EvBranch:
+		return "branch"
 	}
 	return "?"
 }
@@ -54,6 +63,20 @@ type Event struct {
 
 // EventSink receives machine events synchronously. Implementations must
 // be fast; they run inside the simulated hardware path.
+//
+// Semantics are identical on the per-event path (EnterFunc/LeaveFunc/
+// OnBranch) and the batched path (OnBatch): both route through the same
+// internal helpers, so a sink observes the same enter/leave/spill/fill/
+// alarm stream — in the same order, with the same Seq and Depth values —
+// whichever way the events were driven (TestEventSinkBatchedEquivalence
+// pins this). Committed branches are never published (see EvBranch).
+//
+// Note the allocation trade: an attached sink boxes each alarm for its
+// EvAlarm event, so the zero-allocation guarantee of the warm OnBatch
+// path holds only sinkless. The flight recorder (Config.Recorder) is
+// the allocation-free way to retain per-event history on the serve
+// path; a sink is the right tool for simulators and experiments that
+// want a synchronous callback.
 type EventSink interface {
 	Emit(Event)
 }

@@ -36,6 +36,29 @@ type Config struct {
 	// active function instead of letting the masked hash alias them
 	// onto another branch's slot. Rejects are counted, never alarmed.
 	Strict bool
+
+	// Recorder enables the flight recorder: a preallocated ring of the
+	// last Recorder committed events (enter/leave/branch/spill/fill)
+	// snapshotted into an AlarmContext whenever an alarm fires. The
+	// ring capacity rounds up to a power of two (index math on the
+	// per-event path is a mask). 0 disables forensics entirely (no
+	// ring, no contexts).
+	Recorder int
+
+	// AlarmCtxBuffer bounds the retained alarm contexts (0 =
+	// DefaultAlarmCtxBuffer). Only meaningful with Recorder > 0.
+	AlarmCtxBuffer int
+
+	// CtxGap throttles forensic capture under alarm storms: once a
+	// context is captured, later alarms are still counted and
+	// ring-buffered but not snapshotted until the branch-event
+	// sequence has advanced by at least CtxGap. Sparse alarms — the
+	// anomaly-detection regime the paper targets — are never
+	// throttled; only floods degrade to sampled forensics, keeping
+	// the capture cost bounded per event rather than per alarm. 0
+	// selects DefaultCtxGap, negative disables the throttle (every
+	// alarm captures). Only meaningful with Recorder > 0.
+	CtxGap int
 }
 
 // DefaultConfig mirrors Table 1: 2K/1K/32K bits.
@@ -92,8 +115,9 @@ type Stats struct {
 // therefore allocates only while the stack or a frame's slot count
 // grows past its high-water mark.
 type activation struct {
-	img *tables.FuncImage
-	bsv []tables.Status
+	img  *tables.FuncImage
+	base uint64 // entry address the frame was pushed for (forensics)
+	bsv  []tables.Status
 }
 
 func (a *activation) bits() (bsv, bcv, bat int) {
@@ -128,6 +152,17 @@ type Machine struct {
 	// view of; reused (truncated, never freed) across batches.
 	batchAlarms []Alarm
 
+	// Flight recorder (nil when Config.Recorder == 0) and the bounded
+	// ring of captured alarm contexts; see recorder.go. ctxGap/ctxNext
+	// implement the alarm-storm capture throttle.
+	rec      recorder
+	ctxBuf   []AlarmContext
+	ctxStart int
+	ctxN     int
+	ctxGap   int
+	ctxNext  uint64
+	ctxTotal uint64
+
 	alarms *alarmRing
 	sink   EventSink
 	met    *machineMetrics
@@ -135,14 +170,30 @@ type Machine struct {
 	seq    uint64
 }
 
-// New creates a machine for a program's table image.
+// New creates a machine for a program's table image. With
+// cfg.Recorder > 0 the flight-recorder ring and the alarm-context ring
+// are preallocated here, so enabling forensics never allocates on the
+// serve path later.
 func New(img *tables.Image, cfg Config) *Machine {
-	return &Machine{
+	m := &Machine{
 		img:    img,
 		cfg:    cfg,
 		alarms: newAlarmRing(cfg.AlarmBuffer),
+		rec:    newRecorder(cfg.Recorder),
 		met:    &machineMetrics{}, // disabled until Instrument
 	}
+	if m.rec.enabled() {
+		n := cfg.AlarmCtxBuffer
+		if n <= 0 {
+			n = DefaultAlarmCtxBuffer
+		}
+		m.ctxBuf = make([]AlarmContext, n)
+		m.ctxGap = cfg.CtxGap
+		if m.ctxGap == 0 {
+			m.ctxGap = DefaultCtxGap
+		}
+	}
+	return m
 }
 
 // Reset clears all state, keeping the image, configuration, any
@@ -154,6 +205,8 @@ func (m *Machine) Reset() {
 	m.bsvBits, m.bcvBits, m.batBits = 0, 0, 0
 	m.batchAlarms = m.batchAlarms[:0]
 	m.alarms.reset()
+	m.rec.reset()
+	m.ctxStart, m.ctxN, m.ctxNext, m.ctxTotal = 0, 0, 0, 0
 	m.stats = Stats{}
 	m.seq = 0
 	m.syncGauges()
@@ -178,6 +231,7 @@ func (m *Machine) EnterFunc(base uint64) {
 	}
 	act := &m.stack[n]
 	act.img = img
+	act.base = base
 	if img != nil {
 		if cap(act.bsv) >= img.NumSlots {
 			act.bsv = act.bsv[:img.NumSlots]
@@ -193,6 +247,7 @@ func (m *Machine) EnterFunc(base uint64) {
 	m.bcvBits += b2
 	m.batBits += b3
 	m.spillToFit()
+	m.record(EvEnter, base, false, 0)
 	m.emit(Event{Kind: EvEnter, Seq: m.seq, Depth: len(m.stack), Base: base})
 	m.syncGauges()
 }
@@ -212,6 +267,7 @@ func (m *Machine) LeaveFunc() {
 		// The popped frame was itself spilled (cannot happen with the
 		// fill-on-pop policy, but keep the invariant safe).
 		m.resident = len(m.stack)
+		m.record(EvLeave, 0, false, 0)
 		m.emit(Event{Kind: EvLeave, Seq: m.seq, Depth: len(m.stack)})
 		m.syncGauges()
 		return
@@ -223,6 +279,7 @@ func (m *Machine) LeaveFunc() {
 	if m.resident > 0 && m.resident == len(m.stack) && len(m.stack) > 0 {
 		m.fillTop()
 	}
+	m.record(EvLeave, 0, false, 0)
 	m.emit(Event{Kind: EvLeave, Seq: m.seq, Depth: len(m.stack)})
 	m.syncGauges()
 }
@@ -244,6 +301,7 @@ func (m *Machine) spillToFit() {
 			mm.spillEvents.Inc()
 			mm.spillBits.Add(uint64(b1 + b2 + b3))
 		}
+		m.record(EvSpill, 0, false, b1+b2+b3)
 		m.emit(Event{Kind: EvSpill, Seq: m.seq, Depth: len(m.stack), Bits: b1 + b2 + b3})
 	}
 }
@@ -261,6 +319,7 @@ func (m *Machine) fillTop() {
 		mm.fillEvents.Inc()
 		mm.fillBits.Add(uint64(b1 + b2 + b3))
 	}
+	m.record(EvFill, 0, false, b1+b2+b3)
 	m.emit(Event{Kind: EvFill, Seq: m.seq, Depth: len(m.stack), Bits: b1 + b2 + b3})
 	m.spillToFit()
 }
@@ -275,6 +334,9 @@ func (m *Machine) branch(pc uint64, taken bool) (alarm Alarm, fired bool, cost i
 	m.seq++
 	m.stats.Branches++
 	m.met.branches.Inc()
+	// Record before verifying, so the violating branch is always the
+	// last entry of a captured context's recent-event window.
+	m.record(EvBranch, pc, taken, 0)
 	if len(m.stack) == 0 {
 		return Alarm{}, false, 1
 	}
@@ -385,6 +447,14 @@ func (m *Machine) pushAlarm(a Alarm) {
 	m.alarms.push(a)
 	m.stats.Alarms++
 	m.met.alarms.Inc()
+	if m.rec.enabled() {
+		if m.ctxGap < 0 {
+			m.captureContext(a)
+		} else if a.Seq >= m.ctxNext {
+			m.captureContext(a)
+			m.ctxNext = a.Seq + uint64(m.ctxGap)
+		}
+	}
 	if m.alarms.dropped != before {
 		m.stats.AlarmsDropped++
 		m.met.alarmsDropped.Inc()

@@ -1,0 +1,327 @@
+package ipds
+
+// Flight recorder: a fixed-size, value-typed ring of the last N
+// committed events the machine processed — function entries and
+// returns, every committed conditional branch with its direction, and
+// table-frame spill/fill traffic. When verification raises an alarm the
+// machine snapshots the ring (plus the activation stack and the
+// alarming frame's branch-status vector) into an AlarmContext, turning
+// the alarm from a bare (PC, direction) pair into a self-contained
+// forensic record of how execution reached the infeasible path.
+//
+// Everything here is built for the zero-allocation serve path: the ring
+// is preallocated when the machine is created, recording is a struct
+// store into it, and context capture reuses the slices of a bounded
+// context ring, so a warmed machine records and captures without
+// touching the heap — TestOnBatchZeroAlloc gates exactly that with the
+// recorder enabled.
+
+import "repro/internal/tables"
+
+// DefaultRecorderDepth is the flight-recorder ring capacity selected by
+// Config.Recorder = 0 when a caller (the daemon) asks for forensics
+// without sizing them. 64 events cover several protocol phases of the
+// paper's workloads while keeping a context frame around 1KiB on the
+// wire.
+const DefaultRecorderDepth = 64
+
+// DefaultAlarmCtxBuffer is the number of alarm contexts retained when
+// Config.AlarmCtxBuffer is zero. Contexts are much heavier than alarms
+// (each carries a ring snapshot), so the ring is intentionally shallow:
+// forensics want the latest violations, the alarm ring keeps the count.
+const DefaultAlarmCtxBuffer = 8
+
+// DefaultCtxGap is the alarm-storm capture throttle selected by
+// Config.CtxGap = 0: after a forensic capture, the branch sequence
+// must advance 2048 events before the next alarm is snapshotted.
+// Sparse alarms always capture; at flood rates (every branch
+// alarming) the capture cost is bounded to one snapshot per gap
+// instead of one per alarm, which is what keeps the recorder's serve
+// path overhead a few percent even under wholesale tampering.
+const DefaultCtxGap = 2048
+
+// MaxContextStack bounds the activation-stack snapshot in an
+// AlarmContext to the innermost frames. The cap keeps capture O(1) no
+// matter how deep the activation stack grows (looped replays of a
+// trace that never returns from its entry function grow it without
+// bound), and it keeps every context within the wire protocol's
+// per-frame stack limit. The innermost frames are the forensically
+// interesting ones — they name the violating function and its callers;
+// each window event still carries the full depth in RecEvent.Depth.
+const MaxContextStack = 64
+
+// RecEvent is one flight-recorder entry. PC carries the function base
+// (EvEnter), the branch address (EvBranch) or is zero (EvLeave); Bits
+// is the table traffic of a spill/fill. Depth is the table-stack depth
+// after the event, Seq the branch-event sequence number at recording
+// time.
+type RecEvent struct {
+	Seq   uint64
+	PC    uint64
+	Kind  EventKind
+	Taken bool
+	Depth int32
+	Bits  int32
+}
+
+// StackEntry summarises one activation frame in an AlarmContext: the
+// function's code base and its name ("" for unprotected library frames
+// that pushed an inert activation).
+type StackEntry struct {
+	Base uint64
+	Func string
+}
+
+// AlarmContext is the forensic record captured when an alarm fires:
+// the alarm itself, the recorder's recent-event window (oldest first —
+// the violating branch is always the last entry), the activation stack
+// at the moment of violation (outermost kept frame first, truncated to
+// the innermost MaxContextStack frames), and the alarming frame's
+// branch-status vector as the BAT update actions had left it.
+// Recorded is the recorder's lifetime event count, so a consumer can
+// tell how much history scrolled out of the window.
+type AlarmContext struct {
+	Alarm    Alarm
+	Recorded uint64
+	Recent   []RecEvent
+	Stack    []StackEntry
+	BSV      []tables.Status
+}
+
+// CopyInto deep-copies the context into dst, reusing dst's slice
+// capacity. Steady-state consumers (the daemon's per-session forensic
+// snapshot) therefore copy contexts without allocating once warmed.
+func (c *AlarmContext) CopyInto(dst *AlarmContext) {
+	dst.Alarm = c.Alarm
+	dst.Recorded = c.Recorded
+	dst.Recent = append(dst.Recent[:0], c.Recent...)
+	dst.Stack = append(dst.Stack[:0], c.Stack...)
+	dst.BSV = append(dst.BSV[:0], c.BSV...)
+}
+
+// recSlot is the ring's internal event encoding: 24 bytes instead of
+// RecEvent's 32, written with three stores instead of six. The small
+// fields share one word — kind in bits 0..7, taken in bit 8, depth in
+// bits 9..31 (truncated past 2^23 frames; forensics past eight million
+// activations are not a regime the recorder serves), spill/fill bits in
+// the high word. Slots are unpacked into RecEvent only at snapshot
+// time, off the serve path.
+type recSlot struct {
+	seq, pc, meta uint64
+}
+
+const recDepthMask = 1<<23 - 1
+
+func (s *recSlot) unpack() RecEvent {
+	return RecEvent{
+		Seq:   s.seq,
+		PC:    s.pc,
+		Kind:  EventKind(s.meta & 0xff),
+		Taken: s.meta&(1<<8) != 0,
+		Depth: int32(s.meta >> 9 & recDepthMask),
+		Bits:  int32(uint32(s.meta >> 32)),
+	}
+}
+
+// recorder is the fixed-capacity event ring. Unlike alarmRing it stores
+// small value events and overwrites silently: losing old history is the
+// point of a flight recorder, and total tracks how much was seen. The
+// capacity is rounded up to a power of two so the per-event index math
+// is a mask (total & (len-1)), not a division — record runs on every
+// committed event of the serve path. The struct is embedded by value in
+// Machine: the ring cursor lives on the machine's own cache lines, so
+// recording never dirties a second heap object. A disabled recorder is
+// the zero value (nil buf).
+type recorder struct {
+	buf   []recSlot
+	total uint64
+}
+
+func newRecorder(capacity int) recorder {
+	if capacity <= 0 {
+		return recorder{}
+	}
+	pow := 1
+	for pow < capacity {
+		pow <<= 1
+	}
+	return recorder{buf: make([]recSlot, pow)}
+}
+
+// enabled reports whether the ring exists (Config.Recorder > 0).
+func (r *recorder) enabled() bool { return len(r.buf) != 0 }
+
+// push packs and stores one boxed event, overwriting the oldest when
+// full — the seeding/test path. The serve path bypasses the box and
+// writes slot words in place via Machine.record.
+func (r *recorder) push(e RecEvent) {
+	t := uint64(0)
+	if e.Taken {
+		t = 1
+	}
+	s := &r.buf[r.total&uint64(len(r.buf)-1)]
+	r.total++
+	s.seq = e.Seq
+	s.pc = e.PC
+	s.meta = uint64(e.Kind)&0xff | t<<8 |
+		(uint64(uint32(e.Depth))&recDepthMask)<<9 | uint64(uint32(e.Bits))<<32
+}
+
+// live returns the number of events currently held in the window.
+func (r *recorder) live() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// snapshotInto appends the live window, oldest first, onto dst (which
+// the caller has truncated); dst's capacity is reused.
+func (r *recorder) snapshotInto(dst []RecEvent) []RecEvent {
+	n := uint64(r.live())
+	mask := uint64(len(r.buf) - 1)
+	for i := r.total - n; i != r.total; i++ {
+		dst = append(dst, r.buf[i&mask].unpack())
+	}
+	return dst
+}
+
+func (r *recorder) reset() {
+	r.total = 0
+}
+
+// record stores one event in the flight recorder; a disabled recorder
+// costs the length check. The slot is written in place and packed —
+// three word stores per event, no temporary RecEvent — and the len-1
+// index lets the compiler drop the bounds check.
+func (m *Machine) record(kind EventKind, pc uint64, taken bool, bits int) {
+	r := &m.rec
+	if len(r.buf) == 0 {
+		return
+	}
+	t := uint64(0)
+	if taken {
+		t = 1
+	}
+	s := &r.buf[r.total&uint64(len(r.buf)-1)]
+	r.total++
+	s.seq = m.seq
+	s.pc = pc
+	s.meta = uint64(kind)&0xff | t<<8 |
+		(uint64(len(m.stack))&recDepthMask)<<9 | uint64(uint32(bits))<<32
+}
+
+// captureContext snapshots the flight recorder, activation stack
+// (innermost MaxContextStack frames) and alarming frame's BSV into the
+// next slot of the bounded context ring. Slot slices are reused
+// (truncate + append), so capture allocates only while a slot grows
+// past its high-water mark, and the stack cap keeps each capture O(1)
+// even when a looped replay grows the live stack without bound.
+func (m *Machine) captureContext(a Alarm) {
+	m.ctxTotal++
+	var dst *AlarmContext
+	if m.ctxN < len(m.ctxBuf) {
+		dst = &m.ctxBuf[(m.ctxStart+m.ctxN)%len(m.ctxBuf)]
+		m.ctxN++
+	} else {
+		dst = &m.ctxBuf[m.ctxStart]
+		m.ctxStart = (m.ctxStart + 1) % len(m.ctxBuf)
+	}
+	dst.Alarm = a
+	dst.Recorded = m.rec.total
+	dst.Recent = m.rec.snapshotInto(dst.Recent[:0])
+	dst.Stack = dst.Stack[:0]
+	lo := 0
+	if len(m.stack) > MaxContextStack {
+		lo = len(m.stack) - MaxContextStack
+	}
+	for i := lo; i < len(m.stack); i++ {
+		act := &m.stack[i]
+		e := StackEntry{Base: act.base}
+		if act.img != nil {
+			e.Func = act.img.Name
+		}
+		dst.Stack = append(dst.Stack, e)
+	}
+	dst.BSV = dst.BSV[:0]
+	if top := &m.stack[len(m.stack)-1]; top.img != nil {
+		dst.BSV = append(dst.BSV, top.bsv...)
+	}
+}
+
+// RecorderDepth returns the flight-recorder ring capacity (0 when the
+// recorder is disabled).
+func (m *Machine) RecorderDepth() int {
+	return len(m.rec.buf)
+}
+
+// RecorderLive returns the number of events currently held in the
+// flight-recorder window.
+func (m *Machine) RecorderLive() int {
+	return m.rec.live()
+}
+
+// RecorderTotal returns the recorder's lifetime event count (how many
+// events have passed through the window since the last Reset).
+func (m *Machine) RecorderTotal() uint64 {
+	return m.rec.total
+}
+
+// ContextFor returns the retained alarm context whose alarm carries the
+// given sequence number, or nil. The pointer aims into the machine's
+// context ring: it is valid until the ring slot is overwritten by a
+// later alarm (the daemon consumes contexts immediately after each
+// OnBatch, inside the machine's single-owner discipline).
+func (m *Machine) ContextFor(seq uint64) *AlarmContext {
+	for i := m.ctxN - 1; i >= 0; i-- {
+		c := &m.ctxBuf[(m.ctxStart+i)%len(m.ctxBuf)]
+		if c.Alarm.Seq == seq {
+			return c
+		}
+	}
+	return nil
+}
+
+// LastContext returns the most recently captured alarm context (nil
+// when no alarm has fired or the recorder is disabled). Same ownership
+// rule as ContextFor.
+func (m *Machine) LastContext() *AlarmContext {
+	if m.ctxN == 0 {
+		return nil
+	}
+	return &m.ctxBuf[(m.ctxStart+m.ctxN-1)%len(m.ctxBuf)]
+}
+
+// CtxCaptured returns the lifetime count of forensic captures (alarms
+// that passed the storm throttle and were snapshotted). A consumer
+// that drains the context ring incrementally — the daemon does, once
+// per batch — compares this against its own high-water mark to find
+// how many ring entries are new, paying nothing when none are.
+func (m *Machine) CtxCaptured() uint64 { return m.ctxTotal }
+
+// ContextCount returns the number of contexts currently retained.
+func (m *Machine) ContextCount() int { return m.ctxN }
+
+// ContextAt returns the i-th retained context, oldest first (nil when
+// out of range). Same ownership rule as ContextFor: the pointer aims
+// into the ring and is valid until that slot is overwritten.
+func (m *Machine) ContextAt(i int) *AlarmContext {
+	if i < 0 || i >= m.ctxN {
+		return nil
+	}
+	return &m.ctxBuf[(m.ctxStart+i)%len(m.ctxBuf)]
+}
+
+// Contexts returns deep copies of the retained alarm contexts, oldest
+// first — the boxed, caller-owned view for CLIs and tests, off the hot
+// path.
+func (m *Machine) Contexts() []AlarmContext {
+	if m.ctxN == 0 {
+		return nil
+	}
+	out := make([]AlarmContext, m.ctxN)
+	for i := 0; i < m.ctxN; i++ {
+		m.ctxBuf[(m.ctxStart+i)%len(m.ctxBuf)].CopyInto(&out[i])
+	}
+	return out
+}

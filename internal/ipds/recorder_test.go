@@ -1,0 +1,368 @@
+package ipds
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// recorderConfig returns DefaultConfig with forensics enabled at the
+// given ring depth and the alarm-storm throttle off, so every alarm
+// captures a context (the per-alarm contract the unit tests pin).
+func recorderConfig(depth int) Config {
+	cfg := DefaultConfig
+	cfg.Recorder = depth
+	cfg.CtxGap = -1
+	return cfg
+}
+
+// tamperEvery flips every n-th branch direction of a copied trace.
+func tamperEvery(evs []wire.Event, n int) []wire.Event {
+	out := make([]wire.Event, len(evs))
+	copy(out, evs)
+	b := 0
+	for i := range out {
+		if out[i].Kind != wire.EvBranch {
+			continue
+		}
+		b++
+		if b%n == 0 {
+			out[i].Taken = !out[i].Taken
+		}
+	}
+	return out
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	r := newRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.push(RecEvent{
+			Seq:   uint64(i),
+			PC:    0x4000_0000 + uint64(i),
+			Kind:  EvBranch,
+			Taken: i%2 == 0,
+			Depth: int32(i),
+			Bits:  int32(100 * i),
+		})
+	}
+	if r.total != 10 {
+		t.Fatalf("total = %d, want 10", r.total)
+	}
+	got := r.snapshotInto(nil)
+	want := make([]RecEvent, 0, 4)
+	for i := 7; i <= 10; i++ {
+		want = append(want, RecEvent{
+			Seq:   uint64(i),
+			PC:    0x4000_0000 + uint64(i),
+			Kind:  EvBranch,
+			Taken: i%2 == 0,
+			Depth: int32(i),
+			Bits:  int32(100 * i),
+		})
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("window = %+v, want %+v", got, want)
+	}
+	// snapshotInto must reuse the destination's capacity.
+	buf := got[:0]
+	again := r.snapshotInto(buf)
+	if &again[0] != &got[0] {
+		t.Fatal("snapshotInto reallocated despite sufficient capacity")
+	}
+	r.reset()
+	if r.live() != 0 || r.total != 0 {
+		t.Fatalf("reset left live=%d total=%d", r.live(), r.total)
+	}
+}
+
+// TestRecorderDisabledByDefault: DefaultConfig machines carry no ring
+// and capture no contexts — forensics are strictly opt-in.
+func TestRecorderDisabledByDefault(t *testing.T) {
+	w, evs := benchTrace(t)
+	m := New(w.img, DefaultConfig)
+	m.OnBatch(tamperEvery(evs, 7))
+	if m.Stats().Alarms == 0 {
+		t.Fatal("tampered trace raised no alarms")
+	}
+	if m.RecorderDepth() != 0 || m.RecorderTotal() != 0 {
+		t.Fatalf("disabled recorder reports depth=%d total=%d", m.RecorderDepth(), m.RecorderTotal())
+	}
+	if m.LastContext() != nil || m.Contexts() != nil {
+		t.Fatal("disabled recorder captured contexts")
+	}
+}
+
+// TestAlarmContextCapture is the unit-level forensic contract: the
+// context of an alarm names the violating function and branch, ends its
+// recent-event window with the violating branch, carries the live
+// activation stack and the alarming frame's BSV.
+func TestAlarmContextCapture(t *testing.T) {
+	w, evs := benchTrace(t)
+	bent := tamperEvery(evs, 50)
+	m := New(w.img, recorderConfig(32))
+	alarms := append([]Alarm(nil), m.OnBatch(bent)...)
+	if len(alarms) == 0 {
+		t.Fatal("tampered trace raised no alarms")
+	}
+	if m.RecorderDepth() != 32 {
+		t.Fatalf("RecorderDepth = %d, want 32", m.RecorderDepth())
+	}
+	if m.RecorderTotal() != uint64(len(bent)) {
+		t.Fatalf("RecorderTotal = %d, want %d (every committed event recorded)", m.RecorderTotal(), len(bent))
+	}
+
+	ctxs := m.Contexts()
+	if len(ctxs) == 0 {
+		t.Fatal("no contexts captured")
+	}
+	// The retained contexts are the most recent alarms, in order.
+	tail := alarms
+	if len(tail) > len(ctxs) {
+		tail = tail[len(tail)-len(ctxs):]
+	}
+	for i, ctx := range ctxs {
+		a := tail[i]
+		if ctx.Alarm != a {
+			t.Fatalf("context %d pairs alarm %+v, want %+v", i, ctx.Alarm, a)
+		}
+		if len(ctx.Recent) == 0 {
+			t.Fatalf("context %d has an empty window", i)
+		}
+		last := ctx.Recent[len(ctx.Recent)-1]
+		if last.Kind != EvBranch || last.PC != a.PC || last.Seq != a.Seq || last.Taken != a.Taken {
+			t.Fatalf("context %d window does not end with the violating branch: %+v vs alarm %+v", i, last, a)
+		}
+		if len(ctx.Stack) == 0 {
+			t.Fatalf("context %d has an empty stack summary", i)
+		}
+		top := ctx.Stack[len(ctx.Stack)-1]
+		if top.Func != a.Func {
+			t.Fatalf("context %d stack top %q, alarm in %q", i, top.Func, a.Func)
+		}
+		if fi := w.img.FuncAt(top.Base); fi == nil || fi.Name != a.Func {
+			t.Fatalf("context %d stack top base %#x does not resolve to %q", i, top.Base, a.Func)
+		}
+		if want := w.img.FuncAt(top.Base).NumSlots; len(ctx.BSV) != want {
+			t.Fatalf("context %d BSV has %d slots, function has %d", i, len(ctx.BSV), want)
+		}
+	}
+
+	// ContextFor finds by alarm sequence number; LastContext is the
+	// newest capture.
+	lastAlarm := alarms[len(alarms)-1]
+	if c := m.ContextFor(lastAlarm.Seq); c == nil || c.Alarm != lastAlarm {
+		t.Fatalf("ContextFor(%d) = %+v", lastAlarm.Seq, c)
+	}
+	if c := m.LastContext(); c == nil || c.Alarm != lastAlarm {
+		t.Fatalf("LastContext() pairs %+v, want alarm %+v", c, lastAlarm)
+	}
+	if c := m.ContextFor(lastAlarm.Seq + 999); c != nil {
+		t.Fatalf("ContextFor on an unknown seq returned %+v", c)
+	}
+
+	// A full window holds exactly the ring depth.
+	if lc := m.LastContext(); m.RecorderTotal() > 32 && len(lc.Recent) != 32 {
+		t.Fatalf("full window holds %d events, want 32", len(lc.Recent))
+	}
+
+	// Reset clears forensic state but keeps the preallocated rings.
+	m.Reset()
+	if m.LastContext() != nil || m.RecorderTotal() != 0 || m.RecorderLive() != 0 {
+		t.Fatal("Reset left forensic state behind")
+	}
+	if m.RecorderDepth() != 32 {
+		t.Fatalf("Reset dropped the ring (depth %d)", m.RecorderDepth())
+	}
+}
+
+// TestAlarmContextRingBounds: more alarms than AlarmCtxBuffer retains
+// only the newest contexts.
+func TestAlarmContextRingBounds(t *testing.T) {
+	w, evs := benchTrace(t)
+	bent := tamperEvery(evs, 7)
+	cfg := recorderConfig(16)
+	cfg.AlarmCtxBuffer = 3
+	m := New(w.img, cfg)
+	alarms := append([]Alarm(nil), m.OnBatch(bent)...)
+	if len(alarms) <= 3 {
+		t.Fatalf("need more than 3 alarms to exercise the ring, got %d", len(alarms))
+	}
+	ctxs := m.Contexts()
+	if len(ctxs) != 3 {
+		t.Fatalf("retained %d contexts, want 3", len(ctxs))
+	}
+	for i, ctx := range ctxs {
+		if want := alarms[len(alarms)-3+i]; ctx.Alarm != want {
+			t.Fatalf("context %d is for %+v, want %+v", i, ctx.Alarm, want)
+		}
+	}
+	// Overwritten contexts are no longer findable.
+	if c := m.ContextFor(alarms[0].Seq); c != nil {
+		t.Fatalf("evicted context still findable: %+v", c)
+	}
+}
+
+// TestRecorderDoesNotChangeVerdicts: forensics are observation only —
+// alarms, stats and final machine state are identical with the recorder
+// on and off, clean and tampered.
+func TestRecorderDoesNotChangeVerdicts(t *testing.T) {
+	w, evs := benchTrace(t)
+	for name, trace := range map[string][]wire.Event{"clean": evs, "tampered": tamperEvery(evs, 11)} {
+		ref := New(w.img, DefaultConfig)
+		refAlarms := append([]Alarm(nil), ref.OnBatch(trace)...)
+		rec := New(w.img, recorderConfig(64))
+		recAlarms := append([]Alarm(nil), rec.OnBatch(trace)...)
+		if !reflect.DeepEqual(refAlarms, recAlarms) {
+			t.Errorf("%s: alarms diverge with recorder on", name)
+		}
+		if ref.Stats() != rec.Stats() {
+			t.Errorf("%s: stats diverge:\n off %+v\n on  %+v", name, ref.Stats(), rec.Stats())
+		}
+		if ref.Depth() != rec.Depth() {
+			t.Errorf("%s: depth %d != %d", name, rec.Depth(), ref.Depth())
+		}
+	}
+}
+
+// TestCopyIntoReusesCapacity: the daemon's per-session snapshot path
+// relies on CopyInto being allocation-free once warmed.
+func TestCopyIntoReusesCapacity(t *testing.T) {
+	w, evs := benchTrace(t)
+	m := New(w.img, recorderConfig(32))
+	m.OnBatch(tamperEvery(evs, 7))
+	src := m.LastContext()
+	if src == nil {
+		t.Fatal("no context captured")
+	}
+	var dst AlarmContext
+	src.CopyInto(&dst)
+	if !reflect.DeepEqual(*src, dst) {
+		t.Fatal("CopyInto did not produce an equal context")
+	}
+	if n := testing.AllocsPerRun(20, func() { src.CopyInto(&dst) }); n != 0 {
+		t.Fatalf("warmed CopyInto allocates %v per run, want 0", n)
+	}
+}
+
+// sinkRecorder collects the sink stream with alarms flattened to values
+// so streams from different machines compare by value.
+type sinkEvent struct {
+	Kind  EventKind
+	Seq   uint64
+	Depth int
+	Bits  int
+	Base  uint64
+	Alarm Alarm
+}
+
+func collectSink(m *Machine) *[]sinkEvent {
+	var out []sinkEvent
+	m.SetEventSink(FuncSink(func(e Event) {
+		se := sinkEvent{Kind: e.Kind, Seq: e.Seq, Depth: e.Depth, Bits: e.Bits, Base: e.Base}
+		if e.Alarm != nil {
+			se.Alarm = *e.Alarm
+		}
+		out = append(out, se)
+	}))
+	return &out
+}
+
+// TestEventSinkBatchedEquivalence pins the documented EventSink
+// contract: the per-event path and the batched path publish the same
+// event stream — same kinds, order, Seq and Depth — and raise the same
+// alarms and Stats, with or without the flight recorder attached.
+func TestEventSinkBatchedEquivalence(t *testing.T) {
+	w, evs := benchTrace(t)
+	bent := tamperEvery(evs, 9)
+	for _, cfg := range []Config{DefaultConfig, recorderConfig(64)} {
+		perEvent := New(w.img, cfg)
+		perStream := collectSink(perEvent)
+		replayPerEvent(perEvent, bent)
+
+		batched := New(w.img, cfg)
+		batStream := collectSink(batched)
+		batched.OnBatch(bent)
+
+		if !reflect.DeepEqual(*perStream, *batStream) {
+			t.Fatalf("recorder=%d: sink streams diverge (%d vs %d events)",
+				cfg.Recorder, len(*perStream), len(*batStream))
+		}
+		if perEvent.Stats() != batched.Stats() {
+			t.Fatalf("recorder=%d: stats diverge", cfg.Recorder)
+		}
+		if !reflect.DeepEqual(perEvent.Alarms(), batched.Alarms()) {
+			t.Fatalf("recorder=%d: retained alarms diverge", cfg.Recorder)
+		}
+		if cfg.Recorder > 0 && !reflect.DeepEqual(perEvent.Contexts(), batched.Contexts()) {
+			t.Fatalf("recorder=%d: captured contexts diverge", cfg.Recorder)
+		}
+	}
+}
+
+// TestAlarmContextStackCap: a machine whose activation stack has grown
+// far past MaxContextStack (as looped replays of a trace that never
+// returns from its entry function do) still captures contexts, keeps
+// only the innermost MaxContextStack frames, and the kept frames end
+// with the violating function.
+func TestAlarmContextStackCap(t *testing.T) {
+	w, evs := benchTrace(t)
+	m := New(w.img, recorderConfig(16))
+	for i := 0; i < MaxContextStack+50; i++ {
+		m.EnterFunc(0xdead_0000 + uint64(i)) // inert library activations
+	}
+	m.OnBatch(tamperEvery(evs, 50))
+	ctx := m.LastContext()
+	if ctx == nil {
+		t.Fatal("no context captured")
+	}
+	if len(ctx.Stack) != MaxContextStack {
+		t.Fatalf("stack summary has %d frames, want the cap %d", len(ctx.Stack), MaxContextStack)
+	}
+	if top := ctx.Stack[len(ctx.Stack)-1]; top.Func != ctx.Alarm.Func {
+		t.Fatalf("capped stack top = %q, want violating function %q", top.Func, ctx.Alarm.Func)
+	}
+}
+
+// TestAlarmContextThrottle: with the default CtxGap an alarm storm is
+// counted in full but snapshotted sparsely — captures happen at most
+// once per gap of branch sequence, and a sparse alarm (first of a
+// storm, or any alarm after a quiet stretch) always captures.
+func TestAlarmContextThrottle(t *testing.T) {
+	w, evs := benchTrace(t)
+	cfg := DefaultConfig
+	cfg.Recorder = 16 // CtxGap 0 -> DefaultCtxGap
+	m := New(w.img, cfg)
+	bent := tamperEvery(evs, 3) // dense flood
+	alarms := append([]Alarm(nil), m.OnBatch(bent)...)
+	if len(alarms) < 4 {
+		t.Fatalf("flood raised only %d alarms", len(alarms))
+	}
+	ctxs := m.Contexts()
+	if len(ctxs) == 0 {
+		t.Fatal("throttle suppressed every capture (first alarm must capture)")
+	}
+	if ctxs[0].Alarm != alarms[0] {
+		t.Fatalf("first capture = %+v, want the storm's first alarm %+v", ctxs[0].Alarm, alarms[0])
+	}
+	// Every captured pair is at least a gap apart; alarms were denser.
+	for i := 1; i < len(ctxs); i++ {
+		if d := ctxs[i].Alarm.Seq - ctxs[i-1].Alarm.Seq; d < DefaultCtxGap {
+			t.Fatalf("captures %d and %d only %d apart (gap %d)", i-1, i, d, DefaultCtxGap)
+		}
+	}
+	if len(ctxs) >= len(alarms) {
+		t.Fatalf("throttle captured %d contexts for %d alarms", len(ctxs), len(alarms))
+	}
+
+	// CtxGap < 0 turns the throttle off: one context per alarm.
+	off := New(w.img, recorderConfig(16))
+	offAlarms := append([]Alarm(nil), off.OnBatch(bent)...)
+	want := len(offAlarms)
+	if want > len(off.Contexts()) && len(off.Contexts()) == cap(off.ctxBuf) {
+		want = cap(off.ctxBuf)
+	}
+	if got := len(off.Contexts()); got != want && got != DefaultAlarmCtxBuffer {
+		t.Fatalf("throttle-off captured %d contexts for %d alarms", got, len(offAlarms))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -41,6 +42,20 @@ type Config struct {
 	// OnAlarm, when set, observes each alarm as it arrives (called
 	// from the client's reader goroutine).
 	OnAlarm func(wire.Alarm)
+
+	// OnAlarmCtx, when set, observes each forensic alarm context as it
+	// arrives (called from the reader goroutine). A daemon running with
+	// its flight recorder enabled (the default) follows every Alarm
+	// frame with the AlarmCtx that annotates it, paired by Seq.
+	OnAlarmCtx func(wire.AlarmCtx)
+
+	// DiscardCtx makes the client count AlarmCtx frames without
+	// decoding or retaining them: AlarmContexts stays empty and
+	// OnAlarmCtx is never called, but CtxCount still tallies every
+	// frame. Load generation uses this — at adversarial alarm rates
+	// the forensic stream is bulky, and decoding it in-process would
+	// measure the client's allocator instead of the daemon.
+	DiscardCtx bool
 }
 
 func (c Config) withDefaults() Config {
@@ -77,9 +92,12 @@ type Client struct {
 	sent     uint64 // events flushed
 	branches uint64 // branch events flushed
 
+	ctxN atomic.Uint64 // AlarmCtx frames seen (decoded or discarded)
+
 	mu        sync.Mutex
 	marks     []batchMark
 	alarms    []wire.Alarm
+	ctxs      []wire.AlarmCtx
 	acked     uint64
 	ackLat    []time.Duration
 	alarmLat  []time.Duration
@@ -160,7 +178,17 @@ func DialConn(conn net.Conn, cfg Config) (*Client, error) {
 func (c *Client) readLoop(rd *wire.Reader) {
 	defer close(c.readerD)
 	for {
-		f, err := rd.Next()
+		typ, raw, err := rd.NextHeader()
+		if err == nil && typ == wire.TypeAlarmCtx {
+			c.ctxN.Add(1)
+			if c.cfg.DiscardCtx {
+				continue // counted, never decoded
+			}
+		}
+		var f wire.Frame
+		if err == nil {
+			f, err = wire.Decode(raw)
+		}
 		if err != nil {
 			c.mu.Lock()
 			c.readerErr = err
@@ -199,6 +227,13 @@ func (c *Client) readLoop(rd *wire.Reader) {
 			c.mu.Unlock()
 			if c.cfg.OnAlarm != nil {
 				c.cfg.OnAlarm(fr)
+			}
+		case wire.AlarmCtx:
+			c.mu.Lock()
+			c.ctxs = append(c.ctxs, fr)
+			c.mu.Unlock()
+			if c.cfg.OnAlarmCtx != nil {
+				c.cfg.OnAlarmCtx(fr)
 			}
 		case wire.Error:
 			e := fr
@@ -350,6 +385,21 @@ func (c *Client) Alarms() []wire.Alarm {
 	copy(out, c.alarms)
 	return out
 }
+
+// AlarmContexts returns the forensic contexts received so far (in
+// delivery order, one per alarm the daemon had a retained context
+// for). Always empty under Config.DiscardCtx — use CtxCount there.
+func (c *Client) AlarmContexts() []wire.AlarmCtx {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.AlarmCtx, len(c.ctxs))
+	copy(out, c.ctxs)
+	return out
+}
+
+// CtxCount returns the number of AlarmCtx frames received so far,
+// whether decoded or discarded by Config.DiscardCtx.
+func (c *Client) CtxCount() uint64 { return c.ctxN.Load() }
 
 // Acked returns the server's cumulative verified-event count.
 func (c *Client) Acked() uint64 {

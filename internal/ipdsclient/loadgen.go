@@ -42,6 +42,7 @@ type LoadResult struct {
 	Sessions  int
 	Events    uint64        // total events verified across sessions
 	Alarms    uint64        // total alarms delivered
+	AlarmCtxs uint64        // forensic AlarmCtx frames delivered
 	Elapsed   time.Duration // wall clock, dial to last drain
 	EventsSec float64       // Events / Elapsed
 
@@ -71,6 +72,7 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		mu       sync.Mutex
 		events   uint64
 		alarms   uint64
+		ctxs     uint64
 		ackLat   []time.Duration
 		alarmLat []time.Duration
 		errs     []error
@@ -126,6 +128,9 @@ func RunLoad(cfg LoadConfig) LoadResult {
 				Program: fmt.Sprintf("%s#%d", cfg.Program, id),
 				Batch:   cfg.Batch,
 				Timeout: cfg.Timeout,
+				// Forensic contexts are counted, not decoded: the load
+				// run measures the daemon, not this process's allocator.
+				DiscardCtx: true,
 			})
 			if err != nil {
 				mu.Lock()
@@ -165,6 +170,7 @@ func RunLoad(cfg LoadConfig) LoadResult {
 			mu.Lock()
 			events += c.Acked()
 			alarms += uint64(len(c.Alarms()))
+			ctxs += c.CtxCount()
 			ackLat = append(ackLat, ack...)
 			alarmLat = append(alarmLat, al...)
 			mu.Unlock()
@@ -173,17 +179,18 @@ func RunLoad(cfg LoadConfig) LoadResult {
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := LoadResult{
-		Sessions: cfg.Sessions,
-		Events:   events,
-		Alarms:   alarms,
-		Elapsed:  elapsed,
-		AckP50:   Percentile(ackLat, 0.50),
-		AckP95:   Percentile(ackLat, 0.95),
-		AckP99:   Percentile(ackLat, 0.99),
-		AlarmP50: Percentile(alarmLat, 0.50),
-		AlarmP95: Percentile(alarmLat, 0.95),
-		AlarmP99: Percentile(alarmLat, 0.99),
-		Errors:   errs,
+		Sessions:  cfg.Sessions,
+		Events:    events,
+		Alarms:    alarms,
+		AlarmCtxs: ctxs,
+		Elapsed:   elapsed,
+		AckP50:    Percentile(ackLat, 0.50),
+		AckP95:    Percentile(ackLat, 0.95),
+		AckP99:    Percentile(ackLat, 0.99),
+		AlarmP50:  Percentile(alarmLat, 0.50),
+		AlarmP95:  Percentile(alarmLat, 0.95),
+		AlarmP99:  Percentile(alarmLat, 0.99),
+		Errors:    errs,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.EventsSec = float64(events) / secs

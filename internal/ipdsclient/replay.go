@@ -77,6 +77,52 @@ func ReplayLocalBatched(m *ipds.Machine, evs []wire.Event, batch int) []ipds.Ala
 	return out
 }
 
+// WireContext converts a machine-captured forensic context to its wire
+// frame form — the same mapping the daemon's no-box encoder performs
+// when it follows an Alarm frame with an AlarmCtx. Tests use it to hold
+// the daemon's forensics byte-identical to an in-process machine's:
+// WireContext over the local machine's context must equal the AlarmCtx
+// the client received. Spill/fill events carry their bits moved in the
+// wire event's PC slot, as the wire format specifies.
+func WireContext(c *ipds.AlarmContext) wire.AlarmCtx {
+	out := wire.AlarmCtx{
+		Seq:      c.Alarm.Seq,
+		Recorded: c.Recorded,
+	}
+	if len(c.Stack) > 0 {
+		out.Stack = make([]wire.CtxFrame, len(c.Stack))
+		for i, fr := range c.Stack {
+			out.Stack[i] = wire.CtxFrame{Base: fr.Base, Func: fr.Func}
+		}
+	}
+	if len(c.Recent) > 0 {
+		out.Recent = make([]wire.CtxEvent, len(c.Recent))
+		for i, ev := range c.Recent {
+			we := wire.CtxEvent{Seq: ev.Seq, Depth: uint32(ev.Depth)}
+			switch ev.Kind {
+			case ipds.EvEnter:
+				we.Kind, we.PC = wire.EvEnter, ev.PC
+			case ipds.EvLeave:
+				we.Kind = wire.EvLeave
+			case ipds.EvBranch:
+				we.Kind, we.PC, we.Taken = wire.EvBranch, ev.PC, ev.Taken
+			case ipds.EvSpill:
+				we.Kind, we.PC = wire.EvSpill, uint64(uint32(ev.Bits))
+			case ipds.EvFill:
+				we.Kind, we.PC = wire.EvFill, uint64(uint32(ev.Bits))
+			}
+			out.Recent[i] = we
+		}
+	}
+	if len(c.BSV) > 0 {
+		out.BSV = make([]uint8, len(c.BSV))
+		for i, st := range c.BSV {
+			out.BSV[i] = uint8(st)
+		}
+	}
+	return out
+}
+
 // ReplayLocal feeds a trace to an in-process ipds.Machine and returns
 // every alarm raised, in order. This is the reference the remote path
 // must match byte for byte: the daemon runs the same machine over the

@@ -54,11 +54,18 @@ func NewMux(r *Registry) *http.ServeMux {
 // in a background goroutine. It returns the server (Close it to stop)
 // and the bound address, useful when addr requested port 0.
 func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	return ServeHandler(addr, NewMux(r))
+}
+
+// ServeHandler is Serve for a caller-built handler — typically an
+// obs.NewMux the caller has mounted extra endpoints on (ipdsd adds the
+// daemon's /debug/sessions next to /metrics this way).
+func ServeHandler(addr string, h http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: NewMux(r)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

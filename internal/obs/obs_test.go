@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -232,5 +233,75 @@ func TestHistSnapshotQuantile(t *testing.T) {
 	z.Observe(0)
 	if got := z.Snapshot().Quantile(1); got != 0 {
 		t.Fatalf("all-zero p100 = %d, want 0", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the full text exposition format byte
+// for byte: sorted counters, then gauges, then histograms; cumulative
+// _bucket counts with exact power-of-two upper edges; empty buckets
+// skipped; every histogram closed by le="+Inf" == _count plus _sum and
+// _count series; labels composed with le last. Scrapers parse this
+// surface — any drift is a regression, not a formatting choice.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alarms_total").Add(7)
+	r.Counter(Name("events_total", "workload", "ftpd")).Add(100)
+	r.Gauge("sessions_active").Set(2)
+
+	v := r.Histogram("verify_ns")
+	for _, obs := range []uint64{0, 1, 1, 6, 200} {
+		v.Observe(obs)
+	}
+	// An observation past the last finite bucket saturates into it.
+	r.Histogram("sat").Observe(1 << 40)
+	r.Histogram(Name("wait_ns", "shard", "0")).Observe(9)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	want := `alarms_total 7
+events_total{workload="ftpd"} 100
+sessions_active 2
+sat_bucket{le="4294967295"} 1
+sat_bucket{le="+Inf"} 1
+sat_sum 1099511627776
+sat_count 1
+verify_ns_bucket{le="0"} 1
+verify_ns_bucket{le="1"} 3
+verify_ns_bucket{le="7"} 4
+verify_ns_bucket{le="255"} 5
+verify_ns_bucket{le="+Inf"} 5
+verify_ns_sum 208
+verify_ns_count 5
+wait_ns_bucket{shard="0",le="15"} 1
+wait_ns_bucket{shard="0",le="+Inf"} 1
+wait_ns_sum{shard="0"} 9
+wait_ns_count{shard="0"} 1
+`
+	if got != want {
+		t.Fatalf("prometheus text drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Cumulative invariant, independent of the golden string: within
+	// each histogram the _bucket counts never decrease.
+	var last uint64
+	var cur string
+	for _, line := range strings.Split(got, "\n") {
+		i := strings.Index(line, "_bucket")
+		if i < 0 {
+			continue
+		}
+		if line[:i] != cur {
+			cur, last = line[:i], 0
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q (%d < %d)", line, n, last)
+		}
+		last = n
 	}
 }

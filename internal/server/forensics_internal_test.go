@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ipds"
+	"repro/internal/tables"
+	"repro/internal/wire"
+)
+
+// sampleCtx covers every recorder event kind, an unprotected ("") stack
+// frame, and a BSV with every status value.
+func sampleCtx() *ipds.AlarmContext {
+	return &ipds.AlarmContext{
+		Alarm:    ipds.Alarm{Seq: 9912, PC: 0x40_1234, Func: "check", Slot: 2, Expected: tables.Taken, Taken: false},
+		Recorded: 150_000,
+		Recent: []ipds.RecEvent{
+			{Seq: 9906, PC: 0x40_0000, Kind: ipds.EvEnter, Depth: 2},
+			{Seq: 9907, PC: 0, Kind: ipds.EvSpill, Depth: 2, Bits: 96},
+			{Seq: 9908, PC: 0x40_1000, Kind: ipds.EvBranch, Taken: true, Depth: 2},
+			{Seq: 9909, PC: 0, Kind: ipds.EvFill, Depth: 2, Bits: 96},
+			{Seq: 9910, PC: 0, Kind: ipds.EvLeave, Depth: 1},
+			{Seq: 9912, PC: 0x40_1234, Kind: ipds.EvBranch, Taken: false, Depth: 1},
+		},
+		Stack: []ipds.StackEntry{
+			{Base: 0x40_0000, Func: "main"},
+			{Base: 0x40_0800, Func: ""},
+			{Base: 0x40_1000, Func: "check"},
+		},
+		BSV: []tables.Status{tables.Unknown, tables.Taken, tables.NotTaken},
+	}
+}
+
+// TestAppendAlarmCtxMatchesWire pins the server's no-box forensic
+// encoder byte-identical to the wire package's canonical AppendAlarmCtx
+// over the client-side WireContext conversion — so a client cannot tell
+// (and tests need not care) which encoder produced an AlarmCtx frame.
+func TestAppendAlarmCtxMatchesWire(t *testing.T) {
+	for name, c := range map[string]*ipds.AlarmContext{
+		"full":        sampleCtx(),
+		"emptyWindow": {Alarm: ipds.Alarm{Seq: 1}},
+	} {
+		got, ok := appendAlarmCtx(nil, c)
+		if !ok {
+			t.Fatalf("%s: appendAlarmCtx refused a legal context", name)
+		}
+		// Convert by hand the way ipdsclient.WireContext does (the client
+		// package cannot be imported here without care; the mapping is
+		// small enough to restate and diverging restatements would fail).
+		wc := wire.AlarmCtx{Seq: c.Alarm.Seq, Recorded: c.Recorded}
+		for _, fr := range c.Stack {
+			wc.Stack = append(wc.Stack, wire.CtxFrame{Base: fr.Base, Func: fr.Func})
+		}
+		for _, ev := range c.Recent {
+			we := wire.CtxEvent{Seq: ev.Seq, Depth: uint32(ev.Depth), Taken: ev.Taken}
+			switch ev.Kind {
+			case ipds.EvEnter:
+				we.Kind, we.PC = wire.EvEnter, ev.PC
+			case ipds.EvLeave:
+				we.Kind = wire.EvLeave
+			case ipds.EvBranch:
+				we.Kind, we.PC = wire.EvBranch, ev.PC
+			case ipds.EvSpill:
+				we.Kind, we.PC = wire.EvSpill, uint64(ev.Bits)
+			case ipds.EvFill:
+				we.Kind, we.PC = wire.EvFill, uint64(ev.Bits)
+			}
+			wc.Recent = append(wc.Recent, we)
+		}
+		for _, st := range c.BSV {
+			wc.BSV = append(wc.BSV, uint8(st))
+		}
+		want, err := wire.AppendAlarmCtx(nil, wc)
+		if err != nil {
+			t.Fatalf("%s: wire encoder: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: server encoding diverges from wire encoding:\n got  %x\n want %x", name, got, want)
+		}
+		// And the bytes must decode back to the converted value.
+		dec, err := wire.Decode(got[4:])
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		back, ok2 := dec.(wire.AlarmCtx)
+		if !ok2 || back.Seq != wc.Seq || back.Recorded != wc.Recorded ||
+			len(back.Recent) != len(wc.Recent) || len(back.Stack) != len(wc.Stack) || len(back.BSV) != len(wc.BSV) {
+			t.Fatalf("%s: round trip diverged: %+v", name, dec)
+		}
+	}
+}
+
+// TestAppendAlarmCtxRefusesOversize: contexts past the wire limits are
+// dropped whole — dst unchanged — rather than emitted corrupt.
+func TestAppendAlarmCtxRefusesOversize(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	big := &ipds.AlarmContext{Recent: make([]ipds.RecEvent, wire.MaxCtxEvents+1)}
+	if out, ok := appendAlarmCtx(prefix, big); ok || len(out) != len(prefix) {
+		t.Fatalf("oversized window: ok=%v len=%d", ok, len(out))
+	}
+	deep := &ipds.AlarmContext{Stack: make([]ipds.StackEntry, wire.MaxCtxStack+1)}
+	if out, ok := appendAlarmCtx(prefix, deep); ok || len(out) != len(prefix) {
+		t.Fatalf("oversized stack: ok=%v len=%d", ok, len(out))
+	}
+	wide := &ipds.AlarmContext{BSV: make([]tables.Status, wire.MaxCtxBSV+1)}
+	if out, ok := appendAlarmCtx(prefix, wide); ok || len(out) != len(prefix) {
+		t.Fatalf("oversized bsv: ok=%v len=%d", ok, len(out))
+	}
+}

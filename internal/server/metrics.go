@@ -20,6 +20,19 @@ type metrics struct {
 	batchLen       *obs.Histogram
 	verifyNs       *obs.Histogram
 
+	// Serve-path telemetry (this PR's tentpole companions): queue and
+	// coalescing shape plus the sampled pipeline spans.
+	shardDepth    *obs.Histogram // server_shard_queue_depth (at enqueue)
+	coalesceBytes *obs.Histogram // server_write_coalesced_bytes (per flush)
+	queueWaitNs   *obs.Histogram // server_queue_wait_ns (sampled batches)
+	writeWaitNs   *obs.Histogram // server_write_wait_ns (sampled batches)
+
+	// Forensics: AlarmCtx frames emitted, and contexts that could not
+	// be (overwritten in the machine's shallow context ring, or past a
+	// wire limit) — counted, never silent.
+	ctxTotal   *obs.Counter // server_alarm_ctx_total
+	ctxDropped *obs.Counter // server_alarm_ctx_dropped_total
+
 	// Aggregated machine counters, absorbed from each session's
 	// ipds.Machine when the session ends. alarmsDropped is the
 	// satellite fix: ring drops were only visible in per-machine Stats;
@@ -42,6 +55,12 @@ func newMetrics(r *obs.Registry) metrics {
 		evictionsTotal: r.Counter("server_evictions_total"),
 		batchLen:       r.Histogram("server_batch_events"),
 		verifyNs:       r.Histogram("server_verify_ns"),
+		shardDepth:     r.Histogram("server_shard_queue_depth"),
+		coalesceBytes:  r.Histogram("server_write_coalesced_bytes"),
+		queueWaitNs:    r.Histogram("server_queue_wait_ns"),
+		writeWaitNs:    r.Histogram("server_write_wait_ns"),
+		ctxTotal:       r.Counter("server_alarm_ctx_total"),
+		ctxDropped:     r.Counter("server_alarm_ctx_dropped_total"),
 		mBranches:      r.Counter("server_machine_branches_total"),
 		mVerified:      r.Counter("server_machine_verified_total"),
 		mAlarmsDropped: r.Counter("server_alarms_dropped_total"),

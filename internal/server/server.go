@@ -73,6 +73,14 @@ type Config struct {
 	// ipds.DefaultConfig, matching in-process runs).
 	IPDS ipds.Config
 
+	// RecorderDepth sizes each session machine's flight recorder when
+	// IPDS.Recorder is zero: 0 selects ipds.DefaultRecorderDepth —
+	// forensics are ON by default in the daemon, the recorder being
+	// allocation-free on the warm path — and a negative depth disables
+	// them. With the recorder enabled, every Alarm frame is followed by
+	// a wire.AlarmCtx frame carrying the captured forensic context.
+	RecorderDepth int
+
 	// Reg receives server_* metrics; nil disables (free).
 	Reg *obs.Registry
 
@@ -102,6 +110,12 @@ func (c Config) withDefaults() Config {
 	if c.IPDS == (ipds.Config{}) {
 		c.IPDS = ipds.DefaultConfig
 	}
+	if c.IPDS.Recorder == 0 && c.RecorderDepth >= 0 {
+		c.IPDS.Recorder = c.RecorderDepth
+		if c.RecorderDepth == 0 {
+			c.IPDS.Recorder = ipds.DefaultRecorderDepth
+		}
+	}
 	return c
 }
 
@@ -112,6 +126,11 @@ func (c Config) withDefaults() Config {
 type task struct {
 	s *session
 	b *wire.Batch
+	// t0 is non-zero on sampled batches (1 in spanSampleEvery per
+	// session): the reader's enqueue time, observed by the verifier as
+	// server_queue_wait_ns — the reader→verifier leg of the sampled
+	// pipeline span.
+	t0 time.Time
 }
 
 // frameBuf is one pooled outbound encoding: one frame, or several
@@ -125,6 +144,10 @@ type task struct {
 // frame is still queued, or a reuse would corrupt bytes in flight.
 type frameBuf struct {
 	b []byte
+	// t0 is non-zero when this buffer continues a sampled batch's span:
+	// the verifier's queue time, observed by the writer (once the bytes
+	// are on the wire) as server_write_wait_ns — the verifier→writer leg.
+	t0 time.Time
 }
 
 // Server hosts verifier sessions. Create with New, feed with Serve (or
@@ -352,12 +375,14 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	ss := &session{
-		srv:     s,
-		conn:    conn,
-		rd:      rd,
-		m:       ipds.New(img, s.cfg.IPDS),
-		out:     make(chan *frameBuf, s.cfg.AlarmQueue),
-		program: hello.Program,
+		srv:       s,
+		conn:      conn,
+		rd:        rd,
+		m:         ipds.New(img, s.cfg.IPDS),
+		out:       make(chan *frameBuf, s.cfg.AlarmQueue),
+		program:   hello.Program,
+		forensics: s.cfg.IPDS.Recorder > 0,
+		started:   time.Now(),
 	}
 	if !s.register(ss) {
 		s.refuse(conn, wire.ErrDraining, "server draining")
@@ -397,6 +422,9 @@ func (s *Server) verifyLoop(ch chan task) {
 func (s *Server) verifyBatch(t task) {
 	ss := t.s
 	n := len(t.b.Events)
+	if !t.t0.IsZero() {
+		s.met.queueWaitNs.Observe(uint64(time.Since(t.t0).Nanoseconds()))
+	}
 	start := time.Now()
 	// The returned alarm slice is machine-owned and valid until the
 	// machine's next batch; this shard is the machine's only driver, so
@@ -407,6 +435,7 @@ func (s *Server) verifyBatch(t task) {
 	// batch, however many alarms it raised.
 	fb := s.bufPool.Get().(*frameBuf)
 	fb.b = fb.b[:0]
+	fb.t0 = time.Time{}
 	for i := range alarms {
 		s.met.alarmsTotal.Inc()
 		var err error
@@ -414,16 +443,58 @@ func (s *Server) verifyBatch(t task) {
 			panic(err) // alarmFrame clamps Func; unreachable absent a bug
 		}
 	}
+	// Emission is capture-driven: each context the machine snapshotted
+	// during this batch (alarms past the storm throttle) goes out once,
+	// after the batch's alarm frames, paired to its alarm by Seq. A
+	// batch whose alarms were all throttled costs one counter compare.
+	if ss.forensics {
+		if tot := ss.m.CtxCaptured(); tot != ss.ctxSeen {
+			fresh := int(tot - ss.ctxSeen)
+			ss.ctxSeen = tot
+			// The context ring is shallow: in a pathological burst the
+			// oldest captures of this batch may already be overwritten
+			// before emission. Counted, never silent.
+			if n := ss.m.ContextCount(); fresh > n {
+				s.met.ctxDropped.Add(uint64(fresh - n))
+				fresh = n
+			}
+			for i := ss.m.ContextCount() - fresh; i < ss.m.ContextCount(); i++ {
+				var ok bool
+				fb.b, ok = appendAlarmCtx(fb.b, ss.m.ContextAt(i))
+				if ok {
+					s.met.ctxTotal.Inc()
+				} else {
+					s.met.ctxDropped.Inc()
+				}
+			}
+			if c := ss.m.LastContext(); c != nil {
+				// Refresh the session's forensic snapshot for
+				// /debug/sessions. CopyInto reuses the snapshot's
+				// slices, so the steady state stays allocation-free.
+				ss.ctxMu.Lock()
+				c.CopyInto(&ss.lastCtx)
+				ss.hasCtx = true
+				ss.ctxMu.Unlock()
+			}
+		}
+	}
 	s.batchPool.Put(t.b)
 	s.met.verifyNs.Observe(uint64(time.Since(start).Nanoseconds()))
 	s.met.eventsTotal.Add(uint64(n))
 	s.met.batchesTotal.Inc()
 	s.met.batchLen.Observe(uint64(n))
+	ss.batchesN.Add(1)
+	ss.alarmsN.Add(uint64(len(alarms)))
+	ss.recTotal.Store(ss.m.RecorderTotal())
+	ss.lastBatch.Store(start.UnixNano())
 	// Order matters: the ack must be queued before the task is marked
 	// done, or a concurrent reader-side maybeFinish could close the
 	// outbound queue under us.
 	done := ss.addEvents(uint64(n))
 	fb.b = wire.AppendAck(fb.b, wire.Ack{Events: done})
+	if !t.t0.IsZero() {
+		fb.t0 = time.Now()
+	}
 	ss.send(fb)
 	ss.taskDone()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ipds"
@@ -23,21 +24,44 @@ import (
 // been verified — which is what makes graceful drain deliver
 // already-queued alarms before the closing Ack+Bye.
 type session struct {
-	id       uint64
-	shard    int
-	srv      *Server
-	conn     net.Conn
-	rd       *wire.Reader
-	m        *ipds.Machine
-	out      chan *frameBuf
-	program  string
-	stopSpan func()
+	id        uint64
+	shard     int
+	srv       *Server
+	conn      net.Conn
+	rd        *wire.Reader
+	m         *ipds.Machine
+	out       chan *frameBuf
+	program   string
+	forensics bool // the machine records; emit AlarmCtx after each Alarm
+	started   time.Time
+	stopSpan  func()
+
+	// sampleCnt is reader-owned: it picks every spanSampleEvery-th
+	// batch to carry pipeline-span timestamps.
+	sampleCnt uint64
 
 	mu         sync.Mutex
 	pending    int    // batches enqueued to the shard, not yet verified
 	readerDone bool   // readLoop exited; no further batches will arrive
 	finished   bool   // out has been sealed with the final Ack+Bye
 	events     uint64 // events fully verified (ack currency)
+
+	// Telemetry for /debug/sessions: verifier-written, handler-read.
+	batchesN  atomic.Uint64
+	alarmsN   atomic.Uint64
+	recTotal  atomic.Uint64
+	lastBatch atomic.Int64 // unix nanos of the last verified batch
+
+	// lastCtx is the session's most recent forensic capture, deep-copied
+	// out of the machine so the debug endpoint never touches machine
+	// state owned by the shard verifier.
+	ctxMu   sync.Mutex
+	hasCtx  bool
+	lastCtx ipds.AlarmContext
+
+	// ctxSeen is the verifier-owned high-water mark of the machine's
+	// lifetime capture count; fresh captures past it are emitted once.
+	ctxSeen uint64
 }
 
 // isClosedErr reports a read failing because the connection was closed
@@ -65,6 +89,7 @@ func (s *session) send(fb *frameBuf) {
 func (s *session) sendFrame(f wire.Frame) {
 	fb := s.srv.bufPool.Get().(*frameBuf)
 	fb.b = wire.MustAppend(fb.b[:0], f)
+	fb.t0 = time.Time{} // pooled; a stale sample stamp would skew spans
 	s.send(fb)
 }
 
@@ -169,14 +194,23 @@ func (s *session) readLoop() {
 			s.mu.Lock()
 			s.pending++
 			s.mu.Unlock()
+			// Every spanSampleEvery-th batch carries timestamps through
+			// the pipeline, feeding the sampled reader→verifier→writer
+			// span histograms at negligible steady-state cost.
+			var t0 time.Time
+			if s.sampleCnt%spanSampleEvery == 0 {
+				t0 = time.Now()
+			}
+			s.sampleCnt++
 			// Blocking enqueue: a full shard queue is backpressure to
 			// this socket, counted like an alarm-queue stall.
 			select {
-			case srv.shards[s.shard] <- task{s: s, b: fr}:
+			case srv.shards[s.shard] <- task{s: s, b: fr, t0: t0}:
 			default:
 				srv.met.backpressure.Inc()
-				srv.shards[s.shard] <- task{s: s, b: fr}
+				srv.shards[s.shard] <- task{s: s, b: fr, t0: t0}
 			}
+			srv.met.shardDepth.Observe(uint64(len(srv.shards[s.shard])))
 			b = srv.batchPool.Get().(*wire.Batch)
 		case wire.Bye:
 			goto out
@@ -199,6 +233,12 @@ out:
 // enough to keep write latency and memory per session bounded.
 const maxWriteCoalesce = 256 << 10
 
+// spanSampleEvery picks which batches carry pipeline-span timestamps
+// (reader enqueue → verifier dequeue → writer flush). 1-in-64 keeps the
+// histograms live on any sustained stream while the extra time.Now()
+// calls stay invisible next to the verify kernel itself.
+const spanSampleEvery = 64
+
 // writeLoop owns conn writes: it drains the outbound queue until
 // maybeFinish closes it, then closes the connection and retires the
 // session. Queued buffers are coalesced — everything waiting in the
@@ -219,6 +259,7 @@ func (s *session) writeLoop() {
 		if !ok {
 			break
 		}
+		span := fb.t0
 		wbuf = append(wbuf[:0], fb.b...)
 		s.srv.bufPool.Put(fb)
 	drain:
@@ -229,6 +270,9 @@ func (s *session) writeLoop() {
 					open = false
 					break drain
 				}
+				if span.IsZero() {
+					span = more.t0
+				}
 				wbuf = append(wbuf, more.b...)
 				s.srv.bufPool.Put(more)
 			default:
@@ -236,9 +280,12 @@ func (s *session) writeLoop() {
 			}
 		}
 		if !failed && len(wbuf) > 0 {
+			s.srv.met.coalesceBytes.Observe(uint64(len(wbuf)))
 			s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
 			if _, err := s.conn.Write(wbuf); err != nil {
 				failed = true
+			} else if !span.IsZero() {
+				s.srv.met.writeWaitNs.Observe(uint64(time.Since(span).Nanoseconds()))
 			}
 		}
 	}

@@ -29,6 +29,8 @@ func Decode(payload []byte) (Frame, error) {
 		return d.batch()
 	case TypeAlarm:
 		return d.alarm()
+	case TypeAlarmCtx:
+		return d.alarmCtx()
 	case TypeAck:
 		return d.ack()
 	case TypeError:
@@ -269,6 +271,115 @@ func (d *decoder) alarm() (Frame, error) {
 	return d.done(a)
 }
 
+func (d *decoder) alarmCtx() (Frame, error) {
+	var c AlarmCtx
+	var err error
+	if c.Seq, err = d.uvarint("alarmctx seq"); err != nil {
+		return nil, err
+	}
+	if c.Recorded, err = d.uvarint("alarmctx recorded"); err != nil {
+		return nil, err
+	}
+
+	nStack, err := d.uvarint("alarmctx stack count")
+	if err != nil {
+		return nil, err
+	}
+	if nStack > MaxCtxStack {
+		return nil, fmt.Errorf("wire: alarmctx stack of %d frames exceeds MaxCtxStack", nStack)
+	}
+	// Every stack frame costs at least two bytes (base + name length);
+	// a count past the remaining payload is hostile, and checking first
+	// bounds the allocation below by the bytes actually present.
+	if int(nStack) > len(d.b)-d.off {
+		return nil, fmt.Errorf("wire: alarmctx stack count %d exceeds payload", nStack)
+	}
+	if nStack > 0 {
+		c.Stack = make([]CtxFrame, 0, nStack)
+	}
+	for i := uint64(0); i < nStack; i++ {
+		var fr CtxFrame
+		if fr.Base, err = d.uvarint("alarmctx frame base"); err != nil {
+			return nil, err
+		}
+		if fr.Func, err = d.str("alarmctx frame func"); err != nil {
+			return nil, err
+		}
+		c.Stack = append(c.Stack, fr)
+	}
+
+	nEv, err := d.uvarint("alarmctx event count")
+	if err != nil {
+		return nil, err
+	}
+	if nEv > MaxCtxEvents {
+		return nil, fmt.Errorf("wire: alarmctx window of %d events exceeds MaxCtxEvents", nEv)
+	}
+	if int(nEv) > len(d.b)-d.off {
+		return nil, fmt.Errorf("wire: alarmctx event count %d exceeds payload", nEv)
+	}
+	if nEv > 0 {
+		c.Recent = make([]CtxEvent, 0, nEv)
+	}
+	for i := uint64(0); i < nEv; i++ {
+		k, err := d.u8("alarmctx event kind")
+		if err != nil {
+			return nil, err
+		}
+		if k > evFill {
+			return nil, fmt.Errorf("wire: unknown context event kind %d", k)
+		}
+		var ev CtxEvent
+		if ev.Seq, err = d.uvarint("alarmctx event seq"); err != nil {
+			return nil, err
+		}
+		depth, err := d.uvarint("alarmctx event depth")
+		if err != nil {
+			return nil, err
+		}
+		if depth > 1<<31 {
+			return nil, fmt.Errorf("wire: alarmctx event depth %d out of range", depth)
+		}
+		ev.Depth = uint32(depth)
+		switch k {
+		case evEnter:
+			ev.Kind = EvEnter
+		case evLeave:
+			ev.Kind = EvLeave
+		case evBranchTaken:
+			ev.Kind, ev.Taken = EvBranch, true
+		case evBranchNotTaken:
+			ev.Kind = EvBranch
+		case evSpill:
+			ev.Kind = EvSpill
+		case evFill:
+			ev.Kind = EvFill
+		}
+		if ev.Kind != EvLeave {
+			if ev.PC, err = d.uvarint("alarmctx event pc"); err != nil {
+				return nil, err
+			}
+		}
+		c.Recent = append(c.Recent, ev)
+	}
+
+	nBSV, err := d.uvarint("alarmctx bsv count")
+	if err != nil {
+		return nil, err
+	}
+	if nBSV > MaxCtxBSV {
+		return nil, fmt.Errorf("wire: alarmctx bsv of %d slots exceeds MaxCtxBSV", nBSV)
+	}
+	if d.off+int(nBSV) > len(d.b) {
+		return nil, d.fail("alarmctx bsv")
+	}
+	if nBSV > 0 {
+		c.BSV = append([]uint8(nil), d.b[d.off:d.off+int(nBSV)]...)
+		d.off += int(nBSV)
+	}
+	return d.done(c)
+}
+
 func (d *decoder) ack() (Frame, error) {
 	var a Ack
 	var err error
@@ -386,6 +497,19 @@ func (r *Reader) Next() (Frame, error) {
 		return nil, err
 	}
 	return Decode(r.buf)
+}
+
+// NextHeader reads one frame and returns its type byte alongside the
+// raw payload (type byte included), without decoding. The payload
+// aliases the reader's internal buffer and is valid only until the
+// following read. Callers that route or count certain frame kinds —
+// the load generator counts forensic AlarmCtx frames without paying
+// their decode — inspect the type and call Decode only when needed.
+func (r *Reader) NextHeader() (FrameType, []byte, error) {
+	if err := r.readFrame(); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(r.buf[0]), r.buf, nil
 }
 
 // NextInto is Next with an allocation-free fast path for Batch frames:

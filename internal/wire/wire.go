@@ -48,6 +48,12 @@ const (
 	MaxString = 1 << 10
 	// HashLen is the table-image content-hash length (SHA-256).
 	HashLen = 32
+	// MaxCtxEvents bounds the recent-event window in one AlarmCtx frame.
+	MaxCtxEvents = 1 << 12
+	// MaxCtxStack bounds the activation-stack summary in an AlarmCtx.
+	MaxCtxStack = 1 << 9
+	// MaxCtxBSV bounds the branch-status-vector snapshot in an AlarmCtx.
+	MaxCtxBSV = 1 << 16
 )
 
 // FrameType discriminates frame payloads (payload byte 0).
@@ -62,6 +68,7 @@ const (
 	TypeAck      FrameType = 5 // server → client: events verified so far
 	TypeError    FrameType = 6 // server → client: refusal/eviction
 	TypeBye      FrameType = 7 // either direction: graceful close
+	TypeAlarmCtx FrameType = 8 // server → client: forensic context for an alarm
 )
 
 // String names the frame type.
@@ -81,6 +88,8 @@ func (t FrameType) String() string {
 		return "error"
 	case TypeBye:
 		return "bye"
+	case TypeAlarmCtx:
+		return "alarmctx"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -98,9 +107,15 @@ const (
 	EvLeave
 	// EvBranch verifies one committed conditional branch at PC.
 	EvBranch
+	// EvSpill reports a table frame moving off-chip. Spill/fill kinds
+	// appear only inside AlarmCtx recent-event windows — Batch frames
+	// carry the client's committed stream, where spills do not exist.
+	EvSpill
+	// EvFill reports a spilled frame moving back on-chip (AlarmCtx only).
+	EvFill
 )
 
-// String names the event kind ("enter", "leave", "branch").
+// String names the event kind ("enter", "leave", "branch", ...).
 func (k EventKind) String() string {
 	switch k {
 	case EvEnter:
@@ -109,16 +124,23 @@ func (k EventKind) String() string {
 		return "leave"
 	case EvBranch:
 		return "branch"
+	case EvSpill:
+		return "spill"
+	case EvFill:
+		return "fill"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
 
-// Wire encodings of one event's kind byte.
+// Wire encodings of one event's kind byte. The spill/fill codes are
+// legal only inside AlarmCtx recent-event lists, never in a Batch.
 const (
 	evEnter          = 0
 	evLeave          = 1
 	evBranchTaken    = 2
 	evBranchNotTaken = 3
+	evSpill          = 4
+	evFill           = 5
 )
 
 // Event is one branch-stream occurrence: a function entry (PC = code
@@ -180,6 +202,45 @@ type Alarm struct {
 
 // Type returns TypeAlarm.
 func (Alarm) Type() FrameType { return TypeAlarm }
+
+// CtxEvent is one entry of an AlarmCtx recent-event window: a replay of
+// the committed events that led up to an alarm, as the verifier's
+// flight recorder retained them. PC carries the function base (enter),
+// the branch address (branch) or the bits moved (spill/fill); leave
+// events carry no PC on the wire.
+type CtxEvent struct {
+	Seq   uint64 // branch-event sequence number at the event
+	PC    uint64 // base / branch PC / bits moved, by kind
+	Depth uint32 // table-stack depth after the event
+	Kind  EventKind
+	Taken bool // branch direction (EvBranch only)
+}
+
+// CtxFrame is one activation-stack entry of an AlarmCtx: the function
+// base and (for table-carrying functions) its name; unprotected library
+// frames have an empty name.
+type CtxFrame struct {
+	Base uint64
+	Func string
+}
+
+// AlarmCtx is the optional forensic companion of an Alarm frame,
+// paired by Seq: the flight-recorder window of committed events that
+// led to the violation (oldest first, the violating branch last), the
+// activation stack at the alarm (outermost first), and the alarming
+// frame's branch-status vector as the BAT updates had left it.
+// Recorded is the recorder's lifetime event count, so a consumer can
+// tell how much history scrolled past the window.
+type AlarmCtx struct {
+	Seq      uint64 // Seq of the Alarm this context annotates
+	Recorded uint64 // lifetime events seen by the recorder
+	Stack    []CtxFrame
+	Recent   []CtxEvent
+	BSV      []uint8 // tables.Status per slot of the alarming frame
+}
+
+// Type returns TypeAlarmCtx.
+func (AlarmCtx) Type() FrameType { return TypeAlarmCtx }
 
 // Ack reports cumulative verification progress: the total number of
 // events (of any kind) the server has fully processed on this session.
@@ -260,6 +321,8 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		dst, err = appendBatch(dst, fr)
 	case Alarm:
 		dst, err = appendAlarm(dst, fr)
+	case AlarmCtx:
+		dst, err = appendAlarmCtx(dst, fr)
 	case Ack:
 		dst = append(dst, byte(TypeAck))
 		dst = binary.AppendUvarint(dst, fr.Events)
@@ -336,6 +399,58 @@ func appendAlarm(dst []byte, a Alarm) ([]byte, error) {
 	return append(dst, a.Func...), nil
 }
 
+func appendAlarmCtx(dst []byte, c AlarmCtx) ([]byte, error) {
+	if len(c.Stack) > MaxCtxStack {
+		return nil, fmt.Errorf("wire: alarmctx stack of %d frames exceeds MaxCtxStack", len(c.Stack))
+	}
+	if len(c.Recent) > MaxCtxEvents {
+		return nil, fmt.Errorf("wire: alarmctx window of %d events exceeds MaxCtxEvents", len(c.Recent))
+	}
+	if len(c.BSV) > MaxCtxBSV {
+		return nil, fmt.Errorf("wire: alarmctx bsv of %d slots exceeds MaxCtxBSV", len(c.BSV))
+	}
+	dst = append(dst, byte(TypeAlarmCtx))
+	dst = binary.AppendUvarint(dst, c.Seq)
+	dst = binary.AppendUvarint(dst, c.Recorded)
+	dst = binary.AppendUvarint(dst, uint64(len(c.Stack)))
+	for _, fr := range c.Stack {
+		if len(fr.Func) > MaxString {
+			return nil, fmt.Errorf("wire: alarmctx func name %d bytes exceeds MaxString", len(fr.Func))
+		}
+		dst = binary.AppendUvarint(dst, fr.Base)
+		dst = binary.AppendUvarint(dst, uint64(len(fr.Func)))
+		dst = append(dst, fr.Func...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(c.Recent)))
+	for _, ev := range c.Recent {
+		switch ev.Kind {
+		case EvEnter:
+			dst = append(dst, evEnter)
+		case EvLeave:
+			dst = append(dst, evLeave)
+		case EvBranch:
+			if ev.Taken {
+				dst = append(dst, evBranchTaken)
+			} else {
+				dst = append(dst, evBranchNotTaken)
+			}
+		case EvSpill:
+			dst = append(dst, evSpill)
+		case EvFill:
+			dst = append(dst, evFill)
+		default:
+			return nil, fmt.Errorf("wire: cannot encode context event kind %d", ev.Kind)
+		}
+		dst = binary.AppendUvarint(dst, ev.Seq)
+		dst = binary.AppendUvarint(dst, uint64(ev.Depth))
+		if ev.Kind != EvLeave {
+			dst = binary.AppendUvarint(dst, ev.PC)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(c.BSV)))
+	return append(dst, c.BSV...), nil
+}
+
 func appendError(dst []byte, e Error) ([]byte, error) {
 	if len(e.Msg) > MaxString {
 		return nil, fmt.Errorf("wire: error message %d bytes exceeds MaxString", len(e.Msg))
@@ -358,6 +473,24 @@ func AppendAlarm(dst []byte, a Alarm) ([]byte, error) {
 		return nil, err
 	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst, nil
+}
+
+// AppendAlarmCtx encodes c as one length-prefixed AlarmCtx frame
+// appended to dst without routing it through the Frame interface — the
+// forensic counterpart of AppendAlarm on the server's alarm path.
+func AppendAlarmCtx(dst []byte, c AlarmCtx) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := appendAlarmCtx(dst, c)
+	if err != nil {
+		return nil, err
+	}
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", payload)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payload))
 	return dst, nil
 }
 

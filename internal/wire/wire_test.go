@@ -27,6 +27,21 @@ func sampleFrames() []Frame {
 		}},
 		Batch{}, // empty batch is legal
 		Alarm{Seq: 912, PC: 0x7fffffff12, Func: "handle_cmd", Slot: 13, Expected: 2, Taken: true},
+		AlarmCtx{
+			Seq:      912,
+			Recorded: 5000,
+			Stack:    []CtxFrame{{Base: 0x40, Func: "main"}, {Base: 0x90, Func: "handle_cmd"}, {Base: 0x200}},
+			Recent: []CtxEvent{
+				{Kind: EvEnter, Seq: 900, PC: 0x90, Depth: 2},
+				{Kind: EvBranch, Seq: 901, PC: 0x9a, Depth: 2, Taken: true},
+				{Kind: EvSpill, Seq: 901, PC: 4096, Depth: 2},
+				{Kind: EvFill, Seq: 905, PC: 4096, Depth: 1},
+				{Kind: EvLeave, Seq: 910, Depth: 1},
+				{Kind: EvBranch, Seq: 912, PC: 0x7fffffff12, Depth: 1},
+			},
+			BSV: []uint8{0, 1, 2, 0},
+		},
+		AlarmCtx{Seq: 1}, // context with an empty window is legal
 		Ack{Events: 1 << 40},
 		Error{Code: ErrUnknownImage, Msg: "no such image"},
 		Bye{},
@@ -101,6 +116,11 @@ func TestDecodeHostile(t *testing.T) {
 		"trailing garbage":   {byte(TypeBye), 0},
 		"helloack big batch": append([]byte{byte(TypeHelloAck), Version}, 0xff, 0xff, 0xff, 0xff, 0x7f),
 		"string too long":    append([]byte{byte(TypeError), 1}, 0xff, 0xff, 0x7f),
+		"ctx stack lies":     {byte(TypeAlarmCtx), 1, 0, 0xff, 0x7f},         // 16K stack frames, no bytes
+		"ctx events lie":     {byte(TypeAlarmCtx), 1, 0, 0, 0xff, 0x1f},      // 4K events, no bytes
+		"ctx bad kind":       {byte(TypeAlarmCtx), 1, 0, 0, 1, 9, 1, 1},      // event kind 9
+		"ctx bsv truncated":  {byte(TypeAlarmCtx), 1, 0, 0, 0, 8, 1, 2},      // 8 BSV bytes, 2 present
+		"ctx trailing":       {byte(TypeAlarmCtx), 1, 0, 0, 0, 0, 0xee},      // garbage after BSV
 	}
 	for name, payload := range cases {
 		if _, err := Decode(payload); err == nil {
@@ -249,6 +269,31 @@ func TestAppendAlarmAckMatchAppend(t *testing.T) {
 	ack := Ack{Events: 1 << 40}
 	if got, want := AppendAck(nil, ack), MustAppend(nil, ack); !bytes.Equal(got, want) {
 		t.Fatalf("AppendAck diverged from Append:\n got %x\nwant %x", got, want)
+	}
+
+	ctx := AlarmCtx{
+		Seq:      912,
+		Recorded: 77,
+		Stack:    []CtxFrame{{Base: 0x40, Func: "main"}},
+		Recent:   []CtxEvent{{Kind: EvBranch, Seq: 912, PC: 0x4a, Depth: 1, Taken: true}},
+		BSV:      []uint8{1, 0},
+	}
+	want = MustAppend(nil, ctx)
+	got, err = AppendAlarmCtx([]byte{}, ctx)
+	if err != nil {
+		t.Fatalf("AppendAlarmCtx: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendAlarmCtx diverged from Append:\n got %x\nwant %x", got, want)
+	}
+	if _, err := AppendAlarmCtx(nil, AlarmCtx{Recent: make([]CtxEvent, MaxCtxEvents+1)}); err == nil {
+		t.Fatal("AppendAlarmCtx accepted an oversized event window")
+	}
+	if _, err := AppendAlarmCtx(nil, AlarmCtx{Stack: make([]CtxFrame, MaxCtxStack+1)}); err == nil {
+		t.Fatal("AppendAlarmCtx accepted an oversized stack summary")
+	}
+	if _, err := AppendAlarmCtx(nil, AlarmCtx{BSV: make([]uint8, MaxCtxBSV+1)}); err == nil {
+		t.Fatal("AppendAlarmCtx accepted an oversized BSV snapshot")
 	}
 }
 

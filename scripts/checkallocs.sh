@@ -13,6 +13,13 @@ set -e
 out=$(go test -run '^$' -bench 'BenchmarkOnBranch|BenchmarkOnBatch' -benchtime 100x -benchmem ./internal/ipds)
 echo "$out"
 
+# The recorder-enabled batch kernel must be part of the gate: forensics
+# on the serve path is only free if it stays allocation-free too.
+echo "$out" | grep -q '^BenchmarkOnBatchRecorder' || {
+	echo "checkallocs: BenchmarkOnBatchRecorder missing from gate output" >&2
+	exit 1
+}
+
 echo "$out" | awk '
 /^Benchmark/ {
 	allocs = $(NF-1)
