@@ -65,8 +65,19 @@ forensics-gate:
 	$(GO) test -race -run 'TestForensics|TestDebugSessions|TestEvictionFlushesSessionTelemetry|TestDrainFlushesSessionTelemetry' ./internal/server
 	$(GO) test -race -run 'TestRecorder|TestAlarmContext|TestEventSinkBatchedEquivalence' ./internal/ipds
 
+# Incident gate: the seeded-corruption end-to-end run under the race
+# detector. A persistent single-site corruption with a mid-run onset,
+# buried in tamper noise across 4 sessions, must come back from the
+# live daemon as the #1 ranked incident, fold the alarm flood by at
+# least 95%, and match an in-process replay of the same streams field
+# for field; the incident package's own determinism and detector tests
+# ride along.
+incident-gate:
+	$(GO) test -race -run 'TestIncident' ./internal/server
+	$(GO) test -race ./internal/incident
+
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate forensics-gate
+ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate forensics-gate incident-gate
 
 # Observability-driven per-workload table + JSON baseline.
 report:

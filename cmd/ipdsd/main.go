@@ -12,15 +12,18 @@
 //
 // With -telemetry the daemon serves /metrics (server_sessions_active,
 // server_events_total, server_batches_total,
-// server_backpressure_stalls_total, server_alarms_dropped_total, …),
-// /debug/vars, /debug/pprof, and /debug/sessions — a JSON document of
-// every live session's telemetry and most recent forensic alarm
-// context, polled by cmd/ipdstop for a live top-style view.
+// server_backpressure_stalls_total, server_alarms_dropped_total,
+// incident_* …), /debug/vars, /debug/pprof, /debug/sessions — a JSON
+// document of every live session's telemetry and most recent forensic
+// alarm context — and /debug/incidents — the incident pipeline's
+// ranked, explained fold of the alarm stream. Both debug documents are
+// polled by cmd/ipdstop for live top-style views.
 //
 // Usage:
 //
 //	ipdsd [-addr :7077] [-workload name]... [-all] [-cachedir dir]
-//	      [-telemetry :6060] [-idle 60s] [-verifiers n] [file.mc]...
+//	      [-telemetry :6060] [-idle 60s] [-verifiers n]
+//	      [-incidents=false] [file.mc]...
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		idle      = flag.Duration("idle", 60*time.Second, "evict sessions idle longer than this")
 		verifiers = flag.Int("verifiers", 0, "verifier worker pool size (0 = GOMAXPROCS)")
+		incidents = flag.Bool("incidents", true, "fold alarm floods into ranked incidents (off-path analytics stage)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 	)
 	flag.Var(&wlNames, "workload", "serve a built-in server workload (repeatable)")
@@ -115,10 +119,11 @@ func main() {
 	}
 
 	srv := server.New(store, server.Config{
-		ReadTimeout: *idle,
-		Verifiers:   *verifiers,
-		Reg:         reg,
-		Tracer:      tr,
+		ReadTimeout:      *idle,
+		Verifiers:        *verifiers,
+		DisableIncidents: !*incidents,
+		Reg:              reg,
+		Tracer:           tr,
 	})
 
 	// The telemetry endpoint mounts the live-session document next to
@@ -129,13 +134,14 @@ func main() {
 		reg.PublishExpvar("ipdsd")
 		mux := obs.NewMux(reg)
 		mux.Handle("/debug/sessions", srv.DebugHandler())
+		mux.Handle("/debug/incidents", srv.IncidentsHandler())
 		tsrv, taddr, err := obs.ServeHandler(*telemetry, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsd: telemetry:", err)
 			os.Exit(1)
 		}
 		defer tsrv.Close()
-		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics, sessions on /debug/sessions\n", taddr)
+		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics, sessions on /debug/sessions, incidents on /debug/incidents\n", taddr)
 	}
 
 	// Graceful drain on SIGINT/SIGTERM: queued batches verify, queued

@@ -21,12 +21,19 @@
 //	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
 //	         [-sessions n] [-events n] [-batch n] [-tamper stride]
 //	         [-repeat n] [-events-file in.events] [-json out.json]
-//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [file.mc]
+//	         [-incidents] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [file.mc]
 //
 // -repeat runs the load n times against the same server and reports
 // (and records) the fastest run — best-of-n is the noise-robust
 // estimator for recorded baselines on shared hosts. The daemon-side
 // verify quantiles in the JSON row are cumulative over all repeats.
+//
+// -incidents reports the daemon's incident pipeline after the run:
+// the alarm→incident fold reduction and the top ranked incidents.
+// Under -selfserve the report is the in-process daemon's full
+// /debug/incidents view; against a remote daemon it is the drain-time
+// wire copy the daemon streamed to the last-closing session.
 package main
 
 import (
@@ -88,6 +95,7 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "run the load n times and report/record the best run (suppresses host noise in baselines)")
 		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
 		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
+		incidents = flag.Bool("incidents", false, "report the daemon's ranked incident fold of the alarm flood after the run")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-session network timeout")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
@@ -145,6 +153,7 @@ func main() {
 
 	target := *addr
 	var reg *obs.Registry
+	var srv *server.Server
 	if *selfserve {
 		reg = obs.NewRegistry()
 		store := server.NewImageStore(nil)
@@ -153,7 +162,7 @@ func main() {
 		if !*forensics {
 			scfg.RecorderDepth = -1
 		}
-		srv := server.New(store, scfg)
+		srv = server.New(store, scfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
@@ -247,6 +256,48 @@ func main() {
 		fmt.Printf("-- batch verify:  p50=%v p99=%v p99.9=%v (%d batches)\n",
 			time.Duration(verify.Quantile(0.50)), time.Duration(verify.Quantile(0.99)),
 			time.Duration(verify.Quantile(0.999)), verify.Count)
+	}
+
+	// The incident report caps at the top 5: a load run's point is the
+	// fold ratio and the head of the ranking, not the whole document
+	// (ipdstop -incidents renders that).
+	const incidentTop = 5
+	if *incidents && srv != nil {
+		di := srv.DebugIncidents()
+		if !di.Enabled {
+			fmt.Println("-- incidents: stage disabled on the in-process daemon")
+		} else {
+			fmt.Printf("-- incidents: %d alarm(s) folded into %d incident(s) (%.1f%% reduction, %d dropped)\n",
+				di.Alarms, di.Incidents, di.Reduction*100, di.Dropped)
+			for i, in := range di.List {
+				if i == incidentTop {
+					fmt.Printf("   … %d more\n", len(di.List)-incidentTop)
+					break
+				}
+				fmt.Printf("   #%d score=%.1f %s@%#x alarms=%d sessions=%d bursts=%d\n",
+					in.ID, in.Score, in.Func, in.PC, in.Alarms, in.Sessions, in.Bursts)
+				for _, ev := range in.Evidence {
+					fmt.Printf("      %s\n", ev)
+				}
+			}
+		}
+	} else if *incidents {
+		// Remote daemon: the registry and debug endpoint live over there;
+		// report the ranked wire copy it streamed during the final drain.
+		if len(res.Incidents) == 0 {
+			fmt.Println("-- incidents: none received at drain (stage disabled, or no alarms)")
+		}
+		for i, in := range res.Incidents {
+			if i == incidentTop {
+				fmt.Printf("   … %d more\n", len(res.Incidents)-incidentTop)
+				break
+			}
+			fmt.Printf("-- incident #%d score=%.1f %s@%#x alarms=%d sessions=%d bursts=%d\n",
+				in.ID, float64(in.ScoreMilli)/1000, in.Func, in.PC, in.Alarms, in.Sessions, in.Bursts)
+			if in.Evidence != "" {
+				fmt.Printf("      %s\n", in.Evidence)
+			}
+		}
 	}
 
 	if *jsonOut != "" {

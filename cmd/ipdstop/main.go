@@ -1,8 +1,14 @@
 // Command ipdstop is a top-style live view of an ipdsd daemon: it polls
 // the daemon's /debug/sessions telemetry endpoint and renders the live
-// session table — per-session event/batch/alarm counts, idle time, and
-// each session's most recent forensic alarm context (violating function
-// and branch, recent-window size, activation stack).
+// session table — per-session event/batch/alarm counts, uptime, the
+// windowed alarm rate, idle time, and each session's most recent
+// forensic alarm context (violating function and branch, recent-window
+// size, activation stack).
+//
+// With -incidents it polls /debug/incidents instead and renders the
+// incident pipeline's ranked fold of the alarm stream: score, site,
+// alarm/fold counts, burst and lead-lag evidence, and the forensic
+// context attached to each incident.
 //
 // With -once it prints a single snapshot and exits (scriptable, and
 // what the tests drive); otherwise it redraws every -interval using an
@@ -11,6 +17,7 @@
 // Usage:
 //
 //	ipdstop [-addr http://127.0.0.1:6060] [-interval 2s] [-once]
+//	        [-incidents]
 package main
 
 import (
@@ -29,29 +36,40 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:6060", "ipdsd telemetry base URL (its -telemetry address)")
-		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
-		once     = flag.Bool("once", false, "print one snapshot and exit")
+		addr      = flag.String("addr", "http://127.0.0.1:6060", "ipdsd telemetry base URL (its -telemetry address)")
+		interval  = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once      = flag.Bool("once", false, "print one snapshot and exit")
+		incidents = flag.Bool("incidents", false, "show the ranked incident view instead of the session table")
 	)
 	flag.Parse()
 
-	url := strings.TrimRight(*addr, "/")
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
 	}
-	url += "/debug/sessions"
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	for {
-		info, err := fetch(client, url)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipdstop:", err)
-			os.Exit(1)
+		var out string
+		if *incidents {
+			doc, err := fetchIncidents(client, base+"/debug/incidents")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipdstop:", err)
+				os.Exit(1)
+			}
+			out = renderIncidents(doc)
+		} else {
+			info, err := fetch(client, base+"/debug/sessions")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipdstop:", err)
+				os.Exit(1)
+			}
+			out = render(info)
 		}
 		if !*once {
 			fmt.Print("\x1b[H\x1b[2J") // home + clear, top-style
 		}
-		os.Stdout.WriteString(render(info))
+		os.Stdout.WriteString(out)
 		if *once {
 			return
 		}
@@ -102,16 +120,76 @@ func render(info server.DebugInfo) string {
 		}
 		return sessions[i].ID < sessions[j].ID
 	})
-	fmt.Fprintf(&b, "%6s  %-16s %5s %10s %8s %7s %9s %6s  %s\n",
-		"ID", "PROGRAM", "SHARD", "EVENTS", "BATCHES", "ALARMS", "RECORDED", "IDLE", "LAST ALARM")
+	fmt.Fprintf(&b, "%6s  %-16s %5s %10s %8s %7s %8s %9s %8s %6s  %s\n",
+		"ID", "PROGRAM", "SHARD", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "RECORDED", "UPTIME", "IDLE", "LAST ALARM")
 	for _, s := range sessions {
 		last := "-"
 		if a := s.LastAlarm; a != nil {
 			last = fmt.Sprintf("seq=%d %s@%#x taken=%v expected=%s window=%d stack=%s",
 				a.Seq, a.Func, a.PC, a.Taken, a.Expected, a.Window, strings.Join(a.Stack, ">"))
 		}
-		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %9d %5dms  %s\n",
-			s.ID, s.Program, s.Shard, s.Events, s.Batches, s.Alarms, s.Recorded, s.IdleMs, last)
+		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %8.1f %9d %7.1fs %5dms  %s\n",
+			s.ID, s.Program, s.Shard, s.Events, s.Batches, s.Alarms, s.AlarmRate,
+			s.Recorded, s.UptimeS, s.IdleMs, last)
+	}
+	return b.String()
+}
+
+// fetchIncidents retrieves and decodes one /debug/incidents document.
+func fetchIncidents(c *http.Client, url string) (server.DebugIncidents, error) {
+	var doc server.DebugIncidents
+	resp, err := c.Get(url)
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", url, err)
+	}
+	return doc, nil
+}
+
+// renderIncidents formats one incident-pipeline snapshot: the fold
+// header, then the ranked list with each incident's evidence lines and
+// forensic context. Pure — the tests drive it with synthetic documents.
+func renderIncidents(doc server.DebugIncidents) string {
+	var b strings.Builder
+	if !doc.Enabled {
+		b.WriteString("ipdsd incident stage disabled (-incidents=false on the daemon)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "ipdsd incidents — %d alarm(s) folded into %d incident(s) (%.1f%% reduction, %d deduped, %d dropped) — %s\n\n",
+		doc.Alarms, doc.Incidents, doc.Reduction*100, doc.Folded, doc.Dropped,
+		time.Unix(0, doc.NowUnixNs).Format(time.TimeOnly))
+	if len(doc.List) == 0 {
+		b.WriteString("(no incidents)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%4s %8s  %-24s %8s %8s %5s %6s %5s %5s  %s\n",
+		"ID", "SCORE", "SITE", "ALARMS", "FOLDED", "SESS", "BURSTS", "LEADS", "ROOT", "SEQ RANGE")
+	for _, in := range doc.List {
+		root := "-"
+		if in.Root {
+			root = "root"
+		}
+		fmt.Fprintf(&b, "%4d %8.1f  %-24s %8d %8d %5d %6d %5d %5s  [%d, %d]\n",
+			in.ID, in.Score, fmt.Sprintf("%s@%#x", in.Func, in.PC),
+			in.Alarms, in.Folded, in.Sessions, in.Bursts, in.Leads, root,
+			in.FirstSeq, in.LastSeq)
+		for _, ev := range in.Evidence {
+			fmt.Fprintf(&b, "      · %s\n", ev)
+		}
+		if c := in.Context; c != nil {
+			fmt.Fprintf(&b, "      · context: alarm seq=%d window=%d stack=%s\n",
+				c.Seq, c.Window, strings.Join(c.Stack, ">"))
+		}
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/incident"
 	"repro/internal/server"
 )
 
@@ -14,8 +15,10 @@ func sampleInfo() server.DebugInfo {
 	return server.DebugInfo{
 		NowUnixNs: 1_700_000_000_000_000_000,
 		Sessions: []server.DebugSession{
-			{ID: 1, Program: "telnetd#0", Shard: 1, Events: 1000, Batches: 2, Alarms: 0, Recorded: 1000, IdleMs: 5},
+			{ID: 1, Program: "telnetd#0", Shard: 1, Events: 1000, Batches: 2, Alarms: 0, Recorded: 1000, IdleMs: 5,
+				UptimeS: 3.2, AlarmRate: 0},
 			{ID: 2, Program: "telnetd#1", Shard: 0, Events: 64000, Batches: 125, Alarms: 3, Recorded: 64000, IdleMs: 1,
+				UptimeS: 12.7, AlarmRate: 2.5,
 				LastAlarm: &server.DebugAlarm{
 					Seq: 512, PC: 0x1234, Func: "check", Expected: "taken", Taken: false,
 					Window: 64, Stack: []string{"main", "check"},
@@ -28,6 +31,7 @@ func TestRenderSessionTable(t *testing.T) {
 	out := render(sampleInfo())
 	for _, want := range []string{
 		"2 session(s)", "telnetd#0", "telnetd#1",
+		"ALRM/S", "UPTIME", "2.5", "12.7s", "3.2s",
 		"seq=512 check@0x1234 taken=false expected=taken window=64 stack=main>check",
 	} {
 		if !strings.Contains(out, want) {
@@ -41,6 +45,52 @@ func TestRenderSessionTable(t *testing.T) {
 	if drained := render(server.DebugInfo{Draining: true}); !strings.Contains(drained, "DRAINING") ||
 		!strings.Contains(drained, "(no live sessions)") {
 		t.Errorf("empty draining view wrong:\n%s", drained)
+	}
+}
+
+func sampleIncidents() server.DebugIncidents {
+	return server.DebugIncidents{
+		NowUnixNs: 1_700_000_000_000_000_000,
+		Enabled:   true,
+		Alarms:    69000,
+		Folded:    68000,
+		Incidents: 2,
+		Reduction: 0.9997,
+		List: []incident.Incident{
+			{ID: 1, Score: 61.5, Func: "check", PC: 0x1234, Alarms: 68900, Folded: 67950,
+				Sessions: 4, FirstSeq: 40000, LastSeq: 80000, Bursts: 4, Leads: 1,
+				Cluster: 1, ClusterSize: 2, Root: true,
+				Evidence: []string{"alarm rate change-point at seq bucket 78"},
+				Context:  &incident.Context{Seq: 40001, Window: 64, Stack: []string{"main", "check"}}},
+			{ID: 2, Score: 12.0, Func: "act", PC: 0x5678, Alarms: 100, Folded: 50,
+				Sessions: 4, FirstSeq: 41000, LastSeq: 79000, Cluster: 1, ClusterSize: 2},
+		},
+	}
+}
+
+func TestRenderIncidentView(t *testing.T) {
+	out := renderIncidents(sampleIncidents())
+	for _, want := range []string{
+		"69000 alarm(s) folded into 2 incident(s)",
+		"100.0% reduction", // %.1f rounds 0.9997
+		"check@0x1234", "act@0x5678", "root",
+		"alarm rate change-point at seq bucket 78",
+		"context: alarm seq=40001 window=64 stack=main>check",
+		"[40000, 80000]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("incident view lacks %q:\n%s", want, out)
+		}
+	}
+	// Rank order is the document order.
+	if i0, i1 := strings.Index(out, "check@0x1234"), strings.Index(out, "act@0x5678"); i0 > i1 {
+		t.Errorf("incidents not rendered in rank order:\n%s", out)
+	}
+	if off := renderIncidents(server.DebugIncidents{}); !strings.Contains(off, "disabled") {
+		t.Errorf("disabled-stage view wrong:\n%s", off)
+	}
+	if empty := renderIncidents(server.DebugIncidents{Enabled: true}); !strings.Contains(empty, "(no incidents)") {
+		t.Errorf("empty view wrong:\n%s", empty)
 	}
 }
 
@@ -67,5 +117,31 @@ func TestFetchRoundTrip(t *testing.T) {
 	}
 	if _, err := fetch(ts.Client(), ts.URL+"/nope"); err == nil {
 		t.Fatal("fetch of a 404 endpoint returned nil error")
+	}
+}
+
+// TestFetchIncidentsRoundTrip mirrors TestFetchRoundTrip for the
+// /debug/incidents document the daemon's IncidentsHandler emits.
+func TestFetchIncidentsRoundTrip(t *testing.T) {
+	want := sampleIncidents()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/incidents" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer ts.Close()
+
+	got, err := fetchIncidents(ts.Client(), ts.URL+"/debug/incidents")
+	if err != nil {
+		t.Fatalf("fetchIncidents: %v", err)
+	}
+	if !got.Enabled || len(got.List) != 2 || got.List[0].Func != "check" ||
+		got.List[0].Context == nil || got.List[0].Context.Seq != 40001 {
+		t.Fatalf("decoded document diverges: %+v", got)
+	}
+	if _, err := fetchIncidents(ts.Client(), ts.URL+"/nope"); err == nil {
+		t.Fatal("fetchIncidents of a 404 endpoint returned nil error")
 	}
 }

@@ -1,0 +1,81 @@
+package incident
+
+// Layer 2: stable bloom filter dedup (Deng & Rafiei, "Approximately
+// Detecting Duplicates for Streaming Data using Stable Bloom Filters").
+// A classic bloom filter saturates on an unbounded stream; the stable
+// variant decays a few cells before every insert, so old tuples fade
+// and the false-positive rate converges to a stable bound instead of
+// climbing to one. Duplicates here are (func, branch, bucket) tuples:
+// the second and later alarms of one signal within one bucket fold
+// into the first, which is what collapses a storm by orders of
+// magnitude before the correlators ever see it.
+//
+// Decay is a deterministic rotating cursor (not the randomized decay of
+// the paper): the analyzer's output must be a pure function of the
+// per-session alarm streams, and a per-session filter fed in stream
+// order with deterministic decay is exactly that.
+
+const (
+	// bloomMax is the cell ceiling (cells are small saturating
+	// counters; fresh inserts set their cells to this).
+	bloomMax = 3
+	// bloomProbes is the number of cells one tuple hashes to.
+	bloomProbes = 3
+	// bloomDecay is the number of cells decremented before each
+	// insert; decay/probes fixes the filter's stable occupancy.
+	bloomDecay = 4
+)
+
+// stableBloom is one session's dedup filter.
+type stableBloom struct {
+	cells []uint8
+	cur   uint64 // deterministic decay cursor
+}
+
+// init sizes the filter; cells must be positive.
+func (f *stableBloom) init(cells int) {
+	f.cells = make([]uint8, cells)
+}
+
+// addFresh inserts a tuple hash and reports whether it was (probably)
+// unseen: true = fresh, false = duplicate, folded. False positives
+// (a fresh tuple reported duplicate) under-count a signal's distinct
+// buckets slightly; false negatives fade in as old tuples decay, which
+// is the stable trade the filter is chosen for.
+func (f *stableBloom) addFresh(h uint64) bool {
+	n := uint64(len(f.cells))
+	for i := 0; i < bloomDecay; i++ {
+		f.cur++
+		if c := &f.cells[f.cur%n]; *c > 0 {
+			*c--
+		}
+	}
+	// Double hashing: probe i at h1 + i·h2 (h2 odd, so every probe
+	// sequence cycles the whole table).
+	h2 := (h>>33 | h<<31) | 1
+	seen := true
+	for i := uint64(0); i < bloomProbes; i++ {
+		c := &f.cells[(h+i*h2)%n]
+		if *c == 0 {
+			seen = false
+		}
+		*c = bloomMax
+	}
+	return !seen
+}
+
+// tupleHash mixes a dedup tuple into one 64-bit hash (FNV-1a over the
+// function name, then a splitmix64-style finisher over PC and bucket).
+func tupleHash(fn string, pc, bucket uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(fn); i++ {
+		h = (h ^ uint64(fn[i])) * 1099511628211
+	}
+	h ^= pc
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h ^= bucket
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}

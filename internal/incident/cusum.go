@@ -1,0 +1,58 @@
+package incident
+
+// Layer 1: one-sided CUSUM change-point detection over a (session,
+// signal) alarm-rate series. The series' samples are alarms-per-bucket
+// counts on the sequence axis; the detector accumulates positive
+// deviations from a running EWMA baseline and fires when the cumulative
+// excess crosses an adaptive threshold. The baseline starts at zero —
+// "no alarms" is the norm for a healthy stream — so a signal that is
+// born loud (a persistent corruption entering a hot loop) fires on its
+// very first bucket, while a steady drip of scattered noise never
+// accumulates past the slack.
+
+const (
+	// cusumAlpha is the EWMA baseline weight: high enough to track a
+	// new normal within a few buckets after a detection re-baselines.
+	cusumAlpha = 0.2
+	// cusumSlackFrac and cusumSlackMin set the per-sample slack
+	// k = frac·mean + min: deviations below k never accumulate, which
+	// is what keeps a 1-alarm-per-bucket drip silent forever.
+	cusumSlackFrac = 0.5
+	cusumSlackMin  = 1.0
+	// cusumThreshFrac sets the firing threshold h = frac·(mean + 1):
+	// the cumulative excess needed before a change-point is declared.
+	cusumThreshFrac = 4.0
+)
+
+// cusum is the detector state: a running baseline and the accumulated
+// positive deviation. The zero value is ready to use (baseline zero).
+type cusum struct {
+	mean float64 // EWMA baseline of the series
+	s    float64 // accumulated positive deviation
+}
+
+// feed consumes one closed bucket's alarm count and reports whether a
+// positive change-point fired. After a detection the detector
+// re-baselines at the new level, so a sustained storm fires once, not
+// once per bucket.
+func (c *cusum) feed(x float64) bool {
+	k := cusumSlackFrac*c.mean + cusumSlackMin
+	h := cusumThreshFrac * (c.mean + 1)
+	c.s += x - c.mean - k
+	if c.s < 0 {
+		c.s = 0
+	}
+	if c.s > h {
+		c.s = 0
+		c.mean = x
+		return true
+	}
+	c.mean += cusumAlpha * (x - c.mean)
+	return false
+}
+
+// wouldFire reports whether feeding x would fire, without mutating the
+// detector — used at ranking time to score a still-open bucket.
+func (c cusum) wouldFire(x float64) bool {
+	return (&c).feed(x)
+}

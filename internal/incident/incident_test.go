@@ -1,0 +1,239 @@
+package incident
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ipds"
+)
+
+func TestCUSUMFiresOnceOnStormOnset(t *testing.T) {
+	var c cusum
+	// Healthy stream: long quiet baseline.
+	for i := 0; i < 50; i++ {
+		if c.feed(0) {
+			t.Fatal("fired on an all-zero series")
+		}
+	}
+	// Storm onset: a loud bucket fires immediately...
+	if !c.feed(100) {
+		t.Fatal("did not fire on a 0 -> 100 step")
+	}
+	// ...and the re-baselined detector stays quiet on the new level.
+	for i := 0; i < 50; i++ {
+		if c.feed(100) {
+			t.Fatalf("re-fired on sustained post-detection level (bucket %d)", i)
+		}
+	}
+}
+
+func TestCUSUMQuietOnDrip(t *testing.T) {
+	var c cusum
+	for i := 0; i < 1000; i++ {
+		x := 0.0
+		if i%3 == 0 {
+			x = 1 // one scattered alarm every few buckets
+		}
+		if c.feed(x) {
+			t.Fatalf("fired on background drip at bucket %d", i)
+		}
+	}
+}
+
+func TestCUSUMWouldFireDoesNotMutate(t *testing.T) {
+	var c cusum
+	c.feed(0)
+	before := c
+	if !c.wouldFire(100) {
+		t.Fatal("wouldFire(100) = false after a zero baseline")
+	}
+	if c != before {
+		t.Fatalf("wouldFire mutated the detector: %+v -> %+v", before, c)
+	}
+}
+
+func TestBloomFoldsRepeatsAndDecays(t *testing.T) {
+	var f stableBloom
+	f.init(1024)
+	h := tupleHash("f", 0x10, 3)
+	if !f.addFresh(h) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if f.addFresh(h) {
+		t.Fatal("immediate repeat reported fresh")
+	}
+	// Stability: after enough distinct inserts the old tuple decays out
+	// and reads fresh again — the filter never saturates.
+	for i := uint64(0); i < 10000; i++ {
+		f.addFresh(tupleHash("g", 0x20, i))
+	}
+	if !f.addFresh(h) {
+		t.Fatal("tuple survived 10000 younger inserts; filter is not decaying")
+	}
+}
+
+// feed pushes a synthetic storm-plus-drip scenario: session-scoped drip
+// alarms at a few library branches over the whole run, and a dense
+// flood at act@0x99 from onset onward — the shape of one persistent
+// corruption under background noise.
+func feedScenario(a *Analyzer, sessions []uint64, interleave bool) {
+	const (
+		span  = 1 << 20 // total branch events per session
+		onset = 1 << 19 // corruption point
+	)
+	mk := func(sess uint64) []AlarmEvent {
+		var evs []AlarmEvent
+		for seq := uint64(0); seq < span; seq++ {
+			switch {
+			case seq%9973 == 1:
+				evs = append(evs, AlarmEvent{Session: sess, Seq: seq, PC: 0x10 + (seq/9973)%3, Func: "lib"})
+			case seq >= onset && seq%8 == 0:
+				evs = append(evs, AlarmEvent{Session: sess, Seq: seq, PC: 0x99, Func: "act", Taken: true})
+			}
+		}
+		return evs
+	}
+	streams := make([][]AlarmEvent, len(sessions))
+	for i, s := range sessions {
+		streams[i] = mk(s)
+	}
+	if !interleave {
+		for _, evs := range streams {
+			for _, ev := range evs {
+				a.Observe(ev)
+			}
+		}
+		return
+	}
+	// Round-robin across sessions, preserving each session's order.
+	for i := 0; ; i++ {
+		advanced := false
+		for _, evs := range streams {
+			if i < len(evs) {
+				a.Observe(evs[i])
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+func TestAnalyzerFoldsStormAndRanksRoot(t *testing.T) {
+	a := NewAnalyzer(Config{})
+	feedScenario(a, []uint64{1, 2, 3}, false)
+
+	st := a.Stats()
+	if st.Alarms < 10000 {
+		t.Fatalf("scenario produced only %d alarms; not a storm", st.Alarms)
+	}
+	incs := a.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("no incidents from a storm")
+	}
+	if got := float64(len(incs)) / float64(st.Alarms); got > 0.05 {
+		t.Fatalf("fold reduction too weak: %d incidents from %d alarms (%.2f%%)", len(incs), st.Alarms, 100*got)
+	}
+	top := incs[0]
+	if top.Func != "act" || top.PC != 0x99 {
+		t.Fatalf("top incident is %s@%#x, want act@0x99; list: %+v", top.Func, top.PC, incs)
+	}
+	if top.ID != 1 || top.Sessions != 3 {
+		t.Fatalf("top incident ID=%d Sessions=%d, want 1 and 3", top.ID, top.Sessions)
+	}
+	if top.Bursts == 0 {
+		t.Fatal("storm onset raised no change-point")
+	}
+	if len(top.Evidence) == 0 || !strings.Contains(top.Evidence[0], "act@0x99") {
+		t.Fatalf("evidence does not name the signal: %q", top.Evidence)
+	}
+	// The seeded onset is at seq 2^19; the top incident's range must
+	// start there, not at the drip noise.
+	if top.FirstSeq < 1<<19 || top.FirstSeq > 1<<19+16 {
+		t.Fatalf("top incident FirstSeq = %d, want ~%d", top.FirstSeq, 1<<19)
+	}
+	// Drip signals must score clearly below the storm.
+	if incs[1].Score >= top.Score {
+		t.Fatalf("runner-up score %.1f not below top %.1f", incs[1].Score, top.Score)
+	}
+}
+
+func TestAnalyzerDeterministicAcrossInterleavings(t *testing.T) {
+	seq := NewAnalyzer(Config{})
+	feedScenario(seq, []uint64{7, 8, 9}, false)
+	rr := NewAnalyzer(Config{})
+	// Different session ids AND different interleaving: neither may
+	// influence the ranked output.
+	feedScenario(rr, []uint64{100, 200, 300}, true)
+
+	a, b := seq.Incidents(), rr.Incidents()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("incident lists diverge across interleavings:\nseq: %+v\nrr:  %+v", a, b)
+	}
+	if !reflect.DeepEqual(seq.Stats(), rr.Stats()) {
+		t.Fatalf("stats diverge: %+v vs %+v", seq.Stats(), rr.Stats())
+	}
+	// Idempotence: ranking again changes nothing.
+	if again := seq.Incidents(); !reflect.DeepEqual(a, again) {
+		t.Fatal("Incidents() is not idempotent")
+	}
+}
+
+func TestAnalyzerAdoptsEarliestContext(t *testing.T) {
+	a := NewAnalyzer(Config{})
+	mkCtx := func(seq uint64) *ipds.AlarmContext {
+		return &ipds.AlarmContext{
+			Alarm:    ipds.Alarm{Seq: seq, PC: 0x99, Func: "act"},
+			Recorded: seq,
+			Stack:    []ipds.StackEntry{{Base: 0x40, Func: "main"}, {Base: 0x90, Func: "act"}},
+		}
+	}
+	a.Observe(AlarmEvent{Session: 1, Seq: 100, PC: 0x99, Func: "act"})
+	a.Observe(AlarmEvent{Session: 1, Seq: 500, PC: 0x99, Func: "act"})
+	a.ObserveContext(mkCtx(500))
+	a.ObserveContext(mkCtx(100)) // earlier: adopted
+	a.ObserveContext(mkCtx(900)) // later: ignored
+
+	incs := a.Incidents()
+	if len(incs) != 1 || incs[0].Context == nil {
+		t.Fatalf("want one incident with context, got %+v", incs)
+	}
+	c := incs[0].Context
+	if c.Seq != 100 || len(c.Stack) != 2 || c.Stack[1] != "act" {
+		t.Fatalf("context = %+v, want the seq-100 capture with [main act] stack", c)
+	}
+}
+
+func TestAnalyzerSignalOverflowCounted(t *testing.T) {
+	a := NewAnalyzer(Config{MaxSignals: 2})
+	a.Observe(AlarmEvent{Session: 1, Seq: 1, PC: 1, Func: "a"})
+	a.Observe(AlarmEvent{Session: 1, Seq: 2, PC: 2, Func: "b"})
+	a.Observe(AlarmEvent{Session: 1, Seq: 3, PC: 3, Func: "c"}) // past the bound
+	st := a.Stats()
+	if st.Signals != 2 || st.Overflow != 1 {
+		t.Fatalf("stats = %+v, want 2 signals and 1 overflow", st)
+	}
+	if got := len(a.Incidents()); got != 2 {
+		t.Fatalf("incidents = %d, want 2", got)
+	}
+}
+
+// TestObserveSteadyStateAllocationFree pins the analyzer half of the
+// serve-path allocation story: once a signal and session are warm,
+// feeding alarms allocates nothing.
+func TestObserveSteadyStateAllocationFree(t *testing.T) {
+	a := NewAnalyzer(Config{})
+	seq := uint64(0)
+	obs := func() {
+		seq += 3
+		a.Observe(AlarmEvent{Session: 1, Seq: seq, PC: 0x99, Func: "act", Taken: true})
+	}
+	for i := 0; i < 4096; i++ {
+		obs() // warm signal, session, bloom, series
+	}
+	if n := testing.AllocsPerRun(2000, obs); n != 0 {
+		t.Fatalf("Observe allocates %.1f per alarm in steady state, want 0", n)
+	}
+}

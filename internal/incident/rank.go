@@ -1,0 +1,323 @@
+package incident
+
+// Layer 3: correlation and ranking. Signals that survive dedup are
+// clustered by overlapping sequence ranges (TimeCluster), ordered by
+// cross-session first occurrence (LeadLag), scored, and rendered into
+// Incident records. Everything here works on the commutative aggregates
+// layers 1 and 2 maintained, sorts on deterministic keys before any
+// arithmetic, and never consults wall clock or session ids — the same
+// streams always rank the same way.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ipds"
+)
+
+// Incident is one ranked, folded alarm source with its explanation.
+type Incident struct {
+	ID          int      `json:"id"` // 1-based rank
+	Score       float64  `json:"score"`
+	Func        string   `json:"func"`
+	PC          uint64   `json:"pc"`
+	Alarms      uint64   `json:"alarms"`
+	Folded      uint64   `json:"folded"`
+	Sessions    int      `json:"sessions"`
+	FirstSeq    uint64   `json:"first_seq"`
+	LastSeq     uint64   `json:"last_seq"`
+	Bursts      int      `json:"bursts"`
+	Leads       int      `json:"leads"`
+	Cluster     int      `json:"cluster"`      // 1-based cluster id
+	ClusterSize int      `json:"cluster_size"` // signals in the cluster
+	Root        bool     `json:"root"`         // earliest onset in its cluster
+	Evidence    []string `json:"evidence"`
+	Context     *Context `json:"context,omitempty"`
+}
+
+// Context summarises the incident's best (earliest) forensic capture.
+type Context struct {
+	Seq      uint64   `json:"seq"`      // alarm the capture annotates
+	Recorded uint64   `json:"recorded"` // recorder lifetime events at capture
+	Window   int      `json:"window"`   // recent events retained
+	Stack    []string `json:"stack,omitempty"`
+}
+
+// Scoring weights. Volume is log-damped so a 69k-alarm storm does not
+// drown its few-alarm root; change-points and breadth carry the rest,
+// burst and lead bonuses capped so one dimension cannot run away.
+const (
+	scoreVolume   = 6.0  // × log2(1 + alarms)
+	scoreBreadth  = 2.0  // × sessions
+	scoreBurst    = 10.0 // × min(bursts, scoreBurstCap)
+	scoreLead     = 3.0  // × min(leads, scoreLeadCap)
+	scoreRoot     = 6.0  // earliest onset of a multi-signal cluster
+	scoreBurstCap = 4
+	scoreLeadCap  = 3
+)
+
+// pairKey orders two signals for the LeadLag tallies: a first, b later.
+type pairKey struct{ a, b *signal }
+
+// pairStat tallies one ordered pair across sessions.
+type pairStat struct {
+	n   uint64 // sessions where a's first alarm preceded b's
+	lag uint64 // summed first-seq gaps over those sessions
+}
+
+// leadTo is one confirmed lead edge used for evidence rendering.
+type leadTo struct {
+	to      *signal
+	n       uint64
+	meanLag uint64
+}
+
+// Incidents computes the ranked incident list from the current state.
+// It is a pure read (idempotent, repeatable); feeding more alarms and
+// ranking again refines the same list.
+func (a *Analyzer) Incidents() []Incident {
+	t0 := nowNanos()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if len(a.signals) == 0 {
+		a.met.open.Set(0)
+		return nil
+	}
+
+	// Deterministic working order: creation order varies with session
+	// interleaving, so every pass below starts from a sorted slice.
+	sigs := make([]*signal, 0, len(a.signals))
+	for _, s := range a.signals {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].firstSeq != sigs[j].firstSeq {
+			return sigs[i].firstSeq < sigs[j].firstSeq
+		}
+		if sigs[i].fn != sigs[j].fn {
+			return sigs[i].fn < sigs[j].fn
+		}
+		return sigs[i].pc < sigs[j].pc
+	})
+
+	// Effective bursts: closed-bucket detections plus still-open buckets
+	// that would fire if closed now (wouldFire copies the detector, so
+	// ranking mid-stream never perturbs it). Sums over the session map
+	// are commutative, so iteration order is irrelevant.
+	bursts := make(map[*signal]int, len(sigs))
+	firstBurst := make(map[*signal]uint64, len(sigs))
+	for _, s := range sigs {
+		bursts[s] = s.bursts
+		firstBurst[s] = s.firstBurst
+	}
+	for _, st := range a.sessions {
+		for s, sr := range st.series {
+			if sr.open && sr.cu.wouldFire(sr.count) {
+				bursts[s]++
+				if sr.bucket < firstBurst[s] {
+					firstBurst[s] = sr.bucket
+				}
+			}
+		}
+	}
+
+	// TimeCluster: sweep sorted [firstBucket, lastBucket] ranges,
+	// merging overlaps and gaps up to ClusterGap.
+	byBucket := append([]*signal(nil), sigs...)
+	sort.Slice(byBucket, func(i, j int) bool {
+		if byBucket[i].firstBucket != byBucket[j].firstBucket {
+			return byBucket[i].firstBucket < byBucket[j].firstBucket
+		}
+		if byBucket[i].fn != byBucket[j].fn {
+			return byBucket[i].fn < byBucket[j].fn
+		}
+		return byBucket[i].pc < byBucket[j].pc
+	})
+	cluster := make(map[*signal]int, len(sigs))
+	clusterSize := map[int]int{}
+	nClusters := 0
+	var end uint64
+	for _, s := range byBucket {
+		if nClusters == 0 || s.firstBucket > end+a.cfg.ClusterGap {
+			nClusters++
+			end = s.lastBucket
+		} else if s.lastBucket > end {
+			end = s.lastBucket
+		}
+		cluster[s] = nClusters
+		clusterSize[nClusters]++
+	}
+	// Root of each cluster: the signal with the earliest first alarm
+	// (sigs is already in that order, so first hit wins).
+	root := map[int]*signal{}
+	for _, s := range sigs {
+		if _, ok := root[cluster[s]]; !ok {
+			root[cluster[s]] = s
+		}
+	}
+
+	// LeadLag: within a cluster, a leads b when a's first alarm
+	// precedes b's in a strict majority of the sessions seeing both.
+	pairs := map[pairKey]*pairStat{}
+	for _, st := range a.sessions {
+		ord := make([]*signal, 0, len(st.series))
+		for s := range st.series {
+			ord = append(ord, s)
+		}
+		sort.Slice(ord, func(i, j int) bool {
+			a, b := st.series[ord[i]].firstSeq, st.series[ord[j]].firstSeq
+			if a != b {
+				return a < b
+			}
+			if ord[i].fn != ord[j].fn {
+				return ord[i].fn < ord[j].fn
+			}
+			return ord[i].pc < ord[j].pc
+		})
+		if len(ord) > 64 {
+			ord = ord[:64] // bound the quadratic sweep; earliest signals matter most
+		}
+		for i := 0; i < len(ord); i++ {
+			for j := i + 1; j < len(ord); j++ {
+				x, y := ord[i], ord[j]
+				if cluster[x] != cluster[y] {
+					continue
+				}
+				fx, fy := st.series[x].firstSeq, st.series[y].firstSeq
+				if fx >= fy {
+					continue
+				}
+				k := pairKey{a: x, b: y}
+				p := pairs[k]
+				if p == nil {
+					p = &pairStat{}
+					pairs[k] = p
+				}
+				p.n++
+				p.lag += fy - fx
+			}
+		}
+	}
+	leads := make(map[*signal][]leadTo)
+	for _, x := range sigs {
+		for _, y := range sigs {
+			if x == y {
+				continue
+			}
+			fwd := pairs[pairKey{a: x, b: y}]
+			if fwd == nil {
+				continue
+			}
+			var revN uint64
+			if rev := pairs[pairKey{a: y, b: x}]; rev != nil {
+				revN = rev.n
+			}
+			if fwd.n > revN {
+				leads[x] = append(leads[x], leadTo{to: y, n: fwd.n, meanLag: fwd.lag / fwd.n})
+			}
+		}
+	}
+
+	// Score and rank.
+	out := make([]Incident, 0, len(sigs))
+	for _, s := range sigs {
+		cid := cluster[s]
+		isRoot := root[cid] == s
+		nb := bursts[s]
+		nl := len(leads[s])
+		score := scoreVolume * math.Log2(1+float64(s.alarms))
+		score += scoreBreadth * float64(s.sessions)
+		score += scoreBurst * float64(min(nb, scoreBurstCap))
+		score += scoreLead * float64(min(nl, scoreLeadCap))
+		if isRoot && clusterSize[cid] > 1 {
+			score += scoreRoot
+		}
+
+		in := Incident{
+			Score:       score,
+			Func:        s.fn,
+			PC:          s.pc,
+			Alarms:      s.alarms,
+			Folded:      s.folded,
+			Sessions:    s.sessions,
+			FirstSeq:    s.firstSeq,
+			LastSeq:     s.lastSeq,
+			Bursts:      nb,
+			Leads:       nl,
+			Cluster:     cid,
+			ClusterSize: clusterSize[cid],
+			Root:        isRoot,
+			Evidence:    a.evidence(s, nb, firstBurst[s], leads[s], clusterSize[cid], isRoot),
+		}
+		if s.ctx != nil {
+			in.Context = contextSummary(s.ctx)
+		}
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].FirstSeq != out[j].FirstSeq {
+			return out[i].FirstSeq < out[j].FirstSeq
+		}
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].PC < out[j].PC
+	})
+	for i := range out {
+		out[i].ID = i + 1
+	}
+	a.met.open.Set(int64(len(out)))
+	a.met.rankNs.Observe(uint64(nowNanos() - t0))
+	return out
+}
+
+// evidence renders the human-readable summary lines for one signal.
+func (a *Analyzer) evidence(s *signal, bursts int, firstBurst uint64, lto []leadTo, clusterN int, isRoot bool) []string {
+	ev := make([]string, 0, 4)
+	ev = append(ev, fmt.Sprintf("%d alarm(s) (%d folded into %d active bucket(s)) across %d session(s) at %s@%#x",
+		s.alarms, s.folded, s.tuples, s.sessions, s.fn, s.pc))
+	if bursts > 0 {
+		ev = append(ev, fmt.Sprintf("%d alarm-rate change-point(s), first near seq %d",
+			bursts, firstBurst*uint64(a.cfg.BucketEvents)))
+	}
+	if len(lto) > 0 {
+		// Strongest (most-session, then deterministic key) edges first.
+		sort.Slice(lto, func(i, j int) bool {
+			if lto[i].n != lto[j].n {
+				return lto[i].n > lto[j].n
+			}
+			if lto[i].to.fn != lto[j].to.fn {
+				return lto[i].to.fn < lto[j].to.fn
+			}
+			return lto[i].to.pc < lto[j].to.pc
+		})
+		for i, l := range lto {
+			if i == 2 {
+				break
+			}
+			ev = append(ev, fmt.Sprintf("leads alarms at %s@%#x by ~%d events in %d session(s)",
+				l.to.fn, l.to.pc, l.meanLag, l.n))
+		}
+	}
+	if isRoot && clusterN > 1 {
+		ev = append(ev, fmt.Sprintf("earliest onset of a %d-signal cluster", clusterN))
+	}
+	return ev
+}
+
+// contextSummary condenses a forensic capture for the incident record.
+func contextSummary(c *ipds.AlarmContext) *Context {
+	out := &Context{Seq: c.Alarm.Seq, Recorded: c.Recorded, Window: len(c.Recent)}
+	if len(c.Stack) > 0 {
+		out.Stack = make([]string, len(c.Stack))
+		for i := range c.Stack {
+			out.Stack[i] = c.Stack[i].Func
+		}
+	}
+	return out
+}

@@ -98,6 +98,7 @@ type Client struct {
 	marks     []batchMark
 	alarms    []wire.Alarm
 	ctxs      []wire.AlarmCtx
+	incidents []wire.Incident
 	acked     uint64
 	ackLat    []time.Duration
 	alarmLat  []time.Duration
@@ -235,6 +236,10 @@ func (c *Client) readLoop(rd *wire.Reader) {
 			if c.cfg.OnAlarmCtx != nil {
 				c.cfg.OnAlarmCtx(fr)
 			}
+		case wire.Incident:
+			c.mu.Lock()
+			c.incidents = append(c.incidents, fr)
+			c.mu.Unlock()
 		case wire.Error:
 			e := fr
 			c.mu.Lock()
@@ -394,6 +399,18 @@ func (c *Client) AlarmContexts() []wire.AlarmCtx {
 	defer c.mu.Unlock()
 	out := make([]wire.AlarmCtx, len(c.ctxs))
 	copy(out, c.ctxs)
+	return out
+}
+
+// Incidents returns the ranked incident summaries received so far —
+// the daemon emits them (highest score first) during a graceful drain,
+// so after Drain returns nil this is the server's view of what the
+// session's alarm storm folded into.
+func (c *Client) Incidents() []wire.Incident {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.Incident, len(c.incidents))
+	copy(out, c.incidents)
 	return out
 }
 

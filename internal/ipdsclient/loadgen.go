@@ -54,6 +54,12 @@ type LoadResult struct {
 	// raises no alarms.
 	AlarmP50, AlarmP95, AlarmP99 time.Duration
 
+	// Incidents is the ranked incident list the daemon emitted during
+	// drain (one session's copy — every session receives the same
+	// server-wide list, so keeping one avoids double counting). Empty
+	// when the daemon runs with its incident stage disabled.
+	Incidents []wire.Incident
+
 	// Errors collects per-session failures (nil entries elided).
 	Errors []error
 }
@@ -68,14 +74,15 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		cfg.EventsPerConn = len(cfg.Trace)
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		events   uint64
-		alarms   uint64
-		ctxs     uint64
-		ackLat   []time.Duration
-		alarmLat []time.Duration
-		errs     []error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		events    uint64
+		alarms    uint64
+		ctxs      uint64
+		incidents []wire.Incident
+		ackLat    []time.Duration
+		alarmLat  []time.Duration
+		errs      []error
 	)
 
 	// Pre-encode the trace into one block of Batch frames, shared
@@ -171,6 +178,9 @@ func RunLoad(cfg LoadConfig) LoadResult {
 			events += c.Acked()
 			alarms += uint64(len(c.Alarms()))
 			ctxs += c.CtxCount()
+			if inc := c.Incidents(); len(inc) > len(incidents) {
+				incidents = inc // keep the fullest drain-time list, not a sum
+			}
 			ackLat = append(ackLat, ack...)
 			alarmLat = append(alarmLat, al...)
 			mu.Unlock()
@@ -190,6 +200,7 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		AlarmP50:  Percentile(alarmLat, 0.50),
 		AlarmP95:  Percentile(alarmLat, 0.95),
 		AlarmP99:  Percentile(alarmLat, 0.99),
+		Incidents: incidents,
 		Errors:    errs,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {

@@ -55,6 +55,36 @@ func Tamper(evs []wire.Event, stride int) []wire.Event {
 	return out
 }
 
+// TamperPoint returns a copy of a captured trace where, from the
+// from-th event onward, every other visit to the branch at pc is
+// flipped. Where Tamper models scattered corruption noise, TamperPoint
+// models one persistent corruption with an onset: a repeatedly
+// clobbered flag that makes a single branch site thrash, contradicting
+// the invariant-direction correlation the tables encode for it on
+// every other visit. (A constant forced direction would be
+// self-consistent — the detector checks branches against correlations,
+// not absolute directions — so the corrupted site must keep disagreeing
+// with itself to flood the verifier from one root cause.) The
+// incident-pipeline gate seeds exactly this shape and requires the
+// pipeline to fold the flood into its top-ranked incident.
+func TamperPoint(evs []wire.Event, pc uint64, from int) []wire.Event {
+	out := make([]wire.Event, len(evs))
+	copy(out, evs)
+	if from < 0 {
+		from = 0
+	}
+	flip := true
+	for i := from; i < len(out); i++ {
+		if out[i].Kind == wire.EvBranch && out[i].PC == pc {
+			if flip {
+				out[i].Taken = !out[i].Taken
+			}
+			flip = !flip
+		}
+	}
+	return out
+}
+
 // ReplayLocalBatched feeds a trace through the machine's batched kernel
 // (ipds.Machine.OnBatch) in batches of the given size (<= 0 means
 // wire.MaxBatch), copying each batch's alarms out of the machine-owned

@@ -234,6 +234,59 @@ func TestHistSnapshotQuantile(t *testing.T) {
 	if got := z.Snapshot().Quantile(1); got != 0 {
 		t.Fatalf("all-zero p100 = %d, want 0", got)
 	}
+	// Out-of-range q clamps instead of panicking or extrapolating.
+	if got := s.Quantile(-0.5); got != 3 {
+		t.Fatalf("q<0 = %d, want the p0 bound 3", got)
+	}
+	if got := s.Quantile(2); got != 1023 {
+		t.Fatalf("q>1 = %d, want the p100 bound 1023", got)
+	}
+	// A single populated bucket answers every quantile with its upper
+	// edge — the only bound a one-bucket distribution can honestly give.
+	one := r.Histogram("one")
+	one.Observe(5) // bucket 3, upper edge 7
+	os := one.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := os.Quantile(q); got != 7 {
+			t.Fatalf("single-bucket Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+}
+
+// TestPrometheusLabelEscaping holds the exposition format where label
+// values carry quotes, backslashes or newlines: Name renders them with
+// %q, whose Go escapes (\" \\ \n) are exactly the three escapes the
+// Prometheus text format defines for label values, so the scraped
+// series stays parseable however hostile the program name.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("esc_total", "prog", `say "hi"`)).Add(1)
+	r.Counter(Name("esc_total", "prog", `c:\boot`)).Add(2)
+	r.Counter(Name("esc_total", "prog", "two\nlines")).Add(3)
+	r.Histogram(Name("esc_ns", "prog", `q"\`)).Observe(1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	for _, want := range []string{
+		`esc_total{prog="say \"hi\""} 1`,
+		`esc_total{prog="c:\\boot"} 2`,
+		`esc_total{prog="two\nlines"} 3`, // literal backslash-n, not a line break
+		`esc_ns_bucket{prog="q\"\\",le="1"} 1`,
+		`esc_ns_sum{prog="q\"\\"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, got)
+		}
+	}
+	// No label value may smuggle a raw newline into the middle of a
+	// series line: every line must still be "name{labels} value".
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if !strings.HasPrefix(line, "esc_") {
+			t.Errorf("escaping broke line framing: %q", line)
+		}
+	}
 }
 
 // TestWritePrometheusGolden pins the full text exposition format byte

@@ -31,11 +31,13 @@ type DebugSession struct {
 	Program   string      `json:"program"`
 	Shard     int         `json:"shard"`
 	AgeMs     int64       `json:"age_ms"`
+	UptimeS   float64     `json:"uptime_s"`
 	IdleMs    int64       `json:"idle_ms"`
 	Events    uint64      `json:"events"`
 	Batches   uint64      `json:"batches"`
 	Alarms    uint64      `json:"alarms"`
-	Recorded  uint64      `json:"recorded"` // flight-recorder lifetime events
+	AlarmRate float64     `json:"alarm_rate_per_s"` // last ≥1s window, else lifetime average
+	Recorded  uint64      `json:"recorded"`         // flight-recorder lifetime events
 	LastAlarm *DebugAlarm `json:"last_alarm,omitempty"`
 }
 
@@ -64,13 +66,15 @@ func (s *Server) Debug() DebugInfo {
 	}
 	for _, ss := range live {
 		d := DebugSession{
-			ID:       ss.id,
-			Program:  ss.program,
-			Shard:    ss.shard,
-			AgeMs:    now.Sub(ss.started).Milliseconds(),
-			Batches:  ss.batchesN.Load(),
-			Alarms:   ss.alarmsN.Load(),
-			Recorded: ss.recTotal.Load(),
+			ID:        ss.id,
+			Program:   ss.program,
+			Shard:     ss.shard,
+			AgeMs:     now.Sub(ss.started).Milliseconds(),
+			UptimeS:   now.Sub(ss.started).Seconds(),
+			Batches:   ss.batchesN.Load(),
+			Alarms:    ss.alarmsN.Load(),
+			AlarmRate: ss.alarmRate(now),
+			Recorded:  ss.recTotal.Load(),
 		}
 		last := ss.started.UnixNano()
 		if t := ss.lastBatch.Load(); t != 0 {

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/ipds"
+	"repro/internal/ipdsclient"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// BenchmarkVerifyBatchIncident measures the verifier's per-batch cost
+// with the incident stage enabled — the serve path's side of the
+// analytics contract. It drives verifyBatch directly (no sockets, no
+// client), so the allocs/op it reports is the verifier goroutine's
+// own: `make alloc-gate` requires it to stay 0 even while every alarm
+// is offered to the incident queue and every forensic capture is
+// deep-copied across it.
+func BenchmarkVerifyBatchIncident(b *testing.B) {
+	w := workload.ByName("telnetd")
+	if w == nil {
+		b.Fatal("telnetd workload missing")
+	}
+	art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.Sessions()[0]), 5)
+	if len(trace) == 0 {
+		b.Fatal("empty trace")
+	}
+	// The capture ends mid-call (the VM halts inside main), so looping
+	// it would deepen the machine's stack every pass and turn the
+	// arena's record-depth growth into a per-op allocation. Balance the
+	// tail: the loop then measures a long-lived session at steady depth.
+	depth := 0
+	for _, ev := range trace {
+		switch ev.Kind {
+		case wire.EvEnter:
+			depth++
+		case wire.EvLeave:
+			depth--
+		}
+	}
+	for ; depth > 0; depth-- {
+		trace = append(trace, wire.Event{Kind: wire.EvLeave})
+	}
+
+	store := NewImageStore(nil)
+	store.Add("bench", art.Image)
+	// A roomy queue: benchmark iterations outrun the analyzer goroutine,
+	// and overflow drops — while allocation-free — would leave the
+	// Observe path itself unmeasured.
+	srv := New(store, Config{IncidentQueue: 1 << 16})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	ss := &session{
+		srv:       srv,
+		m:         ipds.New(art.Image, srv.cfg.IPDS),
+		out:       make(chan *frameBuf, srv.cfg.AlarmQueue),
+		program:   "bench",
+		forensics: srv.cfg.IPDS.Recorder > 0,
+		started:   time.Now(),
+	}
+	if !ss.forensics {
+		b.Fatal("daemon default config has forensics off; benchmark would under-measure")
+	}
+	// Stand-in writer: release pooled frames the way writeLoop does.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for fb := range ss.out {
+			srv.bufPool.Put(fb)
+		}
+	}()
+
+	const batchLen = 512
+	var chunks [][]wire.Event
+	for off := 0; off < len(trace); off += batchLen {
+		end := min(off+batchLen, len(trace))
+		chunks = append(chunks, trace[off:end])
+	}
+	events := 0
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			bt := srv.batchPool.Get().(*wire.Batch)
+			bt.Events = chunks[i%len(chunks)]
+			events += len(bt.Events)
+			ss.mu.Lock()
+			ss.pending++
+			ss.mu.Unlock()
+			srv.verifyBatch(task{s: ss, b: bt})
+		}
+	}
+	// Warm everything the steady state reuses: pools, encode buffers,
+	// the machine's rings, the analyzer's signal and series maps, the
+	// forensic-context free list. The sync barrier then lets the
+	// analyzer goroutine drain its backlog so every pooled context is
+	// back in inventory before the timed section.
+	feed(max(512, 64*len(chunks)))
+	srv.incidents.sync()
+	events = 0
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	feed(b.N)
+	b.StopTimer()
+	close(ss.out)
+	<-drained
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
+	}
+}

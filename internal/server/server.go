@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/incident"
 	"repro/internal/ipds"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -80,6 +81,22 @@ type Config struct {
 	// them. With the recorder enabled, every Alarm frame is followed by
 	// a wire.AlarmCtx frame carrying the captured forensic context.
 	RecorderDepth int
+
+	// DisableIncidents turns off the incident analytics stage. It is ON
+	// by default: the stage runs behind a bounded queue off the serve
+	// path, so its steady-state cost is one non-blocking channel send
+	// per alarm.
+	DisableIncidents bool
+
+	// IncidentQueue bounds the analytics feed queue (default
+	// DefaultIncidentQueue). When full, observations are dropped from
+	// analysis — counted as incident_queue_dropped_total — never
+	// stalling a verifier.
+	IncidentQueue int
+
+	// Incident configures the analyzer (zero value selects the
+	// incident package defaults).
+	Incident incident.Config
 
 	// Reg receives server_* metrics; nil disables (free).
 	Reg *obs.Registry
@@ -166,6 +183,11 @@ type Server struct {
 	batchPool sync.Pool
 	bufPool   sync.Pool
 
+	// incidents is the off-path analytics stage (nil when disabled):
+	// verifiers offer alarms and forensic captures to its bounded queue
+	// and a dedicated goroutine folds them into ranked incidents.
+	incidents *incidentStage
+
 	shards   []chan task
 	workerWG sync.WaitGroup
 	readerWG sync.WaitGroup
@@ -190,6 +212,9 @@ func New(store *ImageStore, cfg Config) *Server {
 	s.batchPool.New = func() any { return &wire.Batch{} }
 	s.bufPool.New = func() any { return &frameBuf{} }
 	s.met = newMetrics(s.cfg.Reg)
+	if !s.cfg.DisableIncidents {
+		s.incidents = newIncidentStage(s.cfg.Incident, s.cfg.IncidentQueue, s.cfg.Reg)
+	}
 	s.shards = make([]chan task, s.cfg.Verifiers)
 	for i := range s.shards {
 		ch := make(chan task, s.cfg.ShardQueue)
@@ -283,6 +308,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.workerWG.Wait()
 		s.writerWG.Wait()
+		// Every producer into the incident queue lives inside the pools
+		// above; with them drained the stage can close and flush.
+		if s.incidents != nil {
+			s.incidents.close()
+		}
 		close(done)
 	}()
 	select {
@@ -442,6 +472,15 @@ func (s *Server) verifyBatch(t task) {
 		if fb.b, err = wire.AppendAlarm(fb.b, alarmFrame(&alarms[i])); err != nil {
 			panic(err) // alarmFrame clamps Func; unreachable absent a bug
 		}
+		// Feed the analytics stage off the hot path: a non-blocking
+		// send of a detached value copy (drops are counted), so the
+		// serve loop never stalls or allocates for analysis.
+		if s.incidents != nil {
+			a := &alarms[i]
+			s.incidents.offer(incident.AlarmEvent{
+				Session: ss.id, Seq: a.Seq, PC: a.PC, Func: a.Func, Taken: a.Taken,
+			})
+		}
 	}
 	// Emission is capture-driven: each context the machine snapshotted
 	// during this batch (alarms past the storm throttle) goes out once,
@@ -459,12 +498,16 @@ func (s *Server) verifyBatch(t task) {
 				fresh = n
 			}
 			for i := ss.m.ContextCount() - fresh; i < ss.m.ContextCount(); i++ {
+				c := ss.m.ContextAt(i)
 				var ok bool
-				fb.b, ok = appendAlarmCtx(fb.b, ss.m.ContextAt(i))
+				fb.b, ok = appendAlarmCtx(fb.b, c)
 				if ok {
 					s.met.ctxTotal.Inc()
 				} else {
 					s.met.ctxDropped.Inc()
+				}
+				if s.incidents != nil {
+					s.incidents.offerCtx(c)
 				}
 			}
 			if c := ss.m.LastContext(); c != nil {
@@ -484,9 +527,10 @@ func (s *Server) verifyBatch(t task) {
 	s.met.batchesTotal.Inc()
 	s.met.batchLen.Observe(uint64(n))
 	ss.batchesN.Add(1)
-	ss.alarmsN.Add(uint64(len(alarms)))
+	total := ss.alarmsN.Add(uint64(len(alarms)))
 	ss.recTotal.Store(ss.m.RecorderTotal())
 	ss.lastBatch.Store(start.UnixNano())
+	ss.updateRate(start.UnixNano(), total)
 	// Order matters: the ack must be queued before the task is marked
 	// done, or a concurrent reader-side maybeFinish could close the
 	// outbound queue under us.

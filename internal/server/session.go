@@ -52,6 +52,13 @@ type session struct {
 	recTotal  atomic.Uint64
 	lastBatch atomic.Int64 // unix nanos of the last verified batch
 
+	// Windowed alarm rate: the verifier closes ≥1s windows over its own
+	// plain fields (one shard owns a session's batches, so no races) and
+	// publishes the last closed window's rate for the debug handler.
+	rateWinStart int64         // unix nanos of the open window's start
+	rateWinBase  uint64        // lifetime alarms at the window's start
+	rateMilli    atomic.Uint64 // 1 + milli-alarms/s of the last closed window; 0 = none yet
+
 	// lastCtx is the session's most recent forensic capture, deep-copied
 	// out of the machine so the debug endpoint never touches machine
 	// state owned by the shard verifier.
@@ -101,6 +108,38 @@ func (s *session) addEvents(n uint64) uint64 {
 	return s.events
 }
 
+// updateRate advances the session's alarm-rate window: called by the
+// owning verifier after each batch with the batch's start time and the
+// session's lifetime alarm total; windows at least one second wide are
+// closed into the published rate.
+func (s *session) updateRate(nowNs int64, totalAlarms uint64) {
+	if s.rateWinStart == 0 {
+		s.rateWinStart = s.started.UnixNano()
+	}
+	dt := nowNs - s.rateWinStart
+	if dt < int64(time.Second) {
+		return
+	}
+	delta := totalAlarms - s.rateWinBase
+	milli := delta * 1000 * uint64(time.Second) / uint64(dt)
+	s.rateMilli.Store(1 + milli) // +1 keeps "a closed window of zero" distinct from "no window yet"
+	s.rateWinStart, s.rateWinBase = nowNs, totalAlarms
+}
+
+// alarmRate reports the session's alarms per second: the last closed
+// window when one exists, otherwise the lifetime average since start —
+// so a young or just-idle session still reads sensibly.
+func (s *session) alarmRate(now time.Time) float64 {
+	if m := s.rateMilli.Load(); m != 0 {
+		return float64(m-1) / 1000
+	}
+	age := now.Sub(s.started).Seconds()
+	if age <= 0 {
+		return 0
+	}
+	return float64(s.alarmsN.Load()) / age
+}
+
 // taskDone retires one verified batch and finishes the session if the
 // reader is already gone.
 func (s *session) taskDone() {
@@ -123,6 +162,21 @@ func (s *session) maybeFinish() {
 	s.finished = true
 	total := s.events
 	s.mu.Unlock()
+
+	// A draining session is told what its alarm storm folded into: the
+	// ranked incident list, highest score first, ahead of the closing
+	// Ack+Bye. The barrier sync inside Server.Incidents guarantees every
+	// alarm this session offered has been analyzed (its offers preceded
+	// pending reaching zero, and the queue is FIFO).
+	if s.srv.incidents != nil {
+		incs := s.srv.Incidents()
+		if len(incs) > maxIncidentFrames {
+			incs = incs[:maxIncidentFrames]
+		}
+		for i := range incs {
+			s.sendFrame(incidentFrame(&incs[i]))
+		}
+	}
 
 	// The final Ack and Bye ride the same pooled queue as every other
 	// frame, strictly after any still-queued alarms/acks; the writer

@@ -31,6 +31,8 @@ func Decode(payload []byte) (Frame, error) {
 		return d.alarm()
 	case TypeAlarmCtx:
 		return d.alarmCtx()
+	case TypeIncident:
+		return d.incident()
 	case TypeAck:
 		return d.ack()
 	case TypeError:
@@ -269,6 +271,60 @@ func (d *decoder) alarm() (Frame, error) {
 		return nil, err
 	}
 	return d.done(a)
+}
+
+func (d *decoder) incident() (Frame, error) {
+	var in Incident
+	var err error
+	id, err := d.uvarint("incident id")
+	if err != nil {
+		return nil, err
+	}
+	if id > 1<<31 {
+		return nil, fmt.Errorf("wire: incident id %d out of range", id)
+	}
+	in.ID = uint32(id)
+	if in.ScoreMilli, err = d.uvarint("incident score"); err != nil {
+		return nil, err
+	}
+	if in.Alarms, err = d.uvarint("incident alarms"); err != nil {
+		return nil, err
+	}
+	if in.Folded, err = d.uvarint("incident folded"); err != nil {
+		return nil, err
+	}
+	sessions, err := d.uvarint("incident sessions")
+	if err != nil {
+		return nil, err
+	}
+	if sessions > 1<<31 {
+		return nil, fmt.Errorf("wire: incident sessions %d out of range", sessions)
+	}
+	in.Sessions = uint32(sessions)
+	bursts, err := d.uvarint("incident bursts")
+	if err != nil {
+		return nil, err
+	}
+	if bursts > 1<<31 {
+		return nil, fmt.Errorf("wire: incident bursts %d out of range", bursts)
+	}
+	in.Bursts = uint32(bursts)
+	if in.PC, err = d.uvarint("incident pc"); err != nil {
+		return nil, err
+	}
+	if in.FirstSeq, err = d.uvarint("incident firstseq"); err != nil {
+		return nil, err
+	}
+	if in.LastSeq, err = d.uvarint("incident lastseq"); err != nil {
+		return nil, err
+	}
+	if in.Func, err = d.str("incident func"); err != nil {
+		return nil, err
+	}
+	if in.Evidence, err = d.str("incident evidence"); err != nil {
+		return nil, err
+	}
+	return d.done(in)
 }
 
 func (d *decoder) alarmCtx() (Frame, error) {

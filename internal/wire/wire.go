@@ -69,6 +69,7 @@ const (
 	TypeError    FrameType = 6 // server → client: refusal/eviction
 	TypeBye      FrameType = 7 // either direction: graceful close
 	TypeAlarmCtx FrameType = 8 // server → client: forensic context for an alarm
+	TypeIncident FrameType = 9 // server → client: folded incident summary
 )
 
 // String names the frame type.
@@ -90,6 +91,8 @@ func (t FrameType) String() string {
 		return "bye"
 	case TypeAlarmCtx:
 		return "alarmctx"
+	case TypeIncident:
+		return "incident"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -242,6 +245,31 @@ type AlarmCtx struct {
 // Type returns TypeAlarmCtx.
 func (AlarmCtx) Type() FrameType { return TypeAlarmCtx }
 
+// Incident is one folded incident from the server's analytics stage,
+// emitted (highest rank first) during the session's graceful drain so a
+// client holding a storm of Alarm frames also receives the short ranked
+// list underneath them. An Incident pairs with its Alarm/AlarmCtx
+// frames by sequence range: the alarms it folds are exactly those with
+// FirstSeq <= Seq <= LastSeq at PC. Score is fixed-point milli-units
+// (ScoreMilli = round(score * 1000)) so the frame needs no float
+// encoding; Evidence is the "; "-joined human-readable summary.
+type Incident struct {
+	ID         uint32 // 1-based rank in the server's incident list
+	ScoreMilli uint64
+	Alarms     uint64 // alarms folded into this incident
+	Folded     uint64 // alarms removed by dedup alone
+	Sessions   uint32 // sessions that saw the signal
+	Bursts     uint32 // alarm-rate change-points detected
+	PC         uint64 // branch address of the folded signal
+	FirstSeq   uint64 // earliest folded alarm sequence number
+	LastSeq    uint64 // latest folded alarm sequence number
+	Func       string // enclosing function of the folded signal
+	Evidence   string // "; "-joined evidence lines, MaxString-capped
+}
+
+// Type returns TypeIncident.
+func (Incident) Type() FrameType { return TypeIncident }
+
 // Ack reports cumulative verification progress: the total number of
 // events (of any kind) the server has fully processed on this session.
 type Ack struct {
@@ -323,6 +351,8 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		dst, err = appendAlarm(dst, fr)
 	case AlarmCtx:
 		dst, err = appendAlarmCtx(dst, fr)
+	case Incident:
+		dst, err = appendIncident(dst, fr)
 	case Ack:
 		dst = append(dst, byte(TypeAck))
 		dst = binary.AppendUvarint(dst, fr.Events)
@@ -451,6 +481,29 @@ func appendAlarmCtx(dst []byte, c AlarmCtx) ([]byte, error) {
 	return append(dst, c.BSV...), nil
 }
 
+func appendIncident(dst []byte, in Incident) ([]byte, error) {
+	if len(in.Func) > MaxString {
+		return nil, fmt.Errorf("wire: func name %d bytes exceeds MaxString", len(in.Func))
+	}
+	if len(in.Evidence) > MaxString {
+		return nil, fmt.Errorf("wire: evidence %d bytes exceeds MaxString", len(in.Evidence))
+	}
+	dst = append(dst, byte(TypeIncident))
+	dst = binary.AppendUvarint(dst, uint64(in.ID))
+	dst = binary.AppendUvarint(dst, in.ScoreMilli)
+	dst = binary.AppendUvarint(dst, in.Alarms)
+	dst = binary.AppendUvarint(dst, in.Folded)
+	dst = binary.AppendUvarint(dst, uint64(in.Sessions))
+	dst = binary.AppendUvarint(dst, uint64(in.Bursts))
+	dst = binary.AppendUvarint(dst, in.PC)
+	dst = binary.AppendUvarint(dst, in.FirstSeq)
+	dst = binary.AppendUvarint(dst, in.LastSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(in.Func)))
+	dst = append(dst, in.Func...)
+	dst = binary.AppendUvarint(dst, uint64(len(in.Evidence)))
+	return append(dst, in.Evidence...), nil
+}
+
 func appendError(dst []byte, e Error) ([]byte, error) {
 	if len(e.Msg) > MaxString {
 		return nil, fmt.Errorf("wire: error message %d bytes exceeds MaxString", len(e.Msg))
@@ -491,6 +544,21 @@ func AppendAlarmCtx(dst []byte, c AlarmCtx) ([]byte, error) {
 		return nil, fmt.Errorf("wire: frame payload %d exceeds MaxFrame", payload)
 	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(payload))
+	return dst, nil
+}
+
+// AppendIncident encodes in as one length-prefixed Incident frame
+// appended to dst without routing it through the Frame interface,
+// matching the AppendAlarm/AppendAlarmCtx pattern the server's send
+// path relies on to stay box-free.
+func AppendIncident(dst []byte, in Incident) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := appendIncident(dst, in)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
 	return dst, nil
 }
 

@@ -43,6 +43,13 @@ func sampleFrames() []Frame {
 		},
 		AlarmCtx{Seq: 1}, // context with an empty window is legal
 		Ack{Events: 1 << 40},
+		Incident{
+			ID: 1, ScoreMilli: 144_250, Alarms: 69632, Folded: 69000,
+			Sessions: 4, Bursts: 4, PC: 0x7fffffff12,
+			FirstSeq: 524288, LastSeq: 1 << 20, Func: "handle_cmd",
+			Evidence: "69632 alarm(s) across 4 session(s) at handle_cmd@0x7fffffff12; 4 alarm-rate change-point(s)",
+		},
+		Incident{ID: 2}, // evidence-free incident is legal
 		Error{Code: ErrUnknownImage, Msg: "no such image"},
 		Bye{},
 	}
@@ -116,16 +123,51 @@ func TestDecodeHostile(t *testing.T) {
 		"trailing garbage":   {byte(TypeBye), 0},
 		"helloack big batch": append([]byte{byte(TypeHelloAck), Version}, 0xff, 0xff, 0xff, 0xff, 0x7f),
 		"string too long":    append([]byte{byte(TypeError), 1}, 0xff, 0xff, 0x7f),
-		"ctx stack lies":     {byte(TypeAlarmCtx), 1, 0, 0xff, 0x7f},         // 16K stack frames, no bytes
-		"ctx events lie":     {byte(TypeAlarmCtx), 1, 0, 0, 0xff, 0x1f},      // 4K events, no bytes
-		"ctx bad kind":       {byte(TypeAlarmCtx), 1, 0, 0, 1, 9, 1, 1},      // event kind 9
-		"ctx bsv truncated":  {byte(TypeAlarmCtx), 1, 0, 0, 0, 8, 1, 2},      // 8 BSV bytes, 2 present
-		"ctx trailing":       {byte(TypeAlarmCtx), 1, 0, 0, 0, 0, 0xee},      // garbage after BSV
+		"ctx stack lies":     {byte(TypeAlarmCtx), 1, 0, 0xff, 0x7f},    // 16K stack frames, no bytes
+		"ctx events lie":     {byte(TypeAlarmCtx), 1, 0, 0, 0xff, 0x1f}, // 4K events, no bytes
+		"ctx bad kind":       {byte(TypeAlarmCtx), 1, 0, 0, 1, 9, 1, 1}, // event kind 9
+		"ctx bsv truncated":  {byte(TypeAlarmCtx), 1, 0, 0, 0, 8, 1, 2}, // 8 BSV bytes, 2 present
+		"ctx trailing":       {byte(TypeAlarmCtx), 1, 0, 0, 0, 0, 0xee}, // garbage after BSV
+		"incident no func":   {byte(TypeIncident), 1, 1, 1, 1, 1, 1, 1, 1, 1, 5},
+		"incident huge id":   append([]byte{byte(TypeIncident)}, 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"incident trailing":  {byte(TypeIncident), 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0xee},
 	}
 	for name, payload := range cases {
 		if _, err := Decode(payload); err == nil {
 			t.Errorf("%s: Decode accepted hostile payload % x", name, payload)
 		}
+	}
+}
+
+// TestIncidentRoundTrip pins the Incident frame explicitly: generic
+// Append, the no-boxing AppendIncident, and Decode must agree, and the
+// encoders must refuse strings past MaxString.
+func TestIncidentRoundTrip(t *testing.T) {
+	in := Incident{
+		ID: 3, ScoreMilli: 57_021, Alarms: 157, Folded: 12, Sessions: 3,
+		Bursts: 1, PC: 0x10, FirstSeq: 1, LastSeq: 1048574, Func: "lib",
+		Evidence: "157 alarm(s) across 3 session(s) at lib@0x10",
+	}
+	want := MustAppend(nil, in)
+	got, err := AppendIncident([]byte{}, in)
+	if err != nil {
+		t.Fatalf("AppendIncident: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendIncident diverged from Append:\n got %x\nwant %x", got, want)
+	}
+	dec, err := Decode(want[4:])
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(dec, in) {
+		t.Fatalf("round trip: got %#v want %#v", dec, in)
+	}
+	if _, err := AppendIncident(nil, Incident{Func: strings.Repeat("f", MaxString+1)}); err == nil {
+		t.Fatal("AppendIncident accepted an oversized func name")
+	}
+	if _, err := AppendIncident(nil, Incident{Evidence: strings.Repeat("e", MaxString+1)}); err == nil {
+		t.Fatal("AppendIncident accepted oversized evidence")
 	}
 }
 

@@ -20,6 +20,17 @@ echo "$out" | grep -q '^BenchmarkOnBatchRecorder' || {
 	exit 1
 }
 
+# The verifier's serve path with the incident stage enabled: feeding
+# the analytics queue must not cost the verify loop a single
+# allocation per batch.
+srvout=$(go test -run '^$' -bench 'BenchmarkVerifyBatchIncident' -benchtime 2000x -benchmem ./internal/server)
+echo "$srvout"
+echo "$srvout" | grep -q '^BenchmarkVerifyBatchIncident' || {
+	echo "checkallocs: BenchmarkVerifyBatchIncident missing from gate output" >&2
+	exit 1
+}
+out=$(printf '%s\n%s\n' "$out" "$srvout")
+
 echo "$out" | awk '
 /^Benchmark/ {
 	allocs = $(NF-1)

@@ -1,0 +1,73 @@
+//go:build ignore
+
+// genfuzzcorpus regenerates internal/wire's checked-in fuzz seed
+// corpus (testdata/fuzz/FuzzDecode). The native seeds in fuzz_test.go
+// cover whatever sampleFrames covers at HEAD; the checked-in corpus
+// pins the frame kinds that earned dedicated fuzzing attention —
+// today the AlarmCtx forensic frame and the Incident summary frame,
+// whose nested counts and string fields carry the most decoder edge
+// cases. Run from the repo root:
+//
+//	go run scripts/genfuzzcorpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	dir := filepath.Join("internal", "wire", "testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	seeds := map[string]wire.Frame{
+		"seed-alarmctx-full": wire.AlarmCtx{
+			Seq:      912,
+			Recorded: 5000,
+			Stack:    []wire.CtxFrame{{Base: 0x40, Func: "main"}, {Base: 0x90, Func: "handle_cmd"}, {Base: 0x200}},
+			Recent: []wire.CtxEvent{
+				{Kind: wire.EvEnter, Seq: 900, PC: 0x90, Depth: 2},
+				{Kind: wire.EvBranch, Seq: 901, PC: 0x9a, Depth: 2, Taken: true},
+				{Kind: wire.EvSpill, Seq: 901, PC: 4096, Depth: 2},
+				{Kind: wire.EvFill, Seq: 905, PC: 4096, Depth: 1},
+				{Kind: wire.EvLeave, Seq: 910, Depth: 1},
+				{Kind: wire.EvBranch, Seq: 912, PC: 0x7fffffff12, Depth: 1},
+			},
+			BSV: []uint8{0, 1, 2, 0, 3, 3},
+		},
+		"seed-alarmctx-empty": wire.AlarmCtx{Seq: 1},
+		"seed-alarmctx-deep": wire.AlarmCtx{
+			Seq:      1 << 60,
+			Recorded: ^uint64(0),
+			Stack:    []wire.CtxFrame{{Base: ^uint64(0), Func: "f"}},
+			BSV:      make([]uint8, 256),
+		},
+		"seed-incident-full": wire.Incident{
+			ID: 1, ScoreMilli: 144_250, Alarms: 69632, Folded: 69000,
+			Sessions: 4, Bursts: 4, PC: 0x7fffffff12,
+			FirstSeq: 524288, LastSeq: 1 << 20, Func: "handle_cmd",
+			Evidence: "69632 alarm(s) across 4 session(s) at handle_cmd@0x7fffffff12; 4 alarm-rate change-point(s)",
+		},
+		"seed-incident-empty": wire.Incident{ID: 2},
+	}
+	for name, f := range seeds {
+		enc, err := wire.Append(nil, f)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		// Native corpus entry: the fuzz target takes the frame payload
+		// (the bytes after the 4-byte length prefix).
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(enc[4:])))
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
