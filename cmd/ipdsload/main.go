@@ -20,14 +20,20 @@
 //
 //	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
 //	         [-sessions n] [-events n] [-batch n] [-tamper stride]
-//	         [-repeat n] [-events-file in.events] [-json out.json]
-//	         [-incidents] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	         [file.mc]
+//	         [-repeat n] [-verifiers n] [-events-file in.events]
+//	         [-json out.json] [-incidents] [-cpuprofile cpu.pprof]
+//	         [-memprofile mem.pprof] [file.mc]
 //
 // -repeat runs the load n times against the same server and reports
 // (and records) the fastest run — best-of-n is the noise-robust
 // estimator for recorded baselines on shared hosts. The daemon-side
 // verify quantiles in the JSON row are cumulative over all repeats.
+//
+// -verifiers (with -selfserve) pins the in-process daemon's per-core
+// verifier count — 1 gives the single-core control row the scale gate
+// compares against; 0 (the default) uses GOMAXPROCS. Self-served JSON
+// rows carry the per-core breakdown (events, parks, stalls, ring
+// high-water per verifier core) under "cores".
 //
 // -incidents reports the daemon's incident pipeline after the run:
 // the alarm→incident fold reduction and the top ranked incidents.
@@ -80,6 +86,26 @@ type row struct {
 	VerifyP50Ns  uint64 `json:"verify_p50_ns"`
 	VerifyP99Ns  uint64 `json:"verify_p99_ns"`
 	VerifyP999Ns uint64 `json:"verify_p999_ns"`
+
+	// Per-core serve breakdown — populated only with -selfserve.
+	// Verifiers is the daemon's per-core loop count; Cores has one row
+	// per verifier core, counters cumulative over all repeats.
+	Verifiers int       `json:"verifiers,omitempty"`
+	Cores     []coreRow `json:"cores,omitempty"`
+}
+
+// coreRow is one verifier core's slice of a self-served load run.
+type coreRow struct {
+	Core          int     `json:"core"`
+	Sessions      uint64  `json:"sessions"`
+	Events        uint64  `json:"events"`
+	Batches       uint64  `json:"batches"`
+	Alarms        uint64  `json:"alarms"`
+	EventsSec     float64 `json:"events_per_sec"` // this core's share of the aggregate rate
+	RingHighWater int     `json:"ring_high_water"`
+	Parks         uint64  `json:"parks"`
+	Wakes         uint64  `json:"wakes"`
+	Stalls        uint64  `json:"stalls"`
 }
 
 func main() {
@@ -93,6 +119,7 @@ func main() {
 		batch     = flag.Int("batch", 512, "events per wire frame")
 		tamper    = flag.Int("tamper", 0, "flip every stride-th branch (0 = benign replay)")
 		repeat    = flag.Int("repeat", 1, "run the load n times and report/record the best run (suppresses host noise in baselines)")
+		verifiers = flag.Int("verifiers", 0, "with -selfserve: per-core verifier loops (0 = GOMAXPROCS; 1 = single-core control)")
 		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
 		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
 		incidents = flag.Bool("incidents", false, "report the daemon's ranked incident fold of the alarm flood after the run")
@@ -158,7 +185,7 @@ func main() {
 		reg = obs.NewRegistry()
 		store := server.NewImageStore(nil)
 		store.Add(name, art.Image)
-		scfg := server.Config{Reg: reg}
+		scfg := server.Config{Reg: reg, Verifiers: *verifiers}
 		if !*forensics {
 			scfg.RecorderDepth = -1
 		}
@@ -251,11 +278,44 @@ func main() {
 		fmt.Printf("-- alarm latency: p50=%v p95=%v p99=%v\n", res.AlarmP50, res.AlarmP95, res.AlarmP99)
 	}
 	var verify obs.HistSnapshot
+	var cores []coreRow
 	if reg != nil {
 		verify = reg.Histogram("server_verify_ns").Snapshot()
 		fmt.Printf("-- batch verify:  p50=%v p99=%v p99.9=%v (%d batches)\n",
 			time.Duration(verify.Quantile(0.50)), time.Duration(verify.Quantile(0.99)),
 			time.Duration(verify.Quantile(0.999)), verify.Count)
+	}
+	if srv != nil {
+		// Per-core breakdown: counters are cumulative over all repeats;
+		// each core's events/sec is its event share of the recorded
+		// aggregate rate (the cores ran concurrently, so shares — not
+		// per-core wall clocks — are the meaningful split).
+		stats := srv.CoreStats()
+		var total uint64
+		for _, cs := range stats {
+			total += cs.Events
+		}
+		for _, cs := range stats {
+			share := 0.0
+			if total > 0 {
+				share = float64(cs.Events) / float64(total)
+			}
+			cores = append(cores, coreRow{
+				Core:          cs.Core,
+				Sessions:      cs.SessionsTotal,
+				Events:        cs.Events,
+				Batches:       cs.Batches,
+				Alarms:        cs.Alarms,
+				EventsSec:     share * res.EventsSec,
+				RingHighWater: cs.RingHighWater,
+				Parks:         cs.Parks,
+				Wakes:         cs.Wakes,
+				Stalls:        cs.Stalls,
+			})
+			fmt.Printf("-- core %d: %d sessions, %d events (%.0f events/sec share), %d alarms, ring hw=%d, parks=%d, stalls=%d\n",
+				cs.Core, cs.SessionsTotal, cs.Events, share*res.EventsSec, cs.Alarms,
+				cs.RingHighWater, cs.Parks, cs.Stalls)
+		}
 	}
 
 	// The incident report caps at the top 5: a load run's point is the
@@ -319,6 +379,8 @@ func main() {
 			VerifyP50Ns:  verify.Quantile(0.50),
 			VerifyP99Ns:  verify.Quantile(0.99),
 			VerifyP999Ns: verify.Quantile(0.999),
+			Verifiers:    verifierCount(srv),
+			Cores:        cores,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
 			os.Exit(1)
@@ -327,6 +389,15 @@ func main() {
 	if len(res.Errors) > 0 {
 		os.Exit(1)
 	}
+}
+
+// verifierCount resolves the recorded verifier count: the in-process
+// daemon's actual core count, or 0 for remote runs (unknown here).
+func verifierCount(srv *server.Server) int {
+	if srv == nil {
+		return 0
+	}
+	return len(srv.CoreStats())
 }
 
 // appendRow merges one result row into path's {"rows": [...]} document,

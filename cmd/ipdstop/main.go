@@ -121,7 +121,7 @@ func render(info server.DebugInfo) string {
 		return sessions[i].ID < sessions[j].ID
 	})
 	fmt.Fprintf(&b, "%6s  %-16s %5s %10s %8s %7s %8s %9s %8s %6s  %s\n",
-		"ID", "PROGRAM", "SHARD", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "RECORDED", "UPTIME", "IDLE", "LAST ALARM")
+		"ID", "PROGRAM", "CORE", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "RECORDED", "UPTIME", "IDLE", "LAST ALARM")
 	for _, s := range sessions {
 		last := "-"
 		if a := s.LastAlarm; a != nil {
@@ -129,7 +129,7 @@ func render(info server.DebugInfo) string {
 				a.Seq, a.Func, a.PC, a.Taken, a.Expected, a.Window, strings.Join(a.Stack, ">"))
 		}
 		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %8.1f %9d %7.1fs %5dms  %s\n",
-			s.ID, s.Program, s.Shard, s.Events, s.Batches, s.Alarms, s.AlarmRate,
+			s.ID, s.Program, s.Core, s.Events, s.Batches, s.Alarms, s.AlarmRate,
 			s.Recorded, s.UptimeS, s.IdleMs, last)
 	}
 	return b.String()

@@ -15,9 +15,9 @@ func sampleInfo() server.DebugInfo {
 	return server.DebugInfo{
 		NowUnixNs: 1_700_000_000_000_000_000,
 		Sessions: []server.DebugSession{
-			{ID: 1, Program: "telnetd#0", Shard: 1, Events: 1000, Batches: 2, Alarms: 0, Recorded: 1000, IdleMs: 5,
+			{ID: 1, Program: "telnetd#0", Core: 1, Events: 1000, Batches: 2, Alarms: 0, Recorded: 1000, IdleMs: 5,
 				UptimeS: 3.2, AlarmRate: 0},
-			{ID: 2, Program: "telnetd#1", Shard: 0, Events: 64000, Batches: 125, Alarms: 3, Recorded: 64000, IdleMs: 1,
+			{ID: 2, Program: "telnetd#1", Core: 0, Events: 64000, Batches: 125, Alarms: 3, Recorded: 64000, IdleMs: 1,
 				UptimeS: 12.7, AlarmRate: 2.5,
 				LastAlarm: &server.DebugAlarm{
 					Seq: 512, PC: 0x1234, Func: "check", Expected: "taken", Taken: false,

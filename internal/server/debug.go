@@ -11,7 +11,7 @@ import (
 // /debug/sessions endpoint and the ipdstop CLI. Everything here reads
 // session telemetry the verifiers maintain as atomics (plus one short
 // mutex hold for the forensic snapshot), so the endpoint never touches
-// an ipds.Machine — those stay owned by their shard verifier.
+// an ipds.Machine — those stay owned by their pinned per-core verifier.
 
 // DebugAlarm summarises a session's most recent alarm and its captured
 // forensic context.
@@ -29,7 +29,7 @@ type DebugAlarm struct {
 type DebugSession struct {
 	ID        uint64      `json:"id"`
 	Program   string      `json:"program"`
-	Shard     int         `json:"shard"`
+	Core      int         `json:"core"` // verifier core the session is pinned to
 	AgeMs     int64       `json:"age_ms"`
 	UptimeS   float64     `json:"uptime_s"`
 	IdleMs    int64       `json:"idle_ms"`
@@ -68,7 +68,7 @@ func (s *Server) Debug() DebugInfo {
 		d := DebugSession{
 			ID:        ss.id,
 			Program:   ss.program,
-			Shard:     ss.shard,
+			Core:      ss.core,
 			AgeMs:     now.Sub(ss.started).Milliseconds(),
 			UptimeS:   now.Sub(ss.started).Seconds(),
 			Batches:   ss.batchesN.Load(),
@@ -81,9 +81,7 @@ func (s *Server) Debug() DebugInfo {
 			last = t
 		}
 		d.IdleMs = (now.UnixNano() - last) / int64(time.Millisecond)
-		ss.mu.Lock()
-		d.Events = ss.events
-		ss.mu.Unlock()
+		d.Events = ss.events.Load()
 		ss.ctxMu.Lock()
 		if ss.hasCtx {
 			c := &ss.lastCtx

@@ -313,11 +313,11 @@ func TestDrainFlushesSessionTelemetry(t *testing.T) {
 		t.Fatalf("debug lists %d sessions after drain", len(got.Sessions))
 	}
 	// The serve-path telemetry filled while the session ran: batch
-	// verify latency, shard queue depth and write coalescing all saw
+	// verify latency, ring depth and write coalescing all saw
 	// every batch (the sampled span histograms only see 1-in-64 batches,
 	// so a short session legitimately leaves them empty; the first batch
 	// of every session is always sampled, so queue-wait is never empty).
-	for _, h := range []string{"server_verify_ns", "server_shard_queue_depth", "server_write_coalesced_bytes"} {
+	for _, h := range []string{"server_verify_ns", "server_ring_depth", "server_write_coalesced_bytes"} {
 		if got := w.reg.Histogram(h).Count(); got == 0 {
 			t.Fatalf("%s histogram is empty after a served session", h)
 		}

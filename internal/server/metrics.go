@@ -20,9 +20,11 @@ type metrics struct {
 	batchLen       *obs.Histogram
 	verifyNs       *obs.Histogram
 
-	// Serve-path telemetry (this PR's tentpole companions): queue and
-	// coalescing shape plus the sampled pipeline spans.
-	shardDepth    *obs.Histogram // server_shard_queue_depth (at enqueue)
+	// Serve-path telemetry: ring and coalescing shape plus the sampled
+	// pipeline spans. readFrames is the reader-side coalescing twin of
+	// coalesceBytes — frames one socket read delivered per ring publish.
+	ringDepth     *obs.Histogram // server_ring_depth (at publish)
+	readFrames    *obs.Histogram // server_read_coalesced_frames (per publish)
 	coalesceBytes *obs.Histogram // server_write_coalesced_bytes (per flush)
 	queueWaitNs   *obs.Histogram // server_queue_wait_ns (sampled batches)
 	writeWaitNs   *obs.Histogram // server_write_wait_ns (sampled batches)
@@ -55,7 +57,8 @@ func newMetrics(r *obs.Registry) metrics {
 		evictionsTotal: r.Counter("server_evictions_total"),
 		batchLen:       r.Histogram("server_batch_events"),
 		verifyNs:       r.Histogram("server_verify_ns"),
-		shardDepth:     r.Histogram("server_shard_queue_depth"),
+		ringDepth:      r.Histogram("server_ring_depth"),
+		readFrames:     r.Histogram("server_read_coalesced_frames"),
 		coalesceBytes:  r.Histogram("server_write_coalesced_bytes"),
 		queueWaitNs:    r.Histogram("server_queue_wait_ns"),
 		writeWaitNs:    r.Histogram("server_write_wait_ns"),

@@ -1,0 +1,453 @@
+package server
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/wire"
+)
+
+// The per-core serve path. One verifier goroutine and one writer
+// goroutine per configured core (default GOMAXPROCS), wired with SPSC
+// rings so no queue in the steady state ever has more than one
+// producer and one consumer:
+//
+//	reader (per conn) ──session ring──▶ verifier (per core)
+//	verifier (per core) ──writer ring──▶ writer (per core)
+//
+// Sessions are pinned to a verifier by a consistent hash of the
+// session id (jump hash over the verifier count), so one goroutine
+// owns a session's ipds.Machine for the session's whole life and the
+// machines never migrate — no locks, no cache-line ping-pong, and the
+// per-session event order the verification semantics require falls out
+// of ring FIFO. There is deliberately NO work stealing: stealing a
+// session would move its machine across goroutines mid-stream, which
+// the single-owner memory layout (DESIGN.md §8) forbids; imbalance is
+// handled by the hash spreading sessions, and surfaces in the
+// per-core breakdown (CoreStats) rather than being papered over.
+//
+// Lifecycle traffic rides the same rings as data: a reader that stops
+// pushes a final done-marked task, so by ring FIFO the verifier sees
+// it strictly after every batch the session ever queued — the drain
+// guarantee needs no pending counters or mutexes. The verifier folds
+// the session's close into the writer ring the same way, and the
+// writer retires the connection after flushing everything queued
+// before it.
+
+// verifyPop bounds how many tasks a verifier pops from one session's
+// ring per scan pass — large enough to amortise the head publish,
+// small enough that a chatty session cannot starve its core-mates.
+const verifyPop = 32
+
+// writePop bounds the writer's per-cycle pop; everything popped in one
+// cycle coalesces into at most one conn.Write per distinct session.
+const writePop = 64
+
+// spinPasses is how many empty scan passes (each ending in a
+// runtime.Gosched) a per-core loop burns before parking. Spinning
+// absorbs the sub-microsecond gaps of a saturated stream; parking
+// keeps an idle daemon at zero CPU.
+const spinPasses = 128
+
+// jumpHash is Lamping & Veach's consistent hash: key → bucket in
+// [0,n) with minimal movement when n changes. Session ids are
+// sequential, so the key is pre-mixed (splitmix64) to decorrelate
+// adjacent ids before the jump walk.
+func jumpHash(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// splitmix64 is the finalizer of the splitmix64 PRNG — a cheap
+// full-avalanche mix so sequential session ids land on uncorrelated
+// jump-hash walks.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pinVerifier picks the verifier a session id is pinned to.
+func (s *Server) pinVerifier(id uint64) *verifier {
+	return s.verifiers[jumpHash(splitmix64(id), len(s.verifiers))]
+}
+
+// writeOp is one entry in a per-core writer ring. Exactly one of fb,
+// close or stop is meaningful: fb hands over one pooled frame
+// encoding, close retires the session's connection after a flush, and
+// stop (s == nil) ends the writer — pushed by the verifier as its very
+// last op, so ring FIFO guarantees nothing is left behind it.
+type writeOp struct {
+	s     *session
+	fb    *frameBuf
+	close bool
+	stop  bool
+}
+
+// verifier is one per-core verify loop. It exclusively owns the
+// ipds.Machine of every session pinned to it, scans their rings round
+// robin, and is the only producer into its core's writer ring.
+type verifier struct {
+	srv *Server
+	id  int
+	wr  *coreWriter
+	pk  *ring.Parker
+
+	// inbox hands freshly-registered sessions to the loop; hasNew makes
+	// the empty-inbox check one atomic load per pass.
+	inMu   chMutex
+	inbox  []*session
+	hasNew atomic.Bool
+
+	// sessions is the loop-private scan list.
+	sessions []*session
+
+	// Per-core telemetry, atomics so CoreStats can read cross-goroutine.
+	events      atomic.Uint64
+	batches     atomic.Uint64
+	alarms      atomic.Uint64
+	stalls      atomic.Uint64 // writer-ring-full waits
+	sessionsCum atomic.Uint64 // sessions ever pinned here
+	ringHW      atomic.Uint64 // max ring occupancy over retired sessions
+}
+
+// chMutex is a tiny channel-based mutex; it exists so verifier stays
+// copy-vet-clean while holding no sync.Mutex by value.
+type chMutex chan struct{}
+
+func newChMutex() chMutex { return make(chMutex, 1) }
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+
+// newVerifier wires one verifier/writer pair for core id.
+func newVerifier(s *Server, id int) *verifier {
+	return &verifier{
+		srv:  s,
+		id:   id,
+		pk:   ring.NewParker(),
+		inMu: newChMutex(),
+		wr: &coreWriter{
+			srv:  s,
+			id:   id,
+			ring: ring.New[writeOp](s.cfg.AlarmQueue),
+			pk:   ring.NewParker(),
+		},
+	}
+}
+
+// adopt hands a registered session to the verifier's loop. Called from
+// handleConn after the HelloAck is on the wire.
+func (v *verifier) adopt(ss *session) {
+	v.inMu.lock()
+	v.inbox = append(v.inbox, ss)
+	v.hasNew.Store(true)
+	v.inMu.unlock()
+	v.sessionsCum.Add(1)
+	v.pk.Wake()
+}
+
+// anyReady reports whether the loop has work without popping any:
+// fresh sessions, a stop request, or a non-empty session ring.
+func (v *verifier) anyReady() bool {
+	if v.hasNew.Load() || v.srv.stopping.Load() {
+		return true
+	}
+	for _, ss := range v.sessions {
+		if ss.ring.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// loop is the per-core verify loop: adopt newcomers, scan owned
+// session rings round robin, verify batches, forward control frames,
+// finish sessions whose reader is done — then spin, then park.
+func (v *verifier) loop() {
+	defer v.srv.workerWG.Done()
+	var tasks [verifyPop]task
+	spins := 0
+	for {
+		if v.hasNew.Load() {
+			v.inMu.lock()
+			v.sessions = append(v.sessions, v.inbox...)
+			v.inbox = v.inbox[:0]
+			v.hasNew.Store(false)
+			v.inMu.unlock()
+		}
+		worked := false
+		for i := 0; i < len(v.sessions); {
+			ss := v.sessions[i]
+			n := ss.ring.PopSlice(tasks[:])
+			finished := false
+			for j := 0; j < n; j++ {
+				t := tasks[j]
+				tasks[j] = task{}
+				switch {
+				case t.b != nil:
+					v.srv.verifyBatch(v, ss, t)
+				case t.fb != nil:
+					v.send(writeOp{s: ss, fb: t.fb})
+				case t.done:
+					v.finish(ss)
+					finished = true
+				}
+			}
+			if n > 0 {
+				worked = true
+			}
+			if finished {
+				last := len(v.sessions) - 1
+				v.sessions[i] = v.sessions[last]
+				v.sessions[last] = nil
+				v.sessions = v.sessions[:last]
+			} else {
+				i++
+			}
+		}
+		if worked {
+			spins = 0
+			continue
+		}
+		if v.srv.stopping.Load() && !v.hasNew.Load() && len(v.sessions) == 0 {
+			v.send(writeOp{stop: true})
+			return
+		}
+		if spins++; spins < spinPasses {
+			runtime.Gosched()
+			continue
+		}
+		v.pk.Prepare()
+		if v.anyReady() {
+			v.pk.Cancel()
+		} else {
+			v.pk.Park()
+		}
+		spins = 0
+	}
+}
+
+// send pushes one op into the core's writer ring, blocking (counted as
+// backpressure) while the writer is behind — the per-core analogue of
+// the old per-session alarm-queue stall. The verifier is the ring's
+// only producer.
+func (v *verifier) send(op writeOp) {
+	w := v.wr
+	if w.ring.TryPush(op) {
+		w.pk.Wake()
+		return
+	}
+	v.srv.met.backpressure.Inc()
+	v.stalls.Add(1)
+	spins := 0
+	for !w.ring.TryPush(op) {
+		w.pk.Wake()
+		if spins++; spins < spinPasses {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	w.pk.Wake()
+}
+
+// sendFrame encodes f into a pooled buffer and queues it for the
+// session's writer.
+func (v *verifier) sendFrame(ss *session, f wire.Frame) {
+	fb := v.srv.bufPool.Get().(*frameBuf)
+	fb.b = wire.MustAppend(fb.b[:0], f)
+	fb.t0 = time.Time{} // pooled; a stale sample stamp would skew spans
+	v.send(writeOp{s: ss, fb: fb})
+}
+
+// finish seals a session whose reader has stopped. Ring FIFO has
+// already guaranteed every batch the session queued was verified, so
+// this is purely the closing sequence: the ranked incident fold (a
+// draining session is told what its alarm storm meant), the final
+// cumulative Ack, Bye, and the writer-side close.
+func (v *verifier) finish(ss *session) {
+	if hw := uint64(ss.ring.HighWater()); hw > v.ringHW.Load() {
+		v.ringHW.Store(hw)
+	}
+	// The barrier sync inside Server.Incidents guarantees every alarm
+	// this session offered has been analyzed: its offers happened on
+	// this goroutine before its done task, and the queue is FIFO.
+	if v.srv.incidents != nil {
+		incs := v.srv.Incidents()
+		if len(incs) > maxIncidentFrames {
+			incs = incs[:maxIncidentFrames]
+		}
+		for i := range incs {
+			v.sendFrame(ss, incidentFrame(&incs[i]))
+		}
+	}
+	v.sendFrame(ss, wire.Ack{Events: ss.events.Load()})
+	v.sendFrame(ss, wire.Bye{})
+	v.send(writeOp{s: ss, close: true})
+}
+
+// coreWriter owns conn writes for every session pinned to its core,
+// fed by an SPSC ring whose only producer is the core's verifier. Ops
+// popped in one cycle are coalesced per session — one conn.Write per
+// distinct session per cycle, however many frames queued — so
+// ack/alarm/incident encoding and the write syscalls never cross
+// cores.
+type coreWriter struct {
+	srv  *Server
+	id   int
+	ring *ring.SPSC[writeOp]
+	pk   *ring.Parker
+}
+
+// flush writes a session's coalesced buffer. After the first write
+// failure the session's output is discarded (never blocks a core on a
+// dead peer); pooled buffers were already released at append time.
+func (w *coreWriter) flush(ss *session) {
+	ss.wdirty = false
+	if len(ss.wbuf) == 0 {
+		return
+	}
+	if !ss.wfailed {
+		w.srv.met.coalesceBytes.Observe(uint64(len(ss.wbuf)))
+		ss.conn.SetWriteDeadline(time.Now().Add(w.srv.cfg.WriteTimeout))
+		if _, err := ss.conn.Write(ss.wbuf); err != nil {
+			ss.wfailed = true
+		} else if !ss.wspan.IsZero() {
+			w.srv.met.writeWaitNs.Observe(uint64(time.Since(ss.wspan).Nanoseconds()))
+		}
+	}
+	ss.wspan = time.Time{}
+	ss.wbuf = ss.wbuf[:0]
+}
+
+// loop is the per-core write loop: pop a cycle of ops, append each
+// frame to its session's write buffer (releasing the pooled encoding
+// immediately after the copy — the ownership rule that keeps pooling
+// safe), then flush every session the cycle touched.
+func (w *coreWriter) loop() {
+	defer w.srv.writerWG.Done()
+	var ops [writePop]writeOp
+	dirty := make([]*session, 0, writePop)
+	spins := 0
+	for {
+		n := w.ring.PopSlice(ops[:])
+		if n == 0 {
+			if spins++; spins < spinPasses {
+				runtime.Gosched()
+				continue
+			}
+			w.pk.Prepare()
+			if w.ring.Len() > 0 {
+				w.pk.Cancel()
+			} else {
+				w.pk.Park()
+			}
+			spins = 0
+			continue
+		}
+		spins = 0
+		for i := 0; i < n; i++ {
+			op := ops[i]
+			ops[i] = writeOp{}
+			if op.stop {
+				// The verifier pushes stop strictly last; nothing can be
+				// queued behind it.
+				return
+			}
+			ss := op.s
+			if op.fb != nil {
+				if !ss.wfailed {
+					if ss.wspan.IsZero() {
+						ss.wspan = op.fb.t0
+					}
+					ss.wbuf = append(ss.wbuf, op.fb.b...)
+					if !ss.wdirty {
+						ss.wdirty = true
+						dirty = append(dirty, ss)
+					}
+				}
+				w.srv.bufPool.Put(op.fb)
+				if len(ss.wbuf) >= maxWriteCoalesce {
+					w.flush(ss)
+				}
+			}
+			if op.close {
+				w.flush(ss)
+				ss.conn.Close()
+				ss.wbuf = nil // session is gone; free its write buffer
+				w.srv.unregister(ss)
+			}
+		}
+		for _, ss := range dirty {
+			if ss.wdirty {
+				w.flush(ss)
+			}
+		}
+		dirty = dirty[:0]
+	}
+}
+
+// CoreStats is one verifier core's slice of the serve work: the
+// per-core breakdown behind BENCH_pr6.json and `ipdsload -selfserve`.
+// Events/Batches/Alarms are lifetime totals for sessions pinned to
+// this core; Parks/Wakes count the verifier's spin-then-park cycles
+// (WriterParks the writer's); Stalls counts writer-ring-full waits;
+// RingHighWater is the deepest any session ring pinned here ever got.
+type CoreStats struct {
+	Core          int    `json:"core"`
+	Sessions      int    `json:"sessions"`       // live now
+	SessionsTotal uint64 `json:"sessions_total"` // ever pinned
+	Events        uint64 `json:"events"`
+	Batches       uint64 `json:"batches"`
+	Alarms        uint64 `json:"alarms"`
+	Parks         uint64 `json:"parks"`
+	Wakes         uint64 `json:"wakes"`
+	WriterParks   uint64 `json:"writer_parks"`
+	Stalls        uint64 `json:"stalls"`
+	RingHighWater int    `json:"ring_high_water"`
+}
+
+// CoreStats snapshots every verifier core. Safe from any goroutine;
+// the numbers are racy snapshots of live counters.
+func (s *Server) CoreStats() []CoreStats {
+	out := make([]CoreStats, len(s.verifiers))
+	s.mu.Lock()
+	liveHW := make([]uint64, len(s.verifiers))
+	liveN := make([]int, len(s.verifiers))
+	for _, ss := range s.sessions {
+		liveN[ss.core]++
+		if hw := uint64(ss.ring.HighWater()); hw > liveHW[ss.core] {
+			liveHW[ss.core] = hw
+		}
+	}
+	s.mu.Unlock()
+	for i, v := range s.verifiers {
+		hw := v.ringHW.Load()
+		if liveHW[i] > hw {
+			hw = liveHW[i]
+		}
+		out[i] = CoreStats{
+			Core:          i,
+			Sessions:      liveN[i],
+			SessionsTotal: v.sessionsCum.Load(),
+			Events:        v.events.Load(),
+			Batches:       v.batches.Load(),
+			Alarms:        v.alarms.Load(),
+			Parks:         v.pk.Parks(),
+			Wakes:         v.pk.Wakes(),
+			WriterParks:   v.wr.pk.Parks(),
+			Stalls:        v.stalls.Load(),
+			RingHighWater: int(hw),
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ipds"
+	"repro/internal/ipdsclient"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestScalePerCoreMatchesLocal is the multi-core correctness stress:
+// 64 sessions spread by consistent hash across 4 per-core verifiers,
+// with deliberately tiny rings so readers stall, verifiers park and
+// wake, and the writer rings backpressure — and every session's alarm
+// stream must still match a single-core in-process replay event for
+// event. Run under -race this doubles as the serve path's ownership
+// audit: any machine, ring or write-buffer access crossing its owning
+// goroutine is a detected race.
+func TestScalePerCoreMatchesLocal(t *testing.T) {
+	const (
+		sessions  = 64
+		verifiers = 4
+	)
+
+	w := workload.ByName("telnetd")
+	if w == nil {
+		t.Fatal("telnetd workload missing")
+	}
+	art, err := pipeline.Compile(w.Source, ir.DefaultOptions)
+	if err != nil {
+		t.Fatalf("compile %s: %v", w.Name, err)
+	}
+	store := server.NewImageStore(nil)
+	hash := store.Add(w.Name, art.Image)
+	srv := server.New(store, server.Config{
+		Verifiers:  verifiers,
+		RingSize:   4, // force reader stalls and verifier park/wake churn
+		AlarmQueue: 4, // force verifier→writer backpressure
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.AttackSession), 17)
+	ref := ipdsclient.ReplayLocal(ipds.New(art.Image, ipds.DefaultConfig), trace)
+	if len(ref) == 0 {
+		t.Fatal("tampered telnetd trace raised no reference alarms; test is vacuous")
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Small client batches: many ring operations per session, so
+			// the tiny server rings actually wrap and fill.
+			c, err := ipdsclient.Dial(ipdsclient.Config{
+				Addr: addr, Image: hash, Program: w.Name, Batch: 64,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Send(trace...); err != nil {
+				errCh <- err
+				return
+			}
+			if err := c.Drain(); err != nil {
+				errCh <- err
+				return
+			}
+			got := c.Alarms()
+			if len(got) != len(ref) {
+				t.Errorf("session %d: %d alarms, want %d", id, len(got), len(ref))
+				return
+			}
+			for j, a := range got {
+				r := ref[j]
+				if a.Seq != r.Seq || a.PC != r.PC || a.Func != r.Func ||
+					a.Slot != uint32(r.Slot) || a.Expected != uint8(r.Expected) || a.Taken != r.Taken {
+					t.Errorf("session %d alarm %d: got %+v, want %+v", id, j, a, r)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("session: %v", err)
+	}
+
+	// The per-core breakdown must account for every event exactly once.
+	stats := srv.CoreStats()
+	if len(stats) != verifiers {
+		t.Fatalf("CoreStats returned %d cores, want %d", len(stats), verifiers)
+	}
+	var events, pinned uint64
+	for _, cs := range stats {
+		events += cs.Events
+		pinned += cs.SessionsTotal
+		// 64 sessions over 4 hash buckets: an empty core means the pin
+		// hash is broken (P ≈ 4·(3/4)^64 by chance).
+		if cs.SessionsTotal == 0 {
+			t.Errorf("core %d was never pinned a session", cs.Core)
+		}
+		if cs.RingHighWater == 0 {
+			t.Errorf("core %d ring high-water is zero after %d sessions", cs.Core, cs.SessionsTotal)
+		}
+	}
+	if want := uint64(len(trace)) * sessions; events != want {
+		t.Errorf("per-core events sum to %d, want %d", events, want)
+	}
+	if pinned != sessions {
+		t.Errorf("per-core sessions_total sum to %d, want %d", pinned, sessions)
+	}
+}

@@ -6,25 +6,32 @@
 // and from then on verifies the client's batched branch-event stream,
 // pushing wire.Alarm frames back as infeasible paths are detected.
 //
-// Concurrency model. Sessions are sharded across a fixed pool of
-// verifier workers: a session's batches are always processed by the
-// same worker (session id mod pool size), which preserves the
-// ipds.Machine single-goroutine ownership rule and per-session event
-// order while letting independent sessions verify in parallel. The
-// per-connection reader goroutine only decodes frames and enqueues
-// them — draining the socket ahead of verification so the client's
-// send window never closes on a momentarily busy verifier — and a
-// per-connection writer goroutine owns the outbound side.
+// Concurrency model. The serve path is per-core: one verifier loop
+// per configured core (default GOMAXPROCS), each paired with its own
+// writer loop, connected by single-producer/single-consumer rings
+// (internal/ring) so no steady-state queue ever has more than one
+// goroutine on either end. A session is pinned to a verifier by a
+// consistent hash of its id for its whole life — the verifier is the
+// only goroutine that ever touches the session's ipds.Machine, which
+// preserves the machine single-owner rule and per-session event order
+// while independent sessions verify on independent cores. The
+// per-connection reader goroutine only decodes frames — coalescing
+// everything one socket read delivered into a single ring publish —
+// and the per-core writer owns the outbound side of every session on
+// its core, so ack/alarm/incident encoding and write syscalls never
+// cross cores. See percore.go for the loop mechanics.
 //
-// Bounded everything: batch size (wire limits), per-shard task queues
-// (readers block when a verifier falls behind — backpressure to the
-// socket, counted, never unbounded buffering), and per-session alarm
-// queues (verifiers block when a client won't drain its alarms,
-// counted as server_backpressure_stalls_total). Sessions carry a
-// per-frame read deadline, so an idle client is evicted with
+// Bounded everything: batch size (wire limits), per-session task
+// rings (readers stall when a verifier falls behind — backpressure to
+// the socket, counted, never unbounded buffering), and per-core
+// writer rings (verifiers stall when clients won't drain their
+// alarms, counted as server_backpressure_stalls_total). Sessions
+// carry a per-frame read deadline, so an idle client is evicted with
 // wire.ErrIdle instead of holding a machine forever. Shutdown drains
 // gracefully: already-queued batches are verified and already-queued
-// alarms delivered, each session ending in a final Ack and Bye.
+// alarms delivered, each session ending in a final Ack and Bye. The
+// incident analytics queue remains the system's single
+// multi-producer merge point, deliberately off the serve path.
 package server
 
 import (
@@ -39,6 +46,7 @@ import (
 	"repro/internal/incident"
 	"repro/internal/ipds"
 	"repro/internal/obs"
+	"repro/internal/ring"
 	"repro/internal/wire"
 )
 
@@ -58,17 +66,21 @@ type Config struct {
 	// deadline loses the session rather than wedging a verifier.
 	WriteTimeout time.Duration
 
-	// AlarmQueue bounds each session's outbound frame queue (default
-	// 256 frames). When full, the verifier stalls — backpressure,
-	// counted — instead of buffering without bound.
+	// AlarmQueue bounds each core's outbound writer ring (default 256
+	// ops, rounded to a power of two). When full, the core's verifier
+	// stalls — backpressure, counted — instead of buffering without
+	// bound.
 	AlarmQueue int
 
-	// Verifiers sizes the shard worker pool (default GOMAXPROCS).
+	// Verifiers is the number of per-core verifier/writer loop pairs
+	// (default GOMAXPROCS). Sessions are pinned across them by
+	// consistent hash of session id.
 	Verifiers int
 
-	// ShardQueue bounds each verifier's pending-batch queue (default
-	// 16 batches).
-	ShardQueue int
+	// RingSize bounds each session's reader→verifier task ring
+	// (default 64 tasks, rounded to a power of two). A full ring
+	// stalls the session's reader — backpressure to the socket.
+	RingSize int
 
 	// IPDS configures each session's machine (zero value selects
 	// ipds.DefaultConfig, matching in-process runs).
@@ -121,8 +133,8 @@ func (c Config) withDefaults() Config {
 	if c.Verifiers <= 0 {
 		c.Verifiers = runtime.GOMAXPROCS(0)
 	}
-	if c.ShardQueue <= 0 {
-		c.ShardQueue = 16
+	if c.RingSize <= 0 {
+		c.RingSize = 64
 	}
 	if c.IPDS == (ipds.Config{}) {
 		c.IPDS = ipds.DefaultConfig
@@ -136,15 +148,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// task is one decoded batch bound for a session's verifier shard. The
-// batch is pool-owned: the reader leases it from Server.batchPool,
-// ownership rides the task through the shard queue, and the verifier
-// returns it once OnBatch has consumed the events.
+// task is one entry in a session's reader→verifier ring. Exactly one
+// of b, fb or done is set:
+//
+//   - b: a decoded batch. Pool-owned — the reader leases it from
+//     Server.batchPool, ownership rides the ring, the verifier returns
+//     it once OnBatch has consumed the events.
+//   - fb: a reader-originated control frame (eviction or protocol
+//     error) the verifier forwards to the core writer — readers never
+//     touch a writer ring themselves, which keeps it SPSC.
+//   - done: the reader's final task. Ring FIFO guarantees the verifier
+//     sees it strictly after every batch the session ever queued, so
+//     "done observed" IS the drain barrier — no pending counters.
 type task struct {
-	s *session
-	b *wire.Batch
+	b    *wire.Batch
+	fb   *frameBuf
+	done bool
 	// t0 is non-zero on sampled batches (1 in spanSampleEvery per
-	// session): the reader's enqueue time, observed by the verifier as
+	// session): the reader's publish time, observed by the verifier as
 	// server_queue_wait_ns — the reader→verifier leg of the sampled
 	// pipeline span.
 	t0 time.Time
@@ -153,12 +174,12 @@ type task struct {
 // frameBuf is one pooled outbound encoding: one frame, or several
 // concatenated frames (a batch's alarms and its ack travel as one
 // buffer — the stream is self-delimiting, so receivers cannot tell the
-// difference, and the verifier pays one queue operation per batch
+// difference, and the verifier pays one ring operation per batch
 // instead of one per alarm). Ownership rule: the encoder leases it, the
-// session's writer goroutine is the only party that may release it, and
-// only once the writer is done with the bytes — after copying them into
-// its coalesced write buffer (or discarding them) — never while the
-// frame is still queued, or a reuse would corrupt bytes in flight.
+// core writer is the only party that may release it, and only once it
+// is done with the bytes — after copying them into the session's
+// coalesced write buffer (or discarding them) — never while the frame
+// is still queued, or a reuse would corrupt bytes in flight.
 type frameBuf struct {
 	b []byte
 	// t0 is non-zero when this buffer continues a sampled batch's span:
@@ -169,15 +190,15 @@ type frameBuf struct {
 
 // Server hosts verifier sessions. Create with New, feed with Serve (or
 // ListenAndServe), stop with Shutdown — which must be called exactly
-// once to release the verifier pool.
+// once to release the per-core loops.
 type Server struct {
 	cfg   Config
 	store *ImageStore
 	met   metrics
 
 	// batchPool recycles decoded event batches between the per-conn
-	// readers and the verifier pool; bufPool recycles outbound frame
-	// encodings between verifiers/readers and the per-conn writers.
+	// readers and the verifiers; bufPool recycles outbound frame
+	// encodings between verifiers/readers and the per-core writers.
 	// Together they make the steady-state serve loop allocation-free
 	// per event.
 	batchPool sync.Pool
@@ -188,7 +209,12 @@ type Server struct {
 	// and a dedicated goroutine folds them into ranked incidents.
 	incidents *incidentStage
 
-	shards   []chan task
+	// verifiers are the per-core loops; each owns a writer. stopping
+	// flips once all readers have drained, telling verifiers to finish
+	// their remaining sessions and exit.
+	verifiers []*verifier
+	stopping  atomic.Bool
+
 	workerWG sync.WaitGroup
 	readerWG sync.WaitGroup
 	writerWG sync.WaitGroup
@@ -201,8 +227,8 @@ type Server struct {
 	nextID   uint64
 }
 
-// New creates a server over an image store. The verifier pool starts
-// immediately; Shutdown stops it.
+// New creates a server over an image store. The per-core loops start
+// immediately; Shutdown stops them.
 func New(store *ImageStore, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
@@ -215,12 +241,14 @@ func New(store *ImageStore, cfg Config) *Server {
 	if !s.cfg.DisableIncidents {
 		s.incidents = newIncidentStage(s.cfg.Incident, s.cfg.IncidentQueue, s.cfg.Reg)
 	}
-	s.shards = make([]chan task, s.cfg.Verifiers)
-	for i := range s.shards {
-		ch := make(chan task, s.cfg.ShardQueue)
-		s.shards[i] = ch
+	s.verifiers = make([]*verifier, s.cfg.Verifiers)
+	for i := range s.verifiers {
+		v := newVerifier(s, i)
+		s.verifiers[i] = v
 		s.workerWG.Add(1)
-		go s.verifyLoop(ch)
+		go v.loop()
+		s.writerWG.Add(1)
+		go v.wr.loop()
 	}
 	return s
 }
@@ -276,7 +304,7 @@ func (s *Server) ActiveSessions() int {
 
 // Shutdown drains the server: stop accepting, wake every session
 // reader, verify everything already queued, deliver every queued alarm
-// (final Ack + Bye per session), then stop the verifier pool. It
+// (final Ack + Bye per session), then stop the per-core loops. It
 // returns nil on a full drain or ctx.Err() if the context expired
 // first (remaining connections are then closed hard).
 func (s *Server) Shutdown(ctx context.Context) error {
@@ -302,13 +330,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
+		// Drain order: once every reader has exited, every session's done
+		// task is in its ring, so telling the verifiers to stop lets each
+		// finish its remaining sessions (FIFO guarantees the batches come
+		// first) and push its writer's stop op last.
 		s.readerWG.Wait()
-		for _, ch := range s.shards {
-			close(ch)
+		s.stopping.Store(true)
+		for _, v := range s.verifiers {
+			v.pk.Wake()
 		}
 		s.workerWG.Wait()
 		s.writerWG.Wait()
-		// Every producer into the incident queue lives inside the pools
+		// Every producer into the incident queue lives inside the loops
 		// above; with them drained the stage can close and flush.
 		if s.incidents != nil {
 			s.incidents.close()
@@ -329,7 +362,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// register adds a session under a fresh id, refusing during drain.
+// register adds a session under a fresh id, refusing during drain. The
+// session's ring and verifier pin are established here, before any
+// frame can flow.
 func (s *Server) register(ss *session) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -338,7 +373,9 @@ func (s *Server) register(ss *session) bool {
 	}
 	s.nextID++
 	ss.id = s.nextID
-	ss.shard = int(ss.id % uint64(len(s.shards)))
+	ss.v = s.pinVerifier(ss.id)
+	ss.core = ss.v.id
+	ss.ring = ring.New[task](s.cfg.RingSize)
 	s.sessions[ss.id] = ss
 	s.met.sessionsTotal.Inc()
 	s.met.sessionsActive.Set(int64(len(s.sessions)))
@@ -409,7 +446,6 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn:      conn,
 		rd:        rd,
 		m:         ipds.New(img, s.cfg.IPDS),
-		out:       make(chan *frameBuf, s.cfg.AlarmQueue),
 		program:   hello.Program,
 		forensics: s.cfg.IPDS.Recorder > 0,
 		started:   time.Now(),
@@ -423,44 +459,35 @@ func (s *Server) handleConn(conn net.Conn) {
 	ack := wire.MustAppend(nil, wire.HelloAck{Version: wire.Version, MaxBatch: uint32(s.cfg.MaxBatch)})
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if _, err := conn.Write(ack); err != nil {
-		// The writer goroutine has not started; unwind by hand.
+		// The session was never adopted by its verifier; unwind by hand.
 		conn.Close()
 		s.unregister(ss)
 		return
 	}
 
-	s.writerWG.Add(1)
-	go ss.writeLoop()
+	// Adopt before the reader starts so the first published task always
+	// finds the verifier scanning (or parkable-and-wakeable).
+	ss.v.adopt(ss)
 	s.readerWG.Add(1)
 	go ss.readLoop()
-}
-
-// verifyLoop is one shard worker: it owns the machines of every
-// session assigned to its shard (batches of one session never cross
-// shards, so each machine stays single-goroutine).
-func (s *Server) verifyLoop(ch chan task) {
-	defer s.workerWG.Done()
-	for t := range ch {
-		s.verifyBatch(t)
-	}
 }
 
 // verifyBatch feeds one batch through the session's machine via the
 // zero-allocation OnBatch kernel, streams the raised alarms out through
 // pooled encode buffers, acknowledges the batch, and returns the batch
-// to the pool.
-func (s *Server) verifyBatch(t task) {
-	ss := t.s
+// to the pool. Runs on the session's pinned verifier — the machine's
+// only driver.
+func (s *Server) verifyBatch(v *verifier, ss *session, t task) {
 	n := len(t.b.Events)
 	if !t.t0.IsZero() {
 		s.met.queueWaitNs.Observe(uint64(time.Since(t.t0).Nanoseconds()))
 	}
 	start := time.Now()
 	// The returned alarm slice is machine-owned and valid until the
-	// machine's next batch; this shard is the machine's only driver, so
-	// encoding the alarms here, before releasing the batch, is safe.
+	// machine's next batch; this verifier is the machine's only driver,
+	// so encoding the alarms here, before releasing the batch, is safe.
 	alarms := ss.m.OnBatch(t.b.Events)
-	// The batch's alarms and its ack ride one pooled buffer: one queue
+	// The batch's alarms and its ack ride one pooled buffer: one ring
 	// operation and (after writer coalescing) one socket write per
 	// batch, however many alarms it raised.
 	fb := s.bufPool.Get().(*frameBuf)
@@ -474,7 +501,9 @@ func (s *Server) verifyBatch(t task) {
 		}
 		// Feed the analytics stage off the hot path: a non-blocking
 		// send of a detached value copy (drops are counted), so the
-		// serve loop never stalls or allocates for analysis.
+		// serve loop never stalls or allocates for analysis. This is
+		// the one multi-producer queue in the system — the merge point
+		// where all cores' alarms meet.
 		if s.incidents != nil {
 			a := &alarms[i]
 			s.incidents.offer(incident.AlarmEvent{
@@ -526,21 +555,20 @@ func (s *Server) verifyBatch(t task) {
 	s.met.eventsTotal.Add(uint64(n))
 	s.met.batchesTotal.Inc()
 	s.met.batchLen.Observe(uint64(n))
+	v.events.Add(uint64(n))
+	v.batches.Add(1)
+	v.alarms.Add(uint64(len(alarms)))
 	ss.batchesN.Add(1)
 	total := ss.alarmsN.Add(uint64(len(alarms)))
 	ss.recTotal.Store(ss.m.RecorderTotal())
 	ss.lastBatch.Store(start.UnixNano())
 	ss.updateRate(start.UnixNano(), total)
-	// Order matters: the ack must be queued before the task is marked
-	// done, or a concurrent reader-side maybeFinish could close the
-	// outbound queue under us.
-	done := ss.addEvents(uint64(n))
+	done := ss.events.Add(uint64(n))
 	fb.b = wire.AppendAck(fb.b, wire.Ack{Events: done})
 	if !t.t0.IsZero() {
 		fb.t0 = time.Now()
 	}
-	ss.send(fb)
-	ss.taskDone()
+	v.send(writeOp{s: ss, fb: fb})
 }
 
 // alarmFrame converts a machine alarm to its wire form.

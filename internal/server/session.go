@@ -3,34 +3,42 @@ package server
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ipds"
+	"repro/internal/ring"
 	"repro/internal/wire"
 )
 
 // session is one live verifier connection. Field ownership:
 //
-//   - rd and conn reads: the reader goroutine (readLoop)
-//   - m (the machine): the session's shard verifier, exclusively
-//   - out and conn writes: the writer goroutine (writeLoop)
-//   - mu guards the lifecycle bookkeeping (pending/readerDone/
-//     finished/events) shared by reader and verifier
+//   - rd and conn reads: the reader goroutine (readLoop), the ring's
+//     only producer
+//   - m (the machine) and the rate-window fields: the pinned per-core
+//     verifier, exclusively — the ring's only consumer
+//   - wbuf/wdirty/wfailed/wspan and conn writes: the core writer
+//     goroutine, exclusively
+//   - the remaining counters are atomics, written by their owner and
+//     read by the debug endpoint
 //
-// The outbound queue `out` is closed exactly once, by maybeFinish,
-// strictly after the reader has stopped and every queued batch has
-// been verified — which is what makes graceful drain deliver
-// already-queued alarms before the closing Ack+Bye.
+// Lifecycle rides the ring: the reader's last task is done-marked, so
+// the verifier observes it strictly after every batch the session
+// queued (ring FIFO), seals the session with incidents + final Ack +
+// Bye, and hands the close to the writer — which flushes everything
+// queued ahead of it before retiring the connection. No pending
+// counters, no lifecycle mutex.
 type session struct {
 	id        uint64
-	shard     int
+	core      int
 	srv       *Server
 	conn      net.Conn
 	rd        *wire.Reader
 	m         *ipds.Machine
-	out       chan *frameBuf
+	ring      *ring.SPSC[task]
+	v         *verifier
 	program   string
 	forensics bool // the machine records; emit AlarmCtx after each Alarm
 	started   time.Time
@@ -40,11 +48,9 @@ type session struct {
 	// batch to carry pipeline-span timestamps.
 	sampleCnt uint64
 
-	mu         sync.Mutex
-	pending    int    // batches enqueued to the shard, not yet verified
-	readerDone bool   // readLoop exited; no further batches will arrive
-	finished   bool   // out has been sealed with the final Ack+Bye
-	events     uint64 // events fully verified (ack currency)
+	// events counts fully verified events (ack currency):
+	// verifier-written, read by the finish path and the debug endpoint.
+	events atomic.Uint64
 
 	// Telemetry for /debug/sessions: verifier-written, handler-read.
 	batchesN  atomic.Uint64
@@ -53,15 +59,16 @@ type session struct {
 	lastBatch atomic.Int64 // unix nanos of the last verified batch
 
 	// Windowed alarm rate: the verifier closes ≥1s windows over its own
-	// plain fields (one shard owns a session's batches, so no races) and
-	// publishes the last closed window's rate for the debug handler.
+	// plain fields (the pinned core owns a session's batches, so no
+	// races) and publishes the last closed window's rate for the debug
+	// handler.
 	rateWinStart int64         // unix nanos of the open window's start
 	rateWinBase  uint64        // lifetime alarms at the window's start
 	rateMilli    atomic.Uint64 // 1 + milli-alarms/s of the last closed window; 0 = none yet
 
 	// lastCtx is the session's most recent forensic capture, deep-copied
 	// out of the machine so the debug endpoint never touches machine
-	// state owned by the shard verifier.
+	// state owned by the verifier.
 	ctxMu   sync.Mutex
 	hasCtx  bool
 	lastCtx ipds.AlarmContext
@@ -69,6 +76,15 @@ type session struct {
 	// ctxSeen is the verifier-owned high-water mark of the machine's
 	// lifetime capture count; fresh captures past it are emitted once.
 	ctxSeen uint64
+
+	// Core-writer-owned coalescing state: frames queued for this
+	// session in the current write cycle accumulate in wbuf and go out
+	// as one conn.Write. wfailed latches the first write error; output
+	// is discarded from then on so a dead peer never blocks a core.
+	wbuf    []byte
+	wdirty  bool
+	wfailed bool
+	wspan   time.Time // first sampled frame's queue time in this cycle
 }
 
 // isClosedErr reports a read failing because the connection was closed
@@ -77,35 +93,52 @@ func isClosedErr(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-// send queues one pooled frame encoding for the writer, counting a
-// backpressure stall when the bounded queue is full. It never drops:
-// the writer always drains `out` (discarding after a write failure),
-// so this blocks only while the client is slow, not forever. Ownership
-// of the buffer transfers to the writer, which releases it to the pool
-// once the frame is on the wire.
-func (s *session) send(fb *frameBuf) {
-	select {
-	case s.out <- fb:
-	default:
-		s.srv.met.backpressure.Inc()
-		s.out <- fb
+// readStage bounds how many decoded frames the reader accumulates
+// before publishing them to the session's ring in one operation. One
+// socket read often delivers several batch frames (the client pipelines
+// them); staging turns those into a single ring publish and at most one
+// verifier wakeup instead of one each.
+const readStage = 16
+
+// publish pushes the staged tasks into the session's ring, blocking
+// (counted as backpressure, once per stall) while the pinned verifier
+// is behind, and wakes the verifier. The reader is the ring's only
+// producer.
+func (s *session) publish(staged []task) {
+	if len(staged) == 0 {
+		return
 	}
+	s.srv.met.readFrames.Observe(uint64(len(staged)))
+	off, spins, stalled := 0, 0, false
+	for off < len(staged) {
+		n := s.ring.PushSlice(staged[off:])
+		if n > 0 {
+			off += n
+			s.v.pk.Wake()
+			continue
+		}
+		if !stalled {
+			stalled = true
+			s.srv.met.backpressure.Inc()
+		}
+		if spins++; spins < spinPasses {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	s.srv.met.ringDepth.Observe(uint64(s.ring.Len()))
 }
 
-// sendFrame encodes f into a pooled buffer and queues it.
-func (s *session) sendFrame(f wire.Frame) {
+// stageCtrl encodes a reader-originated frame (eviction or protocol
+// error) into a pooled buffer and stages it as a control task: the
+// verifier forwards it to the core writer, keeping the writer ring
+// single-producer.
+func (s *session) stageCtrl(staged []task, f wire.Frame) []task {
 	fb := s.srv.bufPool.Get().(*frameBuf)
 	fb.b = wire.MustAppend(fb.b[:0], f)
 	fb.t0 = time.Time{} // pooled; a stale sample stamp would skew spans
-	s.send(fb)
-}
-
-// addEvents credits n verified events and returns the new total.
-func (s *session) addEvents(n uint64) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.events += n
-	return s.events
+	return append(staged, task{fb: fb})
 }
 
 // updateRate advances the session's alarm-rate window: called by the
@@ -140,54 +173,6 @@ func (s *session) alarmRate(now time.Time) float64 {
 	return float64(s.alarmsN.Load()) / age
 }
 
-// taskDone retires one verified batch and finishes the session if the
-// reader is already gone.
-func (s *session) taskDone() {
-	s.mu.Lock()
-	s.pending--
-	s.mu.Unlock()
-	s.maybeFinish()
-}
-
-// maybeFinish seals the session once no more input can arrive
-// (readerDone) and everything that did arrive has been verified
-// (pending == 0): queue the final cumulative Ack and a Bye, then close
-// the outbound queue so the writer flushes and tears the session down.
-func (s *session) maybeFinish() {
-	s.mu.Lock()
-	if !s.readerDone || s.pending != 0 || s.finished {
-		s.mu.Unlock()
-		return
-	}
-	s.finished = true
-	total := s.events
-	s.mu.Unlock()
-
-	// A draining session is told what its alarm storm folded into: the
-	// ranked incident list, highest score first, ahead of the closing
-	// Ack+Bye. The barrier sync inside Server.Incidents guarantees every
-	// alarm this session offered has been analyzed (its offers preceded
-	// pending reaching zero, and the queue is FIFO).
-	if s.srv.incidents != nil {
-		incs := s.srv.Incidents()
-		if len(incs) > maxIncidentFrames {
-			incs = incs[:maxIncidentFrames]
-		}
-		for i := range incs {
-			s.sendFrame(incidentFrame(&incs[i]))
-		}
-	}
-
-	// The final Ack and Bye ride the same pooled queue as every other
-	// frame, strictly after any still-queued alarms/acks; the writer
-	// flushes the whole queue — releasing each pooled buffer only after
-	// its bytes are on the wire — before the close tears the session
-	// down, so a drained session never loses its closing Ack.
-	s.sendFrame(wire.Ack{Events: total})
-	s.sendFrame(wire.Bye{})
-	close(s.out)
-}
-
 // drainGrace is the per-read deadline a draining session reads with:
 // long enough to pick up everything a client already had in flight on
 // loopback or a LAN, short enough that shutdown stays prompt. A client
@@ -195,17 +180,21 @@ func (s *session) maybeFinish() {
 // context, which closes connections hard on expiry.
 const drainGrace = 50 * time.Millisecond
 
-// readLoop drains the socket: decode frames, enqueue batches to the
-// session's verifier shard, stop on Bye / error / idle deadline.
-// During server drain the loop keeps reading under drainGrace
-// deadlines until the socket goes quiet, so events the client sent
-// before the shutdown began are still verified (wire.Reader resumes
-// cleanly across the shutdown's deadline poke).
+// readLoop drains the socket: decode frames, stage them, publish the
+// stage to the session's ring whenever the socket has no more buffered
+// bytes (everything one syscall delivered becomes one ring publish) or
+// the stage is full. Stops on Bye / error / idle deadline, always
+// ending with a done-marked task — the FIFO drain barrier. During
+// server drain the loop keeps reading under drainGrace deadlines until
+// the socket goes quiet, so events the client sent before the shutdown
+// began are still verified (wire.Reader resumes cleanly across the
+// shutdown's deadline poke).
 func (s *session) readLoop() {
 	defer s.srv.readerWG.Done()
 	srv := s.srv
+	staged := make([]task, 0, readStage)
 	// One leased batch at a time: NextInto decodes into it without
-	// allocating; enqueueing a task transfers ownership to the verifier
+	// allocating; staging a task transfers ownership to the verifier
 	// (which returns it to the pool), non-batch frames leave the lease
 	// in hand for the next frame.
 	b := srv.batchPool.Get().(*wire.Batch)
@@ -230,7 +219,7 @@ func (s *session) readLoop() {
 				}
 				// Idle eviction: tell the client why, then drain.
 				srv.met.evictionsTotal.Inc()
-				s.sendFrame(wire.Error{Code: wire.ErrIdle, Msg: "idle deadline exceeded"})
+				staged = s.stageCtrl(staged, wire.Error{Code: wire.ErrIdle, Msg: "idle deadline exceeded"})
 			} else if err != nil && !isClosedErr(err) {
 				// Hard protocol garbage or a vanished peer; io.EOF is
 				// the silent variant of Bye.
@@ -242,12 +231,9 @@ func (s *session) readLoop() {
 		case *wire.Batch:
 			if len(fr.Events) > srv.cfg.MaxBatch {
 				srv.met.errorsTotal.Inc()
-				s.sendFrame(wire.Error{Code: wire.ErrProtocol, Msg: "batch exceeds advertised maximum"})
+				staged = s.stageCtrl(staged, wire.Error{Code: wire.ErrProtocol, Msg: "batch exceeds advertised maximum"})
 				goto out
 			}
-			s.mu.Lock()
-			s.pending++
-			s.mu.Unlock()
 			// Every spanSampleEvery-th batch carries timestamps through
 			// the pipeline, feeding the sampled reader→verifier→writer
 			// span histograms at negligible steady-state cost.
@@ -256,93 +242,39 @@ func (s *session) readLoop() {
 				t0 = time.Now()
 			}
 			s.sampleCnt++
-			// Blocking enqueue: a full shard queue is backpressure to
-			// this socket, counted like an alarm-queue stall.
-			select {
-			case srv.shards[s.shard] <- task{s: s, b: fr, t0: t0}:
-			default:
-				srv.met.backpressure.Inc()
-				srv.shards[s.shard] <- task{s: s, b: fr, t0: t0}
+			staged = append(staged, task{b: fr, t0: t0})
+			// Publish when the socket buffer is dry — the next NextInto
+			// would block — or the stage is full. (A frame split across
+			// TCP segments can briefly block with tasks staged; its tail
+			// is already in flight, so the stall is one segment's RTT.)
+			if len(staged) == readStage || s.rd.Buffered() == 0 {
+				s.publish(staged)
+				staged = staged[:0]
 			}
-			srv.met.shardDepth.Observe(uint64(len(srv.shards[s.shard])))
 			b = srv.batchPool.Get().(*wire.Batch)
 		case wire.Bye:
 			goto out
 		default:
 			srv.met.errorsTotal.Inc()
-			s.sendFrame(wire.Error{Code: wire.ErrProtocol, Msg: "unexpected " + fr.Type().String() + " frame"})
+			staged = s.stageCtrl(staged, wire.Error{Code: wire.ErrProtocol, Msg: "unexpected " + fr.Type().String() + " frame"})
 			goto out
 		}
 	}
 out:
 	srv.batchPool.Put(b)
-	s.mu.Lock()
-	s.readerDone = true
-	s.mu.Unlock()
-	s.maybeFinish()
+	// The done task is published strictly last: the verifier sees every
+	// staged batch and control frame first, then seals the session.
+	staged = append(staged, task{done: true})
+	s.publish(staged)
 }
 
-// maxWriteCoalesce bounds the writer's merged buffer: big enough to
-// swallow a burst of per-batch alarm+ack buffers in one syscall, small
-// enough to keep write latency and memory per session bounded.
+// maxWriteCoalesce bounds a session's merged write buffer: big enough
+// to swallow a burst of per-batch alarm+ack buffers in one syscall,
+// small enough to keep write latency and memory per session bounded.
 const maxWriteCoalesce = 256 << 10
 
 // spanSampleEvery picks which batches carry pipeline-span timestamps
-// (reader enqueue → verifier dequeue → writer flush). 1-in-64 keeps the
+// (reader publish → verifier pop → writer flush). 1-in-64 keeps the
 // histograms live on any sustained stream while the extra time.Now()
 // calls stay invisible next to the verify kernel itself.
 const spanSampleEvery = 64
-
-// writeLoop owns conn writes: it drains the outbound queue until
-// maybeFinish closes it, then closes the connection and retires the
-// session. Queued buffers are coalesced — everything waiting in the
-// queue is copied into one write buffer and flushed with a single
-// conn.Write — so an alarm burst or a run of acks costs one syscall,
-// not one per frame. After the first write failure the loop keeps
-// consuming (and discarding) so verifiers can never block forever on a
-// dead peer. Every pooled buffer is released here, after its bytes have
-// been copied into the write buffer (or deliberately discarded), never
-// while still queued — which is what keeps pooling safe under drain.
-func (s *session) writeLoop() {
-	defer s.srv.writerWG.Done()
-	failed := false
-	open := true
-	var wbuf []byte
-	for open {
-		fb, ok := <-s.out
-		if !ok {
-			break
-		}
-		span := fb.t0
-		wbuf = append(wbuf[:0], fb.b...)
-		s.srv.bufPool.Put(fb)
-	drain:
-		for len(wbuf) < maxWriteCoalesce {
-			select {
-			case more, ok := <-s.out:
-				if !ok {
-					open = false
-					break drain
-				}
-				if span.IsZero() {
-					span = more.t0
-				}
-				wbuf = append(wbuf, more.b...)
-				s.srv.bufPool.Put(more)
-			default:
-				break drain
-			}
-		}
-		if !failed && len(wbuf) > 0 {
-			s.srv.met.coalesceBytes.Observe(uint64(len(wbuf)))
-			s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
-			if _, err := s.conn.Write(wbuf); err != nil {
-				failed = true
-			} else if !span.IsZero() {
-				s.srv.met.writeWaitNs.Observe(uint64(time.Since(span).Nanoseconds()))
-			}
-		}
-	}
-	s.conn.Close()
-	s.srv.unregister(s)
-}

@@ -485,6 +485,14 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
 }
 
+// Buffered reports how many bytes are already pulled off the
+// underlying connection and waiting in the reader's buffer. A caller
+// that has just decoded a frame can keep decoding while Buffered is
+// positive without risking a blocking read — the server's per-session
+// readers use this to coalesce everything one socket read delivered
+// into a single ring publish.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
 // minFrameBuf is the frame buffer's starting capacity; doubling from
 // here reaches MaxFrame in a handful of growth steps.
 const minFrameBuf = 4 << 10

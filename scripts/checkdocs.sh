@@ -8,7 +8,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/core internal/tables internal/ipds internal/pipeline internal/tcache internal/obs internal/incident"
+PKGS="internal/core internal/tables internal/ipds internal/pipeline internal/tcache internal/obs internal/incident internal/ring internal/server"
 
 fail=0
 for pkg in $PKGS; do
@@ -33,4 +33,16 @@ if [ "$fail" -ne 0 ]; then
     echo "checkdocs: undocumented exported declarations found" >&2
     exit 1
 fi
+
+# The performance handbook must stay linked from the README and keep
+# its generated-table markers (benchtable rewrites between them).
+grep -q 'docs/PERFORMANCE.md' README.md || {
+    echo "checkdocs: README.md does not link docs/PERFORMANCE.md" >&2
+    exit 1
+}
+grep -q 'benchtable:begin' docs/PERFORMANCE.md || {
+    echo "checkdocs: docs/PERFORMANCE.md lacks the benchtable markers" >&2
+    exit 1
+}
+
 echo "checkdocs: all exports documented in: $PKGS"

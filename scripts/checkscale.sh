@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# checkscale.sh — the serve path's scaling gate (`make scale-gate`).
+#
+# Runs the 64-session tampered-telnetd load against an in-process
+# daemon twice: pinned to a single verifier loop, then with one
+# verifier per core (the default). The multi-core aggregate must beat
+# the single-verifier control by at least SCALE_FLOOR (default 1.5x) —
+# a deliberately conservative floor: it catches "the per-core path
+# stopped scaling" without flaking on loaded CI hosts. On a
+# single-core host there is nothing to scale onto and the gate skips
+# (the per-core architecture still runs there — one verifier, same
+# code path — it just cannot be faster).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -le 1 ]; then
+    echo "checkscale: single-core host; nothing to scale onto, skipping"
+    exit 0
+fi
+
+FLOOR="${SCALE_FLOOR:-1.5}"
+
+run_load() {
+    go run ./cmd/ipdsload -selfserve -workload telnetd \
+        -sessions 64 -events 100000 -tamper 97 -repeat 3 \
+        -verifiers "$1" |
+        sed -n 's/^-- throughput: \([0-9][0-9]*\) events\/sec aggregate$/\1/p'
+}
+
+single=$(run_load 1)
+multi=$(run_load 0)
+if [ -z "$single" ] || [ -z "$multi" ]; then
+    echo "checkscale: failed to parse ipdsload throughput output" >&2
+    exit 1
+fi
+
+echo "checkscale: single-verifier ${single} events/sec, ${cores}-core ${multi} events/sec"
+if ! awk -v s="$single" -v m="$multi" -v f="$FLOOR" \
+    'BEGIN { r = m / s; printf "checkscale: multiplier %.2fx (floor %sx)\n", r, f; exit !(r >= f) }'; then
+    echo "checkscale: FAIL — per-core serve path does not clear the scaling floor" >&2
+    exit 1
+fi
+echo "checkscale: per-core serve path clears the scaling floor"
