@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel alloc-gate forensics-gate incident-gate scale-gate benchtable ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5
+.PHONY: build test vet race bench bench-kernel alloc-gate forensics-gate incident-gate scale-gate fleet-gate benchtable ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5 serve-baseline-pr7
 
 build:
 	$(GO) build ./...
@@ -87,8 +87,19 @@ incident-gate:
 scale-gate:
 	./scripts/checkscale.sh
 
+# Fleet gate: the multi-node path must lose nothing. Three in-process
+# nodes behind the router serve 24 sessions while one node drains
+# mid-run; every session must finish fully acked with alarms and the
+# incident fold byte-identical to a single uninterrupted replay, and a
+# cold node must serve an image it only holds via a registry fetch
+# (zero recompiles). The fleet, registry and redial unit tests ride
+# along, all under -race.
+fleet-gate:
+	$(GO) test -race ./internal/fleet ./internal/registry
+	$(GO) test -race -run 'TestRedial' ./internal/ipdsclient
+
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate forensics-gate incident-gate scale-gate
+ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate forensics-gate incident-gate scale-gate fleet-gate
 
 # Observability-driven per-workload table + JSON baseline.
 report:
@@ -111,6 +122,22 @@ serve-baseline:
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr6.json
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr6.json
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -verifiers 1 -json BENCH_pr6.json
+
+# PR7 serving baseline: the fleet router's price. Each load point is
+# recorded twice back-to-back — a direct -selfserve control row, then
+# the same load through an in-process router over 3 nodes — at 1, 8
+# and 64 sessions, best-of-5 per config. Routed rows carry routed=true
+# and nodes=3; the bench table renders the direct/routed pairs side by
+# side, so the splice overhead is judged against a paired same-host
+# control.
+serve-baseline-pr7:
+	rm -f BENCH_pr7.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 1 -events 5000000 -tamper 97 -repeat 5 -json BENCH_pr7.json
+	$(GO) run ./cmd/ipdsload -selfserve -router -nodes 3 -workload telnetd -sessions 1 -events 5000000 -tamper 97 -repeat 5 -json BENCH_pr7.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr7.json
+	$(GO) run ./cmd/ipdsload -selfserve -router -nodes 3 -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr7.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr7.json
+	$(GO) run ./cmd/ipdsload -selfserve -router -nodes 3 -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr7.json
 
 # Regenerate the benchmark-trajectory table in docs/PERFORMANCE.md
 # from the committed BENCH_pr*.json files.

@@ -19,11 +19,18 @@
 // ranked, explained fold of the alarm stream. Both debug documents are
 // polled by cmd/ipdstop for live top-style views.
 //
+// In a fleet, -registry serves this node's image blobs to peers over
+// the content-addressed registry protocol, and -fetch names peer
+// registries to pull unknown hashes from: a node handed a Hello for an
+// image it never compiled fetches the blob, verifies it against its
+// hash, and serves the session — zero recompiles on handoff.
+//
 // Usage:
 //
 //	ipdsd [-addr :7077] [-workload name]... [-all] [-cachedir dir]
 //	      [-telemetry :6060] [-idle 60s] [-verifiers n]
-//	      [-incidents=false] [file.mc]...
+//	      [-incidents=false] [-registry :7078] [-fetch host:7078,...]
+//	      [file.mc]...
 package main
 
 import (
@@ -33,12 +40,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/tcache"
 	"repro/internal/workload"
@@ -64,6 +73,8 @@ func main() {
 		verifiers = flag.Int("verifiers", 0, "verifier worker pool size (0 = GOMAXPROCS)")
 		incidents = flag.Bool("incidents", true, "fold alarm floods into ranked incidents (off-path analytics stage)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+		regAddr   = flag.String("registry", "", "serve this node's image blobs to fleet peers on this address")
+		fetch     = flag.String("fetch", "", "comma-separated peer registry addresses to pull unknown image hashes from")
 	)
 	flag.Var(&wlNames, "workload", "serve a built-in server workload (repeatable)")
 	flag.Parse()
@@ -101,12 +112,27 @@ func main() {
 		}
 		progs = append(progs, prog{filepath.Base(path), string(data)})
 	}
-	if len(progs) == 0 {
-		fmt.Fprintln(os.Stderr, "ipdsd: nothing to serve; use -workload, -all or file arguments")
+	// A cold fleet node may start with nothing compiled locally and
+	// resolve every image over the registry.
+	if len(progs) == 0 && *fetch == "" {
+		fmt.Fprintln(os.Stderr, "ipdsd: nothing to serve; use -workload, -all, file arguments, or -fetch")
 		os.Exit(1)
 	}
 
 	store := server.NewImageStore(cache)
+	if *fetch != "" {
+		store.SetFetcher(registry.NewFetcher(strings.Split(*fetch, ","), 5*time.Second, reg))
+	}
+	if *regAddr != "" {
+		regSrv := registry.NewServer(store, reg)
+		bound, err := regSrv.ListenAndServe(*regAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsd: registry:", err)
+			os.Exit(1)
+		}
+		defer regSrv.Close()
+		fmt.Printf("ipdsd: registry on %s\n", bound)
+	}
 	for _, p := range progs {
 		art, err := pipeline.CompileWith(p.src, ir.DefaultOptions,
 			pipeline.Config{Cache: cache}, tr)

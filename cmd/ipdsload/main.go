@@ -16,11 +16,17 @@
 // latency quantiles and the forensic context count, read from the
 // in-process telemetry registry.
 //
+// With -selfserve -router the in-process engine is a fleet: -nodes
+// daemon instances behind an in-process ipdsrouter, every session
+// dialing the router — the routed counterpart of the direct -selfserve
+// row, so the bench table can price the router's splice overhead.
+//
 // Usage:
 //
 //	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
 //	         [-sessions n] [-events n] [-batch n] [-tamper stride]
-//	         [-repeat n] [-verifiers n] [-events-file in.events]
+//	         [-repeat n] [-verifiers n] [-router] [-nodes n]
+//	         [-events-file in.events]
 //	         [-json out.json] [-incidents] [-cpuprofile cpu.pprof]
 //	         [-memprofile mem.pprof] [file.mc]
 //
@@ -54,6 +60,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/ipdsclient"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -92,6 +99,11 @@ type row struct {
 	// per verifier core, counters cumulative over all repeats.
 	Verifiers int       `json:"verifiers,omitempty"`
 	Cores     []coreRow `json:"cores,omitempty"`
+
+	// Fleet shape — populated only with -selfserve -router: the load
+	// went through an in-process ipdsrouter in front of Nodes daemons.
+	Routed bool `json:"routed,omitempty"`
+	Nodes  int  `json:"nodes,omitempty"`
 }
 
 // coreRow is one verifier core's slice of a self-served load run.
@@ -120,6 +132,8 @@ func main() {
 		tamper    = flag.Int("tamper", 0, "flip every stride-th branch (0 = benign replay)")
 		repeat    = flag.Int("repeat", 1, "run the load n times and report/record the best run (suppresses host noise in baselines)")
 		verifiers = flag.Int("verifiers", 0, "with -selfserve: per-core verifier loops (0 = GOMAXPROCS; 1 = single-core control)")
+		routed    = flag.Bool("router", false, "with -selfserve: place sessions through an in-process fleet router")
+		nodesN    = flag.Int("nodes", 3, "with -selfserve -router: fleet nodes behind the router")
 		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
 		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
 		incidents = flag.Bool("incidents", false, "report the daemon's ranked incident fold of the alarm flood after the run")
@@ -183,25 +197,60 @@ func main() {
 	var srv *server.Server
 	if *selfserve {
 		reg = obs.NewRegistry()
-		store := server.NewImageStore(nil)
-		store.Add(name, art.Image)
 		scfg := server.Config{Reg: reg, Verifiers: *verifiers}
 		if !*forensics {
 			scfg.RecorderDepth = -1
 		}
-		srv = server.New(store, scfg)
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipdsload:", err)
-			os.Exit(1)
-		}
-		go srv.Serve(ln)
-		defer func() {
+		shutdown := func(s *server.Server) {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
-			srv.Shutdown(ctx)
-		}()
-		target = ln.Addr().String()
+			s.Shutdown(ctx)
+		}
+		if *routed {
+			// A fleet: -nodes daemons behind an in-process router, every
+			// node sharing the registry so verify quantiles and counters
+			// aggregate cluster-wide. Per-core rows are skipped — they
+			// describe one daemon, not a fleet.
+			n := *nodesN
+			if n < 1 {
+				n = 1
+			}
+			addrs := make([]string, n)
+			for i := 0; i < n; i++ {
+				store := server.NewImageStore(nil)
+				store.Add(name, art.Image)
+				node := server.New(store, scfg)
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ipdsload:", err)
+					os.Exit(1)
+				}
+				go node.Serve(ln)
+				defer shutdown(node)
+				addrs[i] = ln.Addr().String()
+			}
+			rt := fleet.NewRouter(fleet.NewRing(addrs), fleet.RouterConfig{Reg: reg})
+			bound, err := rt.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipdsload:", err)
+				os.Exit(1)
+			}
+			defer rt.Close()
+			target = bound
+			fmt.Printf("-- fleet: %d nodes behind router %s\n", n, bound)
+		} else {
+			store := server.NewImageStore(nil)
+			store.Add(name, art.Image)
+			srv = server.New(store, scfg)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipdsload:", err)
+				os.Exit(1)
+			}
+			go srv.Serve(ln)
+			defer shutdown(srv)
+			target = ln.Addr().String()
+		}
 	}
 
 	// Profiling brackets only the load run itself: compilation and trace
@@ -381,6 +430,8 @@ func main() {
 			VerifyP999Ns: verify.Quantile(0.999),
 			Verifiers:    verifierCount(srv),
 			Cores:        cores,
+			Routed:       *selfserve && *routed,
+			Nodes:        fleetNodes(*selfserve && *routed, *nodesN),
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
 			os.Exit(1)
@@ -398,6 +449,18 @@ func verifierCount(srv *server.Server) int {
 		return 0
 	}
 	return len(srv.CoreStats())
+}
+
+// fleetNodes resolves the recorded fleet width: n for routed
+// self-served runs, 0 (omitted from the JSON) otherwise.
+func fleetNodes(routed bool, n int) int {
+	if !routed {
+		return 0
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // appendRow merges one result row into path's {"rows": [...]} document,

@@ -1,0 +1,91 @@
+// Command ipdsrouter is the fleet's front door: a thin TCP router that
+// reads each incoming session's Hello, places the session on a cluster
+// node by consistent hash, and then splices bytes both ways with zero
+// per-event parsing. Nodes are ipdsd daemons named with -peers; with
+// -probe the router polls each node's /debug/sessions endpoint and
+// reacts to unreachable or draining nodes by re-placing their traffic,
+// so a rolling drain (SIGTERM one ipdsd at a time) never refuses a
+// session while any node is up.
+//
+// Placement uses the same mix-then-jump consistent hash the daemon
+// uses to pin sessions to verifier cores, one level up: the fleet is a
+// two-level hash from session to node to core.
+//
+// Usage:
+//
+//	ipdsrouter -peers host1:7077,host2:7077,host3:7077
+//	           [-addr :7070] [-probe url1,url2,url3]
+//	           [-interval 1s] [-telemetry :6070]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address for routed verifier sessions")
+		peers     = flag.String("peers", "", "comma-separated ipdsd node addresses (required)")
+		probe     = flag.String("probe", "", "comma-separated /debug/sessions URLs, one per peer in order")
+		interval  = flag.Duration("interval", time.Second, "health probe interval")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	)
+	flag.Parse()
+
+	if *peers == "" {
+		fmt.Fprintln(os.Stderr, "ipdsrouter: -peers is required")
+		os.Exit(1)
+	}
+	nodes := strings.Split(*peers, ",")
+	ring := fleet.NewRing(nodes)
+	reg := obs.NewRegistry()
+
+	if *probe != "" {
+		urls := strings.Split(*probe, ",")
+		if len(urls) != len(nodes) {
+			fmt.Fprintf(os.Stderr, "ipdsrouter: %d -probe URLs for %d peers\n", len(urls), len(nodes))
+			os.Exit(1)
+		}
+		p := fleet.NewProber(ring, urls, *interval, reg)
+		ctx, cancel := context.WithTimeout(context.Background(), *interval)
+		p.ProbeOnce(ctx) // first placement reflects reality
+		cancel()
+		p.Start()
+		defer p.Stop()
+	}
+
+	if *telemetry != "" {
+		reg.PublishExpvar("ipdsrouter")
+		tsrv, taddr, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsrouter: telemetry:", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(os.Stderr, "ipdsrouter: telemetry on http://%s/metrics\n", taddr)
+	}
+
+	router := fleet.NewRouter(ring, fleet.RouterConfig{Reg: reg})
+	bound, err := router.ListenAndServe(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsrouter:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ipdsrouter: routing %s across %d nodes: %s\n", bound, len(nodes), strings.Join(nodes, ", "))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Fprintf(os.Stderr, "ipdsrouter: %v: closing\n", sig)
+	router.Close()
+}

@@ -10,6 +10,12 @@
 // alarm/fold counts, burst and lead-lag evidence, and the forensic
 // context attached to each incident.
 //
+// With -fleet it polls several daemons' telemetry endpoints and
+// renders one merged session table with a NODE column — the operator's
+// view of a routed cluster, where a drained node's sessions visibly
+// migrate to its peers. An unreachable node shows as such; the rest of
+// the fleet still renders.
+//
 // With -once it prints a single snapshot and exits (scriptable, and
 // what the tests drive); otherwise it redraws every -interval using an
 // ANSI home+clear, like top.
@@ -17,7 +23,7 @@
 // Usage:
 //
 //	ipdstop [-addr http://127.0.0.1:6060] [-interval 2s] [-once]
-//	        [-incidents]
+//	        [-incidents] [-fleet url1,url2,...]
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		interval  = flag.Duration("interval", 2*time.Second, "refresh interval")
 		once      = flag.Bool("once", false, "print one snapshot and exit")
 		incidents = flag.Bool("incidents", false, "show the ranked incident view instead of the session table")
+		fleet     = flag.String("fleet", "", "comma-separated telemetry base URLs: one merged session table across fleet nodes")
 	)
 	flag.Parse()
 
@@ -47,11 +54,22 @@ func main() {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
+	var fleetBases []string
+	for _, u := range strings.Split(*fleet, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			fleetBases = append(fleetBases, u)
+		}
+	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	for {
 		var out string
-		if *incidents {
+		if len(fleetBases) > 0 {
+			out = renderFleet(fetchFleet(client, fleetBases))
+		} else if *incidents {
 			doc, err := fetchIncidents(client, base+"/debug/incidents")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ipdstop:", err)
@@ -131,6 +149,79 @@ func render(info server.DebugInfo) string {
 		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %8.1f %9d %7.1fs %5dms  %s\n",
 			s.ID, s.Program, s.Core, s.Events, s.Batches, s.Alarms, s.AlarmRate,
 			s.Recorded, s.UptimeS, s.IdleMs, last)
+	}
+	return b.String()
+}
+
+// fleetNode is one fleet member's polled state: its telemetry base
+// URL, the sessions document if reachable, and the fetch error if not.
+type fleetNode struct {
+	Base string
+	Info server.DebugInfo
+	Err  error
+}
+
+// fetchFleet polls every node's /debug/sessions; a node that fails to
+// answer is reported in its row rather than failing the whole view.
+func fetchFleet(c *http.Client, bases []string) []fleetNode {
+	nodes := make([]fleetNode, len(bases))
+	for i, b := range bases {
+		nodes[i].Base = b
+		nodes[i].Info, nodes[i].Err = fetch(c, b+"/debug/sessions")
+	}
+	return nodes
+}
+
+// renderFleet formats the merged cluster view: a per-node status line,
+// then every live session across the fleet in one busiest-first table
+// with a NODE column. Pure — the tests drive it with synthetic
+// documents.
+func renderFleet(nodes []fleetNode) string {
+	var b strings.Builder
+	type row struct {
+		node int
+		s    server.DebugSession
+	}
+	var rows []row
+	total := 0
+	fmt.Fprintf(&b, "ipds fleet — %d node(s)\n", len(nodes))
+	for i, n := range nodes {
+		switch {
+		case n.Err != nil:
+			fmt.Fprintf(&b, "  node%-2d %-28s UNREACHABLE (%v)\n", i, n.Base, n.Err)
+		case n.Info.Draining:
+			fmt.Fprintf(&b, "  node%-2d %-28s DRAINING — %d session(s)\n", i, n.Base, len(n.Info.Sessions))
+		default:
+			fmt.Fprintf(&b, "  node%-2d %-28s serving — %d session(s)\n", i, n.Base, len(n.Info.Sessions))
+		}
+		if n.Err == nil {
+			total += len(n.Info.Sessions)
+			for _, s := range n.Info.Sessions {
+				rows = append(rows, row{i, s})
+			}
+		}
+	}
+	b.WriteString("\n")
+	if total == 0 {
+		b.WriteString("(no live sessions)\n")
+		return b.String()
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].s.Events != rows[j].s.Events {
+			return rows[i].s.Events > rows[j].s.Events
+		}
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].s.ID < rows[j].s.ID
+	})
+	fmt.Fprintf(&b, "%6s %6s  %-16s %5s %10s %8s %7s %8s %8s %6s\n",
+		"NODE", "ID", "PROGRAM", "CORE", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "UPTIME", "IDLE")
+	for _, r := range rows {
+		s := r.s
+		fmt.Fprintf(&b, "%6s %6d  %-16s %5d %10d %8d %7d %8.1f %7.1fs %5dms\n",
+			fmt.Sprintf("node%d", r.node), s.ID, s.Program, s.Core, s.Events, s.Batches,
+			s.Alarms, s.AlarmRate, s.UptimeS, s.IdleMs)
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -93,6 +94,39 @@ func TestRenderIncidentView(t *testing.T) {
 		t.Errorf("empty view wrong:\n%s", empty)
 	}
 }
+
+func TestRenderFleetView(t *testing.T) {
+	nodes := []fleetNode{
+		{Base: "http://n0:6060", Info: sampleInfo()},
+		{Base: "http://n1:6060", Info: server.DebugInfo{Draining: true, Sessions: []server.DebugSession{
+			{ID: 7, Program: "ftpd#0", Core: 0, Events: 9000, Batches: 18, UptimeS: 1.1},
+		}}},
+		{Base: "http://n2:6060", Err: errFake},
+	}
+	out := renderFleet(nodes)
+	for _, want := range []string{
+		"3 node(s)",
+		"node0", "serving — 2 session(s)",
+		"node1", "DRAINING — 1 session(s)",
+		"node2", "UNREACHABLE",
+		"NODE", "telnetd#0", "telnetd#1", "ftpd#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet view lacks %q:\n%s", want, out)
+		}
+	}
+	// Busiest session first across nodes: telnetd#1 (64000 events on
+	// node0) before ftpd#0 (9000 on node1) before telnetd#0 (1000).
+	i0, i1, i2 := strings.Index(out, "telnetd#1"), strings.Index(out, "ftpd#0"), strings.Index(out, "telnetd#0")
+	if !(i0 < i1 && i1 < i2) {
+		t.Errorf("fleet sessions not merged busiest-first:\n%s", out)
+	}
+	if empty := renderFleet([]fleetNode{{Base: "http://n0:6060"}}); !strings.Contains(empty, "(no live sessions)") {
+		t.Errorf("empty fleet view wrong:\n%s", empty)
+	}
+}
+
+var errFake = fmt.Errorf("connection refused")
 
 // TestFetchRoundTrip drives fetch against an httptest server producing
 // the same JSON the daemon's DebugHandler emits.

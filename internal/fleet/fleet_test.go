@@ -1,0 +1,330 @@
+// The fleet gate: an in-process three-node cluster behind the router
+// must survive a rolling drain of one node with zero sessions lost and
+// an alarm/incident record byte-identical to a single uninterrupted
+// replay, and a cold node must serve a session for an image it only
+// holds via a registry fetch. This is the CI check `make fleet-gate`
+// runs under -race.
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/incident"
+	"repro/internal/ipds"
+	"repro/internal/ipdsclient"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// compileTelnetd compiles the attack workload once per test.
+func compileTelnetd(t *testing.T) (*pipeline.Artifacts, *workload.Workload) {
+	t.Helper()
+	w := workload.ByName("telnetd")
+	if w == nil {
+		t.Fatal("telnetd workload missing")
+	}
+	art, err := pipeline.CompileWith(w.Source, ir.DefaultOptions, pipeline.Config{}, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return art, w
+}
+
+// startNode brings up one verification daemon on a loopback port.
+func startNode(t *testing.T, store *server.ImageStore) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(store, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+func alarmsEqual(got []wire.Alarm, ref []ipds.Alarm) error {
+	if len(got) != len(ref) {
+		return fmt.Errorf("%d alarms, want %d", len(got), len(ref))
+	}
+	for i, a := range got {
+		r := ref[i]
+		if a.Seq != r.Seq || a.PC != r.PC || a.Func != r.Func ||
+			a.Slot != uint32(r.Slot) || a.Expected != uint8(r.Expected) || a.Taken != r.Taken {
+			return fmt.Errorf("alarm %d: got %+v, want %+v", i, a, r)
+		}
+	}
+	return nil
+}
+
+// TestFleetRollingDrain is the zero-loss handoff gate. 24 sessions
+// stream a tampered trace through the router while one node is drained
+// mid-run. Every session must finish fully acked, and — because
+// handoffs happen at balanced pass boundaries where the machine holds
+// no state — each session's re-based alarm stream must be
+// field-identical to one continuous in-process replay, and the fleet's
+// merged incident fold identical to the single-node fold.
+func TestFleetRollingDrain(t *testing.T) {
+	const (
+		sessions = 24
+		passes   = 6
+	)
+	art, w := compileTelnetd(t)
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.AttackSession), 31)
+	passEvents := len(trace)
+
+	// One pass, encoded once; every session replays the same block.
+	block := wire.AppendBatches(nil, trace, 256)
+	branchesPerPass := uint64(0)
+	for _, ev := range trace {
+		if ev.Kind == wire.EvBranch {
+			branchesPerPass++
+		}
+	}
+
+	// Reference: all passes through ONE machine, uninterrupted.
+	full := make([]wire.Event, 0, passes*passEvents)
+	for p := 0; p < passes; p++ {
+		full = append(full, trace...)
+	}
+	ref := ipdsclient.ReplayLocal(ipds.New(art.Image, ipds.DefaultConfig), full)
+	if len(ref) == 0 {
+		t.Fatal("tampered trace raised no reference alarms; gate is vacuous")
+	}
+
+	// Three nodes, each with its own store holding the image.
+	var nodes []*server.Server
+	var addrs []string
+	var hash [32]byte
+	for i := 0; i < 3; i++ {
+		store := server.NewImageStore(nil)
+		hash = store.Add(w.Name, art.Image)
+		srv, addr := startNode(t, store)
+		nodes = append(nodes, srv)
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, srv := range nodes {
+			srv.Shutdown(ctx)
+		}
+	}()
+
+	ring := fleet.NewRing(addrs)
+	reg := obs.NewRegistry()
+	router := fleet.NewRouter(ring, fleet.RouterConfig{Reg: reg})
+	raddr, err := router.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("router listen: %v", err)
+	}
+	defer router.Close()
+
+	// stream drives one session to completion through any number of
+	// drain handoffs. Work advances in whole passes; after any redial
+	// the resume point is re-derived from the client's own cumulative
+	// Sent() — Redial guarantees it is a batch boundary, and because
+	// each pass is sent as one block it is in fact a pass boundary.
+	var passesDone atomic.Int64
+	stream := func(s int) (*ipdsclient.Client, error) {
+		cfg := ipdsclient.Config{
+			Addr:    raddr,
+			Image:   hash,
+			Program: fmt.Sprintf("fleet-%d", s),
+			Batch:   256,
+			Timeout: 20 * time.Second,
+		}
+		c, err := ipdsclient.Dial(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pass := 0
+		redial := func() error {
+			c.Close()
+			c2, err := ipdsclient.Redial(c)
+			if err != nil {
+				return err
+			}
+			c = c2
+			pass = int(c.Sent()) / passEvents
+			return nil
+		}
+		for {
+			ended := false
+			select {
+			case <-c.Done():
+				ended = true
+			default:
+			}
+			switch {
+			case ended:
+				// The node sealed the session from its side. Everything
+				// acked was verified and delivered; if that is everything
+				// we sent and we are done, the session is complete.
+				// Otherwise resume from the acked boundary.
+				if pass == passes && c.Acked() == c.Sent() {
+					return c, nil
+				}
+				if err := redial(); err != nil {
+					return nil, err
+				}
+			case pass == passes:
+				if err := c.Drain(); err == nil {
+					return c, nil
+				}
+				<-c.Done() // drain raced a seal; resume via the ended branch
+			case c.Draining():
+				// Cooperative handoff: finish this node at the pass
+				// boundary, then resume wherever the router places us.
+				if err := c.Drain(); err == nil {
+					if err := redial(); err != nil {
+						return nil, err
+					}
+				} else {
+					<-c.Done()
+				}
+			default:
+				if err := c.SendEncoded(block, uint64(passEvents), branchesPerPass); err != nil {
+					<-c.Done() // conn died mid-write; resume via the ended branch
+					continue
+				}
+				pass++
+				passesDone.Add(1)
+			}
+		}
+	}
+
+	clients := make([]*ipdsclient.Client, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			clients[s], errs[s] = stream(s)
+		}(s)
+	}
+
+	// Rolling drain: once the fleet is mid-flight, take node 0 out of
+	// the ring and shut it down. Its sessions get the advisory drain
+	// notice, finish their pass, and redial through the router onto the
+	// surviving nodes.
+	for passesDone.Load() < sessions {
+		time.Sleep(time.Millisecond)
+	}
+	ring.SetDraining(0, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	nodes[0].Shutdown(ctx)
+	cancel()
+
+	wg.Wait()
+
+	// Zero sessions lost: every session finished, fully acked, with the
+	// exact alarm stream of an uninterrupted replay.
+	fleetFold := incident.NewAnalyzer(incident.Config{})
+	refFold := incident.NewAnalyzer(incident.Config{})
+	for s := 0; s < sessions; s++ {
+		if errs[s] != nil {
+			t.Fatalf("session %d lost: %v", s, errs[s])
+		}
+		c := clients[s]
+		want := uint64(passes * passEvents)
+		if c.Sent() != want || c.Acked() != want {
+			t.Fatalf("session %d sent/acked = %d/%d, want %d/%d", s, c.Sent(), c.Acked(), want, want)
+		}
+		got := c.Alarms()
+		if err := alarmsEqual(got, ref); err != nil {
+			t.Fatalf("session %d: %v", s, err)
+		}
+		for _, a := range got {
+			fleetFold.Observe(incident.AlarmEvent{Session: uint64(s), Seq: a.Seq, PC: a.PC, Func: a.Func, Taken: a.Taken})
+		}
+		for _, r := range ref {
+			refFold.Observe(incident.AlarmEvent{Session: uint64(s), Seq: r.Seq, PC: r.PC, Func: r.Func, Taken: r.Taken})
+		}
+		c.Close()
+	}
+	if !reflect.DeepEqual(fleetFold.Incidents(), refFold.Incidents()) {
+		t.Fatalf("fleet incident fold diverges from single-node fold:\n%+v\nvs\n%+v",
+			fleetFold.Incidents(), refFold.Incidents())
+	}
+
+	// The drain actually exercised the handoff path: the router placed
+	// more sessions than the initial 24 (each handoff redials), and
+	// every initial placement went through it.
+	if n := reg.Counter("fleet_sessions_total").Value(); n < sessions {
+		t.Fatalf("fleet_sessions_total = %d, want >= %d", n, sessions)
+	}
+}
+
+// TestFleetColdCacheFetch is the registry half of the gate: a node
+// whose store has never seen an image must serve a session for it by
+// fetching the blob from a peer's registry — zero recompiles, with the
+// fetch visible in registry_fetch_total.
+func TestFleetColdCacheFetch(t *testing.T) {
+	art, w := compileTelnetd(t)
+
+	// Node A holds the compiled image and exposes it over a registry.
+	storeA := server.NewImageStore(nil)
+	hash := storeA.Add(w.Name, art.Image)
+	regSrv := registry.NewServer(storeA, nil)
+	regAddr, err := regSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("registry listen: %v", err)
+	}
+	defer regSrv.Close()
+
+	// Node B starts cold — empty store, no compiler anywhere in the
+	// path — with node A's registry as its fetch peer.
+	regB := obs.NewRegistry()
+	storeB := server.NewImageStore(nil)
+	storeB.SetFetcher(registry.NewFetcher([]string{regAddr}, 5*time.Second, regB))
+	srvB, addrB := startNode(t, storeB)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srvB.Shutdown(ctx)
+	}()
+
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.AttackSession), 31)
+	ref := ipdsclient.ReplayLocal(ipds.New(art.Image, ipds.DefaultConfig), trace)
+	if len(ref) == 0 {
+		t.Fatal("tampered trace raised no reference alarms; gate is vacuous")
+	}
+
+	c, err := ipdsclient.Dial(ipdsclient.Config{Addr: addrB, Image: hash, Program: w.Name, Batch: 256})
+	if err != nil {
+		t.Fatalf("dial cold node: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(trace...); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := alarmsEqual(c.Alarms(), ref); err != nil {
+		t.Fatal(err)
+	}
+	if n := regB.Counter("registry_fetch_total").Value(); n < 1 {
+		t.Fatalf("registry_fetch_total = %d, want >= 1", n)
+	}
+
+	// The fetched blob is now part of node B's own store: it can serve
+	// it onward (replication) without another fetch.
+	if _, ok := storeB.Blob(hash); !ok {
+		t.Fatal("fetched image not memoized in the cold node's store")
+	}
+}

@@ -1,0 +1,36 @@
+// Package fleet turns a set of ipdsd daemons into one verification
+// service: static node membership with health and drain state, session
+// placement by the same jump consistent hash the server uses for core
+// pinning (two-level: session → node here, session → core inside the
+// node), liveness probing over each node's /debug/sessions endpoint,
+// and a byte-splicing TCP router that speaks the wire protocol only
+// far enough to read the opening Hello.
+//
+// The package sits below internal/server in the dependency order —
+// the server imports fleet for the shared hash, never the reverse —
+// so the placement arithmetic is written once and both levels of the
+// hierarchy stay in lockstep.
+package fleet
+
+// Mix is the splitmix64 finalizer: a cheap full-avalanche bit mix so
+// sequential session ids land on uncorrelated jump-hash walks. Both
+// placement levels (router → node, server → core) mix before jumping.
+func Mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Jump is Lamping & Veach's consistent hash: key → bucket in [0,n)
+// with minimal movement when n changes. Keys should be pre-mixed
+// (see Mix) when they are sequential.
+func Jump(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

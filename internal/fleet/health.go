@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Prober polls each ring member's /debug/sessions endpoint and folds
+// the answers back into the ring: an unreachable endpoint marks the
+// node unhealthy, a reachable one healthy, and the document's
+// "draining" field drives the draining flag — which is how a rolling
+// drain announces itself to the router without any control channel
+// beyond the telemetry the daemon already serves.
+type Prober struct {
+	ring     *Ring
+	urls     []string // one /debug/sessions URL per ring member
+	interval time.Duration
+	client   *http.Client
+	healthy  *obs.Gauge
+
+	stop   context.CancelFunc
+	donewg sync.WaitGroup
+}
+
+// NewProber builds a prober over ring, where urls[i] is member i's
+// /debug/sessions URL (an empty URL leaves that member unprobed).
+// A URL without a scheme gets "http://" prefixed, so bare
+// "host:6060/debug/sessions" flag values work. interval <= 0
+// defaults to one second; reg may be nil.
+func NewProber(ring *Ring, urls []string, interval time.Duration, reg *obs.Registry) *Prober {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	normed := make([]string, len(urls))
+	for i, u := range urls {
+		if u != "" && !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		normed[i] = u
+	}
+	return &Prober{
+		ring:     ring,
+		urls:     normed,
+		interval: interval,
+		client:   &http.Client{Timeout: interval},
+		healthy:  reg.Gauge("fleet_nodes_healthy"),
+	}
+}
+
+// ProbeOnce polls every member once, synchronously, and updates the
+// ring. The router calls this at startup so the first placement
+// already reflects reality; the background loop repeats it.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	for i := range p.urls {
+		if p.urls[i] == "" {
+			continue
+		}
+		p.probe(ctx, i)
+	}
+	p.healthy.Set(int64(p.ring.Available()))
+}
+
+func (p *Prober) probe(ctx context.Context, i int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.urls[i], nil)
+	if err != nil {
+		p.ring.SetHealthy(i, false)
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		p.ring.SetHealthy(i, false)
+		return
+	}
+	var doc struct {
+		Draining bool `json:"draining"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		p.ring.SetHealthy(i, false)
+		return
+	}
+	p.ring.SetHealthy(i, true)
+	p.ring.SetDraining(i, doc.Draining)
+}
+
+// Start launches the background probe loop. Stop cancels it.
+func (p *Prober) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.stop = cancel
+	p.donewg.Add(1)
+	go func() {
+		defer p.donewg.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it to exit.
+func (p *Prober) Stop() {
+	if p.stop != nil {
+		p.stop()
+		p.donewg.Wait()
+	}
+}

@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProberSchemelessURL holds the flag-friendly URL form: a probe
+// target given as bare "host:port/path" (no scheme) must still reach
+// the endpoint and mark the node healthy, and the document's draining
+// field must fold into the ring.
+func TestProberSchemelessURL(t *testing.T) {
+	draining := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/sessions" {
+			http.NotFound(w, r)
+			return
+		}
+		if draining {
+			w.Write([]byte(`{"draining":true}`))
+		} else {
+			w.Write([]byte(`{"draining":false}`))
+		}
+	}))
+	defer srv.Close()
+
+	bare := strings.TrimPrefix(srv.URL, "http://") + "/debug/sessions"
+	ring := NewRing([]string{"n0"})
+	ring.SetHealthy(0, false) // prober must bring it back
+	p := NewProber(ring, []string{bare}, time.Second, nil)
+
+	p.ProbeOnce(context.Background())
+	if ring.Available() != 1 {
+		t.Fatalf("schemeless probe URL %q left %d nodes available, want 1", bare, ring.Available())
+	}
+
+	draining = true
+	p.ProbeOnce(context.Background())
+	if ring.Available() != 0 {
+		t.Fatalf("draining=true probe left %d nodes available, want 0", ring.Available())
+	}
+}

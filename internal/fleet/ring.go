@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"sync"
+)
+
+// NodeState is one ring member's placement-relevant state as the
+// router sees it: Healthy tracks dial/probe success, Draining tracks
+// an announced shutdown (the node still finishes existing sessions
+// but must receive no new ones).
+type NodeState struct {
+	Addr     string
+	Healthy  bool
+	Draining bool
+}
+
+// Ring is the static node membership used for session placement. The
+// member list is fixed at construction (the -peers flag); health and
+// drain state mutate under a lock as probes and dial failures report
+// in. Placement is two-level consistent hashing: Place jumps the mixed
+// session key onto the ring, then walks forward past unavailable
+// nodes — so a drained node's sessions land on "the next node in the
+// hash ring" and everyone else's placement is untouched.
+type Ring struct {
+	mu    sync.RWMutex
+	nodes []NodeState
+}
+
+// NewRing builds a ring over addrs, all initially healthy.
+func NewRing(addrs []string) *Ring {
+	r := &Ring{nodes: make([]NodeState, len(addrs))}
+	for i, a := range addrs {
+		r.nodes[i] = NodeState{Addr: a, Healthy: true}
+	}
+	return r
+}
+
+// Len returns the member count (fixed for the ring's lifetime).
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Addr returns member i's dial address.
+func (r *Ring) Addr(i int) string { return r.nodes[i].Addr }
+
+// SetHealthy records probe/dial success or failure for member i.
+func (r *Ring) SetHealthy(i int, ok bool) {
+	r.mu.Lock()
+	r.nodes[i].Healthy = ok
+	r.mu.Unlock()
+}
+
+// SetDraining records member i's announced shutdown state.
+func (r *Ring) SetDraining(i int, d bool) {
+	r.mu.Lock()
+	r.nodes[i].Draining = d
+	r.mu.Unlock()
+}
+
+// Available reports how many members can accept a new session.
+func (r *Ring) Available() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, s := range r.nodes {
+		if s.Healthy && !s.Draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot copies the current member states (for fleet views).
+func (r *Ring) Snapshot() []NodeState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeState, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Place picks the node for a session key: jump-hash the mixed key
+// onto the ring, then walk forward past unhealthy or draining
+// members. ok is false when no member can take the session.
+func (r *Ring) Place(key uint64) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.nodes)
+	if n == 0 {
+		return 0, false
+	}
+	start := Jump(Mix(key), n)
+	for a := 0; a < n; a++ {
+		i := (start + a) % n
+		if r.nodes[i].Healthy && !r.nodes[i].Draining {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Next returns the first available member after i in ring order —
+// where a session displaced from i is re-placed during a rolling
+// drain. ok is false when no other member is available.
+func (r *Ring) Next(i int) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.nodes)
+	for a := 1; a < n; a++ {
+		j := (i + a) % n
+		if r.nodes[j].Healthy && !r.nodes[j].Draining {
+			return j, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestJumpProperties(t *testing.T) {
+	// Range: every key lands in [0,n).
+	for n := 1; n <= 7; n++ {
+		for k := uint64(0); k < 1000; k++ {
+			b := Jump(Mix(k), n)
+			if b < 0 || b >= n {
+				t.Fatalf("Jump(Mix(%d), %d) = %d out of range", k, n, b)
+			}
+		}
+	}
+	// Determinism.
+	for k := uint64(0); k < 100; k++ {
+		if Jump(Mix(k), 5) != Jump(Mix(k), 5) {
+			t.Fatal("Jump is not deterministic")
+		}
+	}
+	// Balance: mixed sequential keys over 3 buckets stay within a
+	// loose band of fair share.
+	const keys = 30000
+	var counts [3]int
+	for k := uint64(0); k < keys; k++ {
+		counts[Jump(Mix(k), 3)]++
+	}
+	for i, c := range counts {
+		if c < keys/3-keys/10 || c > keys/3+keys/10 {
+			t.Fatalf("bucket %d holds %d of %d keys; want ~%d", i, c, keys, keys/3)
+		}
+	}
+	// Monotonicity (the consistent-hash property): growing the ring
+	// only moves keys onto the new bucket, never between old ones.
+	for k := uint64(0); k < 5000; k++ {
+		b3, b4 := Jump(Mix(k), 3), Jump(Mix(k), 4)
+		if b3 != b4 && b4 != 3 {
+			t.Fatalf("key %d moved %d→%d when the ring grew", k, b3, b4)
+		}
+	}
+}
+
+func TestRingPlaceSkipsUnavailable(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"})
+	if r.Available() != 3 {
+		t.Fatalf("Available = %d, want 3", r.Available())
+	}
+	// With all nodes up, Place is pure consistent hashing.
+	for k := uint64(0); k < 100; k++ {
+		i, ok := r.Place(k)
+		if !ok || i != Jump(Mix(k), 3) {
+			t.Fatalf("Place(%d) = %d,%v; want %d,true", k, i, ok, Jump(Mix(k), 3))
+		}
+	}
+	// Drain node 1: its keys move to the next ring member; keys on
+	// other nodes stay put.
+	r.SetDraining(1, true)
+	for k := uint64(0); k < 100; k++ {
+		home := Jump(Mix(k), 3)
+		i, ok := r.Place(k)
+		if !ok {
+			t.Fatalf("Place(%d) found no node", k)
+		}
+		switch home {
+		case 1:
+			if i != 2 {
+				t.Fatalf("key %d: drained node 1's key placed on %d, want 2", k, i)
+			}
+		default:
+			if i != home {
+				t.Fatalf("key %d moved %d→%d though its node is up", k, home, i)
+			}
+		}
+	}
+	// Next skips the drained node too.
+	if n, ok := r.Next(0); !ok || n != 2 {
+		t.Fatalf("Next(0) = %d,%v; want 2,true", n, ok)
+	}
+	// Nothing available: Place and Next report failure.
+	r.SetHealthy(0, false)
+	r.SetHealthy(2, false)
+	if _, ok := r.Place(7); ok {
+		t.Fatal("Place succeeded with no available node")
+	}
+	if _, ok := r.Next(1); ok {
+		t.Fatal("Next succeeded with no available node")
+	}
+	// Recovery restores normal placement.
+	r.SetHealthy(0, true)
+	r.SetHealthy(2, true)
+	r.SetDraining(1, false)
+	if r.Available() != 3 {
+		t.Fatalf("Available = %d after recovery, want 3", r.Available())
+	}
+}

@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Router is the fleet's front door: a TCP proxy that speaks the wire
+// protocol only far enough to read the opening Hello, places the
+// session on a ring member, and then splices bytes both ways with
+// io.Copy — zero per-event parsing, so router overhead stays flat no
+// matter what the protocol grows.
+//
+// Placement failures are handled inline: a dial error marks the node
+// unhealthy and re-places; an upstream that answers the forwarded
+// Hello with Error{ErrDraining} is marked draining and the session is
+// re-placed on the next node in the ring. Only when no member can
+// take the session does the client see the drain error.
+type Router struct {
+	ring *Ring
+
+	dialTimeout time.Duration
+	nextKey     atomic.Uint64
+
+	sessions    *obs.Counter
+	retries     *obs.Counter
+	dialErrors  *obs.Counter
+	noNode      *obs.Counter
+	routedBytes *obs.Counter
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// RouterConfig tunes a Router. The zero value works.
+type RouterConfig struct {
+	// DialTimeout bounds each upstream dial (default 3s).
+	DialTimeout time.Duration
+	// Reg receives fleet_* metrics; nil disables them.
+	Reg *obs.Registry
+}
+
+// NewRouter builds a router placing sessions on ring.
+func NewRouter(ring *Ring, cfg RouterConfig) *Router {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	return &Router{
+		ring:        ring,
+		dialTimeout: cfg.DialTimeout,
+		sessions:    cfg.Reg.Counter("fleet_sessions_total"),
+		retries:     cfg.Reg.Counter("fleet_retries_total"),
+		dialErrors:  cfg.Reg.Counter("fleet_dial_errors_total"),
+		noNode:      cfg.Reg.Counter("fleet_no_node_total"),
+		routedBytes: cfg.Reg.Counter("fleet_routed_bytes_total"),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean close, or the accept error otherwise.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("fleet: router closed")
+	}
+	r.ln = ln
+	if r.conns == nil {
+		r.conns = make(map[net.Conn]struct{})
+	}
+	r.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		r.track(conn, true)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.track(conn, false)
+			r.route(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves in a background
+// goroutine, returning the bound address (addr may use port 0).
+func (r *Router) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go r.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and closes every spliced connection, then
+// waits for the per-connection goroutines to exit.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	if r.ln != nil {
+		r.ln.Close()
+	}
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Router) track(c net.Conn, add bool) {
+	r.mu.Lock()
+	if add {
+		if r.conns == nil {
+			r.conns = make(map[net.Conn]struct{})
+		}
+		r.conns[c] = struct{}{}
+	} else {
+		delete(r.conns, c)
+	}
+	r.mu.Unlock()
+}
+
+// readRawFrame reads one length-prefixed frame — header and payload —
+// without buffering past the frame's end, so the bytes that follow
+// can be spliced verbatim. The returned slice is the full frame
+// (prefix included), ready to forward; the payload starts at [4:].
+func readRawFrame(c net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > wire.MaxFrame {
+		return nil, fmt.Errorf("fleet: frame payload %d out of range", n)
+	}
+	buf := make([]byte, 4+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(c, buf[4:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// refuse answers a client that could not be placed: one error frame,
+// best effort, then close.
+func refuse(c net.Conn, code wire.ErrCode, msg string) {
+	if len(msg) > wire.MaxString {
+		msg = msg[:wire.MaxString]
+	}
+	buf, err := wire.Append(nil, wire.Error{Code: code, Msg: msg})
+	if err == nil {
+		c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		c.Write(buf)
+	}
+	c.Close()
+}
+
+// route drives one client connection: read Hello, place, splice.
+func (r *Router) route(client net.Conn) {
+	if tc, ok := client.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	rawHello, err := readRawFrame(client)
+	if err != nil {
+		client.Close()
+		return
+	}
+	f, err := wire.Decode(rawHello[4:])
+	if err != nil {
+		refuse(client, wire.ErrProtocol, err.Error())
+		return
+	}
+	if _, ok := f.(wire.Hello); !ok {
+		refuse(client, wire.ErrProtocol, fmt.Sprintf("expected hello, got %v", f.Type()))
+		return
+	}
+	r.sessions.Inc()
+
+	key := r.nextKey.Add(1)
+	idx, ok := r.ring.Place(key)
+	for attempt := 0; ok && attempt < r.ring.Len(); attempt++ {
+		up, ack, uerr := r.open(idx, rawHello)
+		if uerr == errNodeDraining {
+			r.ring.SetDraining(idx, true)
+			r.retries.Inc()
+			idx, ok = r.ring.Next(idx)
+			continue
+		}
+		if uerr != nil {
+			r.ring.SetHealthy(idx, false)
+			r.dialErrors.Inc()
+			r.retries.Inc()
+			idx, ok = r.ring.Next(idx)
+			continue
+		}
+		// Forward the upstream's handshake answer, then splice. From
+		// here the router never parses another frame.
+		if _, err := client.Write(ack); err != nil {
+			up.Close()
+			client.Close()
+			return
+		}
+		r.track(up, true)
+		r.splice(client, up)
+		r.track(up, false)
+		return
+	}
+	r.noNode.Inc()
+	refuse(client, wire.ErrDraining, "fleet: no node available")
+}
+
+// errNodeDraining reports an upstream that refused the forwarded
+// Hello because it is shutting down — re-place, don't mark down.
+var errNodeDraining = fmt.Errorf("fleet: node draining")
+
+// open dials ring member idx, forwards the raw Hello, and reads the
+// node's first answer frame. A drain refusal comes back as
+// errNodeDraining; any other Error frame (refusals are terminal) and
+// the HelloAck path both return the raw answer for forwarding — the
+// client, not the router, owns protocol-level failures like an
+// unknown image.
+func (r *Router) open(idx int, rawHello []byte) (net.Conn, []byte, error) {
+	up, err := net.DialTimeout("tcp", r.ring.Addr(idx), r.dialTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tc, ok := up.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	up.SetDeadline(time.Now().Add(r.dialTimeout))
+	if _, err := up.Write(rawHello); err != nil {
+		up.Close()
+		return nil, nil, err
+	}
+	ack, err := readRawFrame(up)
+	if err != nil {
+		up.Close()
+		return nil, nil, err
+	}
+	if f, err := wire.Decode(ack[4:]); err == nil {
+		if e, ok := f.(wire.Error); ok && e.Code == wire.ErrDraining {
+			up.Close()
+			return nil, nil, errNodeDraining
+		}
+	}
+	up.SetDeadline(time.Time{})
+	return up, ack, nil
+}
+
+// splice copies bytes both ways until either side ends, then closes
+// both. Byte counts feed fleet_routed_bytes_total.
+func (r *Router) splice(client, up net.Conn) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n, _ := io.Copy(up, client)
+		r.routedBytes.Add(uint64(n))
+		// The client went quiet: half-close toward the node so its
+		// reader sees EOF, but keep reading the node's drain frames.
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	n, _ := io.Copy(client, up)
+	r.routedBytes.Add(uint64(n))
+	if tc, ok := client.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	wg.Wait()
+	up.Close()
+	client.Close()
+}

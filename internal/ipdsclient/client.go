@@ -73,11 +73,14 @@ func (c Config) withDefaults() Config {
 }
 
 // batchMark remembers when a flushed batch was sent so acks and alarms
-// can be turned into latency samples.
+// can be turned into latency samples. The lower bounds (evLo, brLo)
+// also let Redial roll a cut-off session back to the last boundary the
+// server acked: acks always land on batch boundaries, so the acked
+// point is the base of some unretired mark.
 type batchMark struct {
-	events   uint64 // cumulative events after this batch
-	branchHi uint64 // cumulative branch events after this batch
-	sent     time.Time
+	evLo, events   uint64 // cumulative events before / after this batch
+	brLo, branchHi uint64 // cumulative branch events before / after
+	sent           time.Time
 }
 
 // Client is one verifier session. Send/Flush/Drain must be called from
@@ -89,8 +92,16 @@ type Client struct {
 	buf  []byte
 	pend []wire.Event
 
-	sent     uint64 // events flushed
-	branches uint64 // branch events flushed
+	sent     uint64 // events flushed (cumulative across redials)
+	branches uint64 // branch events flushed (cumulative across redials)
+
+	// Resume bases, set by Redial: the event and branch totals carried
+	// over from the previous connection. Server-reported acks and alarm
+	// sequence numbers restart from zero on the new session; re-basing
+	// them keeps Acked() and Alarms() cumulative, so a handed-off
+	// session's stream is indistinguishable from an uninterrupted one.
+	evBase uint64
+	brBase uint64
 
 	ctxN atomic.Uint64 // AlarmCtx frames seen (decoded or discarded)
 
@@ -127,12 +138,35 @@ func Dial(cfg Config) (*Client, error) {
 // a TCP conn in Dial. Ownership of conn passes to the client, which
 // closes it on any handshake failure.
 func DialConn(conn net.Conn, cfg Config) (*Client, error) {
-	cfg = cfg.withDefaults()
+	return dialConn(conn, cfg.withDefaults(), nil, 0, 0)
+}
+
+// dialConn is DialConn with an optional resume source: when prev is
+// non-nil the new client starts from the given event/branch bases
+// (usually prev's cumulative totals; less than them when Redial rolled
+// back to the server's acked boundary) and carries prev's accumulated
+// alarms, contexts, incidents and latency samples — seeded before the
+// reader goroutine starts, so there is no window in which new frames
+// and carried state interleave wrongly.
+func dialConn(conn net.Conn, cfg Config, prev *Client, evBase, brBase uint64) (*Client, error) {
 	c := &Client{
 		cfg:     cfg,
 		conn:    conn,
 		sawBye:  make(chan struct{}),
 		readerD: make(chan struct{}),
+	}
+	if prev != nil {
+		c.evBase, c.brBase = evBase, brBase
+		c.sent, c.branches = evBase, brBase
+		prev.mu.Lock()
+		c.acked = prev.acked
+		c.alarms = append([]wire.Alarm(nil), prev.alarms...)
+		c.ctxs = append([]wire.AlarmCtx(nil), prev.ctxs...)
+		c.incidents = append([]wire.Incident(nil), prev.incidents...)
+		c.ackLat = append([]time.Duration(nil), prev.ackLat...)
+		c.alarmLat = append([]time.Duration(nil), prev.alarmLat...)
+		prev.mu.Unlock()
+		c.ctxN.Store(prev.ctxN.Load())
 	}
 	hello, err := wire.Append(nil, wire.Hello{
 		Version: wire.Version,
@@ -199,6 +233,7 @@ func (c *Client) readLoop(rd *wire.Reader) {
 		now := time.Now()
 		switch fr := f.(type) {
 		case wire.Ack:
+			fr.Events += c.evBase
 			c.mu.Lock()
 			c.acked = fr.Events
 			// Retire every mark this cumulative ack covers; the newest
@@ -215,6 +250,7 @@ func (c *Client) readLoop(rd *wire.Reader) {
 			}
 			c.mu.Unlock()
 		case wire.Alarm:
+			fr.Seq += c.brBase
 			c.mu.Lock()
 			c.alarms = append(c.alarms, fr)
 			// The alarm's Seq counts branch events; find the batch that
@@ -230,6 +266,11 @@ func (c *Client) readLoop(rd *wire.Reader) {
 				c.cfg.OnAlarm(fr)
 			}
 		case wire.AlarmCtx:
+			// Keep Alarm/AlarmCtx Seq pairing intact across redials.
+			fr.Seq += c.brBase
+			for i := range fr.Recent {
+				fr.Recent[i].Seq += c.brBase
+			}
 			c.mu.Lock()
 			c.ctxs = append(c.ctxs, fr)
 			c.mu.Unlock()
@@ -285,13 +326,14 @@ func (c *Client) flushN(n int) error {
 	if err != nil {
 		return err
 	}
+	evLo, brLo := c.sent, c.branches
 	for _, ev := range evs {
 		if ev.Kind == wire.EvBranch {
 			c.branches++
 		}
 	}
 	c.sent += uint64(n)
-	mark := batchMark{events: c.sent, branchHi: c.branches, sent: time.Now()}
+	mark := batchMark{evLo: evLo, events: c.sent, brLo: brLo, branchHi: c.branches, sent: time.Now()}
 	c.mu.Lock()
 	c.marks = append(c.marks, mark)
 	c.mu.Unlock()
@@ -319,9 +361,10 @@ func (c *Client) SendEncoded(frames []byte, events, branches uint64) error {
 	if len(frames) == 0 || events == 0 {
 		return nil
 	}
+	evLo, brLo := c.sent, c.branches
 	c.sent += events
 	c.branches += branches
-	mark := batchMark{events: c.sent, branchHi: c.branches, sent: time.Now()}
+	mark := batchMark{evLo: evLo, events: c.sent, brLo: brLo, branchHi: c.branches, sent: time.Now()}
 	c.mu.Lock()
 	c.marks = append(c.marks, mark)
 	c.mu.Unlock()
@@ -381,6 +424,63 @@ func (c *Client) Close() error {
 // side — Bye received or connection lost. It lets a caller observe a
 // server-initiated drain without sending its own Bye.
 func (c *Client) Done() <-chan struct{} { return c.readerD }
+
+// Draining reports whether the server has sent a mid-session
+// ErrDraining advisory: it is shutting down and the client should
+// finish its current work, Drain, and Redial — through a fleet
+// router, the redial lands on another node.
+func (c *Client) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srvErr != nil && c.srvErr.Code == wire.ErrDraining
+}
+
+// Redial resumes a finished session on a fresh connection: same
+// config (and so the same image hash and dial address — a router will
+// re-place the session), with the previous connection's cumulative
+// event and branch totals carried over. Server acks and alarm
+// sequence numbers on the new session are re-based onto those totals,
+// and the accumulated alarms, contexts, incidents and latency samples
+// carry forward, so the resumed client reads exactly like one
+// uninterrupted session. The previous session must have ended first
+// (Drain returned, or Done closed).
+//
+// If the server sealed the session before everything sent was verified
+// — a drain cut off a write still in flight — the resumed session
+// rolls back to the acked boundary: every verified event was acked,
+// and acks land on batch boundaries, so the acked point is the base of
+// an unretired batch mark. The new client's Sent() restarts from that
+// boundary and the caller must re-send everything after it; the unacked
+// tail was never verified, so re-sending it keeps the stream exact.
+func Redial(c *Client) (*Client, error) {
+	select {
+	case <-c.readerD:
+	default:
+		return nil, fmt.Errorf("ipdsclient: redial with the session still live")
+	}
+	evBase, brBase := c.sent, c.branches
+	if acked := c.Acked(); acked != c.sent {
+		c.mu.Lock()
+		ok := len(c.marks) > 0 && c.marks[0].evLo == acked
+		brLo := uint64(0)
+		if ok {
+			brLo = c.marks[0].brLo
+		}
+		c.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("ipdsclient: redial with %d/%d events acked, off any batch boundary", acked, c.sent)
+		}
+		evBase, brBase = acked, brLo
+	}
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return dialConn(conn, c.cfg, c, evBase, brBase)
+}
 
 // Alarms returns the alarms received so far (in delivery order).
 func (c *Client) Alarms() []wire.Alarm {

@@ -1,0 +1,233 @@
+// Package registry replicates compiled table images across a fleet.
+//
+// A tables.Image is an immutable, content-addressed artifact — the
+// SHA-256 of its marshalled bytes is both the tcache disk key and the
+// hash a wire.Hello names — which makes distribution trivial: any
+// node that holds the blob can serve it, any node that receives it
+// can verify it against the hash it asked for, and nothing needs
+// versioning or invalidation. The registry lifts the existing tcache
+// tier behind the wire protocol: a Server answers ImageGet with
+// ImageBlob (or ImageMissing), and a Fetcher walks its peer list
+// until one answers, so a node receiving a Hello for an image it has
+// never compiled fetches the bytes instead of failing.
+//
+// The transport reuses internal/wire framing end to end — the same
+// total decoders, limits and fuzz coverage as the event stream — so
+// the registry adds no second protocol surface.
+package registry
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tcache"
+	"repro/internal/wire"
+)
+
+// Source yields marshalled image blobs by content hash. The server's
+// image store implements it over its memory map and tcache tier.
+type Source interface {
+	// Blob returns the marshalled tables.Image whose SHA-256 is h.
+	Blob(h [wire.HashLen]byte) ([]byte, bool)
+}
+
+// Server answers ImageGet requests over the wire protocol. One
+// connection may carry any number of requests; a Bye or EOF ends it.
+type Server struct {
+	src Source
+
+	serves *obs.Counter
+	misses *obs.Counter
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer serves blobs from src; reg may be nil.
+func NewServer(src Source, reg *obs.Registry) *Server {
+	return &Server{
+		src:    src,
+		serves: reg.Counter("registry_serve_total"),
+		misses: reg.Counter("registry_serve_misses_total"),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean close, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("registry: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves in a background
+// goroutine, returning the bound address (addr may use port 0).
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and waits for in-flight requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// requestTimeout bounds one request/response exchange on the server
+// side so a stalled peer cannot pin a handler goroutine.
+const requestTimeout = 10 * time.Second
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	rd := wire.NewReader(conn)
+	var buf []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(requestTimeout))
+		f, err := rd.Next()
+		if err != nil {
+			return // EOF, timeout or protocol rot: drop the connection
+		}
+		get, ok := f.(wire.ImageGet)
+		if !ok {
+			if _, bye := f.(wire.Bye); bye {
+				conn.SetWriteDeadline(time.Now().Add(requestTimeout))
+				buf, _ = wire.Append(buf[:0], wire.Bye{})
+				conn.Write(buf)
+			}
+			return
+		}
+		s.serves.Inc()
+		data, ok := s.src.Blob(get.Hash)
+		var reply wire.Frame = wire.ImageBlob{Hash: get.Hash, Data: data}
+		if !ok || len(data) > wire.MaxImageBlob {
+			// An over-limit image is indistinguishable from a missing
+			// one to the peer: it must compile or fetch elsewhere.
+			s.misses.Inc()
+			reply = wire.ImageMissing{Hash: get.Hash}
+		}
+		buf, err = wire.Append(buf[:0], reply)
+		if err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(requestTimeout))
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// Fetch retrieves one image blob from the registry at addr, verifying
+// that the returned bytes hash to h before returning them. It is the
+// single-peer primitive under Fetcher.
+func Fetch(addr string, h [wire.HashLen]byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	buf, err := wire.Append(nil, wire.ImageGet{Hash: h})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return nil, err
+	}
+	f, err := wire.NewReader(conn).Next()
+	if err != nil {
+		return nil, err
+	}
+	switch fr := f.(type) {
+	case wire.ImageBlob:
+		if fr.Hash != h {
+			return nil, fmt.Errorf("registry: %s answered for the wrong hash", addr)
+		}
+		if tcache.KeyOf(fr.Data) != h {
+			return nil, fmt.Errorf("registry: blob from %s fails content verification", addr)
+		}
+		return fr.Data, nil
+	case wire.ImageMissing:
+		return nil, fmt.Errorf("registry: %s does not hold %x", addr, h[:8])
+	default:
+		return nil, fmt.Errorf("registry: unexpected %v answer from %s", f.Type(), addr)
+	}
+}
+
+// Fetcher walks a peer list until one serves the requested image. It
+// satisfies the server's BlobFetcher hook, turning an unknown-image
+// refusal into a fleet-wide lookup.
+type Fetcher struct {
+	peers   []string
+	timeout time.Duration
+
+	fetches *obs.Counter
+	errors  *obs.Counter
+}
+
+// NewFetcher builds a fetcher over peer registry addresses; reg may
+// be nil. timeout <= 0 defaults to 5s per peer.
+func NewFetcher(peers []string, timeout time.Duration, reg *obs.Registry) *Fetcher {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Fetcher{
+		peers:   peers,
+		timeout: timeout,
+		fetches: reg.Counter("registry_fetch_total"),
+		errors:  reg.Counter("registry_fetch_errors_total"),
+	}
+}
+
+// FetchBlob tries each peer in order and returns the first verified
+// blob. ok is false when no peer holds the image.
+func (f *Fetcher) FetchBlob(h [wire.HashLen]byte) ([]byte, bool) {
+	for _, addr := range f.peers {
+		data, err := Fetch(addr, h, f.timeout)
+		if err != nil {
+			f.errors.Inc()
+			continue
+		}
+		f.fetches.Inc()
+		return data, true
+	}
+	return nil, false
+}

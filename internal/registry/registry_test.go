@@ -1,0 +1,171 @@
+package registry_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/tcache"
+	"repro/internal/wire"
+)
+
+// mapSource is an in-memory Source for tests.
+type mapSource map[[wire.HashLen]byte][]byte
+
+func (m mapSource) Blob(h [wire.HashLen]byte) ([]byte, bool) {
+	b, ok := m[h]
+	return b, ok
+}
+
+func blobAndHash(data []byte) ([]byte, [wire.HashLen]byte) {
+	return data, tcache.KeyOf(data)
+}
+
+func TestServeAndFetch(t *testing.T) {
+	blob, h := blobAndHash([]byte("marshalled image bytes"))
+	reg := obs.NewRegistry()
+	srv := registry.NewServer(mapSource{h: blob}, reg)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+
+	got, err := registry.Fetch(addr, h, time.Second)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Fetch returned %q, want %q", got, blob)
+	}
+	if n := reg.Counter("registry_serve_total").Value(); n != 1 {
+		t.Fatalf("registry_serve_total = %d, want 1", n)
+	}
+
+	var missing [wire.HashLen]byte
+	missing[0] = 0xff
+	if _, err := registry.Fetch(addr, missing, time.Second); err == nil {
+		t.Fatal("Fetch of an unknown hash succeeded")
+	}
+	if n := reg.Counter("registry_serve_misses_total").Value(); n != 1 {
+		t.Fatalf("registry_serve_misses_total = %d, want 1", n)
+	}
+}
+
+// TestFetchRejectsLyingServer pins the content-verification step: a
+// registry that serves bytes not hashing to the requested address
+// must be treated as a failed fetch, never trusted.
+func TestFetchRejectsLyingServer(t *testing.T) {
+	blob, h := blobAndHash([]byte("honest bytes"))
+	_ = blob
+	lying := mapSource{h: []byte("tampered bytes")}
+	srv := registry.NewServer(lying, nil)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	if _, err := registry.Fetch(addr, h, time.Second); err == nil {
+		t.Fatal("Fetch accepted a blob that fails content verification")
+	}
+}
+
+// TestServerRejectsOversizedBlob: a blob past MaxImageBlob answers
+// ImageMissing rather than an unencodable frame.
+func TestServerRejectsOversizedBlob(t *testing.T) {
+	blob, h := blobAndHash(make([]byte, wire.MaxImageBlob+1))
+	srv := registry.NewServer(mapSource{h: blob}, nil)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	if _, err := registry.Fetch(addr, h, time.Second); err == nil {
+		t.Fatal("Fetch of an over-limit blob succeeded")
+	}
+}
+
+// TestServerMultipleRequestsPerConn: one connection serves many gets
+// and ends cleanly on Bye.
+func TestServerMultipleRequestsPerConn(t *testing.T) {
+	a, ha := blobAndHash([]byte("image a"))
+	b, hb := blobAndHash([]byte("image b"))
+	srv := registry.NewServer(mapSource{ha: a, hb: b}, nil)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	rd := wire.NewReader(conn)
+	for _, want := range [][2]interface{}{{ha, a}, {hb, b}, {ha, a}} {
+		h := want[0].([wire.HashLen]byte)
+		buf := wire.MustAppend(nil, wire.ImageGet{Hash: h})
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		f, err := rd.Next()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		bl, ok := f.(wire.ImageBlob)
+		if !ok || !bytes.Equal(bl.Data, want[1].([]byte)) {
+			t.Fatalf("request %x answered %#v", h[:4], f)
+		}
+	}
+	if _, err := conn.Write(wire.MustAppend(nil, wire.Bye{})); err != nil {
+		t.Fatalf("bye: %v", err)
+	}
+	if f, err := rd.Next(); err != nil {
+		t.Fatalf("bye answer: %v", err)
+	} else if _, ok := f.(wire.Bye); !ok {
+		t.Fatalf("bye answered %v", f.Type())
+	}
+}
+
+func TestFetcherWalksPeers(t *testing.T) {
+	blob, h := blobAndHash([]byte("replicated image"))
+	reg := obs.NewRegistry()
+
+	empty := registry.NewServer(mapSource{}, nil)
+	emptyAddr, err := empty.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer empty.Close()
+
+	full := registry.NewServer(mapSource{h: blob}, nil)
+	fullAddr, err := full.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer full.Close()
+
+	// Peer order: a dead address, a registry without the image, then
+	// the one that has it — the fetcher must walk all three.
+	dead := "127.0.0.1:1"
+	f := registry.NewFetcher([]string{dead, emptyAddr, fullAddr}, time.Second, reg)
+	got, ok := f.FetchBlob(h)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("FetchBlob = %q,%v; want the blob", got, ok)
+	}
+	if n := reg.Counter("registry_fetch_total").Value(); n != 1 {
+		t.Fatalf("registry_fetch_total = %d, want 1", n)
+	}
+	if n := reg.Counter("registry_fetch_errors_total").Value(); n != 2 {
+		t.Fatalf("registry_fetch_errors_total = %d, want 2", n)
+	}
+
+	var missing [wire.HashLen]byte
+	if _, ok := f.FetchBlob(missing); ok {
+		t.Fatal("FetchBlob of an unknown hash succeeded")
+	}
+}

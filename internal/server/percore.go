@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/ring"
 	"repro/internal/wire"
 )
@@ -51,33 +52,13 @@ const writePop = 64
 // keeps an idle daemon at zero CPU.
 const spinPasses = 128
 
-// jumpHash is Lamping & Veach's consistent hash: key → bucket in
-// [0,n) with minimal movement when n changes. Session ids are
-// sequential, so the key is pre-mixed (splitmix64) to decorrelate
-// adjacent ids before the jump walk.
-func jumpHash(key uint64, n int) int {
-	var b, j int64 = -1, 0
-	for j < int64(n) {
-		b = j
-		key = key*2862933555777941757 + 1
-		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
-	}
-	return int(b)
-}
-
-// splitmix64 is the finalizer of the splitmix64 PRNG — a cheap
-// full-avalanche mix so sequential session ids land on uncorrelated
-// jump-hash walks.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// pinVerifier picks the verifier a session id is pinned to.
+// pinVerifier picks the verifier a session id is pinned to: the same
+// mix-then-jump consistent hash (fleet.Mix, fleet.Jump) the router
+// uses one level up to pick the node. Session ids are sequential, so
+// the key is pre-mixed to decorrelate adjacent ids before the jump
+// walk.
 func (s *Server) pinVerifier(id uint64) *verifier {
-	return s.verifiers[jumpHash(splitmix64(id), len(s.verifiers))]
+	return s.verifiers[fleet.Jump(fleet.Mix(id), len(s.verifiers))]
 }
 
 // writeOp is one entry in a per-core writer ring. Exactly one of fb,

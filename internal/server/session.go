@@ -198,8 +198,20 @@ func (s *session) readLoop() {
 	// (which returns it to the pool), non-batch frames leave the lease
 	// in hand for the next frame.
 	b := srv.batchPool.Get().(*wire.Batch)
+	notified := false
 	for {
 		graced := srv.draining.Load()
+		if graced && !notified {
+			// Advisory drain notice, staged once through the verifier so
+			// the writer ring stays single-producer: a fleet-aware client
+			// finishes its current pass, drains cleanly and redials — the
+			// router places it on another node. Plain clients ignore it
+			// (an Error frame is informational until the close).
+			notified = true
+			staged = s.stageCtrl(staged, wire.Error{Code: wire.ErrDraining, Msg: "server draining; drain and redial"})
+			s.publish(staged)
+			staged = staged[:0]
+		}
 		d := srv.cfg.ReadTimeout
 		if graced {
 			d = drainGrace

@@ -21,10 +21,21 @@ import (
 //
 // An ImageStore is safe for concurrent use.
 type ImageStore struct {
-	mu    sync.Mutex
-	cache *tcache.Cache // optional persistent tier; nil = memory only
-	byH   map[[32]byte]*tables.Image
-	names map[[32]byte]string // diagnostic name per image
+	mu      sync.Mutex
+	cache   *tcache.Cache // optional persistent tier; nil = memory only
+	byH     map[[32]byte]*tables.Image
+	names   map[[32]byte]string // diagnostic name per image
+	fetcher BlobFetcher         // optional fleet tier; nil = local only
+}
+
+// BlobFetcher is the fleet hook under Resolve: given a content hash
+// neither the memory map nor the blob cache holds, fetch the
+// marshalled image bytes from somewhere else (a peer registry).
+// Implemented by registry.Fetcher; the indirection keeps the server
+// free of a registry dependency.
+type BlobFetcher interface {
+	// FetchBlob returns the marshalled tables.Image whose SHA-256 is h.
+	FetchBlob(h [32]byte) ([]byte, bool)
 }
 
 // NewImageStore creates a store over an optional blob cache (nil for a
@@ -52,16 +63,58 @@ func (st *ImageStore) Add(name string, img *tables.Image) [32]byte {
 	return h
 }
 
+// SetFetcher installs the fleet tier consulted when both local tiers
+// miss. Call before serving; the fetcher must be safe for concurrent
+// use.
+func (st *ImageStore) SetFetcher(f BlobFetcher) {
+	st.mu.Lock()
+	st.fetcher = f
+	st.mu.Unlock()
+}
+
+// Blob returns the marshalled bytes of a registered image — the
+// registry.Source side of the store, serving peers' fetches. The
+// blob cache is tried first (it already holds the marshalled form);
+// a memory-only store re-marshals the decoded image.
+func (st *ImageStore) Blob(h [32]byte) ([]byte, bool) {
+	if blob, ok := st.cache.Get(tcache.Key(h)); ok {
+		return blob, true
+	}
+	st.mu.Lock()
+	img, ok := st.byH[h]
+	st.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return img.Marshal(), true
+}
+
 // Resolve returns the image for a hash: from memory first, then — on a
-// miss — from the blob cache, unmarshalling and memoising the result.
+// miss — from the blob cache, then from the fleet fetcher when one is
+// installed, unmarshalling and memoising the result. Every non-memory
+// tier is verified by re-marshalling to the requested address before
+// any session trusts it.
 func (st *ImageStore) Resolve(h [32]byte) (*tables.Image, bool) {
 	st.mu.Lock()
 	img, ok := st.byH[h]
+	fetcher := st.fetcher
 	st.mu.Unlock()
 	if ok {
 		return img, true
 	}
 	blob, ok := st.cache.Get(tcache.Key(h))
+	if !ok && fetcher != nil {
+		if blob, ok = fetcher.FetchBlob(h); ok && tcache.KeyOf(blob) != tcache.Key(h) {
+			// A peer that serves bytes not matching their own address is
+			// lying or corrupt; treat it as a miss.
+			ok = false
+		}
+		if ok {
+			// Persist the fetched image so the next restart (and the
+			// node's own registry endpoint) serve it locally.
+			st.cache.Put(tcache.Key(h), blob)
+		}
+	}
 	if !ok {
 		return nil, false
 	}

@@ -192,6 +192,68 @@ func TestCacheNilIsNoOp(t *testing.T) {
 	}
 }
 
+// TestCacheConcurrentBlobRoundTrip is the registry's usage shape: the
+// fleet tier makes the disk cache multi-reader for real — one
+// goroutine persisting fetched images while peers' requests read them
+// back concurrently. Image-sized blobs are stored under their own
+// content address (KeyOf, exactly how ImageStore keys whole images)
+// with an LRU far smaller than the key set, so most Gets fall through
+// to the disk tier; every returned blob must still hash to the key
+// that fetched it — a torn read, partial rename or cross-key mixup
+// would show up as a content mismatch.
+func TestCacheConcurrentBlobRoundTrip(t *testing.T) {
+	const (
+		goroutines = 8
+		keys       = 24
+		rounds     = 40
+		blobSize   = 4 << 10
+	)
+	c, err := New(4, t.TempDir()) // LRU holds 4 of 24 keys: disk tier does the work
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := make([][]byte, keys)
+	addrs := make([]Key, keys)
+	for i := range blobs {
+		b := make([]byte, blobSize)
+		for j := range b {
+			b[j] = byte(i*31 + j)
+		}
+		blobs[i] = b
+		addrs[i] = KeyOf(b)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g*rounds + r*7) % keys
+				if blob, ok := c.Get(addrs[i]); ok {
+					if KeyOf(blob) != addrs[i] {
+						t.Errorf("goroutine %d round %d: blob %d fails its own content address", g, r, i)
+						return
+					}
+				} else {
+					c.Put(addrs[i], blobs[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Everything written must now round-trip (disk tier retains all
+	// keys regardless of LRU pressure).
+	for i, k := range addrs {
+		blob, ok := c.Get(k)
+		if !ok {
+			continue // never written by the interleaving: legal
+		}
+		if KeyOf(blob) != k {
+			t.Fatalf("final sweep: blob %d fails its content address", i)
+		}
+	}
+}
+
 func TestCacheConcurrency(t *testing.T) {
 	c, err := New(8, t.TempDir())
 	if err != nil {

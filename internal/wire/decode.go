@@ -39,6 +39,12 @@ func Decode(payload []byte) (Frame, error) {
 		return d.errorFrame()
 	case TypeBye:
 		return d.done(Bye{})
+	case TypeImageGet:
+		return d.imageGet()
+	case TypeImageBlob:
+		return d.imageBlob()
+	case TypeImageMissing:
+		return d.imageMissing()
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", payload[0])
 	}
@@ -443,6 +449,57 @@ func (d *decoder) ack() (Frame, error) {
 		return nil, err
 	}
 	return d.done(a)
+}
+
+// hash reads the fixed-length content hash common to the registry
+// frames.
+func (d *decoder) hash(what string) ([HashLen]byte, error) {
+	var h [HashLen]byte
+	if d.off+HashLen > len(d.b) {
+		return h, d.fail(what)
+	}
+	copy(h[:], d.b[d.off:])
+	d.off += HashLen
+	return h, nil
+}
+
+func (d *decoder) imageGet() (Frame, error) {
+	h, err := d.hash("imageget hash")
+	if err != nil {
+		return nil, err
+	}
+	return d.done(ImageGet{Hash: h})
+}
+
+func (d *decoder) imageBlob() (Frame, error) {
+	var b ImageBlob
+	var err error
+	if b.Hash, err = d.hash("imageblob hash"); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint("imageblob length")
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxImageBlob {
+		return nil, fmt.Errorf("wire: image blob of %d bytes exceeds MaxImageBlob", n)
+	}
+	if d.off+int(n) > len(d.b) {
+		return nil, d.fail("imageblob data")
+	}
+	if n > 0 {
+		b.Data = append([]byte(nil), d.b[d.off:d.off+int(n)]...)
+		d.off += int(n)
+	}
+	return d.done(b)
+}
+
+func (d *decoder) imageMissing() (Frame, error) {
+	h, err := d.hash("imagemissing hash")
+	if err != nil {
+		return nil, err
+	}
+	return d.done(ImageMissing{Hash: h})
 }
 
 func (d *decoder) errorFrame() (Frame, error) {

@@ -54,6 +54,9 @@ const (
 	MaxCtxStack = 1 << 9
 	// MaxCtxBSV bounds the branch-status-vector snapshot in an AlarmCtx.
 	MaxCtxBSV = 1 << 16
+	// MaxImageBlob bounds the marshalled table image carried in one
+	// ImageBlob frame, leaving header room inside MaxFrame.
+	MaxImageBlob = MaxFrame - 64
 )
 
 // FrameType discriminates frame payloads (payload byte 0).
@@ -70,6 +73,13 @@ const (
 	TypeBye      FrameType = 7 // either direction: graceful close
 	TypeAlarmCtx FrameType = 8 // server → client: forensic context for an alarm
 	TypeIncident FrameType = 9 // server → client: folded incident summary
+
+	// Registry frames (PR 8): a fleet node that receives a Hello naming
+	// an image hash it cannot resolve locally fetches the marshalled
+	// image from a peer registry over the same wire protocol.
+	TypeImageGet     FrameType = 10 // node → registry: fetch image by hash
+	TypeImageBlob    FrameType = 11 // registry → node: the marshalled image
+	TypeImageMissing FrameType = 12 // registry → node: hash unknown here
 )
 
 // String names the frame type.
@@ -93,6 +103,12 @@ func (t FrameType) String() string {
 		return "alarmctx"
 	case TypeIncident:
 		return "incident"
+	case TypeImageGet:
+		return "imageget"
+	case TypeImageBlob:
+		return "imageblob"
+	case TypeImageMissing:
+		return "imagemissing"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -270,6 +286,38 @@ type Incident struct {
 // Type returns TypeIncident.
 func (Incident) Type() FrameType { return TypeIncident }
 
+// ImageGet asks a registry for the marshalled tables.Image whose
+// SHA-256 is Hash — the same content address Hello carries, so a node
+// can turn an unknown-image refusal into a fetch without recompiling.
+type ImageGet struct {
+	Hash [HashLen]byte
+}
+
+// Type returns TypeImageGet.
+func (ImageGet) Type() FrameType { return TypeImageGet }
+
+// ImageBlob answers an ImageGet with the marshalled image bytes. The
+// hash is echoed so a fetcher multiplexing requests can pair replies,
+// and so the receiver can (and must) verify SHA-256(Data) == Hash
+// before trusting the blob.
+type ImageBlob struct {
+	Hash [HashLen]byte
+	Data []byte
+}
+
+// Type returns TypeImageBlob.
+func (ImageBlob) Type() FrameType { return TypeImageBlob }
+
+// ImageMissing answers an ImageGet whose hash the registry does not
+// hold (or whose blob exceeds MaxImageBlob). The fetcher moves on to
+// the next peer.
+type ImageMissing struct {
+	Hash [HashLen]byte
+}
+
+// Type returns TypeImageMissing.
+func (ImageMissing) Type() FrameType { return TypeImageMissing }
+
 // Ack reports cumulative verification progress: the total number of
 // events (of any kind) the server has fully processed on this session.
 type Ack struct {
@@ -313,8 +361,11 @@ func (c ErrCode) String() string {
 	return fmt.Sprintf("err(%d)", uint8(c))
 }
 
-// Error is a server refusal or eviction notice. It is advisory: the
-// connection closes after the frame is delivered.
+// Error is a server refusal, eviction notice or drain advisory. It is
+// informational: for refusals and evictions the connection closes
+// after the frame is delivered, while a mid-session ErrDraining frame
+// announces a shutdown the client should react to (finish, drain,
+// redial) with the session still live.
 type Error struct {
 	Code ErrCode
 	Msg  string
@@ -360,6 +411,14 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		dst, err = appendError(dst, fr)
 	case Bye:
 		dst = append(dst, byte(TypeBye))
+	case ImageGet:
+		dst = append(dst, byte(TypeImageGet))
+		dst = append(dst, fr.Hash[:]...)
+	case ImageBlob:
+		dst, err = appendImageBlob(dst, fr)
+	case ImageMissing:
+		dst = append(dst, byte(TypeImageMissing))
+		dst = append(dst, fr.Hash[:]...)
 	default:
 		err = fmt.Errorf("wire: cannot encode %T", f)
 	}
@@ -502,6 +561,16 @@ func appendIncident(dst []byte, in Incident) ([]byte, error) {
 	dst = append(dst, in.Func...)
 	dst = binary.AppendUvarint(dst, uint64(len(in.Evidence)))
 	return append(dst, in.Evidence...), nil
+}
+
+func appendImageBlob(dst []byte, b ImageBlob) ([]byte, error) {
+	if len(b.Data) > MaxImageBlob {
+		return nil, fmt.Errorf("wire: image blob of %d bytes exceeds MaxImageBlob", len(b.Data))
+	}
+	dst = append(dst, byte(TypeImageBlob))
+	dst = append(dst, b.Hash[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Data)))
+	return append(dst, b.Data...), nil
 }
 
 func appendError(dst []byte, e Error) ([]byte, error) {

@@ -52,6 +52,10 @@ func sampleFrames() []Frame {
 		Incident{ID: 2}, // evidence-free incident is legal
 		Error{Code: ErrUnknownImage, Msg: "no such image"},
 		Bye{},
+		ImageGet{Hash: img},
+		ImageBlob{Hash: img, Data: []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}},
+		ImageBlob{Hash: img}, // empty blob is legal on the wire
+		ImageMissing{Hash: img},
 	}
 }
 
@@ -131,6 +135,12 @@ func TestDecodeHostile(t *testing.T) {
 		"incident no func":   {byte(TypeIncident), 1, 1, 1, 1, 1, 1, 1, 1, 1, 5},
 		"incident huge id":   append([]byte{byte(TypeIncident)}, 0xff, 0xff, 0xff, 0xff, 0x7f),
 		"incident trailing":  {byte(TypeIncident), 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0xee},
+		"imageget short":     append([]byte{byte(TypeImageGet)}, make([]byte, HashLen-1)...),
+		"imageget trailing":  append([]byte{byte(TypeImageGet)}, make([]byte, HashLen+1)...),
+		"imageblob no len":   append([]byte{byte(TypeImageBlob)}, make([]byte, HashLen)...),
+		"imageblob lies":     append(append([]byte{byte(TypeImageBlob)}, make([]byte, HashLen)...), 0x80, 0x08), // 1K claimed, none present
+		"imageblob too big":  append(append([]byte{byte(TypeImageBlob)}, make([]byte, HashLen)...), 0xff, 0xff, 0xff, 0x7f),
+		"imagemissing short": {byte(TypeImageMissing), 1, 2, 3},
 	}
 	for name, payload := range cases {
 		if _, err := Decode(payload); err == nil {
@@ -168,6 +178,51 @@ func TestIncidentRoundTrip(t *testing.T) {
 	}
 	if _, err := AppendIncident(nil, Incident{Evidence: strings.Repeat("e", MaxString+1)}); err == nil {
 		t.Fatal("AppendIncident accepted oversized evidence")
+	}
+}
+
+// TestImageFrameRoundTrip pins the registry frames explicitly: Decode
+// must invert Append for every shape, the blob decoder must copy its
+// data out of the payload (a registry reuses its read buffer between
+// requests), and the encoder must refuse blobs past MaxImageBlob.
+func TestImageFrameRoundTrip(t *testing.T) {
+	var h [HashLen]byte
+	for i := range h {
+		h[i] = byte(255 - i)
+	}
+	for _, f := range []Frame{
+		ImageGet{Hash: h},
+		ImageMissing{Hash: h},
+		ImageBlob{Hash: h, Data: bytes.Repeat([]byte{0xab, 0x3c}, 700)},
+		ImageBlob{Hash: h},
+	} {
+		enc := MustAppend(nil, f)
+		dec, err := Decode(enc[4:])
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", f.Type(), err)
+		}
+		want := f
+		if b, ok := want.(ImageBlob); ok && b.Data == nil {
+			want = ImageBlob{Hash: b.Hash} // empty blob round-trips to nil Data
+		}
+		if !reflect.DeepEqual(dec, want) {
+			t.Fatalf("round trip %v: got %#v want %#v", f.Type(), dec, want)
+		}
+		if b, ok := dec.(ImageBlob); ok && len(b.Data) > 0 {
+			// Mutating the encoded payload must not reach the decoded blob.
+			enc[4+1+HashLen+2] ^= 0xff
+			if b.Data[0] != 0xab {
+				t.Fatal("decoded blob aliases the frame payload")
+			}
+		}
+	}
+	if _, err := Append(nil, ImageBlob{Data: make([]byte, MaxImageBlob+1)}); err == nil {
+		t.Fatal("Append accepted an oversized image blob")
+	}
+	if enc, err := Append(nil, ImageBlob{Data: make([]byte, MaxImageBlob)}); err != nil {
+		t.Fatalf("Append refused a MaxImageBlob-sized blob: %v", err)
+	} else if _, err := Decode(enc[4:]); err != nil {
+		t.Fatalf("Decode refused a MaxImageBlob-sized blob: %v", err)
 	}
 }
 

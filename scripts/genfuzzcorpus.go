@@ -4,9 +4,11 @@
 // corpus (testdata/fuzz/FuzzDecode). The native seeds in fuzz_test.go
 // cover whatever sampleFrames covers at HEAD; the checked-in corpus
 // pins the frame kinds that earned dedicated fuzzing attention —
-// today the AlarmCtx forensic frame and the Incident summary frame,
-// whose nested counts and string fields carry the most decoder edge
-// cases. Run from the repo root:
+// the AlarmCtx forensic frame and the Incident summary frame, whose
+// nested counts and string fields carry the most decoder edge cases,
+// and (PR 8) the registry frames, whose length-prefixed blob is the
+// largest attacker-controlled allocation in the protocol. Run from
+// the repo root:
 //
 //	go run scripts/genfuzzcorpus.go
 package main
@@ -20,6 +22,14 @@ import (
 
 	"repro/internal/wire"
 )
+
+// hash fills a content hash with a recognisable byte pattern.
+func hash(seed byte) (h [wire.HashLen]byte) {
+	for i := range h {
+		h[i] = seed + byte(i)
+	}
+	return h
+}
 
 func main() {
 	dir := filepath.Join("internal", "wire", "testdata", "fuzz", "FuzzDecode")
@@ -55,6 +65,12 @@ func main() {
 			Evidence: "69632 alarm(s) across 4 session(s) at handle_cmd@0x7fffffff12; 4 alarm-rate change-point(s)",
 		},
 		"seed-incident-empty": wire.Incident{ID: 2},
+		"seed-imageget":       wire.ImageGet{Hash: hash(0x11)},
+		"seed-imageblob-full": wire.ImageBlob{Hash: hash(0x22), Data: append(make([]byte, 0, 512), "marshalled-table-image-bytes"...)},
+		"seed-imageblob-empty": wire.ImageBlob{
+			Hash: hash(0x33),
+		},
+		"seed-imagemissing": wire.ImageMissing{Hash: hash(0x44)},
 	}
 	for name, f := range seeds {
 		enc, err := wire.Append(nil, f)
