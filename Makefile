@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel alloc-gate forensics-gate incident-gate scale-gate fleet-gate benchtable ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5 serve-baseline-pr7
+.PHONY: build test vet race bench bench-kernel alloc-gate kernel-gate forensics-gate incident-gate scale-gate fleet-gate benchtable ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5 serve-baseline-pr7
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,12 @@ bench-kernel:
 alloc-gate:
 	./scripts/checkallocs.sh
 
+# Kernel-regression gate: the batched verification kernel's ns/event
+# must hold the committed BENCH_pr8.json baseline within KERNEL_TOL
+# percent (default 15).
+kernel-gate:
+	./scripts/checkkernel.sh
+
 # Forensics gate: the tampered-trace end-to-end run under the race
 # detector. A live daemon session must produce alarms whose forensic
 # contexts (recent window, stack, BSV state) are byte-identical to an
@@ -99,7 +105,7 @@ fleet-gate:
 	$(GO) test -race -run 'TestRedial' ./internal/ipdsclient
 
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate forensics-gate incident-gate scale-gate fleet-gate
+ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate kernel-gate forensics-gate incident-gate scale-gate fleet-gate
 
 # Observability-driven per-workload table + JSON baseline.
 report:

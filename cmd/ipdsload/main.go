@@ -94,6 +94,14 @@ type row struct {
 	VerifyP99Ns  uint64 `json:"verify_p99_ns"`
 	VerifyP999Ns uint64 `json:"verify_p999_ns"`
 
+	// KernelNsPerEvent is the daemon-side verify cost per event:
+	// cumulative verifyBatch wall time over verified events, summed
+	// across cores (CoreStats.VerifyNs / CoreStats.Events). Populated
+	// only with -selfserve. Unlike events_per_sec, which folds in
+	// client-side capture and wire overhead, this isolates the
+	// verification kernel the BENCH_pr8 baselines gate.
+	KernelNsPerEvent float64 `json:"kernel_ns_per_event,omitempty"`
+
 	// Per-core serve breakdown — populated only with -selfserve.
 	// Verifiers is the daemon's per-core loop count; Cores has one row
 	// per verifier core, counters cumulative over all repeats.
@@ -114,6 +122,7 @@ type coreRow struct {
 	Batches       uint64  `json:"batches"`
 	Alarms        uint64  `json:"alarms"`
 	EventsSec     float64 `json:"events_per_sec"` // this core's share of the aggregate rate
+	KernelNs      float64 `json:"kernel_ns_per_event,omitempty"`
 	RingHighWater int     `json:"ring_high_water"`
 	Parks         uint64  `json:"parks"`
 	Wakes         uint64  `json:"wakes"`
@@ -328,6 +337,7 @@ func main() {
 	}
 	var verify obs.HistSnapshot
 	var cores []coreRow
+	var kernelNs float64
 	if reg != nil {
 		verify = reg.Histogram("server_verify_ns").Snapshot()
 		fmt.Printf("-- batch verify:  p50=%v p99=%v p99.9=%v (%d batches)\n",
@@ -340,14 +350,21 @@ func main() {
 		// aggregate rate (the cores ran concurrently, so shares — not
 		// per-core wall clocks — are the meaningful split).
 		stats := srv.CoreStats()
-		var total uint64
+		var total, totalNs uint64
 		for _, cs := range stats {
 			total += cs.Events
+			totalNs += cs.VerifyNs
+		}
+		if total > 0 {
+			kernelNs = float64(totalNs) / float64(total)
 		}
 		for _, cs := range stats {
-			share := 0.0
+			share, coreNs := 0.0, 0.0
 			if total > 0 {
 				share = float64(cs.Events) / float64(total)
+			}
+			if cs.Events > 0 {
+				coreNs = float64(cs.VerifyNs) / float64(cs.Events)
 			}
 			cores = append(cores, coreRow{
 				Core:          cs.Core,
@@ -356,14 +373,18 @@ func main() {
 				Batches:       cs.Batches,
 				Alarms:        cs.Alarms,
 				EventsSec:     share * res.EventsSec,
+				KernelNs:      coreNs,
 				RingHighWater: cs.RingHighWater,
 				Parks:         cs.Parks,
 				Wakes:         cs.Wakes,
 				Stalls:        cs.Stalls,
 			})
-			fmt.Printf("-- core %d: %d sessions, %d events (%.0f events/sec share), %d alarms, ring hw=%d, parks=%d, stalls=%d\n",
-				cs.Core, cs.SessionsTotal, cs.Events, share*res.EventsSec, cs.Alarms,
+			fmt.Printf("-- core %d: %d sessions, %d events (%.0f events/sec share, %.1f kernel ns/event), %d alarms, ring hw=%d, parks=%d, stalls=%d\n",
+				cs.Core, cs.SessionsTotal, cs.Events, share*res.EventsSec, coreNs, cs.Alarms,
 				cs.RingHighWater, cs.Parks, cs.Stalls)
+		}
+		if kernelNs > 0 {
+			fmt.Printf("-- kernel: %.1f ns/event verify cost (daemon side, all cores)\n", kernelNs)
 		}
 	}
 
@@ -428,10 +449,13 @@ func main() {
 			VerifyP50Ns:  verify.Quantile(0.50),
 			VerifyP99Ns:  verify.Quantile(0.99),
 			VerifyP999Ns: verify.Quantile(0.999),
-			Verifiers:    verifierCount(srv),
-			Cores:        cores,
-			Routed:       *selfserve && *routed,
-			Nodes:        fleetNodes(*selfserve && *routed, *nodesN),
+
+			KernelNsPerEvent: kernelNs,
+
+			Verifiers: verifierCount(srv),
+			Cores:     cores,
+			Routed:    *selfserve && *routed,
+			Nodes:     fleetNodes(*selfserve && *routed, *nodesN),
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
 			os.Exit(1)

@@ -138,17 +138,21 @@ func render(info server.DebugInfo) string {
 		}
 		return sessions[i].ID < sessions[j].ID
 	})
-	fmt.Fprintf(&b, "%6s  %-16s %5s %10s %8s %7s %8s %9s %8s %6s  %s\n",
-		"ID", "PROGRAM", "CORE", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "RECORDED", "UPTIME", "IDLE", "LAST ALARM")
+	fmt.Fprintf(&b, "%6s  %-16s %5s %10s %8s %7s %8s %9s %8s %8s %6s  %s\n",
+		"ID", "PROGRAM", "CORE", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "RECORDED", "KRNL/EV", "UPTIME", "IDLE", "LAST ALARM")
 	for _, s := range sessions {
 		last := "-"
 		if a := s.LastAlarm; a != nil {
 			last = fmt.Sprintf("seq=%d %s@%#x taken=%v expected=%s window=%d stack=%s",
 				a.Seq, a.Func, a.PC, a.Taken, a.Expected, a.Window, strings.Join(a.Stack, ">"))
 		}
-		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %8.1f %9d %7.1fs %5dms  %s\n",
+		kernel := "-"
+		if s.KernelNs > 0 {
+			kernel = fmt.Sprintf("%.0fns", s.KernelNs)
+		}
+		fmt.Fprintf(&b, "%6d  %-16s %5d %10d %8d %7d %8.1f %9d %8s %7.1fs %5dms  %s\n",
 			s.ID, s.Program, s.Core, s.Events, s.Batches, s.Alarms, s.AlarmRate,
-			s.Recorded, s.UptimeS, s.IdleMs, last)
+			s.Recorded, kernel, s.UptimeS, s.IdleMs, last)
 	}
 	return b.String()
 }

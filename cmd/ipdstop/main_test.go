@@ -19,7 +19,7 @@ func sampleInfo() server.DebugInfo {
 			{ID: 1, Program: "telnetd#0", Core: 1, Events: 1000, Batches: 2, Alarms: 0, Recorded: 1000, IdleMs: 5,
 				UptimeS: 3.2, AlarmRate: 0},
 			{ID: 2, Program: "telnetd#1", Core: 0, Events: 64000, Batches: 125, Alarms: 3, Recorded: 64000, IdleMs: 1,
-				UptimeS: 12.7, AlarmRate: 2.5,
+				UptimeS: 12.7, AlarmRate: 2.5, KernelNs: 17.4,
 				LastAlarm: &server.DebugAlarm{
 					Seq: 512, PC: 0x1234, Func: "check", Expected: "taken", Taken: false,
 					Window: 64, Stack: []string{"main", "check"},
@@ -33,6 +33,9 @@ func TestRenderSessionTable(t *testing.T) {
 	for _, want := range []string{
 		"2 session(s)", "telnetd#0", "telnetd#1",
 		"ALRM/S", "UPTIME", "2.5", "12.7s", "3.2s",
+		// Kernel verify cost column: rendered for sessions that have
+		// one, a dash for those that don't.
+		"KRNL/EV", "17ns",
 		"seq=512 check@0x1234 taken=false expected=taken window=64 stack=main>check",
 	} {
 		if !strings.Contains(out, want) {

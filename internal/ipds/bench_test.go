@@ -73,23 +73,26 @@ func benchTrace(tb testing.TB) (*world, []wire.Event) {
 	return w, evs
 }
 
-// replayPerEvent drives evs through the per-event entry points.
-func replayPerEvent(m *Machine, evs []wire.Event) int {
-	alarms := 0
+// replayPerEvent drives evs through the per-event entry points,
+// returning the alarm count and the summed per-branch cost (the
+// paper's 1 + BAT-walk accesses per event).
+func replayPerEvent(m *Machine, evs []wire.Event) (alarms, cost int) {
 	for i := range evs {
 		ev := &evs[i]
 		switch ev.Kind {
 		case wire.EvBranch:
-			if a, _ := m.OnBranch(ev.PC, ev.Taken); a != nil {
+			a, c := m.OnBranch(ev.PC, ev.Taken)
+			if a != nil {
 				alarms++
 			}
+			cost += c
 		case wire.EvEnter:
 			m.EnterFunc(ev.PC)
 		case wire.EvLeave:
 			m.LeaveFunc()
 		}
 	}
-	return alarms
+	return alarms, cost
 }
 
 // BenchmarkOnBranch measures the per-event kernel: one OnBranch (or
@@ -236,9 +239,15 @@ func TestOnBatchMatchesPerEvent(t *testing.T) {
 	}
 	for name, trace := range map[string][]wire.Event{"clean": evs, "tampered": bent} {
 		ref := New(w.img, DefaultConfig)
-		replayPerEvent(ref, trace)
+		_, refCost := replayPerEvent(ref, trace)
 		got := New(w.img, DefaultConfig)
 		got.OnBatch(trace)
+		// The per-event kernel returns cost = 1 + BAT accesses per
+		// branch; the batched kernel must account the identical total
+		// through its flushed counters (bit-for-bit, not approximately).
+		if batchCost := got.Stats().Branches + got.Stats().BATAccesses; uint64(refCost) != batchCost {
+			t.Errorf("%s: batched cost %d != per-event cost sum %d", name, batchCost, refCost)
+		}
 		if ref.Stats() != got.Stats() {
 			t.Errorf("%s: stats diverge:\n per-event %+v\n batched   %+v", name, ref.Stats(), got.Stats())
 		}

@@ -407,34 +407,243 @@ func (m *Machine) OnBranch(pc uint64, taken bool) (*Alarm, int) {
 	return &boxed, cost
 }
 
+// batchWalkBuckets sizes the batch-local BAT walk-length tally OnBatch
+// flushes into the batWalk histogram: walks shorter than this (all of
+// them, in practice — see BakedInline) are counted in a stack array
+// and flushed with one ObserveN per length; longer walks observe
+// directly.
+const batchWalkBuckets = 16
+
 // OnBatch drives a whole decoded event batch — function entries,
 // returns and committed branches, in stream order — through the
-// machine in one tight loop and returns the alarms the batch raised.
+// machine and returns the alarms the batch raised.
 //
-// This is the daemon's hot path: it is behaviourally identical to
-// calling EnterFunc/LeaveFunc/OnBranch per event (same alarms, same
-// Stats, same table-stack state — the golden equivalence test in
-// internal/server holds all three paths to that), but it performs zero
-// heap allocations per event on a warmed machine.
+// This is the daemon's hot path, rewritten over the baked slot-record
+// form (tables.Baked): a run of consecutive branch events shares one
+// load of the top activation, its image and its baked records (the
+// stack cannot change between enter/leave events), each branch is
+// resolved with a single fixed-stride record probe fusing the checked
+// bit and the inline BAT actions, the flight-recorder store is inlined
+// behind a precomputed meta word, and Stats plus obs metrics
+// accumulate in batch-local scalars flushed once per call instead of
+// per event.
+//
+// It is behaviourally identical to calling EnterFunc/LeaveFunc/
+// OnBranch per event: same alarms, same Stats, same table-stack state,
+// and the same per-event cost (1 + BAT actions walked — BATAccesses
+// advances exactly as the reference kernel's walk does, so the
+// internal/cpu timing model sees identical access counts). The golden
+// equivalence test in internal/server holds all three paths to that,
+// and TestOnBatchMatchesPerEvent pins the cost identity directly. It
+// performs zero heap allocations per event on a warmed machine.
 //
 // The returned slice is owned by the machine and valid only until the
 // next OnBatch or Reset call; callers that retain alarms must copy
 // them out before feeding the next batch.
 func (m *Machine) OnBatch(evs []wire.Event) []Alarm {
 	m.batchAlarms = m.batchAlarms[:0]
-	for i := range evs {
-		ev := &evs[i]
-		switch ev.Kind {
-		case wire.EvBranch:
-			if a, fired, _ := m.branch(ev.PC, ev.Taken); fired {
-				m.batchAlarms = append(m.batchAlarms, a)
+
+	// Batch-local accumulators, flushed once after the loop.
+	var (
+		branches uint64
+		verified uint64
+		updates  uint64
+		rejects  uint64
+		walkLens [batchWalkBuckets]uint64
+	)
+	seq := m.seq // kept in a register; synced to m.seq outside branch runs
+	strict := m.cfg.Strict
+	rec := m.rec.buf
+	recMask := uint64(len(rec)) - 1
+
+	i := 0
+	for i < len(evs) {
+		// Stack-shape events go through the full per-event entry points:
+		// they are rare relative to branches and own their record/emit/
+		// gauge semantics.
+		for i < len(evs) && evs[i].Kind != wire.EvBranch {
+			switch evs[i].Kind {
+			case wire.EvEnter:
+				m.EnterFunc(evs[i].PC)
+			case wire.EvLeave:
+				m.LeaveFunc()
 			}
-		case wire.EvEnter:
-			m.EnterFunc(ev.PC)
-		case wire.EvLeave:
-			m.LeaveFunc()
+			i++
 		}
+		if i == len(evs) {
+			break
+		}
+
+		// Hoist the top activation state across the run of consecutive
+		// branch events starting here.
+		var (
+			img *tables.FuncImage
+			bk  *tables.Baked
+			bsv []tables.Status
+		)
+		if n := len(m.stack); n > 0 {
+			act := &m.stack[n-1]
+			if act.img != nil {
+				img = act.img
+				bk = img.Baked()
+				bsv = act.bsv
+			}
+		}
+		metaBase := uint64(EvBranch)&0xff | (uint64(len(m.stack))&recDepthMask)<<9
+
+		// Pre-scan the run extent: the work loops below then bound on a
+		// plain index compare instead of re-testing Kind per event.
+		end := i
+		for end < len(evs) && evs[end].Kind == wire.EvBranch {
+			end++
+		}
+
+		switch {
+		case img == nil:
+			// No protected frame on top: each branch only counts (and
+			// records), cost 1, like the reference kernel's early return.
+			runStart := i
+			for ; i < end; i++ {
+				ev := &evs[i]
+				if rec != nil {
+					t := uint64(0)
+					if ev.Taken {
+						t = 1
+					}
+					s := &rec[m.rec.total&recMask]
+					m.rec.total++
+					s.seq = seq + uint64(i-runStart) + 1
+					s.pc = ev.PC
+					s.meta = metaBase | t<<8
+				}
+			}
+			run := uint64(i - runStart)
+			seq += run
+			branches += run
+		case bk == nil:
+			// Unbaked image (hand-assembled, never through Image.Index):
+			// fall back to the reference kernel, which keeps its own
+			// stats, so nothing accumulates locally for this run.
+			m.seq = seq
+			for ; i < end; i++ {
+				if a, fired, _ := m.branch(evs[i].PC, evs[i].Taken); fired {
+					m.batchAlarms = append(m.batchAlarms, a)
+				}
+			}
+			seq = m.seq
+		default:
+			recs := bk.Recs
+			acts := bk.Acts
+			// Hoist the slot hash into registers: the compiler cannot
+			// prove the bsv stores below never alias the image fields,
+			// so without this every event reloads Base and the params.
+			base := img.Base
+			s1, s2 := img.Hash.S1, img.Hash.S2
+			mask := uint64(img.Hash.Slots() - 1)
+			runStart := i
+			for ; i < end; i++ {
+				ev := &evs[i]
+				pc := ev.PC
+				t := uint64(0)
+				if ev.Taken {
+					t = 1
+				}
+				// Record before verifying, like the reference kernel, so
+				// a violating branch closes its captured context window.
+				// With the recorder off, seq/branches advance once per
+				// run (below), not per event.
+				if rec != nil {
+					s := &rec[m.rec.total&recMask]
+					m.rec.total++
+					s.seq = seq + uint64(i-runStart) + 1
+					s.pc = pc
+					s.meta = metaBase | t<<8
+				}
+				if strict && !img.ValidPC(pc) {
+					rejects++
+					continue
+				}
+				x := (pc - base) >> 2 // hashfn.Params.Slot, hoisted form
+				slot := int((x ^ x>>s1 ^ x>>s2) & mask)
+				r := &recs[slot]
+				// Verify edge, branch-free: the BCV checked bit (fused
+				// into the record) ANDed with the status/direction
+				// verdict. Only the rare alarm dispatch branches.
+				mb := uint64(r.Meta) & 1
+				verified += mb
+				st := bsv[slot]
+				if mb&st.MatchFail(t) != 0 {
+					cur := seq + uint64(i-runStart) + 1
+					a := Alarm{
+						Seq: cur, PC: pc, Func: img.Name, Slot: slot,
+						Expected: st, Taken: ev.Taken,
+					}
+					m.seq = cur // pushAlarm captures context off m.seq-consistent state
+					m.batchAlarms = append(m.batchAlarms, a)
+					m.pushAlarm(a)
+				}
+				// Update phase: inline actions (unrolled — BakedInline is
+				// 4) or one contiguous scan of a flattened longer list.
+				// The overflow flag rides in the already-loaded Meta
+				// word, so the common inline case never touches Off/Tail.
+				dir := t ^ 1 // 0 taken, 1 not-taken (BATHeads convention)
+				n := int(r.Meta >> (2 + dir*3) & 7)
+				if n != 0 {
+					inl := &r.Inline[dir]
+					a := inl[0]
+					bsv[a>>2] = tables.Status(a & 3)
+					if n >= 2 {
+						a = inl[1]
+						bsv[a>>2] = tables.Status(a & 3)
+						if n >= 3 {
+							a = inl[2]
+							bsv[a>>2] = tables.Status(a & 3)
+							if n == 4 {
+								a = inl[3]
+								bsv[a>>2] = tables.Status(a & 3)
+							}
+						}
+					}
+				} else if r.Meta>>(8+dir)&1 != 0 {
+					tail := int(r.Tail[dir])
+					for _, a := range acts[r.Off[dir] : int(r.Off[dir])+tail] {
+						bsv[a>>2] = tables.Status(a & 3)
+					}
+					n = tail
+				}
+				// updates is derived from walkLens at flush; only walks too
+				// long for the tally are accumulated directly.
+				if n < batchWalkBuckets {
+					walkLens[n]++
+				} else {
+					updates += uint64(n)
+					m.met.batWalk.Observe(uint64(n))
+				}
+			}
+			run := uint64(i - runStart)
+			seq += run
+			branches += run
+		}
+		m.seq = seq
 	}
+	m.seq = seq
+
+	// Flush: owner-local Stats, then one atomic add per touched series.
+	mm := m.met
+	for l, c := range walkLens {
+		updates += uint64(l) * c
+		mm.batWalk.ObserveN(uint64(l), c)
+	}
+	m.stats.Branches += branches
+	m.stats.Verified += verified
+	m.stats.Updates += updates
+	m.stats.BATAccesses += updates
+	m.stats.StrictRejects += rejects
+	mm.branches.Add(branches)
+	mm.verified.Add(verified)
+	mm.updates.Add(updates)
+	mm.batAccesses.Add(updates)
+	mm.strictRejects.Add(rejects)
 	return m.batchAlarms
 }
 
@@ -466,13 +675,19 @@ func (m *Machine) pushAlarm(a Alarm) {
 }
 
 // Status returns the current expectation for a branch PC in the active
-// frame (tests/diagnostics).
+// frame (tests/diagnostics). Under Config.Strict it applies the same
+// ValidPC check the verification kernel does: a PC that is not a known
+// branch of the active function reports Unknown instead of aliasing
+// onto another branch's slot through the masked hash.
 func (m *Machine) Status(pc uint64) tables.Status {
 	if len(m.stack) == 0 {
 		return tables.Unknown
 	}
 	act := m.stack[len(m.stack)-1]
 	if act.img == nil {
+		return tables.Unknown
+	}
+	if m.cfg.Strict && !act.img.ValidPC(pc) {
 		return tables.Unknown
 	}
 	return act.bsv[act.img.Slot(pc)]

@@ -77,6 +77,31 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveN(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Histogram("a"), r.Histogram("b")
+	values := map[uint64]uint64{0: 5, 1: 3, 2: 7, 5: 2, 1 << 40: 1}
+	for v, n := range values {
+		a.ObserveN(v, n)
+		for i := uint64(0); i < n; i++ {
+			b.Observe(v)
+		}
+	}
+	a.ObserveN(9, 0) // no-op
+	var nilH *Histogram
+	nilH.ObserveN(1, 1) // nil-safe
+	as, bs := a.Snapshot(), b.Snapshot()
+	if as.Count != bs.Count || as.Sum != bs.Sum {
+		t.Fatalf("ObserveN count/sum (%d,%d) != Observe loop (%d,%d)",
+			as.Count, as.Sum, bs.Count, bs.Sum)
+	}
+	for i := range as.Buckets {
+		if as.Buckets[i] != bs.Buckets[i] {
+			t.Fatalf("bucket %d: ObserveN %d != Observe loop %d", i, as.Buckets[i], bs.Buckets[i])
+		}
+	}
+}
+
 func TestNameAndPrometheusText(t *testing.T) {
 	if got := Name("x_total"); got != "x_total" {
 		t.Fatal(got)

@@ -102,6 +102,25 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// ObserveN records n observations of the same value in one shot:
+// bucket, count and sum move exactly as n Observe(v) calls would, but
+// with three atomic adds total. This is the flush primitive for hot
+// loops that tally observations in batch-local scalars (the ipds
+// OnBatch kernel counts BAT walk lengths locally and flushes once per
+// batch). n == 0 is a no-op.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

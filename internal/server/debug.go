@@ -36,8 +36,9 @@ type DebugSession struct {
 	Events    uint64      `json:"events"`
 	Batches   uint64      `json:"batches"`
 	Alarms    uint64      `json:"alarms"`
-	AlarmRate float64     `json:"alarm_rate_per_s"` // last ≥1s window, else lifetime average
-	Recorded  uint64      `json:"recorded"`         // flight-recorder lifetime events
+	AlarmRate float64     `json:"alarm_rate_per_s"`    // last ≥1s window, else lifetime average
+	Recorded  uint64      `json:"recorded"`            // flight-recorder lifetime events
+	KernelNs  float64     `json:"kernel_ns_per_event"` // verify wall time / verified events
 	LastAlarm *DebugAlarm `json:"last_alarm,omitempty"`
 }
 
@@ -82,6 +83,9 @@ func (s *Server) Debug() DebugInfo {
 		}
 		d.IdleMs = (now.UnixNano() - last) / int64(time.Millisecond)
 		d.Events = ss.events.Load()
+		if ev := d.Events; ev > 0 {
+			d.KernelNs = float64(ss.verifyNs.Load()) / float64(ev)
+		}
 		ss.ctxMu.Lock()
 		if ss.hasCtx {
 			c := &ss.lastCtx

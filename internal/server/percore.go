@@ -95,6 +95,7 @@ type verifier struct {
 	events      atomic.Uint64
 	batches     atomic.Uint64
 	alarms      atomic.Uint64
+	verifyNs    atomic.Uint64 // cumulative wall time inside verifyBatch
 	stalls      atomic.Uint64 // writer-ring-full waits
 	sessionsCum atomic.Uint64 // sessions ever pinned here
 	ringHW      atomic.Uint64 // max ring occupancy over retired sessions
@@ -390,6 +391,7 @@ type CoreStats struct {
 	Events        uint64 `json:"events"`
 	Batches       uint64 `json:"batches"`
 	Alarms        uint64 `json:"alarms"`
+	VerifyNs      uint64 `json:"verify_ns"` // cumulative wall time in verifyBatch
 	Parks         uint64 `json:"parks"`
 	Wakes         uint64 `json:"wakes"`
 	WriterParks   uint64 `json:"writer_parks"`
@@ -423,6 +425,7 @@ func (s *Server) CoreStats() []CoreStats {
 			Events:        v.events.Load(),
 			Batches:       v.batches.Load(),
 			Alarms:        v.alarms.Load(),
+			VerifyNs:      v.verifyNs.Load(),
 			Parks:         v.pk.Parks(),
 			Wakes:         v.pk.Wakes(),
 			WriterParks:   v.wr.pk.Parks(),

@@ -114,10 +114,11 @@ func TestScalePerCoreMatchesLocal(t *testing.T) {
 	if len(stats) != verifiers {
 		t.Fatalf("CoreStats returned %d cores, want %d", len(stats), verifiers)
 	}
-	var events, pinned uint64
+	var events, pinned, verifyNs uint64
 	for _, cs := range stats {
 		events += cs.Events
 		pinned += cs.SessionsTotal
+		verifyNs += cs.VerifyNs
 		// 64 sessions over 4 hash buckets: an empty core means the pin
 		// hash is broken (P ≈ 4·(3/4)^64 by chance).
 		if cs.SessionsTotal == 0 {
@@ -132,5 +133,10 @@ func TestScalePerCoreMatchesLocal(t *testing.T) {
 	}
 	if pinned != sessions {
 		t.Errorf("per-core sessions_total sum to %d, want %d", pinned, sessions)
+	}
+	// Kernel time accounting: every core that verified events spent
+	// wall time doing it (the ipdsload kernel_ns_per_event source).
+	if verifyNs == 0 {
+		t.Error("per-core verify_ns sum to 0 after verifying events")
 	}
 }

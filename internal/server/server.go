@@ -551,13 +551,16 @@ func (s *Server) verifyBatch(v *verifier, ss *session, t task) {
 		}
 	}
 	s.batchPool.Put(t.b)
-	s.met.verifyNs.Observe(uint64(time.Since(start).Nanoseconds()))
+	spent := uint64(time.Since(start).Nanoseconds())
+	s.met.verifyNs.Observe(spent)
 	s.met.eventsTotal.Add(uint64(n))
 	s.met.batchesTotal.Inc()
 	s.met.batchLen.Observe(uint64(n))
 	v.events.Add(uint64(n))
 	v.batches.Add(1)
 	v.alarms.Add(uint64(len(alarms)))
+	v.verifyNs.Add(spent)
+	ss.verifyNs.Add(spent)
 	ss.batchesN.Add(1)
 	total := ss.alarmsN.Add(uint64(len(alarms)))
 	ss.recTotal.Store(ss.m.RecorderTotal())

@@ -56,7 +56,8 @@ type session struct {
 	batchesN  atomic.Uint64
 	alarmsN   atomic.Uint64
 	recTotal  atomic.Uint64
-	lastBatch atomic.Int64 // unix nanos of the last verified batch
+	verifyNs  atomic.Uint64 // cumulative wall time inside verifyBatch
+	lastBatch atomic.Int64  // unix nanos of the last verified batch
 
 	// Windowed alarm rate: the verifier closes ≥1s windows over its own
 	// plain fields (the pinned core owns a session's batches, so no

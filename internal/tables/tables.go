@@ -44,16 +44,33 @@ func (s Status) String() string {
 	return "?"
 }
 
+// matchBits is the Matches truth table: bit (s<<1 | taken) holds the
+// verdict for status s. Unknown (bits 0,1) matches both directions,
+// Taken (bit 3) only taken, NotTaken (bit 4) only not-taken.
+const matchBits = 0b011011
+
 // Matches reports whether an observed direction is compatible with the
-// expected status.
+// expected status. It is a branch-free truth-table probe — it sits
+// inside the per-branch verification kernel, where a data-dependent
+// status switch would mispredict on exactly the irregular histories
+// the checker exists to examine. Statuses are always one of the three
+// defined constants (nothing in this package or the runtime produces
+// others).
 func (s Status) Matches(taken bool) bool {
-	switch s {
-	case Taken:
-		return taken
-	case NotTaken:
-		return !taken
+	t := uint(0)
+	if taken {
+		t = 1
 	}
-	return true
+	return matchBits>>(uint(s)<<1|t)&1 != 0
+}
+
+// MatchFail is the branch-free complement of Matches for the batched
+// verification kernel: it returns 1 when the status is incompatible
+// with the direction bit t (1 = taken), 0 otherwise. The kernel ANDs
+// it with the slot's checked bit, so the only branch left on the
+// verify edge is the rare alarm dispatch.
+func (s Status) MatchFail(t uint64) uint64 {
+	return ^uint64(matchBits) >> (uint64(s)<<1 | t) & 1
 }
 
 // StatusFor converts a direction to the corresponding status.
@@ -107,6 +124,12 @@ type FuncImage struct {
 	BSVBits int
 	BCVBits int
 	BATBits int
+
+	// baked is the load-time slot-record form of BCV+BAT the runtime
+	// kernel probes (see baked.go). Derived state only: it never
+	// marshals, and Bake builds it deterministically from the fields
+	// above before the image is shared.
+	baked *Baked
 }
 
 // Checked reports whether the slot is marked in the BCV.
@@ -207,11 +230,16 @@ type Image struct {
 	byBase []*FuncImage
 }
 
-// Index (re)builds the base-address lookup index over Funcs. Encode,
+// Index (re)builds the base-address lookup index over Funcs and bakes
+// every function's slot-record form (see baked.go), so any image the
+// runtime sees arrives ready for the fused-probe kernel. Encode,
 // Unmarshal and the pipeline call it before an image is shared;
 // hand-assembled images (tests, tools) must call it before FuncAt —
 // concurrently sharing an image while calling Index is a data race.
 func (im *Image) Index() {
+	for _, fi := range im.Funcs {
+		fi.Bake()
+	}
 	im.bases = make([]uint64, 0, len(im.Funcs))
 	im.byBase = make([]*FuncImage, 0, len(im.Funcs))
 	fns := make([]*FuncImage, len(im.Funcs))

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# checkkernel.sh — kernel regression gate (`make kernel-gate`).
+#
+# Benchmarks the batched verification kernel (BenchmarkOnBatch, the
+# baked slot-record hot path) and holds its ns/event to the committed
+# BENCH_pr8.json after-row: a regression of more than KERNEL_TOL
+# percent (default 15) fails the gate. Best-of-N is the estimator on
+# both sides — the committed baseline is a best-of over interleaved
+# runs, so the gate compares like with like and a single noisy run on
+# a loaded CI host cannot flake it; only a real kernel regression
+# shifts the best of six.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${KERNEL_TOL:-15}"
+COUNT="${KERNEL_COUNT:-6}"
+
+baseline=$(awk -F': ' '
+	/"kernel"/ { kern = $2; gsub(/[",]/, "", kern) }
+	/"stage"/ { stage = $2; gsub(/[",]/, "", stage) }
+	/"ns_per_event"/ && kern == "OnBatch" && stage == "after" {
+		v = $2; gsub(/,/, "", v); print v; exit
+	}
+' BENCH_pr8.json)
+if [ -z "$baseline" ]; then
+	echo "checkkernel: no OnBatch after-row in BENCH_pr8.json" >&2
+	exit 1
+fi
+
+out=$(go test -run '^$' -bench 'BenchmarkOnBatch$' -count "$COUNT" ./internal/ipds)
+echo "$out"
+
+best=$(echo "$out" | awk '
+	/^BenchmarkOnBatch-/ || /^BenchmarkOnBatch / {
+		for (i = 2; i <= NF; i++) if ($i == "ns/event") v = $(i - 1)
+		if (best == "" || v + 0 < best + 0) best = v
+	}
+	END { print best }
+')
+if [ -z "$best" ]; then
+	echo "checkkernel: failed to parse ns/event from benchmark output" >&2
+	exit 1
+fi
+
+echo "checkkernel: best of ${COUNT} runs ${best} ns/event, baseline ${baseline} ns/event (tolerance ${TOL}%)"
+if ! awk -v got="$best" -v base="$baseline" -v tol="$TOL" 'BEGIN {
+	limit = base * (1 + tol / 100)
+	printf "checkkernel: limit %.2f ns/event\n", limit
+	exit !(got + 0 <= limit)
+}'; then
+	echo "checkkernel: FAIL — batched kernel regressed past the tolerance" >&2
+	exit 1
+fi
+echo "checkkernel: batched kernel holds the BENCH_pr8 baseline"
