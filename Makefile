@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel alloc-gate kernel-gate forensics-gate incident-gate scale-gate fleet-gate benchtable ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5 serve-baseline-pr7
+.PHONY: build test vet race bench bench-kernel alloc-gate kernel-gate forensics-gate incident-gate scale-gate fleet-gate trace-gate benchtable ci report docscheck race-parallel compile-baseline race-server smoke-load serve-baseline serve-baseline-pr5 serve-baseline-pr7 serve-baseline-pr10
 
 build:
 	$(GO) build ./...
@@ -104,8 +104,20 @@ fleet-gate:
 	$(GO) test -race ./internal/fleet ./internal/registry
 	$(GO) test -race -run 'TestRedial' ./internal/ipdsclient
 
+# Trace gate: the wire-level trace plane end to end. A routed 3-node
+# run with every batch stamped (-trace-sample 1) must commit exactly
+# one span per verified batch, each chain complete and monotonic
+# client → router → core → ack flush; the daemon-side span tests and
+# the tsdb metric-history tests ride along, all under -race. The
+# sampling-off zero-alloc invariant is held separately by alloc-gate
+# (scripts/checkallocs.sh).
+trace-gate:
+	$(GO) test -race -run 'TestTraceGate' ./internal/fleet
+	$(GO) test -race -run 'TestTrace|TestSpan' ./internal/server
+	$(GO) test -race ./internal/obs/tsdb
+
 # Full gate: what a PR must pass.
-ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate kernel-gate forensics-gate incident-gate scale-gate fleet-gate
+ci: vet build docscheck race race-parallel race-server smoke-load bench alloc-gate kernel-gate forensics-gate incident-gate scale-gate fleet-gate trace-gate
 
 # Observability-driven per-workload table + JSON baseline.
 report:
@@ -144,6 +156,18 @@ serve-baseline-pr7:
 	$(GO) run ./cmd/ipdsload -selfserve -router -nodes 3 -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr7.json
 	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr7.json
 	$(GO) run ./cmd/ipdsload -selfserve -router -nodes 3 -workload telnetd -sessions 64 -events 100000 -tamper 97 -repeat 5 -json BENCH_pr7.json
+
+# PR10 serving baseline: the trace plane's price and product. The
+# 8-session load point is recorded three times back-to-back — an
+# untraced control, the same load stamping every 64th batch (which
+# also forces the client onto the re-encoding Send path), and the
+# stamped load routed over 3 nodes. Traced rows carry trace_spans and
+# the span-derived e2e_p50_ns/e2e_p99_ns the bench table renders.
+serve-baseline-pr10:
+	rm -f BENCH_pr10.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -json BENCH_pr10.json
+	$(GO) run ./cmd/ipdsload -selfserve -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -trace-sample 64 -json BENCH_pr10.json
+	$(GO) run ./cmd/ipdsload -selfserve -router -nodes 3 -workload telnetd -sessions 8 -events 1000000 -tamper 97 -repeat 5 -trace-sample 64 -json BENCH_pr10.json
 
 # Regenerate the benchmark-trajectory table in docs/PERFORMANCE.md
 # from the committed BENCH_pr*.json files.

@@ -17,7 +17,11 @@
 // document of every live session's telemetry and most recent forensic
 // alarm context — and /debug/incidents — the incident pipeline's
 // ranked, explained fold of the alarm stream. Both debug documents are
-// polled by cmd/ipdstop for live top-style views.
+// polled by cmd/ipdstop for live top-style views. /debug/trace serves
+// client-stamped batches expanded into per-stage span records as
+// Chrome trace-event JSON, and /debug/timeline serves the in-process
+// metric history (-history samples at 1/s) `ipdstop -history` renders
+// as sparklines.
 //
 // In a fleet, -registry serves this node's image blobs to peers over
 // the content-addressed registry protocol, and -fetch names peer
@@ -46,6 +50,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/pipeline"
 	"repro/internal/registry"
 	"repro/internal/server"
@@ -75,6 +80,8 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 		regAddr   = flag.String("registry", "", "serve this node's image blobs to fleet peers on this address")
 		fetch     = flag.String("fetch", "", "comma-separated peer registry addresses to pull unknown image hashes from")
+		history   = flag.Int("history", 240, "metric-history samples retained for /debug/timeline (1/s; 0 disables)")
+		traceRing = flag.Int("tracering", 0, "per-core span records retained for /debug/trace (0 = default 256, <0 disables)")
 	)
 	flag.Var(&wlNames, "workload", "serve a built-in server workload (repeatable)")
 	flag.Parse()
@@ -148,6 +155,7 @@ func main() {
 		ReadTimeout:      *idle,
 		Verifiers:        *verifiers,
 		DisableIncidents: !*incidents,
+		TraceRing:        *traceRing,
 		Reg:              reg,
 		Tracer:           tr,
 	})
@@ -161,13 +169,21 @@ func main() {
 		mux := obs.NewMux(reg)
 		mux.Handle("/debug/sessions", srv.DebugHandler())
 		mux.Handle("/debug/incidents", srv.IncidentsHandler())
+		mux.Handle("/debug/trace", srv.TraceHandler())
+		// Metric history behind /debug/timeline: one snapshot per second
+		// into a fixed ring (~4 minutes), rendered by `ipdstop -history`
+		// and merged fleet-wide by the router's /debug/fleet.
+		db := tsdb.New(reg, *history, time.Second)
+		db.Start()
+		defer db.Stop()
+		mux.Handle("/debug/timeline", db.Handler())
 		tsrv, taddr, err := obs.ServeHandler(*telemetry, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsd: telemetry:", err)
 			os.Exit(1)
 		}
 		defer tsrv.Close()
-		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics, sessions on /debug/sessions, incidents on /debug/incidents\n", taddr)
+		fmt.Fprintf(os.Stderr, "ipdsd: telemetry on http://%s/metrics, sessions on /debug/sessions, incidents on /debug/incidents, trace on /debug/trace, timeline on /debug/timeline\n", taddr)
 	}
 
 	// Graceful drain on SIGINT/SIGTERM: queued batches verify, queued

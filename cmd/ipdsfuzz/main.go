@@ -155,7 +155,15 @@ func validFrame(rng *rand.Rand) []byte {
 				evs[i] = wire.Event{Kind: wire.EvBranch, PC: rng.Uint64(), Taken: rng.Intn(2) == 0}
 			}
 		}
-		f = wire.Batch{Events: evs}
+		b := wire.Batch{Events: evs}
+		if rng.Intn(2) == 0 {
+			// Half the batches carry the sampled trace extension, so the
+			// mutator hammers the trailing extension area too (truncated
+			// ids, unknown tags, bytes behind the block).
+			b.TraceID = rng.Uint64() | 1 // nonzero: zero means untraced
+			b.OriginNs = rng.Uint64()
+		}
+		f = b
 	case 3:
 		f = wire.Alarm{Seq: rng.Uint64(), PC: rng.Uint64(), Func: randString(rng),
 			Slot: rng.Uint32() >> 1, Expected: uint8(rng.Intn(4)), Taken: rng.Intn(2) == 0}

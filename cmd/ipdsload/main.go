@@ -26,9 +26,10 @@
 //	ipdsload [-addr host:7077 | -selfserve] [-workload telnetd]
 //	         [-sessions n] [-events n] [-batch n] [-tamper stride]
 //	         [-repeat n] [-verifiers n] [-router] [-nodes n]
-//	         [-events-file in.events]
+//	         [-events-file in.events] [-trace-sample n]
 //	         [-json out.json] [-incidents] [-cpuprofile cpu.pprof]
 //	         [-memprofile mem.pprof] [file.mc]
+//	ipdsload trace [-url http://host:6060] [-spans] [-out file]
 //
 // -repeat runs the load n times against the same server and reports
 // (and records) the fastest run — best-of-n is the noise-robust
@@ -46,6 +47,19 @@
 // Under -selfserve the report is the in-process daemon's full
 // /debug/incidents view; against a remote daemon it is the drain-time
 // wire copy the daemon streamed to the last-closing session.
+//
+// -trace-sample N stamps every Nth flushed batch with a wire-level
+// trace id and origin timestamp; the daemon expands each stamped batch
+// into a per-stage span record. Self-served runs then report (and
+// record in the -json row as e2e_p50_ns/e2e_p99_ns) the end-to-end
+// batch latency quantiles from those spans. Against a remote daemon,
+// fetch the spans with the trace subcommand:
+//
+//	ipdsload trace [-url http://host:6060] [-spans] [-out trace.json]
+//
+// which downloads the daemon's /debug/trace document — Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto — or,
+// with -spans, the raw span records.
 package main
 
 import (
@@ -53,11 +67,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/fleet"
@@ -112,6 +130,14 @@ type row struct {
 	// went through an in-process ipdsrouter in front of Nodes daemons.
 	Routed bool `json:"routed,omitempty"`
 	Nodes  int  `json:"nodes,omitempty"`
+
+	// Traced-batch end-to-end latency (client origin stamp → ack
+	// flush), computed from the daemon-side span rings. Populated only
+	// with -selfserve -trace-sample N; TraceSpans is the sample count
+	// behind the quantiles.
+	TraceSpans int   `json:"trace_spans,omitempty"`
+	E2EP50Ns   int64 `json:"e2e_p50_ns,omitempty"`
+	E2EP99Ns   int64 `json:"e2e_p99_ns,omitempty"`
 }
 
 // coreRow is one verifier core's slice of a self-served load run.
@@ -130,6 +156,11 @@ type coreRow struct {
 }
 
 func main() {
+	// The trace subcommand is its own tiny tool: fetch a daemon's span
+	// rings, no load run involved.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceCmd(os.Args[2:]))
+	}
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7077", "ipdsd address")
 		selfserve = flag.Bool("selfserve", false, "serve in-process instead of dialing a remote daemon")
@@ -144,6 +175,7 @@ func main() {
 		routed    = flag.Bool("router", false, "with -selfserve: place sessions through an in-process fleet router")
 		nodesN    = flag.Int("nodes", 3, "with -selfserve -router: fleet nodes behind the router")
 		evFile    = flag.String("events-file", "", "replay this canonical-text event file (from ipdsrun -eventfile) instead of capturing")
+		traceN    = flag.Int("trace-sample", 0, "stamp every Nth batch with a wire trace id + origin timestamp (0 = off)")
 		jsonOut   = flag.String("json", "", "append a JSON result row to this file's row set")
 		incidents = flag.Bool("incidents", false, "report the daemon's ranked incident fold of the alarm flood after the run")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-session network timeout")
@@ -204,6 +236,7 @@ func main() {
 	target := *addr
 	var reg *obs.Registry
 	var srv *server.Server
+	var engines []*server.Server // every in-process daemon (1, or -nodes when routed)
 	if *selfserve {
 		reg = obs.NewRegistry()
 		scfg := server.Config{Reg: reg, Verifiers: *verifiers}
@@ -236,6 +269,7 @@ func main() {
 				}
 				go node.Serve(ln)
 				defer shutdown(node)
+				engines = append(engines, node)
 				addrs[i] = ln.Addr().String()
 			}
 			rt := fleet.NewRouter(fleet.NewRing(addrs), fleet.RouterConfig{Reg: reg})
@@ -258,6 +292,7 @@ func main() {
 			}
 			go srv.Serve(ln)
 			defer shutdown(srv)
+			engines = append(engines, srv)
 			target = ln.Addr().String()
 		}
 	}
@@ -296,6 +331,7 @@ func main() {
 			EventsPerConn: *events,
 			Batch:         *batch,
 			Timeout:       *timeout,
+			TraceSample:   *traceN,
 		})
 		for _, err := range r.Errors {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
@@ -338,6 +374,11 @@ func main() {
 	var verify obs.HistSnapshot
 	var cores []coreRow
 	var kernelNs float64
+	spanN, e2eP50, e2eP99 := traceE2E(engines)
+	if spanN > 0 {
+		fmt.Printf("-- e2e latency:   p50=%v p99=%v (%d traced batches, origin→ack)\n",
+			time.Duration(e2eP50), time.Duration(e2eP99), spanN)
+	}
 	if reg != nil {
 		verify = reg.Histogram("server_verify_ns").Snapshot()
 		fmt.Printf("-- batch verify:  p50=%v p99=%v p99.9=%v (%d batches)\n",
@@ -456,6 +497,10 @@ func main() {
 			Cores:     cores,
 			Routed:    *selfserve && *routed,
 			Nodes:     fleetNodes(*selfserve && *routed, *nodesN),
+
+			TraceSpans: spanN,
+			E2EP50Ns:   e2eP50,
+			E2EP99Ns:   e2eP99,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsload:", err)
 			os.Exit(1)
@@ -464,6 +509,80 @@ func main() {
 	if len(res.Errors) > 0 {
 		os.Exit(1)
 	}
+}
+
+// traceE2E merges the span rings of every in-process engine — the one
+// direct daemon, or all fleet nodes of a routed run — and reports the
+// count plus the p50/p99 end-to-end batch latency. Zeros when nothing
+// was traced (no -trace-sample, or a remote daemon holding the rings).
+func traceE2E(engines []*server.Server) (n int, p50, p99 int64) {
+	var lat []int64
+	for _, s := range engines {
+		for _, r := range s.TraceSpans() {
+			lat = append(lat, r.E2ENs())
+		}
+	}
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(f float64) int64 { return lat[int(f*float64(len(lat)-1))] }
+	return len(lat), q(0.50), q(0.99)
+}
+
+// traceCmd is `ipdsload trace`: fetch a daemon's /debug/trace document
+// — Chrome trace-event JSON (chrome://tracing, Perfetto), or the raw
+// span records with -spans — and write it to stdout or -out.
+func traceCmd(argv []string) int {
+	fs := flag.NewFlagSet("ipdsload trace", flag.ExitOnError)
+	var (
+		url     = fs.String("url", "http://127.0.0.1:6060", "daemon telemetry base URL (or a full /debug/trace URL)")
+		spans   = fs.Bool("spans", false, "fetch the raw span records instead of Chrome trace-event JSON")
+		out     = fs.String("out", "", "write the document to this file instead of stdout")
+		timeout = fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	)
+	fs.Parse(argv)
+
+	u := *url
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	if !strings.Contains(u, "/debug/trace") {
+		u = strings.TrimRight(u, "/") + "/debug/trace"
+	}
+	if *spans {
+		u += "?spans=1"
+	}
+	c := &http.Client{Timeout: *timeout}
+	resp, err := c.Get(u)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsload trace:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "ipdsload trace: %s: %s\n", u, resp.Status)
+		return 1
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipdsload trace:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipdsload trace:", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Printf("ipdsload trace: wrote %d bytes to %s — open in chrome://tracing or Perfetto\n", n, *out)
+	}
+	return 0
 }
 
 // verifierCount resolves the recorded verifier count: the in-process

@@ -11,6 +11,11 @@
 // uses to pin sessions to verifier cores, one level up: the fleet is a
 // two-level hash from session to node to core.
 //
+// With -telemetry and -probe the router also serves /debug/fleet: the
+// merged cluster view — per-node totals, kernel ns/event, traced-batch
+// e2e p50/p99 and node-tagged metric timelines — scraped live from
+// every node's telemetry endpoint. `ipdstop -fleet` renders it.
+//
 // Usage:
 //
 //	ipdsrouter -peers host1:7077,host2:7077,host3:7077
@@ -66,13 +71,21 @@ func main() {
 
 	if *telemetry != "" {
 		reg.PublishExpvar("ipdsrouter")
-		tsrv, taddr, err := obs.Serve(*telemetry, reg)
+		mux := obs.NewMux(reg)
+		// The router is the one process that knows every node, so it is
+		// where the merged cluster view lives: /debug/fleet scrapes each
+		// node's totals and timeline and serves them node-tagged.
+		if *probe != "" {
+			agg := fleet.NewAggregator(strings.Split(*probe, ","), *interval)
+			mux.Handle("/debug/fleet", agg.Handler())
+		}
+		tsrv, taddr, err := obs.ServeHandler(*telemetry, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipdsrouter: telemetry:", err)
 			os.Exit(1)
 		}
 		defer tsrv.Close()
-		fmt.Fprintf(os.Stderr, "ipdsrouter: telemetry on http://%s/metrics\n", taddr)
+		fmt.Fprintf(os.Stderr, "ipdsrouter: telemetry on http://%s/metrics, fleet view on /debug/fleet\n", taddr)
 	}
 
 	router := fleet.NewRouter(ring, fleet.RouterConfig{Reg: reg})

@@ -14,7 +14,13 @@
 // renders one merged session table with a NODE column — the operator's
 // view of a routed cluster, where a drained node's sessions visibly
 // migrate to its peers. An unreachable node shows as such; the rest of
-// the fleet still renders.
+// the fleet still renders. Each node's line carries its kernel
+// ns/event and traced-batch e2e p50/p99, and a cluster-totals line
+// rolls the fleet up.
+//
+// With -history it polls /debug/timeline instead and renders each
+// metric series as a terminal sparkline — the daemon's in-process
+// metric history (internal/obs/tsdb), no external TSDB required.
 //
 // With -once it prints a single snapshot and exits (scriptable, and
 // what the tests drive); otherwise it redraws every -interval using an
@@ -23,7 +29,7 @@
 // Usage:
 //
 //	ipdstop [-addr http://127.0.0.1:6060] [-interval 2s] [-once]
-//	        [-incidents] [-fleet url1,url2,...]
+//	        [-incidents] [-history] [-fleet url1,url2,...]
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 )
 
@@ -46,6 +53,7 @@ func main() {
 		interval  = flag.Duration("interval", 2*time.Second, "refresh interval")
 		once      = flag.Bool("once", false, "print one snapshot and exit")
 		incidents = flag.Bool("incidents", false, "show the ranked incident view instead of the session table")
+		history   = flag.Bool("history", false, "show /debug/timeline metric history as sparklines")
 		fleet     = flag.String("fleet", "", "comma-separated telemetry base URLs: one merged session table across fleet nodes")
 	)
 	flag.Parse()
@@ -69,6 +77,13 @@ func main() {
 		var out string
 		if len(fleetBases) > 0 {
 			out = renderFleet(fetchFleet(client, fleetBases))
+		} else if *history {
+			tl, err := fetchTimeline(client, base+"/debug/timeline")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipdstop:", err)
+				os.Exit(1)
+			}
+			out = renderHistory(tl)
 		} else if *incidents {
 			doc, err := fetchIncidents(client, base+"/debug/incidents")
 			if err != nil {
@@ -188,23 +203,58 @@ func renderFleet(nodes []fleetNode) string {
 	}
 	var rows []row
 	total := 0
+	// Cluster totals, rolled up from per-node /debug/sessions documents:
+	// kernel ns/event weighted by each node's event count, e2e p50 as
+	// the trace-weighted mean of node medians, e2e p99 as the worst
+	// node's tail.
+	var (
+		tEvents, tAlarms   uint64
+		kernelW            float64
+		p50W, traceW, p99M int64
+	)
 	fmt.Fprintf(&b, "ipds fleet — %d node(s)\n", len(nodes))
 	for i, n := range nodes {
+		stats := func(info server.DebugInfo) string {
+			e2e := "e2e -/-"
+			if info.TraceN > 0 {
+				e2e = fmt.Sprintf("e2e %s/%s",
+					time.Duration(info.E2EP50Ns), time.Duration(info.E2EP99Ns))
+			}
+			return fmt.Sprintf("%d session(s), %.0fns/ev, %s", len(info.Sessions), info.KernelNs, e2e)
+		}
 		switch {
 		case n.Err != nil:
 			fmt.Fprintf(&b, "  node%-2d %-28s UNREACHABLE (%v)\n", i, n.Base, n.Err)
 		case n.Info.Draining:
-			fmt.Fprintf(&b, "  node%-2d %-28s DRAINING — %d session(s)\n", i, n.Base, len(n.Info.Sessions))
+			fmt.Fprintf(&b, "  node%-2d %-28s DRAINING — %s\n", i, n.Base, stats(n.Info))
 		default:
-			fmt.Fprintf(&b, "  node%-2d %-28s serving — %d session(s)\n", i, n.Base, len(n.Info.Sessions))
+			fmt.Fprintf(&b, "  node%-2d %-28s serving — %s\n", i, n.Base, stats(n.Info))
 		}
 		if n.Err == nil {
 			total += len(n.Info.Sessions)
+			tEvents += n.Info.Events
+			tAlarms += n.Info.Alarms
+			kernelW += n.Info.KernelNs * float64(n.Info.Events)
+			p50W += n.Info.E2EP50Ns * int64(n.Info.TraceN)
+			traceW += int64(n.Info.TraceN)
+			if n.Info.E2EP99Ns > p99M {
+				p99M = n.Info.E2EP99Ns
+			}
 			for _, s := range n.Info.Sessions {
 				rows = append(rows, row{i, s})
 			}
 		}
 	}
+	kernel := 0.0
+	if tEvents > 0 {
+		kernel = kernelW / float64(tEvents)
+	}
+	e2e := "e2e -/-"
+	if traceW > 0 {
+		e2e = fmt.Sprintf("e2e %s/%s", time.Duration(p50W/traceW), time.Duration(p99M))
+	}
+	fmt.Fprintf(&b, "  totals: %d session(s), %d event(s), %d alarm(s), %.0fns/ev, %s\n",
+		total, tEvents, tAlarms, kernel, e2e)
 	b.WriteString("\n")
 	if total == 0 {
 		b.WriteString("(no live sessions)\n")
@@ -219,13 +269,104 @@ func renderFleet(nodes []fleetNode) string {
 		}
 		return rows[i].s.ID < rows[j].s.ID
 	})
-	fmt.Fprintf(&b, "%6s %6s  %-16s %5s %10s %8s %7s %8s %8s %6s\n",
-		"NODE", "ID", "PROGRAM", "CORE", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "UPTIME", "IDLE")
+	fmt.Fprintf(&b, "%6s %6s  %-16s %5s %10s %8s %7s %8s %8s %8s %6s\n",
+		"NODE", "ID", "PROGRAM", "CORE", "EVENTS", "BATCHES", "ALARMS", "ALRM/S", "KRNL/EV", "UPTIME", "IDLE")
 	for _, r := range rows {
 		s := r.s
-		fmt.Fprintf(&b, "%6s %6d  %-16s %5d %10d %8d %7d %8.1f %7.1fs %5dms\n",
+		kernel := "-"
+		if s.KernelNs > 0 {
+			kernel = fmt.Sprintf("%.0fns", s.KernelNs)
+		}
+		fmt.Fprintf(&b, "%6s %6d  %-16s %5d %10d %8d %7d %8.1f %8s %7.1fs %5dms\n",
 			fmt.Sprintf("node%d", r.node), s.ID, s.Program, s.Core, s.Events, s.Batches,
-			s.Alarms, s.AlarmRate, s.UptimeS, s.IdleMs)
+			s.Alarms, s.AlarmRate, kernel, s.UptimeS, s.IdleMs)
+	}
+	return b.String()
+}
+
+// fetchTimeline retrieves and decodes one /debug/timeline document.
+func fetchTimeline(c *http.Client, url string) (tsdb.Timeline, error) {
+	var tl tsdb.Timeline
+	resp, err := c.Get(url)
+	if err != nil {
+		return tl, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tl, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return tl, err
+	}
+	if err := json.Unmarshal(body, &tl); err != nil {
+		return tl, fmt.Errorf("%s: %w", url, err)
+	}
+	return tl, nil
+}
+
+// sparkTicks are the eight sparkline glyphs, lowest to highest.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders points as a fixed-width terminal sparkline, scaled
+// to the series' own min..max (a flat series renders all-low).
+func sparkline(points []int64, width int) string {
+	if len(points) > width {
+		points = points[len(points)-width:]
+	}
+	lo, hi := points[0], points[0]
+	for _, p := range points {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	var b strings.Builder
+	for _, p := range points {
+		i := 0
+		if hi > lo {
+			i = int(int64(len(sparkTicks)-1) * (p - lo) / (hi - lo))
+		}
+		b.WriteRune(sparkTicks[i])
+	}
+	return b.String()
+}
+
+// historyWidth is how many trailing samples a sparkline shows.
+const historyWidth = 60
+
+// renderHistory formats one metric-history snapshot: one sparkline row
+// per series with its window min/last/max. Pure — the tests drive it
+// with synthetic timelines.
+func renderHistory(tl tsdb.Timeline) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ipdsd history — %d sample(s) every %v — %s\n\n",
+		len(tl.TimesNs), time.Duration(tl.IntervalNs), time.Unix(0, tl.NowUnixNs).Format(time.TimeOnly))
+	if len(tl.Series) == 0 || len(tl.TimesNs) == 0 {
+		b.WriteString("(no history yet)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-40s %12s %12s %12s  %s\n", "SERIES", "MIN", "LAST", "MAX", "HISTORY")
+	for _, s := range tl.Series {
+		lo, hi := s.Points[0], s.Points[0]
+		for _, p := range s.Points {
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		// Counter series show per-interval increments; suffix the name so
+		// the unit is readable at a glance.
+		name := s.Name
+		if s.Kind == tsdb.KindCounter {
+			name += " (Δ)"
+		}
+		fmt.Fprintf(&b, "%-40s %12d %12d %12d  %s\n",
+			name, lo, s.Points[len(s.Points)-1], hi, sparkline(s.Points, historyWidth))
 	}
 	return b.String()
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/incident"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 )
 
@@ -130,6 +131,95 @@ func TestRenderFleetView(t *testing.T) {
 }
 
 var errFake = fmt.Errorf("connection refused")
+
+// TestRenderFleetTotals pins the PR 10 fleet columns: per-node kernel
+// ns/event and traced-batch e2e p50/p99 on the node lines, a rolled-up
+// cluster totals line (event-weighted kernel, trace-weighted p50,
+// worst-node p99), and the KRNL/EV session column.
+func TestRenderFleetTotals(t *testing.T) {
+	nodes := []fleetNode{
+		{Base: "http://n0:6060", Info: server.DebugInfo{
+			Events: 1000, Alarms: 5, KernelNs: 100, TraceN: 10,
+			E2EP50Ns: 1000, E2EP99Ns: 9000,
+			Sessions: []server.DebugSession{{ID: 1, Program: "telnetd#0", Events: 1000, KernelNs: 100}},
+		}},
+		{Base: "http://n1:6060", Info: server.DebugInfo{
+			Events: 3000, Alarms: 7, KernelNs: 100, TraceN: 10,
+			E2EP50Ns: 3000, E2EP99Ns: 5000,
+			Sessions: []server.DebugSession{{ID: 2, Program: "ftpd#0", Events: 3000, KernelNs: 100}},
+		}},
+	}
+	out := renderFleet(nodes)
+	for _, want := range []string{
+		"100ns/ev",                   // per-node kernel figure
+		"e2e 1µs/9µs", "e2e 3µs/5µs", // per-node p50/p99
+		"totals: 2 session(s), 4000 event(s), 12 alarm(s), 100ns/ev, e2e 2µs/9µs",
+		"KRNL/EV", "100ns", // session column
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet view lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func sampleTimeline() tsdb.Timeline {
+	return tsdb.Timeline{
+		NowUnixNs:  1_700_000_000_000_000_000,
+		IntervalNs: 1_000_000_000,
+		TimesNs:    []int64{1000, 2000, 3000},
+		Series: []tsdb.Series{
+			{Name: "server_events_total", Kind: tsdb.KindCounter, Points: []int64{100, 400, 200}},
+			{Name: "server_verify_ns/p99", Kind: tsdb.KindGauge, Points: []int64{7, 7, 7}},
+		},
+	}
+}
+
+// TestRenderHistory pins the sparkline view: one row per series,
+// min/last/max columns, counter series marked as deltas, and flat
+// series rendered all-low rather than dividing by zero.
+func TestRenderHistory(t *testing.T) {
+	out := renderHistory(sampleTimeline())
+	for _, want := range []string{
+		"3 sample(s) every 1s",
+		"server_events_total (Δ)",
+		"server_verify_ns/p99",
+		"▁█▃", // 100/400/200 scaled onto eight ticks
+		"▁▁▁", // flat series
+		"MIN", "LAST", "MAX",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history view lacks %q:\n%s", want, out)
+		}
+	}
+	if empty := renderHistory(tsdb.Timeline{}); !strings.Contains(empty, "(no history yet)") {
+		t.Errorf("empty history view wrong:\n%s", empty)
+	}
+}
+
+// TestFetchTimelineRoundTrip mirrors TestFetchRoundTrip for the
+// /debug/timeline document tsdb's Handler emits.
+func TestFetchTimelineRoundTrip(t *testing.T) {
+	want := sampleTimeline()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/timeline" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer ts.Close()
+
+	got, err := fetchTimeline(ts.Client(), ts.URL+"/debug/timeline")
+	if err != nil {
+		t.Fatalf("fetchTimeline: %v", err)
+	}
+	if len(got.Series) != 2 || got.Series[0].Name != "server_events_total" || len(got.TimesNs) != 3 {
+		t.Fatalf("decoded document diverges: %+v", got)
+	}
+	if _, err := fetchTimeline(ts.Client(), ts.URL+"/nope"); err == nil {
+		t.Fatal("fetchTimeline of a 404 endpoint returned nil error")
+	}
+}
 
 // TestFetchRoundTrip drives fetch against an httptest server producing
 // the same JSON the daemon's DebugHandler emits.

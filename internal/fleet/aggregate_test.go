@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNodeTag(t *testing.T) {
+	cases := map[string]string{
+		"x_total":           `x_total{node="n:1"}`,
+		`x_total{a="b"}`:    `x_total{a="b",node="n:1"}`,
+		"lat_ns/p50":        `lat_ns{node="n:1"}/p50`,
+		`lat_ns{a="b"}/p99`: `lat_ns{a="b",node="n:1"}/p99`,
+	}
+	for in, want := range cases {
+		if got := nodeTag(in, "n:1"); got != want {
+			t.Errorf("nodeTag(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// fakeNode serves a minimal daemon telemetry surface.
+func fakeNode(t *testing.T, events, alarms uint64, sessions int, p50, p99 int64, counter string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		doc := map[string]any{
+			"draining":            false,
+			"events_total":        events,
+			"alarms_total":        alarms,
+			"kernel_ns_per_event": 100.0,
+			"trace_spans":         10,
+			"e2e_p50_ns":          p50,
+			"e2e_p99_ns":          p99,
+			"sessions":            make([]map[string]any, sessions),
+		}
+		json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		doc := map[string]any{
+			"times_ns": []int64{1000, 2000},
+			"series": []map[string]any{
+				{"name": counter, "kind": "counter", "points": []int64{1, 2}},
+			},
+		}
+		json.NewEncoder(w).Encode(doc)
+	})
+	return httptest.NewServer(mux)
+}
+
+// TestAggregatorMerge scrapes two fake nodes plus one dead one and
+// checks the merged totals, the per-node rows, and the node-tagged
+// series — the label-safety contract: same metric name on two nodes,
+// two distinct merged series.
+func TestAggregatorMerge(t *testing.T) {
+	n1 := fakeNode(t, 1000, 5, 2, 100, 900, "server_events_total")
+	defer n1.Close()
+	n2 := fakeNode(t, 3000, 7, 1, 300, 500, "server_events_total")
+	defer n2.Close()
+
+	// The third node is down; its row must carry the error and stay out
+	// of the totals. The /debug/sessions suffix from a shared -probe
+	// flag value must be tolerated.
+	agg := NewAggregator([]string{
+		n1.URL + "/debug/sessions",
+		n2.URL,
+		"127.0.0.1:1", // nothing listens here
+	}, 500*time.Millisecond)
+
+	view := agg.Scrape(context.Background())
+	if len(view.Nodes) != 3 {
+		t.Fatalf("got %d node rows, want 3", len(view.Nodes))
+	}
+	if view.Nodes[2].Err == "" {
+		t.Fatal("dead node did not record a scrape error")
+	}
+	tot := view.Totals
+	if tot.Nodes != 3 || tot.Healthy != 2 {
+		t.Fatalf("totals nodes/healthy = %d/%d, want 3/2", tot.Nodes, tot.Healthy)
+	}
+	if tot.Events != 4000 || tot.Alarms != 12 || tot.Sessions != 3 {
+		t.Fatalf("totals events/alarms/sessions = %d/%d/%d, want 4000/12/3",
+			tot.Events, tot.Alarms, tot.Sessions)
+	}
+	if tot.KernelNs != 100 {
+		t.Fatalf("weighted kernel ns = %v, want 100", tot.KernelNs)
+	}
+	// p50: trace-weighted mean of (100, 300) with equal weights = 200;
+	// p99: the worse node's 900.
+	if tot.E2EP50Ns != 200 || tot.E2EP99Ns != 900 {
+		t.Fatalf("e2e p50/p99 = %d/%d, want 200/900", tot.E2EP50Ns, tot.E2EP99Ns)
+	}
+
+	if len(view.Series) != 2 {
+		t.Fatalf("got %d merged series, want 2 (one per live node)", len(view.Series))
+	}
+	seen := map[string]bool{}
+	for _, s := range view.Series {
+		if !strings.Contains(s.Name, `node="`) {
+			t.Fatalf("series %q not node-tagged", s.Name)
+		}
+		if seen[s.Name] {
+			t.Fatalf("node tag failed to disambiguate: duplicate %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Points) != 2 || len(s.TimesNs) != 2 {
+			t.Fatalf("series %q lost its points/times", s.Name)
+		}
+	}
+}
+
+// TestAggregatorHandler pins the HTTP surface: /debug/fleet returns
+// the view as valid JSON.
+func TestAggregatorHandler(t *testing.T) {
+	n1 := fakeNode(t, 10, 0, 1, 1, 2, "x_total")
+	defer n1.Close()
+	agg := NewAggregator([]string{n1.URL}, 500*time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fleet", nil))
+	var view FleetView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if view.Totals.Healthy != 1 || view.Totals.Events != 10 {
+		t.Fatalf("handler view totals = %+v", view.Totals)
+	}
+}

@@ -1,0 +1,120 @@
+// The trace gate: a routed three-node run with every batch stamped
+// (-trace-sample 1) must yield one committed span per verified batch,
+// each with a complete monotonic stage chain — client origin stamp →
+// router splice → core verify → ack flush — and per-session trace ids
+// in send order. This is the CI check `make trace-gate` runs under
+// -race.
+package fleet_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/ipdsclient"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func TestTraceGateRoutedSpans(t *testing.T) {
+	const (
+		nodesN   = 3
+		sessions = 24
+		events   = 20000
+		batch    = 256
+	)
+	art, w := compileTelnetd(t)
+	trace := ipdsclient.Tamper(ipdsclient.Capture(art, w.AttackSession), 97)
+
+	// Three nodes with generous span rings: the gate counts every span,
+	// so nothing may be overwritten.
+	var nodes []*server.Server
+	var addrs []string
+	var hash [32]byte
+	for i := 0; i < nodesN; i++ {
+		store := server.NewImageStore(nil)
+		hash = store.Add(w.Name, art.Image)
+		srv := server.New(store, server.Config{TraceRing: 1 << 13})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(ln)
+		nodes = append(nodes, srv)
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	router := fleet.NewRouter(fleet.NewRing(addrs), fleet.RouterConfig{Reg: obs.NewRegistry()})
+	raddr, err := router.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("router listen: %v", err)
+	}
+	defer router.Close()
+
+	t0 := time.Now().UnixNano()
+	res := ipdsclient.RunLoad(ipdsclient.LoadConfig{
+		Addr: raddr, Image: hash, Program: w.Name, Trace: trace,
+		Sessions: sessions, EventsPerConn: events, Batch: batch,
+		Timeout: 60 * time.Second, TraceSample: 1,
+	})
+	for _, err := range res.Errors {
+		t.Fatalf("load: %v", err)
+	}
+
+	// Drain every node before counting: span commits ride the core
+	// writers, and shutdown joins them.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, srv := range nodes {
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}
+
+	var spanTotal int
+	var batchTotal uint64
+	nodesWithSpans := 0
+	for ni, srv := range nodes {
+		for _, cs := range srv.CoreStats() {
+			batchTotal += cs.Batches
+		}
+		spans := srv.TraceSpans()
+		spanTotal += len(spans)
+		if len(spans) > 0 {
+			nodesWithSpans++
+		}
+		lastID := map[uint64]uint64{}
+		for _, sp := range spans {
+			if sp.TraceID == 0 || sp.Events == 0 {
+				t.Fatalf("node %d: incomplete span record: %+v", ni, sp)
+			}
+			// The wire leg spans client encode + router splice + daemon
+			// read; same-host clocks make it strictly ordered.
+			if sp.OriginNs < t0 || sp.OriginNs > sp.ReadNs {
+				t.Errorf("node %d: wire leg not monotonic: origin=%d read=%d", ni, sp.OriginNs, sp.ReadNs)
+			}
+			if !(sp.ReadNs <= sp.DequeueNs && sp.DequeueNs <= sp.VerifyEndNs &&
+				sp.VerifyEndNs <= sp.OfferEndNs && sp.OfferEndNs <= sp.AckNs) {
+				t.Errorf("node %d: span chain not monotonic: %+v", ni, sp)
+			}
+			// One session's batches flow through one reader and one core:
+			// its trace ids commit in send order, no gaps.
+			if prev, ok := lastID[sp.Session]; ok && sp.TraceID != prev+1 {
+				t.Errorf("node %d session %d: trace id %d after %d", ni, sp.Session, sp.TraceID, prev)
+			}
+			lastID[sp.Session] = sp.TraceID
+		}
+	}
+	// Fully-stamped load: every verified event batch must have become
+	// exactly one span, fleet-wide.
+	if uint64(spanTotal) != batchTotal || spanTotal == 0 {
+		t.Fatalf("fleet committed %d spans for %d verified batches", spanTotal, batchTotal)
+	}
+	// Placement is deterministic (jump hash over program#i session
+	// keys), and 24 sessions do not all land on one of three nodes.
+	if nodesWithSpans < 2 {
+		t.Fatalf("spans on %d node(s); routed load did not spread", nodesWithSpans)
+	}
+}

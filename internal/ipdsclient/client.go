@@ -56,6 +56,13 @@ type Config struct {
 	// the forensic stream is bulky, and decoding it in-process would
 	// measure the client's allocator instead of the daemon.
 	DiscardCtx bool
+
+	// TraceSample, when > 0, stamps every TraceSample-th flushed batch
+	// with the wire trace extension (a fresh trace id plus the client's
+	// clock at flush), making the daemon expand that batch into a
+	// per-stage span record behind /debug/trace. 0 (the default) sends
+	// batches byte-identical to a pre-trace client.
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +109,12 @@ type Client struct {
 	// session's stream is indistinguishable from an uninterrupted one.
 	evBase uint64
 	brBase uint64
+
+	// Trace stamping state (single sender goroutine, like pend): flushCnt
+	// picks every TraceSample-th batch, traceBase keys this session's
+	// trace ids so two clients' samples stay distinguishable fleet-wide.
+	flushCnt  uint64
+	traceBase uint64
 
 	ctxN atomic.Uint64 // AlarmCtx frames seen (decoded or discarded)
 
@@ -154,6 +167,10 @@ func dialConn(conn net.Conn, cfg Config, prev *Client, evBase, brBase uint64) (*
 		conn:    conn,
 		sawBye:  make(chan struct{}),
 		readerD: make(chan struct{}),
+		// Clock-derived, shifted to leave room for the per-batch counter;
+		// |1 keeps the first stamped id nonzero (zero means "untraced" on
+		// the wire).
+		traceBase: uint64(time.Now().UnixNano())<<16 | 1,
 	}
 	if prev != nil {
 		c.evBase, c.brBase = evBase, brBase
@@ -320,9 +337,15 @@ func (c *Client) Flush() error {
 
 func (c *Client) flushN(n int) error {
 	evs := c.pend[:n]
+	b := wire.Batch{Events: evs}
+	if s := c.cfg.TraceSample; s > 0 && c.flushCnt%uint64(s) == 0 {
+		b.TraceID = c.traceBase + c.flushCnt
+		b.OriginNs = uint64(time.Now().UnixNano())
+	}
+	c.flushCnt++
 	c.buf = c.buf[:0]
 	var err error
-	c.buf, err = wire.Append(c.buf, wire.Batch{Events: evs})
+	c.buf, err = wire.Append(c.buf, b)
 	if err != nil {
 		return err
 	}

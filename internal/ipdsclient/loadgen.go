@@ -35,6 +35,14 @@ type LoadConfig struct {
 
 	// Timeout bounds each session's network operations.
 	Timeout time.Duration
+
+	// TraceSample, when > 0, stamps every TraceSample-th batch of each
+	// session with the wire trace extension (Config.TraceSample). A
+	// tracing run takes the re-encoding Send path — the shared
+	// pre-encoded block cannot carry per-batch origin timestamps — so
+	// throughput numbers from a traced run measure the traced protocol,
+	// not the replay fast path.
+	TraceSample int
 }
 
 // LoadResult aggregates a load run.
@@ -102,7 +110,7 @@ func RunLoad(cfg LoadConfig) LoadResult {
 		blockEvents   int
 		blockBranches uint64
 	)
-	if len(cfg.Trace) > 0 {
+	if len(cfg.Trace) > 0 && cfg.TraceSample <= 0 {
 		const targetBlock = 16384 // events per block: enough to amortize per-write marks
 		reps := targetBlock / len(cfg.Trace)
 		if c := cfg.EventsPerConn / len(cfg.Trace); c >= 1 && c < reps {
@@ -137,7 +145,8 @@ func RunLoad(cfg LoadConfig) LoadResult {
 				Timeout: cfg.Timeout,
 				// Forensic contexts are counted, not decoded: the load
 				// run measures the daemon, not this process's allocator.
-				DiscardCtx: true,
+				DiscardCtx:  true,
+				TraceSample: cfg.TraceSample,
 			})
 			if err != nil {
 				mu.Lock()

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExposition hammers one registry from writers (hot-path
+// metric updates and new-metric registration) while readers render the
+// Prometheus text exposition and take snapshots. Run under -race (the
+// Makefile's race target covers ./internal/...), this pins the
+// registry's central claim: exposition never excludes or torments a
+// concurrently-updating metric, and metric creation during a render is
+// safe.
+func TestConcurrentExposition(t *testing.T) {
+	r := NewRegistry()
+	const writers, iters = 4, 2000
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared_depth")
+			h := r.Histogram("shared_ns")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(uint64(i))
+				if i%100 == 0 {
+					// Registration mid-flight: a label variant a renderer
+					// may or may not see, but must never trip over.
+					r.Counter(Name("late_total", "writer", string(rune('a'+w)))).Inc()
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				r.WritePrometheus(io.Discard)
+				snap := r.Snapshot()
+				if snap.Counters == nil || snap.Histograms == nil {
+					t.Error("nil snapshot maps")
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := r.Counter("shared_total").Value(); got != writers*iters {
+		t.Fatalf("shared_total = %d, want %d", got, writers*iters)
+	}
+	if got := r.Histogram("shared_ns").Count(); got != writers*iters {
+		t.Fatalf("shared_ns count = %d, want %d", got, writers*iters)
+	}
+}

@@ -1,0 +1,291 @@
+// Package tsdb is the daemon's in-process metric history: a
+// fixed-footprint ring of periodic registry snapshots, exposed as the
+// /debug/timeline JSON document and rendered by `ipdstop -history`.
+//
+// It is deliberately not a database. One sample is the delta since the
+// previous sample, varint-packed into a single blob: counters store
+// their per-interval increment (small numbers, short varints),
+// gauges store their instantaneous value, and each histogram
+// contributes a per-interval observation count plus windowed p50/p99
+// series computed from its bucket deltas at sample time — so the
+// quantile timeline tracks what the last interval looked like, not the
+// lifetime distribution the raw histogram converges to. The ring
+// overwrites oldest-first; because every retained point is
+// self-contained (a delta or an absolute value), eviction never needs
+// a rebase.
+package tsdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Series kinds. A counter series' points are per-interval increments
+// (a rate numerator); a gauge series' points are instantaneous values.
+// Histogram-derived series reuse them: "/count" is a counter, "/p50"
+// and "/p99" are gauges.
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+)
+
+// DB is one registry's sampled history. All methods are safe for
+// concurrent use; the sampler goroutine (Start) and any number of
+// Timeline readers share one mutex held only for the pack/unpack.
+type DB struct {
+	reg      *obs.Registry
+	interval time.Duration
+
+	mu    sync.Mutex
+	ids   map[string]int // series name -> dense id
+	names []string       // id -> name
+	kinds []string       // id -> KindCounter / KindGauge
+	lastC []uint64       // id -> previous absolute value (counter series)
+	lastH map[string]obs.HistSnapshot
+
+	samples []sample
+	n       uint64 // lifetime samples; samples[(n-1) % len] is newest
+
+	stopC chan struct{}
+	done  chan struct{}
+}
+
+// sample is one packed snapshot delta: uvarint entry count, then
+// (uvarint series id, uvarint value) pairs. Counter values are the
+// interval's increment; gauge values are zigzag-encoded absolutes.
+type sample struct {
+	unixNs int64
+	blob   []byte
+}
+
+// New sizes a history of capacity samples taken every interval.
+// capacity <= 0 disables the DB entirely (all methods are no-ops), the
+// same convention as a nil registry.
+func New(reg *obs.Registry, capacity int, interval time.Duration) *DB {
+	if capacity <= 0 || reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &DB{
+		reg:      reg,
+		interval: interval,
+		ids:      map[string]int{},
+		lastH:    map[string]obs.HistSnapshot{},
+		samples:  make([]sample, capacity),
+	}
+}
+
+// Start launches the background sampler. Stop tears it down.
+func (db *DB) Start() {
+	if db == nil || db.stopC != nil {
+		return
+	}
+	db.stopC = make(chan struct{})
+	db.done = make(chan struct{})
+	go func() {
+		defer close(db.done)
+		t := time.NewTicker(db.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				db.Sample()
+			case <-db.stopC:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampler started by Start and waits for it to exit.
+func (db *DB) Stop() {
+	if db == nil || db.stopC == nil {
+		return
+	}
+	close(db.stopC)
+	<-db.done
+	db.stopC, db.done = nil, nil
+}
+
+// Sample takes one snapshot now. Exposed so tests (and callers without
+// a sampler goroutine) can drive the clock themselves.
+func (db *DB) Sample() {
+	if db == nil {
+		return
+	}
+	db.sampleAt(time.Now().UnixNano(), db.reg.Snapshot())
+}
+
+// sid interns a series name under the given kind.
+func (db *DB) sid(name, kind string) int {
+	id, ok := db.ids[name]
+	if !ok {
+		id = len(db.names)
+		db.ids[name] = id
+		db.names = append(db.names, name)
+		db.kinds = append(db.kinds, kind)
+		db.lastC = append(db.lastC, 0)
+	}
+	return id
+}
+
+// zigzag maps signed values onto uvarint-friendly unsigned ones.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// sampleAt packs one registry snapshot into the ring. Split from
+// Sample so tests control the timestamps.
+func (db *DB) sampleAt(nowNs int64, snap obs.Snapshot) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	// Deterministic blob layout (sorted names) keeps samples
+	// byte-comparable in tests; the cost is sorting a few dozen strings
+	// once per second.
+	type entry struct {
+		id int
+		v  uint64
+	}
+	var entries []entry
+
+	for _, name := range sortedKeys(snap.Counters) {
+		id := db.sid(name, KindCounter)
+		v := snap.Counters[name]
+		entries = append(entries, entry{id, v - db.lastC[id]})
+		db.lastC[id] = v
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		id := db.sid(name, KindGauge)
+		entries = append(entries, entry{id, zigzag(snap.Gauges[name])})
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		prev := db.lastH[name]
+		// The interval's own distribution: cumulative buckets minus the
+		// previous sample's. Quantiles over this window move with the
+		// traffic instead of being anchored by history.
+		win := obs.HistSnapshot{
+			Count:   h.Count - prev.Count,
+			Buckets: make([]uint64, len(h.Buckets)),
+		}
+		for i := range h.Buckets {
+			var p uint64
+			if i < len(prev.Buckets) {
+				p = prev.Buckets[i]
+			}
+			win.Buckets[i] = h.Buckets[i] - p
+		}
+		db.lastH[name] = h
+
+		cid := db.sid(name+"/count", KindCounter)
+		entries = append(entries, entry{cid, win.Count})
+		if win.Count > 0 {
+			entries = append(entries,
+				entry{db.sid(name+"/p50", KindGauge), zigzag(int64(win.Quantile(0.50)))},
+				entry{db.sid(name+"/p99", KindGauge), zigzag(int64(win.Quantile(0.99)))})
+		}
+	}
+
+	blob := binary.AppendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		blob = binary.AppendUvarint(blob, uint64(e.id))
+		blob = binary.AppendUvarint(blob, e.v)
+	}
+	db.samples[db.n%uint64(len(db.samples))] = sample{unixNs: nowNs, blob: blob}
+	db.n++
+}
+
+// Timeline is the decoded /debug/timeline document: aligned series
+// over the retained sample window, oldest first.
+type Timeline struct {
+	NowUnixNs  int64    `json:"now_unix_ns"`
+	IntervalNs int64    `json:"interval_ns"`
+	TimesNs    []int64  `json:"times_ns"`
+	Series     []Series `json:"series"`
+}
+
+// Series is one metric's timeline. Points is index-aligned with the
+// Timeline's TimesNs; samples where the series was absent read 0.
+type Series struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Points []int64 `json:"points"`
+}
+
+// Timeline decodes the ring into the JSON document. nil-safe.
+func (db *DB) Timeline() Timeline {
+	tl := Timeline{TimesNs: []int64{}, Series: []Series{}}
+	if db == nil {
+		return tl
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tl.NowUnixNs = time.Now().UnixNano()
+	tl.IntervalNs = int64(db.interval)
+
+	size := uint64(len(db.samples))
+	start := uint64(0)
+	if db.n > size {
+		start = db.n - size
+	}
+	nPts := int(db.n - start)
+	points := make([][]int64, len(db.names))
+	for j := uint64(0); start+j < db.n; j++ {
+		s := db.samples[(start+j)%size]
+		tl.TimesNs = append(tl.TimesNs, s.unixNs)
+		b := s.blob
+		cnt, off := binary.Uvarint(b)
+		for k := uint64(0); k < cnt; k++ {
+			id, n1 := binary.Uvarint(b[off:])
+			off += n1
+			raw, n2 := binary.Uvarint(b[off:])
+			off += n2
+			if int(id) >= len(points) {
+				continue // blob from a future writer; ignore
+			}
+			if points[id] == nil {
+				points[id] = make([]int64, nPts)
+			}
+			if db.kinds[id] == KindGauge {
+				points[id][j] = unzigzag(raw)
+			} else {
+				points[id][j] = int64(raw)
+			}
+		}
+	}
+	for id, pts := range points {
+		if pts == nil {
+			continue // series known but absent from the retained window
+		}
+		tl.Series = append(tl.Series, Series{Name: db.names[id], Kind: db.kinds[id], Points: pts})
+	}
+	sort.Slice(tl.Series, func(i, j int) bool { return tl.Series[i].Name < tl.Series[j].Name })
+	return tl
+}
+
+// Handler serves Timeline() as JSON — mounted at /debug/timeline.
+func (db *DB) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(db.Timeline())
+	})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

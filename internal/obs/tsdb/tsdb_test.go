@@ -1,0 +1,197 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// series fetches one named series from a timeline, failing the test if
+// it is absent.
+func series(t *testing.T, tl Timeline, name string) Series {
+	t.Helper()
+	for _, s := range tl.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing; have %d series", name, len(tl.Series))
+	return Series{}
+}
+
+// TestCounterDeltas pins the core encoding: counter points are the
+// per-interval increment, not the cumulative value, so each retained
+// sample is self-contained and eviction needs no rebase.
+func TestCounterDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("x_total")
+	db := New(reg, 8, time.Second)
+
+	steps := []uint64{5, 0, 120, 1}
+	var now int64 = 1000
+	for _, d := range steps {
+		c.Add(d)
+		db.sampleAt(now, reg.Snapshot())
+		now += 1000
+	}
+	tl := db.Timeline()
+	if len(tl.TimesNs) != len(steps) {
+		t.Fatalf("got %d samples, want %d", len(tl.TimesNs), len(steps))
+	}
+	s := series(t, tl, "x_total")
+	if s.Kind != KindCounter {
+		t.Fatalf("kind = %q, want %q", s.Kind, KindCounter)
+	}
+	for i, d := range steps {
+		if s.Points[i] != int64(d) {
+			t.Fatalf("point %d = %d, want %d (points %v)", i, s.Points[i], d, s.Points)
+		}
+	}
+}
+
+// TestRingWraparound fills a small ring far past capacity and checks
+// the window holds exactly the newest samples in order, with counter
+// deltas still correct across the wrap — the first retained point's
+// delta references an evicted sample, which must not matter.
+func TestRingWraparound(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("x_total")
+	g := reg.Gauge("depth")
+	const capSamples = 4
+	db := New(reg, capSamples, time.Second)
+
+	const total = 11
+	for i := 1; i <= total; i++ {
+		c.Add(uint64(i)) // delta at sample i is exactly i
+		g.Set(int64(i * 10))
+		db.sampleAt(int64(i)*1000, reg.Snapshot())
+	}
+	tl := db.Timeline()
+	if len(tl.TimesNs) != capSamples {
+		t.Fatalf("got %d samples, want %d", len(tl.TimesNs), capSamples)
+	}
+	for j := 0; j < capSamples; j++ {
+		wantIdx := total - capSamples + 1 + j // samples 8..11
+		if tl.TimesNs[j] != int64(wantIdx)*1000 {
+			t.Fatalf("time %d = %d, want %d", j, tl.TimesNs[j], wantIdx*1000)
+		}
+		if got := series(t, tl, "x_total").Points[j]; got != int64(wantIdx) {
+			t.Fatalf("counter point %d = %d, want %d", j, got, wantIdx)
+		}
+		if got := series(t, tl, "depth").Points[j]; got != int64(wantIdx*10) {
+			t.Fatalf("gauge point %d = %d, want %d", j, got, wantIdx*10)
+		}
+	}
+}
+
+// TestDeltaDecodeBoundaries pins the unpack edge cases: a series that
+// appears mid-window decodes zeros before its first sample, negative
+// gauges survive the zigzag round trip, and histogram-derived series
+// report windowed (not lifetime) quantiles.
+func TestDeltaDecodeBoundaries(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("temp")
+	db := New(reg, 8, time.Second)
+
+	g.Set(-42)
+	db.sampleAt(1000, reg.Snapshot())
+
+	// A histogram born after the first sample: its series join late.
+	h := reg.Histogram("lat_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // bucket upper bound 127
+	}
+	db.sampleAt(2000, reg.Snapshot())
+
+	// Next interval is much slower; the windowed p50 must move to the
+	// new regime even though the lifetime distribution is still
+	// dominated by the fast observations.
+	for i := 0; i < 100; i++ {
+		h.Observe(100_000) // bucket upper bound 131071
+	}
+	db.sampleAt(3000, reg.Snapshot())
+
+	tl := db.Timeline()
+	if got := series(t, tl, "temp").Points; got[0] != -42 {
+		t.Fatalf("negative gauge decoded as %d", got[0])
+	}
+	cnt := series(t, tl, "lat_ns/count")
+	if cnt.Points[0] != 0 || cnt.Points[1] != 100 || cnt.Points[2] != 100 {
+		t.Fatalf("lat_ns/count points = %v, want [0 100 100]", cnt.Points)
+	}
+	p50 := series(t, tl, "lat_ns/p50")
+	if p50.Points[1] != 127 {
+		t.Fatalf("first-window p50 = %d, want 127", p50.Points[1])
+	}
+	if p50.Points[2] != 131071 {
+		t.Fatalf("second-window p50 = %d, want 131071 (windowed, not lifetime)", p50.Points[2])
+	}
+}
+
+// TestHandler exercises the HTTP surface end to end: valid JSON with
+// aligned series lengths.
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total").Add(3)
+	db := New(reg, 4, time.Second)
+	db.Sample()
+	db.Sample()
+
+	rec := httptest.NewRecorder()
+	db.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/timeline", nil))
+	var tl Timeline
+	if err := json.Unmarshal(rec.Body.Bytes(), &tl); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tl.TimesNs) != 2 {
+		t.Fatalf("got %d samples, want 2", len(tl.TimesNs))
+	}
+	for _, s := range tl.Series {
+		if len(s.Points) != len(tl.TimesNs) {
+			t.Fatalf("series %q has %d points for %d samples", s.Name, len(s.Points), len(tl.TimesNs))
+		}
+	}
+}
+
+// TestNilSafety pins the disabled-DB convention: capacity <= 0 (or a
+// nil registry) yields a nil DB whose methods are all no-ops.
+func TestNilSafety(t *testing.T) {
+	var db *DB
+	db.Sample()
+	db.Start()
+	db.Stop()
+	if tl := db.Timeline(); len(tl.Series) != 0 || len(tl.TimesNs) != 0 {
+		t.Fatalf("nil DB timeline not empty: %+v", tl)
+	}
+	if New(obs.NewRegistry(), 0, time.Second) != nil {
+		t.Fatal("capacity 0 should disable the DB")
+	}
+	if New(nil, 8, time.Second) != nil {
+		t.Fatal("nil registry should disable the DB")
+	}
+}
+
+// TestSampler smoke-tests Start/Stop with a fast ticker under -race:
+// the sampler goroutine and a Timeline reader share the DB.
+func TestSampler(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("x_total")
+	db := New(reg, 16, 2*time.Millisecond)
+	db.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.Inc()
+		if len(db.Timeline().TimesNs) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler produced no samples in 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	db.Stop()
+	db.Stop() // idempotent
+}

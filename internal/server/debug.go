@@ -42,10 +42,19 @@ type DebugSession struct {
 	LastAlarm *DebugAlarm `json:"last_alarm,omitempty"`
 }
 
-// DebugInfo is the full /debug/sessions document.
+// DebugInfo is the full /debug/sessions document. The node-level
+// totals exist for the fleet aggregation (PR 10): /debug/fleet and
+// `ipdstop -fleet` merge them across nodes without re-deriving
+// anything from the per-session list.
 type DebugInfo struct {
 	NowUnixNs int64          `json:"now_unix_ns"`
 	Draining  bool           `json:"draining"`
+	Events    uint64         `json:"events_total"`        // lifetime verified events, all cores
+	Alarms    uint64         `json:"alarms_total"`        // lifetime alarms, all cores
+	KernelNs  float64        `json:"kernel_ns_per_event"` // lifetime verify wall time / events
+	TraceN    int            `json:"trace_spans"`         // span records currently retained
+	E2EP50Ns  int64          `json:"e2e_p50_ns"`          // traced-batch end-to-end latency
+	E2EP99Ns  int64          `json:"e2e_p99_ns"`
 	Sessions  []DebugSession `json:"sessions"`
 }
 
@@ -64,6 +73,19 @@ func (s *Server) Debug() DebugInfo {
 		NowUnixNs: now.UnixNano(),
 		Draining:  s.draining.Load(),
 		Sessions:  make([]DebugSession, 0, len(live)),
+	}
+	var verifyNs uint64
+	for _, v := range s.verifiers {
+		info.Events += v.events.Load()
+		info.Alarms += v.alarms.Load()
+		verifyNs += v.verifyNs.Load()
+	}
+	if info.Events > 0 {
+		info.KernelNs = float64(verifyNs) / float64(info.Events)
+	}
+	if spans := s.TraceSpans(); len(spans) > 0 {
+		info.TraceN = len(spans)
+		info.E2EP50Ns, info.E2EP99Ns = s.TraceE2E()
 	}
 	for _, ss := range live {
 		d := DebugSession{

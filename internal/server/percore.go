@@ -118,10 +118,11 @@ func newVerifier(s *Server, id int) *verifier {
 		pk:   ring.NewParker(),
 		inMu: newChMutex(),
 		wr: &coreWriter{
-			srv:  s,
-			id:   id,
-			ring: ring.New[writeOp](s.cfg.AlarmQueue),
-			pk:   ring.NewParker(),
+			srv:   s,
+			id:    id,
+			ring:  ring.New[writeOp](s.cfg.AlarmQueue),
+			pk:    ring.NewParker(),
+			spans: newSpanRing(s.cfg.TraceRing),
 		},
 	}
 }
@@ -248,6 +249,7 @@ func (v *verifier) sendFrame(ss *session, f wire.Frame) {
 	fb := v.srv.bufPool.Get().(*frameBuf)
 	fb.b = wire.MustAppend(fb.b[:0], f)
 	fb.t0 = time.Time{} // pooled; a stale sample stamp would skew spans
+	fb.sp = nil
 	v.send(writeOp{s: ss, fb: fb})
 }
 
@@ -288,6 +290,12 @@ type coreWriter struct {
 	id   int
 	ring *ring.SPSC[writeOp]
 	pk   *ring.Parker
+
+	// spans is the core's committed trace-record ring (/debug/trace).
+	// The writer is its only committer: a traced batch's record is
+	// finished and stored only once its ack bytes hit the socket. nil
+	// when tracing is disabled.
+	spans *spanRing
 }
 
 // flush writes a session's coalesced buffer. After the first write
@@ -303,9 +311,26 @@ func (w *coreWriter) flush(ss *session) {
 		ss.conn.SetWriteDeadline(time.Now().Add(w.srv.cfg.WriteTimeout))
 		if _, err := ss.conn.Write(ss.wbuf); err != nil {
 			ss.wfailed = true
-		} else if !ss.wspan.IsZero() {
-			w.srv.met.writeWaitNs.Observe(uint64(time.Since(ss.wspan).Nanoseconds()))
+		} else {
+			if !ss.wspan.IsZero() {
+				w.srv.met.writeWaitNs.Observe(uint64(time.Since(ss.wspan).Nanoseconds()))
+				w.srv.met.writeWaitSampled.Inc()
+			}
+			if len(ss.wspans) > 0 {
+				// One clock read stamps every traced batch this flush acked.
+				now := nowNs()
+				for _, sp := range ss.wspans {
+					w.srv.spanCommit(w, sp, now)
+				}
+				ss.wspans = ss.wspans[:0]
+			}
 		}
+	}
+	if ss.wfailed {
+		for _, sp := range ss.wspans {
+			w.srv.spanDiscard(sp)
+		}
+		ss.wspans = ss.wspans[:0]
 	}
 	ss.wspan = time.Time{}
 	ss.wbuf = ss.wbuf[:0]
@@ -352,11 +377,19 @@ func (w *coreWriter) loop() {
 						ss.wspan = op.fb.t0
 					}
 					ss.wbuf = append(ss.wbuf, op.fb.b...)
+					if op.fb.sp != nil {
+						// Detach the span record from the pooled buffer: it
+						// completes (AckNs) when this coalesce cycle flushes.
+						ss.wspans = append(ss.wspans, op.fb.sp)
+					}
 					if !ss.wdirty {
 						ss.wdirty = true
 						dirty = append(dirty, ss)
 					}
+				} else if op.fb.sp != nil {
+					w.srv.spanDiscard(op.fb.sp)
 				}
+				op.fb.sp = nil
 				w.srv.bufPool.Put(op.fb)
 				if len(ss.wbuf) >= maxWriteCoalesce {
 					w.flush(ss)

@@ -110,6 +110,13 @@ type Config struct {
 	// incident package defaults).
 	Incident incident.Config
 
+	// TraceRing is the per-core capacity of the committed span-record
+	// ring behind /debug/trace (default 256; negative disables trace
+	// expansion entirely). Records are only ever created for batches a
+	// client stamped with the wire trace extension — unstamped traffic
+	// pays one branch and allocates nothing, whatever this is set to.
+	TraceRing int
+
 	// Reg receives server_* metrics; nil disables (free).
 	Reg *obs.Registry
 
@@ -135,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RingSize <= 0 {
 		c.RingSize = 64
+	}
+	switch {
+	case c.TraceRing == 0:
+		c.TraceRing = 256
+	case c.TraceRing < 0:
+		c.TraceRing = 0
 	}
 	if c.IPDS == (ipds.Config{}) {
 		c.IPDS = ipds.DefaultConfig
@@ -169,6 +182,11 @@ type task struct {
 	// server_queue_wait_ns — the reader→verifier leg of the sampled
 	// pipeline span.
 	t0 time.Time
+	// sp is non-nil on client-trace-stamped batches: the pooled span
+	// record the stages fill in as the batch moves through them (see
+	// trace.go). Ownership rides the ring with the batch; the core
+	// writer commits and releases it at ack-flush time.
+	sp *SpanRec
 }
 
 // frameBuf is one pooled outbound encoding: one frame, or several
@@ -186,6 +204,11 @@ type frameBuf struct {
 	// the verifier's queue time, observed by the writer (once the bytes
 	// are on the wire) as server_write_wait_ns — the verifier→writer leg.
 	t0 time.Time
+	// sp continues a trace-stamped batch's span record into the writer:
+	// non-nil only when the buffer carries such a batch's alarms+ack.
+	// The writer detaches it on append (into session.wspans) and the
+	// flush that puts the bytes on the wire commits it.
+	sp *SpanRec
 }
 
 // Server hosts verifier sessions. Create with New, feed with Serve (or
@@ -203,6 +226,10 @@ type Server struct {
 	// per event.
 	batchPool sync.Pool
 	bufPool   sync.Pool
+
+	// spanPool recycles trace span records (trace.go); leased by the
+	// reader for stamped batches only, released by the core writer.
+	spanPool sync.Pool
 
 	// incidents is the off-path analytics stage (nil when disabled):
 	// verifiers offer alarms and forensic captures to its bounded queue
@@ -237,6 +264,7 @@ func New(store *ImageStore, cfg Config) *Server {
 	}
 	s.batchPool.New = func() any { return &wire.Batch{} }
 	s.bufPool.New = func() any { return &frameBuf{} }
+	s.spanPool.New = func() any { return &SpanRec{} }
 	s.met = newMetrics(s.cfg.Reg)
 	if !s.cfg.DisableIncidents {
 		s.incidents = newIncidentStage(s.cfg.Incident, s.cfg.IncidentQueue, s.cfg.Reg)
@@ -479,20 +507,30 @@ func (s *Server) handleConn(conn net.Conn) {
 // only driver.
 func (s *Server) verifyBatch(v *verifier, ss *session, t task) {
 	n := len(t.b.Events)
-	if !t.t0.IsZero() {
-		s.met.queueWaitNs.Observe(uint64(time.Since(t.t0).Nanoseconds()))
-	}
 	start := time.Now()
+	if !t.t0.IsZero() {
+		s.met.queueWaitNs.Observe(uint64(start.Sub(t.t0).Nanoseconds()))
+		s.met.queueWaitSampled.Inc()
+	}
+	if t.sp != nil {
+		t.sp.DequeueNs = start.UnixNano()
+	}
 	// The returned alarm slice is machine-owned and valid until the
 	// machine's next batch; this verifier is the machine's only driver,
 	// so encoding the alarms here, before releasing the batch, is safe.
 	alarms := ss.m.OnBatch(t.b.Events)
+	if t.sp != nil {
+		t.sp.VerifyEndNs = nowNs()
+		t.sp.Events = n
+		t.sp.Alarms = len(alarms)
+	}
 	// The batch's alarms and its ack ride one pooled buffer: one ring
 	// operation and (after writer coalescing) one socket write per
 	// batch, however many alarms it raised.
 	fb := s.bufPool.Get().(*frameBuf)
 	fb.b = fb.b[:0]
 	fb.t0 = time.Time{}
+	fb.sp = nil
 	for i := range alarms {
 		s.met.alarmsTotal.Inc()
 		var err error
@@ -570,6 +608,13 @@ func (s *Server) verifyBatch(v *verifier, ss *session, t task) {
 	fb.b = wire.AppendAck(fb.b, wire.Ack{Events: done})
 	if !t.t0.IsZero() {
 		fb.t0 = time.Now()
+	}
+	if t.sp != nil {
+		// Incident offer + forensics emission + ack encode are done; the
+		// record rides the frame buffer to the core writer, which stamps
+		// AckNs and commits once the coalesced write lands.
+		t.sp.OfferEndNs = nowNs()
+		fb.sp = t.sp
 	}
 	v.send(writeOp{s: ss, fb: fb})
 }

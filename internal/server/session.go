@@ -86,6 +86,11 @@ type session struct {
 	wdirty  bool
 	wfailed bool
 	wspan   time.Time // first sampled frame's queue time in this cycle
+
+	// wspans holds the trace records of this cycle's coalesced traced
+	// batches: detached from their frame buffers at append time,
+	// committed (ack stamp) when the cycle's single write lands.
+	wspans []*SpanRec
 }
 
 // isClosedErr reports a read failing because the connection was closed
@@ -139,6 +144,7 @@ func (s *session) stageCtrl(staged []task, f wire.Frame) []task {
 	fb := s.srv.bufPool.Get().(*frameBuf)
 	fb.b = wire.MustAppend(fb.b[:0], f)
 	fb.t0 = time.Time{} // pooled; a stale sample stamp would skew spans
+	fb.sp = nil
 	return append(staged, task{fb: fb})
 }
 
@@ -255,7 +261,19 @@ func (s *session) readLoop() {
 				t0 = time.Now()
 			}
 			s.sampleCnt++
-			staged = append(staged, task{b: fr, t0: t0})
+			// A client-stamped trace context expands into a full span
+			// record; the untraced steady state pays this one predictable
+			// branch and nothing else.
+			var sp *SpanRec
+			if fr.TraceID != 0 && srv.cfg.TraceRing > 0 {
+				sp = srv.spanGet()
+				sp.TraceID = fr.TraceID
+				sp.OriginNs = int64(fr.OriginNs)
+				sp.Session = s.id
+				sp.Core = s.core
+				sp.ReadNs = nowNs()
+			}
+			staged = append(staged, task{b: fr, t0: t0, sp: sp})
 			// Publish when the socket buffer is dry — the next NextInto
 			// would block — or the stage is full. (A frame split across
 			// TCP segments can briefly block with tasks staged; its tail

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wire-level trace expansion: a client that stamps a Batch with the
+// trace extension (wire.Batch.TraceID) gets that batch expanded, on
+// the daemon, into a per-stage span record — read/decode, ring
+// enqueue→dequeue wait, kernel verify, incident offer + forensics
+// emission, write coalesce → ack flush — committed into a bounded
+// per-core ring once the ack bytes are on the wire. /debug/trace
+// exports the rings as Chrome trace-event JSON (chrome://tracing,
+// Perfetto), one track per verifier core.
+//
+// Cost model: an untraced batch pays exactly one predictable branch
+// (TraceID == 0) on the reader — the PR 4/7/9 zero-alloc serve path,
+// alloc-gate enforced. A traced batch borrows its record from a pool,
+// stamps five timestamps as it moves through the stages it already
+// moves through, and is committed by the core writer under a mutex no
+// unsampled batch ever touches.
+
+// SpanRec is one traced batch's per-stage latency record. All *Ns
+// fields except OriginNs are the daemon's clock (unix nanoseconds)
+// stamped by the stage that owns the batch at that moment, so within
+// a record ReadNs ≤ DequeueNs ≤ VerifyEndNs ≤ OfferEndNs ≤ AckNs by
+// construction. OriginNs is the client's clock: the wire leg derived
+// from it absorbs any cross-host skew, never the daemon-side ordering.
+type SpanRec struct {
+	TraceID uint64 `json:"trace_id"`
+	Session uint64 `json:"session"`
+	Core    int    `json:"core"`
+	Events  int    `json:"events"`
+	Alarms  int    `json:"alarms"`
+
+	OriginNs    int64 `json:"origin_ns"` // client stamp; 0 = none sent
+	ReadNs      int64 `json:"read_ns"`   // reader: frame read + decoded
+	DequeueNs   int64 `json:"dequeue_ns"`
+	VerifyEndNs int64 `json:"verify_end_ns"`
+	OfferEndNs  int64 `json:"offer_end_ns"`
+	AckNs       int64 `json:"ack_ns"` // writer: coalesced flush completed
+}
+
+// E2ENs is the record's end-to-end batch latency: client origin → ack
+// flush when the client stamped an origin (same-host clocks in the
+// gates; skewed cross-host stamps fall back), daemon read → ack flush
+// otherwise.
+func (r SpanRec) E2ENs() int64 {
+	if r.OriginNs > 0 && r.OriginNs <= r.AckNs {
+		return r.AckNs - r.OriginNs
+	}
+	return r.AckNs - r.ReadNs
+}
+
+// spanRing is one core's bounded committed-record ring. The core's
+// writer is the only committer; the debug endpoint snapshots under the
+// same mutex. Unsampled traffic never touches it.
+type spanRing struct {
+	mu  sync.Mutex
+	buf []SpanRec
+	n   uint64 // lifetime commits; buf[(n-1) % len] is the newest
+}
+
+func newSpanRing(capacity int) *spanRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &spanRing{buf: make([]SpanRec, capacity)}
+}
+
+// commit stores one finished record, overwriting the oldest.
+func (r *spanRing) commit(rec SpanRec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = rec
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot appends the ring's live records onto dst, oldest first.
+func (r *spanRing) snapshot(dst []SpanRec) []SpanRec {
+	if r == nil {
+		return dst
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, size := r.n, uint64(len(r.buf))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	for i := start; i < n; i++ {
+		dst = append(dst, r.buf[i%size])
+	}
+	return dst
+}
+
+// TraceSpans snapshots every core's committed span records, ordered by
+// daemon read time. The rings are bounded (Config.TraceRing per core),
+// so this is the most recent window, not a full history.
+func (s *Server) TraceSpans() []SpanRec {
+	var out []SpanRec
+	for _, v := range s.verifiers {
+		out = v.wr.spans.snapshot(out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ReadNs < out[j].ReadNs })
+	return out
+}
+
+// TraceE2E reports the p50 and p99 end-to-end batch latency over the
+// currently retained span records, in nanoseconds; zeros when nothing
+// has been traced.
+func (s *Server) TraceE2E() (p50, p99 int64) {
+	recs := s.TraceSpans()
+	if len(recs) == 0 {
+		return 0, 0
+	}
+	lat := make([]int64, len(recs))
+	for i, r := range recs {
+		lat[i] = r.E2ENs()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := func(q float64) int64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// chromeTraceEvent is one Chrome trace-event entry ("X" = complete
+// event, ts/dur in microseconds). Pid groups the daemon, tid is the
+// verifier core, so each core renders as its own track.
+type chromeTraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceStages turns one record into its Chrome stage events. Stages
+// are emitted only when their interval is well-formed, so a record
+// from a skewed client still renders its daemon-side stages.
+func traceStages(r SpanRec, t0 int64) []chromeTraceEvent {
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+	args := map[string]any{
+		"trace_id": r.TraceID,
+		"session":  r.Session,
+		"events":   r.Events,
+		"alarms":   r.Alarms,
+	}
+	var evs []chromeTraceEvent
+	add := func(name string, from, to int64, tid int) {
+		if from <= 0 || to < from {
+			return
+		}
+		evs = append(evs, chromeTraceEvent{
+			Name: name, Ph: "X",
+			Ts: us(from), Dur: float64(to-from) / 1e3,
+			Pid: 1, Tid: tid, Args: args,
+		})
+	}
+	// The wire leg (client encode + router splice + socket read) is
+	// derived from the client's origin stamp; it renders on a separate
+	// track (-1) because it is not a core's work.
+	if r.OriginNs > 0 && r.OriginNs <= r.ReadNs {
+		add("wire", r.OriginNs, r.ReadNs, -1)
+	}
+	add("queue_wait", r.ReadNs, r.DequeueNs, r.Core)
+	add("verify", r.DequeueNs, r.VerifyEndNs, r.Core)
+	add("offer", r.VerifyEndNs, r.OfferEndNs, r.Core)
+	add("write_ack", r.OfferEndNs, r.AckNs, r.Core)
+	return evs
+}
+
+// WriteChromeTrace renders the retained span records as a Chrome
+// trace-event JSON array. Timestamps are rebased to the earliest
+// record so the trace starts at t=0.
+func (s *Server) WriteChromeTrace(w http.ResponseWriter) {
+	recs := s.TraceSpans()
+	var t0 int64
+	for _, r := range recs {
+		base := r.ReadNs
+		if r.OriginNs > 0 && r.OriginNs < base {
+			base = r.OriginNs
+		}
+		if t0 == 0 || base < t0 {
+			t0 = base
+		}
+	}
+	evs := []chromeTraceEvent{}
+	for _, r := range recs {
+		evs = append(evs, traceStages(r, t0)...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(evs)
+}
+
+// TraceHandler serves the span rings as Chrome trace-event JSON —
+// mounted by ipdsd at /debug/trace, fetched by `ipdsload trace`. With
+// ?spans=1 it serves the raw SpanRec list instead (what the fleet
+// aggregation and tests consume).
+func (s *Server) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("spans") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Spans []SpanRec `json:"spans"`
+			}{s.TraceSpans()})
+			return
+		}
+		s.WriteChromeTrace(w)
+	})
+}
+
+// spanGet leases a zeroed record from the span pool.
+func (s *Server) spanGet() *SpanRec {
+	sp := s.spanPool.Get().(*SpanRec)
+	*sp = SpanRec{}
+	return sp
+}
+
+// spanCommit finishes a record at ack-flush time: stamps AckNs, feeds
+// the e2e histogram, commits the value into the core's ring and
+// returns the lease to the pool. Runs on the core writer.
+func (s *Server) spanCommit(w *coreWriter, sp *SpanRec, ackNs int64) {
+	sp.AckNs = ackNs
+	if e2e := sp.E2ENs(); e2e > 0 {
+		s.met.e2eNs.Observe(uint64(e2e))
+	}
+	w.spans.commit(*sp)
+	s.spanPool.Put(sp)
+}
+
+// spanDiscard abandons a record whose batch never reached the wire (a
+// failed session's output is discarded, not acked).
+func (s *Server) spanDiscard(sp *SpanRec) {
+	s.spanPool.Put(sp)
+}
+
+// nowNs is the span clock: one name for "the daemon's monotonic-ish
+// wall clock in unix nanoseconds".
+func nowNs() int64 { return time.Now().UnixNano() }

@@ -86,12 +86,16 @@ func TestDecodeBatchIntoMatchesDecode(t *testing.T) {
 		if err := DecodeBatchInto(payload, &b); err != nil {
 			t.Fatalf("DecodeBatchInto: %v", err)
 		}
-		wantEvs := want.(Batch).Events
-		if len(wantEvs) == 0 && len(b.Events) == 0 {
+		wb := want.(Batch)
+		if b.TraceID != wb.TraceID || b.OriginNs != wb.OriginNs {
+			t.Errorf("DecodeBatchInto trace = (%d, %d), want (%d, %d)",
+				b.TraceID, b.OriginNs, wb.TraceID, wb.OriginNs)
+		}
+		if len(wb.Events) == 0 && len(b.Events) == 0 {
 			continue
 		}
-		if !reflect.DeepEqual(b.Events, wantEvs) {
-			t.Errorf("DecodeBatchInto = %+v, want %+v", b.Events, wantEvs)
+		if !reflect.DeepEqual(b.Events, wb.Events) {
+			t.Errorf("DecodeBatchInto = %+v, want %+v", b.Events, wb.Events)
 		}
 	}
 }
@@ -106,7 +110,9 @@ func TestDecodeBatchIntoHostile(t *testing.T) {
 		{byte(TypeBatch), 0xff, 0xff, 0xff, 0xff, 0x7f}, // absurd count
 		{byte(TypeBatch), 2, 0},                         // count exceeds payload
 		{byte(TypeBatch), 1, 9},                         // unknown event kind
-		{byte(TypeBatch), 1, 1, 0},                      // trailing byte
+		{byte(TypeBatch), 1, 1, 1},                      // trace extension tag, no id
+		{byte(TypeBatch), 1, 1, 1, 0},                   // trace extension with zero id
+		{byte(TypeBatch), 1, 1, 1, 5},                   // trace extension id but no origin
 		{byte(TypeAck), 1},                              // wrong frame type
 	}
 	for _, payload := range cases {

@@ -145,7 +145,45 @@ func (d *decoder) batch() (Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.done(Batch{Events: evs})
+	b := Batch{Events: evs}
+	if err := d.batchExt(&b.TraceID, &b.OriginNs); err != nil {
+		return nil, err
+	}
+	return d.done(b)
+}
+
+// batchExt decodes the optional extension area trailing a batch's
+// event list. A trace block (batchExtTrace) fills tid/origin; an
+// unknown leading tag — or any bytes behind a decoded block — is
+// skipped, not refused: the extension area is the frame's
+// forward-compatibility valve, so a decoder predating a tag still
+// accepts the events it understands. Truncated known blocks and a
+// zero trace id (non-canonical: zero means untraced and is then not
+// encoded at all) are hostile and refused.
+func (d *decoder) batchExt(tid, origin *uint64) error {
+	if d.off >= len(d.b) {
+		return nil
+	}
+	tag, err := d.u8("batch extension tag")
+	if err != nil {
+		return err
+	}
+	if tag == batchExtTrace {
+		v, err := d.uvarint("batch trace id")
+		if err != nil {
+			return err
+		}
+		if v == 0 {
+			return fmt.Errorf("wire: batch trace extension with zero id")
+		}
+		o, err := d.uvarint("batch trace origin")
+		if err != nil {
+			return err
+		}
+		*tid, *origin = v, o
+	}
+	d.off = len(d.b) // skip unknown tags and anything behind known blocks
+	return nil
 }
 
 // events decodes a batch body, appending onto evs (which may be nil or
@@ -227,6 +265,7 @@ func (d *decoder) events(evs []Event) ([]Event, error) {
 // truncated but usable.
 func DecodeBatchInto(payload []byte, b *Batch) error {
 	b.Events = b.Events[:0]
+	b.TraceID, b.OriginNs = 0, 0
 	if len(payload) == 0 {
 		return fmt.Errorf("wire: empty frame")
 	}
@@ -241,8 +280,8 @@ func DecodeBatchInto(payload []byte, b *Batch) error {
 	if err != nil {
 		return err
 	}
-	if d.off != len(d.b) {
-		return fmt.Errorf("wire: %d trailing bytes after batch frame", len(d.b)-d.off)
+	if err := d.batchExt(&b.TraceID, &b.OriginNs); err != nil {
+		return err
 	}
 	b.Events = evs
 	return nil

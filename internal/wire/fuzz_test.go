@@ -22,6 +22,12 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{byte(TypeBatch), 0x80, 0x80, 0x04})
 	f.Add([]byte{})
+	// Trace-extension shapes: a traced batch, an unknown extension tag
+	// (skipped, not refused), and truncated/zero-id hostile variants.
+	f.Add([]byte{byte(TypeBatch), 1, 1, batchExtTrace, 5, 7})
+	f.Add([]byte{byte(TypeBatch), 1, 1, 0xee, 1, 2, 3})
+	f.Add([]byte{byte(TypeBatch), 1, 1, batchExtTrace})
+	f.Add([]byte{byte(TypeBatch), 1, 1, batchExtTrace, 0})
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		fr, err := Decode(payload)
@@ -35,7 +41,8 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("Decode err=%v but DecodeBatchInto err=%v", err, intoErr)
 			}
 			if err == nil {
-				want := fr.(Batch).Events
+				wb := fr.(Batch)
+				want := wb.Events
 				if len(want) != len(reused.Events) {
 					t.Fatalf("DecodeBatchInto decoded %d events, Decode %d", len(reused.Events), len(want))
 				}
@@ -43,6 +50,10 @@ func FuzzDecode(f *testing.F) {
 					if want[i] != reused.Events[i] {
 						t.Fatalf("event %d: DecodeBatchInto %+v, Decode %+v", i, reused.Events[i], want[i])
 					}
+				}
+				if reused.TraceID != wb.TraceID || reused.OriginNs != wb.OriginNs {
+					t.Fatalf("DecodeBatchInto trace (%d, %d), Decode (%d, %d)",
+						reused.TraceID, reused.OriginNs, wb.TraceID, wb.OriginNs)
 				}
 			}
 		} else if intoErr == nil {

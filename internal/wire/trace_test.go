@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestBatchTraceRoundTrip pins the trace-extended Batch encoding: the
+// extension survives Decode and DecodeBatchInto, and an untraced batch
+// encodes byte-identically to the pre-extension protocol (the
+// zero-cost default the serve path's alloc gate depends on).
+func TestBatchTraceRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Kind: EvEnter, PC: 0x40},
+		{Kind: EvBranch, PC: 0x4a, Taken: true},
+		{Kind: EvLeave},
+	}
+	traced := Batch{Events: evs, TraceID: 0x1234_5678_9abc, OriginNs: 1_700_000_000_000_000_001}
+	enc := MustAppend(nil, traced)
+	got, err := Decode(enc[4:])
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, traced) {
+		t.Fatalf("round trip: got %#v want %#v", got, traced)
+	}
+
+	var reused Batch
+	if err := DecodeBatchInto(enc[4:], &reused); err != nil {
+		t.Fatalf("DecodeBatchInto: %v", err)
+	}
+	if reused.TraceID != traced.TraceID || reused.OriginNs != traced.OriginNs {
+		t.Fatalf("DecodeBatchInto trace = (%d, %d), want (%d, %d)",
+			reused.TraceID, reused.OriginNs, traced.TraceID, traced.OriginNs)
+	}
+
+	// Untraced batches must not pay a byte: the encoding is identical
+	// to a pre-extension sender's.
+	plain := MustAppend(nil, Batch{Events: evs})
+	var manual []byte
+	manual = append(manual, byte(TypeBatch), 3)
+	manual = append(manual, evEnter, 0x40, evBranchTaken, 0x4a, evLeave)
+	if !bytes.Equal(plain[4:], manual) {
+		t.Fatalf("untraced batch encoding changed:\n got %x\nwant %x", plain[4:], manual)
+	}
+
+	// Decoding an untraced frame into a previously-traced Batch must
+	// reset the trace fields — the reader reuses one leased Batch.
+	if err := DecodeBatchInto(plain[4:], &reused); err != nil {
+		t.Fatalf("DecodeBatchInto(untraced): %v", err)
+	}
+	if reused.TraceID != 0 || reused.OriginNs != 0 {
+		t.Fatalf("stale trace context survived reuse: (%d, %d)", reused.TraceID, reused.OriginNs)
+	}
+}
+
+// TestBatchTraceExtensionSkipped pins the forward-compatibility valve:
+// a decoder that does not understand an extension tag must still
+// accept the events — so a future sender can extend the frame without
+// breaking this receiver, exactly as this PR's traced sender relies on
+// receivers skipping what they don't know.
+func TestBatchTraceExtensionSkipped(t *testing.T) {
+	payload := []byte{byte(TypeBatch), 2, evEnter, 0x40, evLeave,
+		0x7e /* unknown tag */, 0xde, 0xad, 0xbe, 0xef}
+	got, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode refused an unknown extension: %v", err)
+	}
+	b := got.(Batch)
+	if len(b.Events) != 2 || b.TraceID != 0 || b.OriginNs != 0 {
+		t.Fatalf("unknown extension leaked into the frame: %#v", b)
+	}
+
+	// Bytes behind a decoded trace block are also extension area.
+	payload = []byte{byte(TypeBatch), 1, evLeave, batchExtTrace, 9, 11, 0xff, 0x00}
+	got, err = Decode(payload)
+	if err != nil {
+		t.Fatalf("Decode refused bytes behind the trace block: %v", err)
+	}
+	b = got.(Batch)
+	if b.TraceID != 9 || b.OriginNs != 11 {
+		t.Fatalf("trace block misdecoded: %#v", b)
+	}
+}
+
+// TestBatchTraceHostile pins total decoding of the extension on
+// hostile input: truncated blocks and the non-canonical zero id are
+// refused, for both decode entry points.
+func TestBatchTraceHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"tag only":         {byte(TypeBatch), 1, evLeave, batchExtTrace},
+		"zero id":          {byte(TypeBatch), 1, evLeave, batchExtTrace, 0},
+		"id, no origin":    {byte(TypeBatch), 1, evLeave, batchExtTrace, 5},
+		"truncated id":     {byte(TypeBatch), 1, evLeave, batchExtTrace, 0xff},
+		"truncated origin": {byte(TypeBatch), 1, evLeave, batchExtTrace, 5, 0x80},
+	}
+	var b Batch
+	for name, payload := range cases {
+		if _, err := Decode(payload); err == nil {
+			t.Errorf("%s: Decode accepted hostile payload % x", name, payload)
+		}
+		if err := DecodeBatchInto(payload, &b); err == nil {
+			t.Errorf("%s: DecodeBatchInto accepted hostile payload % x", name, payload)
+		}
+	}
+}

@@ -162,6 +162,18 @@ const (
 	evFill           = 5
 )
 
+// batchExtTrace tags the optional trace-context extension block that
+// may trail a Batch frame's event list: uvarint trace id (nonzero by
+// construction — zero means "untraced" in the struct, so a zero id on
+// the wire is refused as non-canonical) followed by uvarint origin
+// timestamp (client clock, unix nanoseconds). The extension area is
+// the batch frame's forward-compatibility valve: a decoder skips tags
+// it does not know and any bytes behind the blocks it does, so a
+// sender may extend the frame without breaking older receivers, and
+// an untraced batch encodes byte-identically to the pre-extension
+// protocol.
+const batchExtTrace = 1
+
 // Event is one branch-stream occurrence: a function entry (PC = code
 // base), a function return, or a committed conditional branch
 // (PC = branch address, Taken = direction). This is the unit the
@@ -200,9 +212,26 @@ type HelloAck struct {
 // Type returns TypeHelloAck.
 func (HelloAck) Type() FrameType { return TypeHelloAck }
 
-// Batch carries up to MaxBatch branch-stream events.
+// Batch carries up to MaxBatch branch-stream events, optionally
+// stamped with a sampled trace context (TraceID nonzero): the client's
+// trace id and origin timestamp ride a trailing extension block, so
+// the daemon can expand the batch into a per-stage latency span.
+// TraceID zero means untraced — the batch then encodes byte-identically
+// to the pre-extension protocol and the serve path spends nothing on
+// it.
 type Batch struct {
 	Events []Event
+
+	// TraceID is the sampled trace context's id; 0 = untraced (the
+	// extension block is then not encoded at all).
+	TraceID uint64
+
+	// OriginNs is the client's send timestamp (unix nanoseconds on the
+	// client's clock), meaningful only when TraceID is nonzero. The
+	// wire leg of a span (client encode → daemon read) is derived from
+	// it, so cross-host clock skew affects only that derived leg, never
+	// the daemon-side stage ordering.
+	OriginNs uint64
 }
 
 // Type returns TypeBatch.
@@ -466,6 +495,11 @@ func appendBatch(dst []byte, b Batch) ([]byte, error) {
 		default:
 			return nil, fmt.Errorf("wire: cannot encode event kind %d", ev.Kind)
 		}
+	}
+	if b.TraceID != 0 {
+		dst = append(dst, batchExtTrace)
+		dst = binary.AppendUvarint(dst, b.TraceID)
+		dst = binary.AppendUvarint(dst, b.OriginNs)
 	}
 	return dst, nil
 }

@@ -26,6 +26,11 @@ func sampleFrames() []Frame {
 			{Kind: EvLeave},
 		}},
 		Batch{}, // empty batch is legal
+		Batch{Events: []Event{
+			{Kind: EvEnter, PC: 0x40},
+			{Kind: EvBranch, PC: 0x4a, Taken: true},
+		}, TraceID: 0xdeadbeefcafe, OriginNs: 1_700_000_000_123_456_789},
+		Batch{TraceID: 7, OriginNs: 1}, // traced empty batch is legal
 		Alarm{Seq: 912, PC: 0x7fffffff12, Func: "handle_cmd", Slot: 13, Expected: 2, Taken: true},
 		AlarmCtx{
 			Seq:      912,
@@ -72,7 +77,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		want := f
 		if b, ok := want.(Batch); ok && b.Events == nil {
 			// Decode materialises an empty (non-nil) slice.
-			want = Batch{Events: []Event{}}
+			b.Events = []Event{}
+			want = b
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round trip %v: got %#v want %#v", f.Type(), got, want)

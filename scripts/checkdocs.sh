@@ -8,7 +8,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PKGS="internal/core internal/tables internal/ipds internal/pipeline internal/tcache internal/obs internal/incident internal/ring internal/server internal/fleet internal/registry"
+PKGS="internal/core internal/tables internal/ipds internal/pipeline internal/tcache internal/obs internal/obs/tsdb internal/incident internal/ring internal/server internal/fleet internal/registry"
 
 fail=0
 for pkg in $PKGS; do

@@ -6,9 +6,10 @@
 // pins the frame kinds that earned dedicated fuzzing attention —
 // the AlarmCtx forensic frame and the Incident summary frame, whose
 // nested counts and string fields carry the most decoder edge cases,
-// and (PR 8) the registry frames, whose length-prefixed blob is the
-// largest attacker-controlled allocation in the protocol. Run from
-// the repo root:
+// (PR 8) the registry frames, whose length-prefixed blob is the
+// largest attacker-controlled allocation in the protocol, and (PR 10)
+// trace-extended Batch frames, whose trailing extension area is the
+// protocol's forward-compatibility valve. Run from the repo root:
 //
 //	go run scripts/genfuzzcorpus.go
 package main
@@ -71,19 +72,42 @@ func main() {
 			Hash: hash(0x33),
 		},
 		"seed-imagemissing": wire.ImageMissing{Hash: hash(0x44)},
+		"seed-batch-traced": wire.Batch{
+			Events: []wire.Event{
+				{Kind: wire.EvEnter, PC: 0x40},
+				{Kind: wire.EvBranch, PC: 0x4a, Taken: true},
+				{Kind: wire.EvLeave},
+			},
+			TraceID:  0xdeadbeefcafe,
+			OriginNs: 1_700_000_000_123_456_789,
+		},
+		"seed-batch-traced-empty": wire.Batch{TraceID: 1, OriginNs: 1},
+	}
+	write := func(name string, payload []byte) {
+		// Native corpus entry: the fuzz target takes the frame payload
+		// (the bytes after the 4-byte length prefix).
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(payload)))
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
 	}
 	for name, f := range seeds {
 		enc, err := wire.Append(nil, f)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		// Native corpus entry: the fuzz target takes the frame payload
-		// (the bytes after the 4-byte length prefix).
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(enc[4:])))
-		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("wrote", path)
+		write(name, enc[4:])
+	}
+	// Hand-built payloads no conforming encoder produces: the
+	// extension-area shapes the decoder must skip or refuse.
+	raw := map[string][]byte{
+		"seed-batch-ext-unknown":   {3 /* TypeBatch */, 1, 1, 0x7e, 0xde, 0xad},
+		"seed-batch-ext-truncated": {3 /* TypeBatch */, 1, 1, 1, 5},
+		"seed-batch-ext-zero-id":   {3 /* TypeBatch */, 1, 1, 1, 0},
+	}
+	for name, payload := range raw {
+		write(name, payload)
 	}
 }
